@@ -1,0 +1,74 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic SPECfp95 suite.
+//
+// Usage:
+//
+//	experiments [-run all|table1|table2|fig4|fig8|fig9|fig10|ablations] [-markdown]
+//
+// With -markdown the tables are printed as GitHub Markdown (the format
+// EXPERIMENTS.md records).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	run := flag.String("run", "all", "which artefact to regenerate (all, table1, table2, fig4, fig8, fig9, fig10, ablations)")
+	markdown := flag.Bool("markdown", false, "emit GitHub Markdown instead of ASCII")
+	flag.Parse()
+
+	suite := experiments.NewSuite()
+	emit := func(t *report.Table, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t)
+		}
+	}
+
+	want := func(name string) bool { return *run == "all" || *run == name }
+	start := time.Now()
+
+	if want("table1") {
+		emit(experiments.Table1(), nil)
+	}
+	if want("fig4") {
+		emit(suite.Fig4(2))
+		emit(suite.Fig4(4))
+	}
+	if want("fig8") {
+		for _, clusters := range []int{2, 4} {
+			for _, strat := range []core.Strategy{core.NoUnroll, core.UnrollAll, core.SelectiveUnroll} {
+				emit(suite.Fig8(clusters, strat))
+			}
+		}
+	}
+	if want("table2") {
+		emit(experiments.Table2(), nil)
+	}
+	if want("fig9") {
+		emit(suite.Fig9())
+	}
+	if want("fig10") {
+		emit(suite.Fig10(2))
+		emit(suite.Fig10(4))
+	}
+	if want("ablations") {
+		emit(suite.AblationPolicy())
+		emit(suite.AblationOrdering())
+		emit(suite.AblationUnrollFactor())
+	}
+	fmt.Fprintf(os.Stderr, "total time: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,95 @@
+// Command loopgen inspects the synthetic SPECfp95 workload: per-benchmark
+// loop statistics, or a single loop's dependence graph.
+//
+// Usage:
+//
+//	loopgen                      suite statistics
+//	loopgen -bench swim          one benchmark's loops in detail
+//	loopgen -bench swim -loop 2 -dot    a loop's DDG in Graphviz DOT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+func main() {
+	bench := flag.String("bench", "", "show one benchmark's loops")
+	loopIdx := flag.Int("loop", -1, "with -bench: select one loop")
+	dot := flag.Bool("dot", false, "with -bench and -loop: print DOT")
+	flag.Parse()
+
+	suite := corpus.SPECfp95()
+	if *bench == "" {
+		printSuite(suite)
+		return
+	}
+	for _, b := range suite {
+		if b.Name != *bench {
+			continue
+		}
+		if *loopIdx < 0 {
+			printBench(b)
+			return
+		}
+		if *loopIdx >= len(b.Loops) {
+			fmt.Fprintf(os.Stderr, "loopgen: %s has %d loops\n", b.Name, len(b.Loops))
+			os.Exit(1)
+		}
+		l := b.Loops[*loopIdx]
+		if *dot {
+			fmt.Print(l.Graph.Dot())
+			return
+		}
+		printLoop(l)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "loopgen: unknown benchmark %q\n", *bench)
+	os.Exit(1)
+}
+
+func printSuite(suite []*corpus.Benchmark) {
+	t := report.New("Synthetic SPECfp95 suite",
+		"benchmark", "loops", "avg ops", "recurrences", "loop-carried deps", "avg iters")
+	for _, b := range suite {
+		ops, recs, carried, iters := 0, 0, 0, 0
+		for _, l := range b.Loops {
+			ops += l.Ops()
+			recs += len(l.Graph.Recurrences())
+			carried += len(l.Graph.LoopCarried())
+			iters += l.Iters
+		}
+		n := len(b.Loops)
+		t.AddRow(b.Name, n, ops/n, recs, carried, iters/n)
+	}
+	fmt.Println(t)
+}
+
+func printBench(b *corpus.Benchmark) {
+	uni := machine.Unified()
+	four := machine.FourCluster(1, 1)
+	t := report.New(fmt.Sprintf("Benchmark %s", b.Name),
+		"loop", "ops", "edges", "recMII", "minII(uni)", "minII(4c)", "iters", "weight")
+	for _, l := range b.Loops {
+		t.AddRow(l.Graph.Name, l.Ops(), l.Graph.NumEdges(),
+			l.Graph.RecMII(), l.Graph.MinII(&uni), l.Graph.MinII(&four),
+			l.Iters, l.Weight)
+	}
+	fmt.Println(t)
+}
+
+func printLoop(l *corpus.Loop) {
+	fmt.Printf("%s: iters=%d weight=%d\n", l.Graph, l.Iters, l.Weight)
+	for _, n := range l.Graph.Nodes() {
+		fmt.Printf("  %-8s %s\n", n.Name, n.Class)
+	}
+	for _, e := range l.Graph.Edges() {
+		fmt.Printf("  %s -> %s (lat %d, dist %d, %s)\n",
+			l.Graph.Node(e.From).Name, l.Graph.Node(e.To).Name, e.Latency, e.Distance, e.Kind)
+	}
+}

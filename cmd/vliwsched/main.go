@@ -1,0 +1,128 @@
+// Command vliwsched schedules a loop written in the textual IR on a
+// chosen clustered VLIW configuration and prints the analysis, the
+// modulo schedule, the emitted kernel and a simulated execution.
+//
+// Usage:
+//
+//	vliwsched [flags] loop.ir
+//
+//	-config unified|2cluster|4cluster   target machine (default 4cluster)
+//	-buses N                            bus count (default 1)
+//	-buslat N                           bus latency (default 1)
+//	-scheduler bsa|ne                   BSA or Nystrom-Eichenberger
+//	-unroll none|all|selective          unrolling strategy
+//	-dot                                print the DDG in Graphviz DOT and exit
+//
+// Example:
+//
+//	vliwsched -config 4cluster -buses 1 -unroll selective examples/loops/stencil.ir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/emit"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/vliwsim"
+)
+
+func main() {
+	configName := flag.String("config", "4cluster", "machine: unified, 2cluster or 4cluster")
+	buses := flag.Int("buses", 1, "number of inter-cluster buses")
+	busLat := flag.Int("buslat", 1, "bus latency in cycles")
+	scheduler := flag.String("scheduler", "bsa", "bsa or ne (Nystrom-Eichenberger)")
+	unrollMode := flag.String("unroll", "none", "none, all or selective")
+	dot := flag.Bool("dot", false, "print the dependence graph in DOT and exit")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vliwsched [flags] loop.ir")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	loop, err := ir.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *dot {
+		fmt.Print(loop.Graph.Dot())
+		return
+	}
+
+	cfg, err := pickConfig(*configName, *buses, *busLat)
+	if err != nil {
+		fatal(err)
+	}
+	opts := core.Options{}
+	switch *scheduler {
+	case "bsa":
+	case "ne":
+		opts.Scheduler = core.NystromEichenberger
+	default:
+		fatal(fmt.Errorf("unknown scheduler %q", *scheduler))
+	}
+	switch *unrollMode {
+	case "none":
+	case "all":
+		opts.Strategy = core.UnrollAll
+	case "selective":
+		opts.Strategy = core.SelectiveUnroll
+	default:
+		fatal(fmt.Errorf("unknown unroll mode %q", *unrollMode))
+	}
+
+	fmt.Printf("loop %s: %d ops, %d edges, iters=%d\n",
+		loop.Graph.Name, loop.Graph.NumNodes(), loop.Graph.NumEdges(), loop.Iters)
+	fmt.Printf("machine: %s\n", cfg.String())
+	fmt.Printf("ResMII=%d RecMII=%d MinII=%d\n\n",
+		loop.Graph.ResMII(&cfg), loop.Graph.RecMII(), loop.Graph.MinII(&cfg))
+
+	res, err := core.Compile(loop.Graph, &cfg, &opts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sched.Validate(res.Schedule); err != nil {
+		fatal(fmt.Errorf("internal error: invalid schedule: %w", err))
+	}
+	if opts.Strategy == core.SelectiveUnroll {
+		fmt.Println("selective unrolling:", res.Decision)
+	}
+	fmt.Println(res.Schedule)
+	fmt.Println(emit.Emit(res.Schedule))
+
+	kIters := (loop.Iters + res.Factor - 1) / res.Factor
+	sim, err := vliwsim.Run(res.Schedule, kIters)
+	if err != nil {
+		fatal(fmt.Errorf("simulation: %w", err))
+	}
+	fmt.Printf("simulated %d kernel iterations (%d original): %d cycles, %d ops, %d transfers, IPC %.2f\n",
+		kIters, loop.Iters, sim.Cycles, sim.OpsExecuted, sim.TransfersExecuted, sim.IPC)
+	fmt.Printf("register pressure per cluster: %v (capacity %d)\n", sim.MaxPressure, cfg.RegsPerCluster)
+}
+
+func pickConfig(name string, buses, busLat int) (machine.Config, error) {
+	switch name {
+	case "unified":
+		return machine.Unified(), nil
+	case "2cluster":
+		return machine.TwoCluster(buses, busLat), nil
+	case "4cluster":
+		return machine.FourCluster(buses, busLat), nil
+	default:
+		return machine.Config{}, fmt.Errorf("unknown config %q (want unified, 2cluster or 4cluster)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vliwsched:", err)
+	os.Exit(1)
+}

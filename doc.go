@@ -1,0 +1,10 @@
+// Package repro reproduces "The Effectiveness of Loop Unrolling for
+// Modulo Scheduling in Clustered VLIW Architectures" (Sánchez &
+// González, ICPP 2000) as a Go library.
+//
+// The implementation lives under internal/: package core is the front
+// door (the paper's scheduler plus selective unrolling), and
+// bench_test.go in this directory regenerates every table and figure of
+// the paper's evaluation as testing.B benchmarks.  See README.md for a
+// tour and DESIGN.md for the system inventory.
+package repro

@@ -1,0 +1,76 @@
+// Code-size study at example scale (the paper's Figure 10 concern):
+// unrolling every loop multiplies the static code, which matters for
+// embedded targets; selective unrolling keeps most of the IPC for a
+// fraction of the growth.  One benchmark is compiled three ways for the
+// 4-cluster machine and the emitted VLIW fields are counted.
+//
+// Run with:
+//
+//	go run ./examples/codesize [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/emit"
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+func main() {
+	benchName := "applu"
+	if len(os.Args) > 1 {
+		benchName = os.Args[1]
+	}
+	var bench *corpus.Benchmark
+	for _, b := range corpus.SPECfp95() {
+		if b.Name == benchName {
+			bench = b
+		}
+	}
+	if bench == nil {
+		log.Fatalf("unknown benchmark %q", benchName)
+	}
+
+	cfg := machine.FourCluster(1, 2)
+	t := report.New(fmt.Sprintf("code size of %s on %s", bench.Name, cfg.Name),
+		"strategy", "instructions", "useful ops", "ops+NOPs", "NOP share", "cycles/iter")
+	for _, strat := range []struct {
+		name string
+		s    core.Strategy
+	}{
+		{"no unrolling", core.NoUnroll},
+		{"unroll all x4", core.UnrollAll},
+		{"selective", core.SelectiveUnroll},
+	} {
+		var inst, useful, slots int
+		var cycles, iters float64
+		for _, l := range bench.Loops {
+			res, err := core.Compile(l.Graph, &cfg, &core.Options{Strategy: strat.s, Factor: 4})
+			if err != nil {
+				// Unrolled body too large for the register files: ship the
+				// non-unrolled loop, like the experiments harness does.
+				res, err = core.Compile(l.Graph, &cfg, nil)
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+			c := emit.Emit(res.Schedule).Count()
+			inst += c.Instructions
+			useful += c.UsefulOps
+			slots += c.TotalSlots
+			kIters := (l.Iters + res.Factor - 1) / res.Factor
+			cycles += float64(res.Schedule.Cycles(kIters))
+			iters += float64(l.Iters)
+		}
+		nopShare := 1 - float64(useful)/float64(slots)
+		t.AddRow(strat.name, inst, useful, slots,
+			fmt.Sprintf("%.0f%%", nopShare*100),
+			fmt.Sprintf("%.2f", cycles/iters))
+	}
+	fmt.Println(t)
+}

@@ -1,0 +1,73 @@
+// Bus-bandwidth sweep on one synthetic SPECfp95 program — a Figure
+// 4-style experiment at example scale.  For each bus count and latency,
+// the whole benchmark is compiled for the 4-cluster machine with BSA and
+// with the two-phase Nystrom & Eichenberger baseline, and the IPC
+// relative to the unified machine is printed.
+//
+// Run with:
+//
+//	go run ./examples/specsweep [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	benchName := "su2cor"
+	if len(os.Args) > 1 {
+		benchName = os.Args[1]
+	}
+	var bench *corpus.Benchmark
+	for _, b := range corpus.SPECfp95() {
+		if b.Name == benchName {
+			bench = b
+		}
+	}
+	if bench == nil {
+		log.Fatalf("unknown benchmark %q", benchName)
+	}
+
+	uni := machine.Unified()
+	base := benchIPC(bench, &uni, core.Options{})
+	fmt.Printf("benchmark %s: %d loops, unified IPC %.3f\n\n", bench.Name, len(bench.Loops), base.IPC())
+
+	t := report.New("relative IPC on the 4-cluster machine", "scheduler", "latency", "B=1", "B=2", "B=4")
+	for _, sched := range []struct {
+		name string
+		s    core.Scheduler
+	}{{"BSA", core.BSA}, {"N&E", core.NystromEichenberger}} {
+		for _, lat := range []int{1, 2} {
+			row := []any{sched.name, lat}
+			for _, buses := range []int{1, 2, 4} {
+				cfg := machine.FourCluster(buses, lat)
+				acc := benchIPC(bench, &cfg, core.Options{Scheduler: sched.s})
+				row = append(row, acc.Relative(base))
+			}
+			t.AddRow(row...)
+		}
+	}
+	fmt.Println(t)
+}
+
+func benchIPC(b *corpus.Benchmark, cfg *machine.Config, opts core.Options) stats.Accum {
+	var acc stats.Accum
+	for _, l := range b.Loops {
+		res, err := core.Compile(l.Graph, cfg, &opts)
+		if err != nil {
+			log.Fatalf("%s: %v", l.Graph.Name, err)
+		}
+		kIters := (l.Iters + res.Factor - 1) / res.Factor
+		acc.Add(int64(l.Iters)*int64(l.Ops())*int64(l.Weight),
+			int64(res.Schedule.Cycles(kIters))*int64(l.Weight))
+	}
+	return acc
+}

@@ -1,0 +1,146 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+func mustNE(t *testing.T, g *ddg.Graph, cfg machine.Config) *sched.Schedule {
+	t.Helper()
+	s, err := NystromEichenberger(g, &cfg, nil)
+	if err != nil {
+		t.Fatalf("N&E(%s, %s): %v", g.Name, cfg.Name, err)
+	}
+	if err := sched.Validate(s); err != nil {
+		t.Fatalf("Validate: %v\n%s", err, s)
+	}
+	return s
+}
+
+func TestNEUnifiedMatchesSMS(t *testing.T) {
+	// On one cluster the assignment is trivial; II must equal plain BSA.
+	g := ddg.SampleDotProduct()
+	uni := machine.Unified()
+	ne := mustNE(t, g, uni)
+	bsa, err := sched.ScheduleGraph(g, &uni, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne.II != bsa.II {
+		t.Errorf("N&E II = %d, BSA II = %d", ne.II, bsa.II)
+	}
+}
+
+func TestNESchedulesSamples(t *testing.T) {
+	for _, g := range []*ddg.Graph{
+		ddg.SampleDotProduct(), ddg.SampleFigure7(), ddg.SampleStencil(),
+		ddg.SampleChain(10), ddg.SampleIndependent(9),
+		ddg.SampleStencil().Unroll(2),
+	} {
+		for _, cfg := range []machine.Config{
+			machine.TwoCluster(2, 1), machine.FourCluster(4, 1),
+		} {
+			s := mustNE(t, g, cfg)
+			if s.II < s.MinII {
+				t.Errorf("%s on %s: II %d < MinII %d", g.Name, cfg.Name, s.II, s.MinII)
+			}
+		}
+	}
+}
+
+func TestNEAssignmentBalancesIndependentOps(t *testing.T) {
+	g := ddg.SampleIndependent(8)
+	s := mustNE(t, g, machine.TwoCluster(1, 1))
+	perCluster := map[int]int{}
+	for _, p := range s.Placements {
+		perCluster[p.Cluster]++
+	}
+	if perCluster[0] != 4 || perCluster[1] != 4 {
+		t.Errorf("independent ops split %v, want 4/4", perCluster)
+	}
+}
+
+func TestNEKeepsRecurrenceTogether(t *testing.T) {
+	// The loop-carried affinity bonus must keep a 2-op recurrence in one
+	// cluster: splitting it would put a bus on the critical cycle.
+	g := ddg.New("rec")
+	a := g.AddNode("a", machine.OpFAdd)
+	b := g.AddNode("b", machine.OpFAdd)
+	g.AddTrueDep(a.ID, b.ID, 0)
+	g.AddTrueDep(b.ID, a.ID, 1)
+	s := mustNE(t, g, machine.TwoCluster(1, 1))
+	if s.ClusterOf(a.ID) != s.ClusterOf(b.ID) {
+		t.Errorf("recurrence split across clusters %d/%d", s.ClusterOf(a.ID), s.ClusterOf(b.ID))
+	}
+	if s.II != 6 { // lat 3+3 over distance 1
+		t.Errorf("II = %d, want 6", s.II)
+	}
+}
+
+func TestNEDegradesWithScarceBuses(t *testing.T) {
+	// The paper's central claim for Figure 4: two-phase assignment can
+	// not adapt to bus scarcity, so its II on a 1-bus machine is never
+	// better than BSA's on the same workload, and over a traffic-heavy
+	// graph set it is strictly worse somewhere.
+	r := rand.New(rand.NewSource(11))
+	worse, better := 0, 0
+	for trial := 0; trial < 25; trial++ {
+		g := trafficHeavyGraph(r)
+		cfg := machine.FourCluster(1, 2)
+		neS, err1 := NystromEichenberger(g, &cfg, nil)
+		bsaS, err2 := sched.ScheduleGraph(g, &cfg, nil)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if neS.II > bsaS.II {
+			worse++
+		}
+		if neS.II < bsaS.II {
+			better++
+		}
+	}
+	if worse == 0 {
+		t.Error("N&E never worse than BSA on traffic-heavy graphs with 1 slow bus")
+	}
+	if better > worse {
+		t.Errorf("N&E better (%d) more often than worse (%d); expected the opposite", better, worse)
+	}
+}
+
+func TestNEErrorsOnBadInput(t *testing.T) {
+	uni := machine.Unified()
+	if _, err := NystromEichenberger(ddg.New("empty"), &uni, nil); err == nil {
+		t.Error("empty graph accepted")
+	}
+	bad := machine.Config{}
+	if _, err := NystromEichenberger(ddg.SampleChain(2), &bad, nil); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+// trafficHeavyGraph builds loops with abundant cross-subtree traffic.
+func trafficHeavyGraph(r *rand.Rand) *ddg.Graph {
+	g := ddg.New("traffic")
+	n := 10 + r.Intn(8)
+	classes := []machine.OpClass{
+		machine.OpIAdd, machine.OpLoad, machine.OpFAdd, machine.OpFMul,
+	}
+	for i := 0; i < n; i++ {
+		g.AddNode("n", classes[r.Intn(len(classes))])
+	}
+	for i := 0; i < 2*n; i++ {
+		from, to := r.Intn(n), r.Intn(n)
+		if from == to {
+			continue
+		}
+		if from > to {
+			from, to = to, from
+		}
+		g.AddTrueDep(from, to, 0)
+	}
+	return g
+}

@@ -1,0 +1,174 @@
+// Package core is the library's front door: it composes the paper's
+// contributions — the unified assign-and-schedule modulo scheduler
+// (internal/sched), the two-phase Nystrom & Eichenberger baseline
+// (internal/assign) and selective loop unrolling (internal/unroll) —
+// behind one Compile call, the way the evaluation drives them.
+//
+// A typical use:
+//
+//	cfg := machine.FourCluster(1, 1)
+//	res, err := core.Compile(loop.Graph, &cfg, &core.Options{
+//		Strategy: core.SelectiveUnroll,
+//	})
+//	fmt.Println(res.Schedule.II, res.Decision)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/assign"
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/unroll"
+)
+
+// Scheduler selects the cluster-assignment strategy.
+type Scheduler int
+
+// Available schedulers.
+const (
+	// BSA is the paper's basic scheduling algorithm: cluster assignment
+	// and instruction scheduling in a single pass (Figure 5).
+	BSA Scheduler = iota
+	// NystromEichenberger is the two-phase baseline: assign first,
+	// schedule second, restart on failure with II+1.
+	NystromEichenberger
+)
+
+// Strategy selects the unrolling policy applied before scheduling.
+type Strategy int
+
+// Unrolling strategies, matching the three bar groups of Figure 8.
+const (
+	// NoUnroll schedules the loop as written.
+	NoUnroll Strategy = iota
+	// UnrollAll always unrolls by the cluster count (or Factor if set).
+	UnrollAll
+	// SelectiveUnroll applies Figure 6: unroll only bus-limited loops
+	// whose estimated communication demand fits the unrolled MinII.
+	SelectiveUnroll
+)
+
+// Options configures Compile.  The zero value is BSA with no unrolling.
+type Options struct {
+	// Scheduler picks BSA (default) or the two-phase baseline.
+	Scheduler Scheduler
+	// Strategy picks the unrolling policy (default NoUnroll).
+	Strategy Strategy
+	// Factor overrides the UnrollAll factor; 0 means the cluster count.
+	Factor int
+	// Sched forwards low-level scheduling options (ablation hooks).
+	Sched sched.Options
+}
+
+// Result is a finished compilation.
+type Result struct {
+	// Schedule is the chosen modulo schedule; its Graph field is the
+	// unrolled graph when unrolling was applied.
+	Schedule *sched.Schedule
+	// Factor is the unroll factor embodied in Schedule (>= 1).
+	Factor int
+	// Decision is the selective-unrolling audit trail (zero value unless
+	// Strategy was SelectiveUnroll or UnrollAll).
+	Decision unroll.Decision
+}
+
+// IterationII returns the effective initiation interval per *original*
+// loop iteration: II divided by the unroll factor.  This is the number
+// the relative-IPC comparisons care about.
+func (r *Result) IterationII() float64 {
+	return float64(r.Schedule.II) / float64(r.Factor)
+}
+
+// Compile schedules g for cfg under the requested strategy.
+func Compile(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	schedOpts := opts.Sched
+
+	if opts.Scheduler == NystromEichenberger {
+		return compileNE(g, cfg, opts)
+	}
+
+	switch opts.Strategy {
+	case NoUnroll:
+		s, err := sched.ScheduleGraph(g, cfg, &schedOpts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: s, Factor: 1}, nil
+	case UnrollAll:
+		f := opts.Factor
+		if f == 0 {
+			f = cfg.NClusters
+		}
+		res, err := unroll.All(g, cfg, f, &schedOpts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: res.Schedule, Factor: f, Decision: res.Decision}, nil
+	case SelectiveUnroll:
+		res, err := unroll.Selective(g, cfg, &schedOpts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: res.Schedule, Factor: res.Decision.Factor, Decision: res.Decision}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %d", opts.Strategy)
+	}
+}
+
+// compileNE drives the two-phase baseline.  Unrolling strategies apply
+// the same way; the selective estimate reuses the baseline's bus-limited
+// flag.
+func compileNE(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Result, error) {
+	switch opts.Strategy {
+	case NoUnroll:
+		s, err := assign.NystromEichenberger(g, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: s, Factor: 1}, nil
+	case UnrollAll:
+		f := opts.Factor
+		if f == 0 {
+			f = cfg.NClusters
+		}
+		ug := g
+		if f > 1 {
+			ug = g.Unroll(f)
+		}
+		s, err := assign.NystromEichenberger(ug, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: s, Factor: f}, nil
+	case SelectiveUnroll:
+		s, err := assign.NystromEichenberger(g, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		dec := unroll.Decision{Factor: 1, BusLimited: s.BusLimited}
+		if !cfg.Clustered() || !s.BusLimited {
+			return &Result{Schedule: s, Factor: 1, Decision: dec}, nil
+		}
+		u := cfg.NClusters
+		dec.ComNeeded = g.DepsNotMultiple(u) * u
+		unrolled := g.Unroll(u)
+		dec.UnrolledMinII = unrolled.MinII(cfg)
+		dec.CycNeeded = (dec.ComNeeded + cfg.NBuses - 1) / cfg.NBuses * cfg.BusLatency
+		if dec.CycNeeded > dec.UnrolledMinII {
+			return &Result{Schedule: s, Factor: 1, Decision: dec}, nil
+		}
+		s2, err := assign.NystromEichenberger(unrolled, cfg, nil)
+		if err != nil {
+			return &Result{Schedule: s, Factor: 1, Decision: dec}, nil
+		}
+		dec.Unrolled, dec.Factor = true, u
+		return &Result{Schedule: s2, Factor: u, Decision: dec}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %d", opts.Strategy)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+func compile(t *testing.T, g *ddg.Graph, cfg machine.Config, opts *Options) *Result {
+	t.Helper()
+	res, err := Compile(g, &cfg, opts)
+	if err != nil {
+		t.Fatalf("Compile(%s, %s): %v", g.Name, cfg.Name, err)
+	}
+	if err := sched.Validate(res.Schedule); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return res
+}
+
+func TestCompileDefaultIsBSANoUnroll(t *testing.T) {
+	res := compile(t, ddg.SampleDotProduct(), machine.Unified(), nil)
+	if res.Factor != 1 {
+		t.Errorf("Factor = %d, want 1", res.Factor)
+	}
+	if res.Schedule.II != 3 {
+		t.Errorf("II = %d, want 3", res.Schedule.II)
+	}
+}
+
+func TestCompileStrategies(t *testing.T) {
+	g := ddg.SampleStencil()
+	cfg := machine.FourCluster(1, 1)
+	for _, strat := range []Strategy{NoUnroll, UnrollAll, SelectiveUnroll} {
+		res := compile(t, g, cfg, &Options{Strategy: strat})
+		if strat == UnrollAll && res.Factor != 4 {
+			t.Errorf("UnrollAll factor = %d, want 4", res.Factor)
+		}
+		if strat == NoUnroll && res.Factor != 1 {
+			t.Errorf("NoUnroll factor = %d, want 1", res.Factor)
+		}
+	}
+}
+
+func TestCompileUnrollAllCustomFactor(t *testing.T) {
+	res := compile(t, ddg.SampleStencil(), machine.TwoCluster(2, 1),
+		&Options{Strategy: UnrollAll, Factor: 8})
+	if res.Factor != 8 || res.Schedule.Graph.UnrollFactor != 8 {
+		t.Errorf("factor = %d (graph %d), want 8", res.Factor, res.Schedule.Graph.UnrollFactor)
+	}
+}
+
+func TestCompileNESchedulers(t *testing.T) {
+	g := ddg.SampleFigure7()
+	cfg := machine.TwoCluster(2, 1)
+	for _, strat := range []Strategy{NoUnroll, UnrollAll, SelectiveUnroll} {
+		res := compile(t, g, cfg, &Options{Scheduler: NystromEichenberger, Strategy: strat})
+		if res.Schedule.II < res.Schedule.MinII {
+			t.Errorf("NE strategy %d: II %d < MinII %d", strat, res.Schedule.II, res.Schedule.MinII)
+		}
+	}
+}
+
+func TestIterationII(t *testing.T) {
+	res := compile(t, ddg.SampleStencil(), machine.TwoCluster(2, 1),
+		&Options{Strategy: UnrollAll, Factor: 2})
+	want := float64(res.Schedule.II) / 2
+	if got := res.IterationII(); got != want {
+		t.Errorf("IterationII = %v, want %v", got, want)
+	}
+}
+
+func TestCompileBSANeverWorseThanNEPerIteration(t *testing.T) {
+	// The paper's headline comparison at equal configuration: unified
+	// assign-and-schedule at least matches the two-phase baseline on the
+	// samples (Figure 4 shows ~7% average advantage).
+	cfg := machine.FourCluster(1, 1)
+	for _, g := range []*ddg.Graph{
+		ddg.SampleDotProduct(), ddg.SampleFigure7(), ddg.SampleStencil(),
+		ddg.SampleStencil().Unroll(4),
+	} {
+		bsa := compile(t, g, cfg, nil)
+		ne := compile(t, g, cfg, &Options{Scheduler: NystromEichenberger})
+		if bsa.Schedule.II > ne.Schedule.II {
+			t.Errorf("%s: BSA II %d > NE II %d", g.Name, bsa.Schedule.II, ne.Schedule.II)
+		}
+	}
+}
+
+func TestCompileUnknownStrategy(t *testing.T) {
+	uni := machine.Unified()
+	if _, err := Compile(ddg.SampleChain(2), &uni, &Options{Strategy: Strategy(99)}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := Compile(ddg.SampleChain(2), &uni,
+		&Options{Scheduler: NystromEichenberger, Strategy: Strategy(99)}); err == nil {
+		t.Error("unknown NE strategy accepted")
+	}
+}

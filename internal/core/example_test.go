@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ddg"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// ExampleCompile schedules a dot product on the paper's 2-cluster
+// machine: the accumulator recurrence bounds the II at 3 and the whole
+// body fits one cluster, so no bus transfer is needed.
+func ExampleCompile() {
+	loop, err := ir.Parse(`
+loop dot iters=100
+a = load x
+b = load y
+m = fmul a, b
+s = fadd s@1, m
+`)
+	if err != nil {
+		panic(err)
+	}
+	cfg := machine.TwoCluster(1, 1)
+	res, err := core.Compile(loop.Graph, &cfg, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("II=%d comms=%d\n", res.Schedule.II, res.Schedule.NumComms())
+	// Output: II=3 comms=0
+}
+
+// ExampleCompile_selectiveUnroll shows the Figure 6 decision on the
+// paper's worked example (Figure 7) with a 2-cycle bus: the loop is
+// bus-limited, the estimate admits the unroll, and the unrolled
+// schedule runs two original iterations per II=4 kernel.
+func ExampleCompile_selectiveUnroll() {
+	cfg := machine.TwoCluster(1, 2)
+	res, err := core.Compile(ddg.SampleFigure7(), &cfg, &core.Options{
+		Strategy: core.SelectiveUnroll,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("factor=%d II=%d cycles/iter=%.1f\n",
+		res.Factor, res.Schedule.II, res.IterationII())
+	// Output: factor=2 II=4 cycles/iter=2.0
+}

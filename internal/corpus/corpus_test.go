@@ -1,0 +1,154 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+func TestSuiteShape(t *testing.T) {
+	suite := SPECfp95()
+	if len(suite) != 10 {
+		t.Fatalf("suite = %d benchmarks, want 10", len(suite))
+	}
+	names := map[string]bool{}
+	for _, b := range suite {
+		names[b.Name] = true
+		if len(b.Loops) == 0 {
+			t.Errorf("%s has no loops", b.Name)
+		}
+		for _, l := range b.Loops {
+			if l.Iters <= 4 {
+				t.Errorf("%s: loop with %d iterations (paper: > 4)", b.Name, l.Iters)
+			}
+			if l.Weight < 1 {
+				t.Errorf("%s: weight %d", b.Name, l.Weight)
+			}
+			if l.Bench != b.Name {
+				t.Errorf("loop bench label %q in %q", l.Bench, b.Name)
+			}
+		}
+	}
+	for _, want := range []string{"tomcatv", "swim", "fpppp", "wave5", "mgrid"} {
+		if !names[want] {
+			t.Errorf("missing benchmark %s", want)
+		}
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	a, b := SPECfp95(), SPECfp95()
+	for i := range a {
+		if len(a[i].Loops) != len(b[i].Loops) {
+			t.Fatalf("%s: loop counts differ", a[i].Name)
+		}
+		for j := range a[i].Loops {
+			ga, gb := a[i].Loops[j].Graph, b[i].Loops[j].Graph
+			if ga.NumNodes() != gb.NumNodes() || ga.NumEdges() != gb.NumEdges() {
+				t.Fatalf("%s loop %d: graphs differ", a[i].Name, j)
+			}
+			if a[i].Loops[j].Iters != b[i].Loops[j].Iters {
+				t.Fatalf("%s loop %d: iters differ", a[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestAllLoopsValidate(t *testing.T) {
+	for _, b := range SPECfp95() {
+		for _, l := range b.Loops {
+			if err := l.Graph.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", b.Name, l.Graph.Name, err)
+			}
+		}
+	}
+}
+
+func TestProfileTraitsHold(t *testing.T) {
+	suite := SPECfp95()
+	byName := map[string]*Benchmark{}
+	for _, b := range suite {
+		byName[b.Name] = b
+	}
+	recurrenceShare := func(b *Benchmark) float64 {
+		n := 0
+		for _, l := range b.Loops {
+			if len(l.Graph.Recurrences()) > 0 {
+				n++
+			}
+		}
+		return float64(n) / float64(len(b.Loops))
+	}
+	// tomcatv must be recurrence-heavy, swim and mgrid nearly free.
+	if s := recurrenceShare(byName["tomcatv"]); s < 0.5 {
+		t.Errorf("tomcatv recurrence share %.2f, want >= 0.5", s)
+	}
+	if s := recurrenceShare(byName["swim"]); s > 0.4 {
+		t.Errorf("swim recurrence share %.2f, want <= 0.4", s)
+	}
+	// fpppp bodies must dwarf the others.
+	avg := func(b *Benchmark) float64 {
+		total := 0
+		for _, l := range b.Loops {
+			total += l.Ops()
+		}
+		return float64(total) / float64(len(b.Loops))
+	}
+	if avg(byName["fpppp"]) < 1.5*avg(byName["wave5"]) {
+		t.Errorf("fpppp bodies (%.0f ops) not much larger than wave5 (%.0f)",
+			avg(byName["fpppp"]), avg(byName["wave5"]))
+	}
+}
+
+func TestEveryLoopSchedulesOnEveryConfig(t *testing.T) {
+	// The whole corpus must be schedulable everywhere the experiments go:
+	// unified, 2- and 4-cluster, 1-2 buses, latencies 1-4, plus the
+	// unrolled variants used by Figure 8.
+	if testing.Short() {
+		t.Skip("corpus-wide scheduling sweep")
+	}
+	configs := []machine.Config{
+		machine.Unified(),
+		machine.TwoCluster(1, 1), machine.TwoCluster(2, 4),
+		machine.FourCluster(1, 1), machine.FourCluster(2, 4),
+	}
+	for _, b := range SPECfp95() {
+		for _, l := range b.Loops {
+			for i := range configs {
+				if _, err := sched.ScheduleGraph(l.Graph, &configs[i], nil); err != nil {
+					t.Errorf("%s/%s on %s: %v", b.Name, l.Graph.Name, configs[i].Name, err)
+				}
+			}
+		}
+	}
+}
+
+func TestRegDemandBounded(t *testing.T) {
+	for _, b := range SPECfp95() {
+		for _, l := range b.Loops {
+			if d := regDemand(l.Graph); d > maxRegDemand {
+				t.Errorf("%s/%s: register demand %d > %d", b.Name, l.Graph.Name, d, maxRegDemand)
+			}
+		}
+	}
+}
+
+func TestTotalLoops(t *testing.T) {
+	suite := SPECfp95()
+	want := 0
+	for _, b := range suite {
+		want += len(b.Loops)
+	}
+	if got := TotalLoops(suite); got != want || got < 50 {
+		t.Errorf("TotalLoops = %d, want %d (>= 50)", got, want)
+	}
+}
+
+func TestLoopOpsHelper(t *testing.T) {
+	l := &Loop{Graph: ddg.SampleDotProduct()}
+	if l.Ops() != 4 {
+		t.Errorf("Ops = %d, want 4", l.Ops())
+	}
+}

@@ -1,0 +1,202 @@
+package ddg
+
+import "sort"
+
+// Analysis holds the per-node scheduling priorities used by the SMS
+// ordering: all values are computed over the acyclic subgraph formed by
+// distance-0 edges (loop-carried edges are handled separately through
+// the recurrence priority sets).
+type Analysis struct {
+	// ASAP is the earliest issue cycle assuming unlimited resources.
+	ASAP []int
+	// ALAP is the latest issue cycle that does not stretch the critical
+	// path.
+	ALAP []int
+	// Mobility is ALAP - ASAP (0 on the critical path).
+	Mobility []int
+	// Depth is the longest latency-weighted path from any source
+	// (equals ASAP).
+	Depth []int
+	// Height is the longest latency-weighted path to any sink.
+	Height []int
+	// CriticalPath is the length of the longest path through the body.
+	CriticalPath int
+}
+
+// Analyze computes ASAP/ALAP/depth/height/mobility over distance-0 edges.
+// The graph must be a DAG over those edges (Validate enforces this).
+func (g *Graph) Analyze() *Analysis {
+	n := len(g.nodes)
+	a := &Analysis{
+		ASAP:     make([]int, n),
+		ALAP:     make([]int, n),
+		Mobility: make([]int, n),
+		Depth:    make([]int, n),
+		Height:   make([]int, n),
+	}
+	order := g.topoZeroDistance()
+
+	// Forward pass: ASAP / Depth.
+	for _, v := range order {
+		for _, e := range g.in[v] {
+			if e.Distance != 0 {
+				continue
+			}
+			if t := a.ASAP[e.From] + e.Latency; t > a.ASAP[v] {
+				a.ASAP[v] = t
+			}
+		}
+	}
+	cp := 0
+	for v := range g.nodes {
+		a.Depth[v] = a.ASAP[v]
+		if a.ASAP[v] > cp {
+			cp = a.ASAP[v]
+		}
+	}
+	a.CriticalPath = cp
+
+	// Backward pass: ALAP / Height.
+	for v := range g.nodes {
+		a.ALAP[v] = cp
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, e := range g.out[v] {
+			if e.Distance != 0 {
+				continue
+			}
+			if t := a.ALAP[e.To] - e.Latency; t < a.ALAP[v] {
+				a.ALAP[v] = t
+			}
+		}
+	}
+	for v := range g.nodes {
+		a.Height[v] = cp - a.ALAP[v]
+		a.Mobility[v] = a.ALAP[v] - a.ASAP[v]
+	}
+	return a
+}
+
+// topoZeroDistance returns a topological order of the distance-0
+// subgraph (Kahn's algorithm; deterministic by smallest ID first).
+func (g *Graph) topoZeroDistance() []int {
+	n := len(g.nodes)
+	indeg := make([]int, n)
+	for _, e := range g.edges {
+		if e.Distance == 0 {
+			indeg[e.To]++
+		}
+	}
+	var ready []int
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, e := range g.out[v] {
+			if e.Distance != 0 {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				ready = append(ready, e.To)
+			}
+		}
+	}
+	if len(order) != n {
+		panic("ddg: distance-0 subgraph has a cycle; Validate the graph first")
+	}
+	return order
+}
+
+// ConnectedComponents partitions the nodes into weakly connected
+// components (all edges, both directions, any distance).  The scheduler
+// starts a fresh default cluster for each new component ("subgraph" in
+// the paper's terms).
+func (g *Graph) ConnectedComponents() [][]int {
+	n := len(g.nodes)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, e := range g.edges {
+		union(e.From, e.To)
+	}
+	groups := make(map[int][]int)
+	for v := 0; v < n; v++ {
+		r := find(v)
+		groups[r] = append(groups[r], v)
+	}
+	comps := make([][]int, 0, len(groups))
+	for _, members := range groups {
+		sort.Ints(members)
+		comps = append(comps, members)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// AncestorsWithin returns the IDs in `within` from which `targets` are
+// reachable via distance-0 edges, excluding the targets themselves.
+// Used by the SMS ordering to pull path nodes between priority sets.
+func (g *Graph) AncestorsWithin(targets []int, within map[int]bool) map[int]bool {
+	return g.reach(targets, within, func(v int) []*Edge { return g.in[v] },
+		func(e *Edge) int { return e.From })
+}
+
+// DescendantsWithin is the forward counterpart of AncestorsWithin.
+func (g *Graph) DescendantsWithin(targets []int, within map[int]bool) map[int]bool {
+	return g.reach(targets, within, func(v int) []*Edge { return g.out[v] },
+		func(e *Edge) int { return e.To })
+}
+
+func (g *Graph) reach(targets []int, within map[int]bool,
+	adj func(int) []*Edge, end func(*Edge) int) map[int]bool {
+
+	seen := make(map[int]bool)
+	stack := append([]int(nil), targets...)
+	start := make(map[int]bool, len(targets))
+	for _, t := range targets {
+		start[t] = true
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range adj(v) {
+			if e.Distance != 0 {
+				continue
+			}
+			w := end(e)
+			if seen[w] || start[w] {
+				continue
+			}
+			if within != nil && !within[w] {
+				continue
+			}
+			seen[w] = true
+			stack = append(stack, w)
+		}
+	}
+	return seen
+}

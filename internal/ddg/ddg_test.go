@@ -1,0 +1,290 @@
+package ddg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestAddNodeAssignsDenseIDs(t *testing.T) {
+	g := New("t")
+	for i := 0; i < 5; i++ {
+		n := g.AddNode("n", machine.OpIAdd)
+		if n.ID != i {
+			t.Fatalf("node %d got ID %d", i, n.ID)
+		}
+		if n.Orig != i || n.Copy != 0 {
+			t.Fatalf("node %d: Orig=%d Copy=%d, want %d,0", i, n.Orig, n.Copy, i)
+		}
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	g := SampleDotProduct()
+	// mul (ID 2) has two predecessors (loads) and one successor (acc).
+	if got := g.Preds(2); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Preds(mul) = %v, want [0 1]", got)
+	}
+	if got := g.Succs(2); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Succs(mul) = %v, want [3]", got)
+	}
+	// acc (ID 3) is its own predecessor and successor via the recurrence.
+	if got := g.Preds(3); len(got) != 2 { // mul and acc itself
+		t.Errorf("Preds(acc) = %v, want 2 entries", got)
+	}
+	if got := g.OutEdges(3); len(got) != 1 || got[0].Distance != 1 {
+		t.Errorf("OutEdges(acc) = %v, want single distance-1 edge", got)
+	}
+}
+
+func TestValidateAcceptsSamples(t *testing.T) {
+	for _, g := range []*Graph{
+		SampleDotProduct(), SampleFigure7(), SampleChain(8),
+		SampleIndependent(6), SampleStencil(),
+	} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: Validate = %v", g.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsZeroDistanceCycle(t *testing.T) {
+	g := New("cyc")
+	a := g.AddNode("a", machine.OpIAdd)
+	b := g.AddNode("b", machine.OpIAdd)
+	g.AddTrueDep(a.ID, b.ID, 0)
+	g.AddTrueDep(b.ID, a.ID, 0)
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted a distance-0 cycle")
+	}
+}
+
+func TestValidateRejectsTrueDepFromStore(t *testing.T) {
+	g := New("bad")
+	st := g.AddNode("st", machine.OpStore)
+	b := g.AddNode("b", machine.OpIAdd)
+	g.AddEdge(st.ID, b.ID, 1, 0, DepTrue)
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted a true dependence out of a store")
+	}
+}
+
+func TestResMII(t *testing.T) {
+	uni := machine.Unified()
+	four := machine.FourCluster(1, 1)
+	cases := []struct {
+		g    *Graph
+		cfg  *machine.Config
+		want int
+	}{
+		{SampleDotProduct(), &uni, 1},   // 2 MEM/4, 2 FP/4
+		{SampleIndependent(9), &uni, 3}, // 9 FP / 4
+		{SampleFigure7(), &uni, 2},      // 6 INT / 4 (paper: ResMII = ceil(6/4) = 2)
+		{SampleIndependent(9), &four, 3},
+		{SampleChain(4), &four, 1},
+	}
+	for _, c := range cases {
+		if got := c.g.ResMII(c.cfg); got != c.want {
+			t.Errorf("%s on %s: ResMII = %d, want %d", c.g.Name, c.cfg.Name, got, c.want)
+		}
+	}
+}
+
+func TestRecMII(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{SampleDotProduct(), 3}, // fadd self-loop: lat 3 / dist 1
+		{SampleChain(5), 0},     // acyclic
+		{SampleFigure7(), 2},    // lat 3 cycle over distance 2 (paper: ceil(3/2) = 2)
+		{SampleStencil(), 3},    // fadd accumulator
+	}
+	for _, c := range cases {
+		if got := c.g.RecMII(); got != c.want {
+			t.Errorf("%s: RecMII = %d, want %d", c.g.Name, got, c.want)
+		}
+	}
+}
+
+func TestRecMIIMultiCycle(t *testing.T) {
+	// Two nested cycles; the binding one has ratio 7/1.
+	g := New("m")
+	a := g.AddNode("a", machine.OpFAdd)
+	b := g.AddNode("b", machine.OpFMul)
+	g.AddTrueDep(a.ID, b.ID, 0) // lat 3
+	g.AddTrueDep(b.ID, a.ID, 1) // lat 4: cycle lat 7 dist 1 -> 7
+	g.AddTrueDep(a.ID, a.ID, 2) // lat 3 dist 2 -> ceil(1.5) = 2
+	if got := g.RecMII(); got != 7 {
+		t.Errorf("RecMII = %d, want 7", got)
+	}
+}
+
+func TestMinII(t *testing.T) {
+	uni := machine.Unified()
+	g := SampleDotProduct()
+	if got := g.MinII(&uni); got != 3 { // RecMII 3 dominates ResMII 1
+		t.Errorf("MinII = %d, want 3", got)
+	}
+	ind := SampleIndependent(13)
+	if got := ind.MinII(&uni); got != 4 { // ResMII ceil(13/4)
+		t.Errorf("MinII = %d, want 4", got)
+	}
+}
+
+func TestSCCsFindRecurrences(t *testing.T) {
+	g := SampleFigure7()
+	recs := g.Recurrences()
+	if len(recs) != 1 {
+		t.Fatalf("Recurrences = %d, want 1", len(recs))
+	}
+	if got := recs[0].Nodes; len(got) != 3 { // B, C, D
+		t.Errorf("recurrence members = %v, want 3 nodes", got)
+	}
+	if recs[0].RecMII != 2 {
+		t.Errorf("recurrence RecMII = %d, want 2", recs[0].RecMII)
+	}
+}
+
+func TestSCCSelfLoop(t *testing.T) {
+	g := SampleDotProduct()
+	recs := g.Recurrences()
+	if len(recs) != 1 || len(recs[0].Nodes) != 1 || recs[0].Nodes[0] != 3 {
+		t.Fatalf("Recurrences = %+v, want single self-loop on node 3", recs)
+	}
+	if recs[0].RecMII != 3 {
+		t.Errorf("self-loop RecMII = %d, want 3", recs[0].RecMII)
+	}
+}
+
+func TestRecurrencesSortedByRecMII(t *testing.T) {
+	g := New("two-recs")
+	a := g.AddNode("a", machine.OpIAdd) // self-loop ratio 1
+	b := g.AddNode("b", machine.OpFDiv) // self-loop ratio 17
+	g.AddTrueDep(a.ID, a.ID, 1)
+	g.AddTrueDep(b.ID, b.ID, 1)
+	recs := g.Recurrences()
+	if len(recs) != 2 || recs[0].RecMII != 17 || recs[1].RecMII != 1 {
+		t.Fatalf("Recurrences order wrong: %+v", recs)
+	}
+}
+
+func TestAnalyzeChain(t *testing.T) {
+	g := SampleChain(4) // fadd chain, latency 3 each
+	a := g.Analyze()
+	wantASAP := []int{0, 3, 6, 9}
+	for i, w := range wantASAP {
+		if a.ASAP[i] != w {
+			t.Errorf("ASAP[%d] = %d, want %d", i, a.ASAP[i], w)
+		}
+		if a.ALAP[i] != w {
+			t.Errorf("ALAP[%d] = %d, want %d (chain has no slack)", i, a.ALAP[i], w)
+		}
+		if a.Mobility[i] != 0 {
+			t.Errorf("Mobility[%d] = %d, want 0", i, a.Mobility[i])
+		}
+	}
+	if a.CriticalPath != 9 {
+		t.Errorf("CriticalPath = %d, want 9", a.CriticalPath)
+	}
+}
+
+func TestAnalyzeDiamondSlack(t *testing.T) {
+	// a -> (b slow, c fast) -> d : c has slack.
+	g := New("diamond")
+	a := g.AddNode("a", machine.OpLoad) // lat 2
+	b := g.AddNode("b", machine.OpFDiv) // lat 17
+	c := g.AddNode("c", machine.OpFAdd) // lat 3
+	d := g.AddNode("d", machine.OpFAdd)
+	g.AddTrueDep(a.ID, b.ID, 0)
+	g.AddTrueDep(a.ID, c.ID, 0)
+	g.AddTrueDep(b.ID, d.ID, 0)
+	g.AddTrueDep(c.ID, d.ID, 0)
+	an := g.Analyze()
+	if an.Mobility[b.ID] != 0 {
+		t.Errorf("Mobility[b] = %d, want 0 (critical)", an.Mobility[b.ID])
+	}
+	if an.Mobility[c.ID] != 14 { // 17-3
+		t.Errorf("Mobility[c] = %d, want 14", an.Mobility[c.ID])
+	}
+	if an.Height[a.ID] != 19+2-2 { // CP - ALAP[a]; CP = 2+17 = 19, ALAP[a] = 0
+		t.Errorf("Height[a] = %d, want 19", an.Height[a.ID])
+	}
+}
+
+func TestAnalyzeIgnoresLoopCarried(t *testing.T) {
+	g := SampleDotProduct()
+	a := g.Analyze()
+	// The distance-1 self edge on acc must not create infinite ASAP.
+	if a.ASAP[3] != 6 { // load(2) + fmul(4)
+		t.Errorf("ASAP[acc] = %d, want 6", a.ASAP[3])
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := SampleIndependent(3)
+	if comps := g.ConnectedComponents(); len(comps) != 3 {
+		t.Errorf("independent: %d components, want 3", len(comps))
+	}
+	g2 := SampleDotProduct()
+	if comps := g2.ConnectedComponents(); len(comps) != 1 {
+		t.Errorf("dotproduct: %d components, want 1", len(comps))
+	}
+	// Unrolled independent iterations stay disconnected.
+	g3 := SampleStencil().Unroll(2)
+	comps := g3.ConnectedComponents()
+	if len(comps) != 1 { // stencil has a carried accumulator joining copies
+		t.Errorf("stencil x2: %d components, want 1", len(comps))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := SampleDotProduct()
+	c := g.Clone()
+	c.AddNode("extra", machine.OpIAdd)
+	c.Edges()[0].Latency = 99
+	if g.NumNodes() != 4 {
+		t.Error("Clone shares node slice with original")
+	}
+	if g.Edges()[0].Latency == 99 {
+		t.Error("Clone shares edge structs with original")
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	s := SampleDotProduct().Dot()
+	for _, want := range []string{"digraph", "fmul", "style=dashed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Dot output missing %q", want)
+		}
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	g := SampleChain(5)
+	anc := g.AncestorsWithin([]int{3}, nil)
+	for _, want := range []int{0, 1, 2} {
+		if !anc[want] {
+			t.Errorf("AncestorsWithin missing %d", want)
+		}
+	}
+	if anc[3] || anc[4] {
+		t.Errorf("AncestorsWithin included target or descendant: %v", anc)
+	}
+	desc := g.DescendantsWithin([]int{1}, nil)
+	if !desc[2] || !desc[3] || !desc[4] || desc[0] {
+		t.Errorf("DescendantsWithin(1) = %v", desc)
+	}
+}
+
+func TestLoopCarried(t *testing.T) {
+	g := SampleFigure7()
+	lc := g.LoopCarried()
+	if len(lc) != 2 { // D->B dist 2, A->E dist 1
+		t.Fatalf("LoopCarried = %d edges, want 2", len(lc))
+	}
+}

@@ -1,0 +1,28 @@
+package ddg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the graph in Graphviz DOT syntax, one node per operation
+// with its class, and edges annotated "latency/distance".  Loop-carried
+// edges are dashed.  Handy for debugging corpora and schedulers.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=TB;\n")
+	for _, n := range g.nodes {
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\n%s\"];\n", n.ID, n.Name, n.Class)
+	}
+	for _, e := range g.edges {
+		style := ""
+		if e.Distance > 0 {
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"%d/%d\"%s];\n",
+			e.From, e.To, e.Latency, e.Distance, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package ddg
+
+import "repro/internal/machine"
+
+// ResMII returns the resource-constrained minimum initiation interval
+// for the machine: the most heavily used FU class determines how many
+// cycles the kernel needs at best, counting machine-wide FUs because the
+// unified-assign-and-schedule approach may place any operation anywhere.
+func (g *Graph) ResMII(cfg *machine.Config) int {
+	counts := g.OpCount()
+	mii := 1
+	for class := machine.FUClass(0); class < machine.NumFUClasses; class++ {
+		total := cfg.TotalFUs(class)
+		if counts[class] == 0 {
+			continue
+		}
+		if total == 0 {
+			// No unit can execute these ops; signal with a huge II so the
+			// scheduler fails loudly rather than looping.
+			return 1 << 30
+		}
+		if ii := ceilDiv(counts[class], total); ii > mii {
+			mii = ii
+		}
+	}
+	return mii
+}
+
+// RecMII returns the recurrence-constrained minimum initiation interval:
+// the maximum over all dependence cycles C of ceil(latency(C) /
+// distance(C)).  Returns 0 when the graph has no cycles.
+//
+// Rather than enumerating cycles (exponential), RecMII binary-searches
+// the smallest II for which no cycle has positive weight when each edge
+// weighs latency - II*distance; feasibility is monotone in II.
+func (g *Graph) RecMII() int {
+	if !g.hasCycle() {
+		return 0
+	}
+	return g.recMIIOfSubgraph(allIDs(len(g.nodes)))
+}
+
+// MinII returns max(ResMII, RecMII), the scheduler's starting II.
+func (g *Graph) MinII(cfg *machine.Config) int {
+	mii := g.ResMII(cfg)
+	if rec := g.RecMII(); rec > mii {
+		mii = rec
+	}
+	return mii
+}
+
+func (g *Graph) hasCycle() bool {
+	for _, c := range g.SCCs() {
+		if c.Recurrence {
+			return true
+		}
+	}
+	return false
+}
+
+// recMIIOfSubgraph binary-searches the minimum feasible II over the
+// cycles contained in the given node set.
+func (g *Graph) recMIIOfSubgraph(nodes []int) int {
+	// Upper bound: the sum of all edge latencies inside the subgraph is
+	// at least any single cycle's latency sum, and every cycle has
+	// distance >= 1, so latSum is always feasible.
+	inSet := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		inSet[v] = true
+	}
+	latSum := 0
+	for _, e := range g.edges {
+		if inSet[e.From] && inSet[e.To] && e.Latency > 0 {
+			latSum += e.Latency
+		}
+	}
+	if latSum < 1 {
+		latSum = 1
+	}
+	lo, hi := 1, latSum
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.iiFeasible(nodes, inSet, mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// iiFeasible reports whether no cycle inside the node set has positive
+// weight under w(e) = latency - II*distance.  It runs Bellman-Ford-style
+// longest-path relaxation; a relaxation still succeeding after n rounds
+// proves a positive cycle.
+func (g *Graph) iiFeasible(nodes []int, inSet map[int]bool, ii int) bool {
+	dist := make(map[int]int, len(nodes))
+	for _, v := range nodes {
+		dist[v] = 0
+	}
+	for round := 0; round < len(nodes); round++ {
+		changed := false
+		for _, e := range g.edges {
+			if !inSet[e.From] || !inSet[e.To] {
+				continue
+			}
+			w := e.Latency - ii*e.Distance
+			if d := dist[e.From] + w; d > dist[e.To] {
+				dist[e.To] = d
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return false
+}
+
+func allIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

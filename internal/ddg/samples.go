@@ -1,0 +1,116 @@
+package ddg
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// This file provides small, well-understood graphs reused by tests,
+// examples and documentation.  They are exported so every package can
+// exercise the same known-good inputs.
+
+// SampleDotProduct builds the body of s += a[i]*b[i]: two loads feeding
+// a multiply feeding an accumulating add with a distance-1 self-recurrence.
+func SampleDotProduct() *Graph {
+	g := New("dotproduct")
+	la := g.AddNode("la", machine.OpLoad)
+	lb := g.AddNode("lb", machine.OpLoad)
+	mul := g.AddNode("mul", machine.OpFMul)
+	acc := g.AddNode("acc", machine.OpFAdd)
+	g.AddTrueDep(la.ID, mul.ID, 0)
+	g.AddTrueDep(lb.ID, mul.ID, 0)
+	g.AddTrueDep(mul.ID, acc.ID, 0)
+	g.AddTrueDep(acc.ID, acc.ID, 1) // s@1
+	return g
+}
+
+// SampleFigure7 reproduces the worked example of Figure 7 of the paper:
+// six integer operations A..F on a 2-cluster machine with two
+// general-purpose units per cluster and one bus.  The schedulable facts
+// the paper states, all of which this graph satisfies:
+//
+//   - minII = 2 (ResMII = ceil(6/4) = 2, RecMII = 2 from a latency-4
+//     recurrence spanning two iterations: B -> C(imul) -> D -> B @2);
+//   - E consumes A and C, F consumes D and A, and E needs the previous
+//     iteration's A (distance 1) — the dependence that crosses clusters
+//     when different iterations land on different clusters;
+//   - unrolling by 2 keeps the recurrence inside each copy (distance 2
+//     is a multiple of the factor) but chains nothing else, so the
+//     unrolled loop's minII is 4 and only two communications remain
+//     ("from A' to E and from A to E'"), hiding the bus latency even at
+//     2 cycles.
+func SampleFigure7() *Graph {
+	g := New("figure7")
+	a := g.AddNode("A", machine.OpIAdd)
+	b := g.AddNode("B", machine.OpIAdd)
+	c := g.AddNode("C", machine.OpIMul) // latency 2: recurrence sums to 4
+	d := g.AddNode("D", machine.OpIAdd)
+	e := g.AddNode("E", machine.OpIAdd)
+	f := g.AddNode("F", machine.OpIAdd)
+	// Consumers: E <- {A, C}, F <- {D, A}.
+	g.AddTrueDep(a.ID, e.ID, 0)
+	g.AddTrueDep(c.ID, e.ID, 0)
+	g.AddTrueDep(d.ID, f.ID, 0)
+	g.AddTrueDep(a.ID, f.ID, 0)
+	// Recurrence with latency 4 over distance 2: RecMII = 2; after
+	// unrolling by 2 it splits into per-copy cycles of ratio 4/1.
+	g.AddTrueDep(b.ID, c.ID, 0)
+	g.AddTrueDep(c.ID, d.ID, 0)
+	g.AddTrueDep(d.ID, b.ID, 2)
+	// Cross-iteration input to E (distance 1, not a multiple of 2).
+	g.AddTrueDep(a.ID, e.ID, 1)
+	return g
+}
+
+// SampleChain builds a linear chain of n FP adds (no loop-carried
+// dependence): maximally latency-bound, trivially partitionable.
+func SampleChain(n int) *Graph {
+	g := New(fmt.Sprintf("chain%d", n))
+	prev := -1
+	for i := 0; i < n; i++ {
+		node := g.AddNode(fmt.Sprintf("c%d", i), machine.OpFAdd)
+		if prev >= 0 {
+			g.AddTrueDep(prev, node.ID, 0)
+		}
+		prev = node.ID
+	}
+	return g
+}
+
+// SampleIndependent builds n mutually independent FP multiplies:
+// maximally resource-bound, ideal for clustering.
+func SampleIndependent(n int) *Graph {
+	g := New(fmt.Sprintf("indep%d", n))
+	for i := 0; i < n; i++ {
+		g.AddNode(fmt.Sprintf("p%d", i), machine.OpFMul)
+	}
+	return g
+}
+
+// SampleStencil builds the body of b[i] = (a[i-1]+a[i]+a[i+1])/3-like
+// code with an accumulation carried across iterations: three loads, two
+// adds, a multiply by a constant folded into an FP multiply, a store,
+// and a carried add.  It has enough internal traffic to saturate a
+// single bus on the 4-cluster machine, making it a good selective-
+// unrolling subject.
+func SampleStencil() *Graph {
+	g := New("stencil")
+	l0 := g.AddNode("l0", machine.OpLoad)
+	l1 := g.AddNode("l1", machine.OpLoad)
+	l2 := g.AddNode("l2", machine.OpLoad)
+	s0 := g.AddNode("s0", machine.OpFAdd)
+	s1 := g.AddNode("s1", machine.OpFAdd)
+	m := g.AddNode("scale", machine.OpFMul)
+	st := g.AddNode("store", machine.OpStore)
+	acc := g.AddNode("acc", machine.OpFAdd)
+	g.AddTrueDep(l0.ID, s0.ID, 0)
+	g.AddTrueDep(l1.ID, s0.ID, 0)
+	g.AddTrueDep(s0.ID, s1.ID, 0)
+	g.AddTrueDep(l2.ID, s1.ID, 0)
+	g.AddTrueDep(s1.ID, m.ID, 0)
+	g.AddTrueDep(m.ID, st.ID, 0)
+	g.AddTrueDep(m.ID, acc.ID, 0)
+	g.AddTrueDep(acc.ID, acc.ID, 1)
+	return g
+}

@@ -1,0 +1,132 @@
+package ddg
+
+import "sort"
+
+// SCC is one strongly connected component of the graph (all edge
+// distances considered).  An SCC with more than one node, or a single
+// node with a self-edge, is a recurrence: it constrains the II.
+type SCC struct {
+	// Nodes lists the member node IDs in ascending order.
+	Nodes []int
+	// Recurrence reports whether the component constrains the II.
+	Recurrence bool
+	// RecMII is the minimum II imposed by this component's cycles
+	// (0 for non-recurrences).
+	RecMII int
+}
+
+// SCCs computes the strongly connected components with Tarjan's
+// algorithm (iterative, so deep graphs cannot overflow the goroutine
+// stack) and each recurrence's RecMII.  Components are returned in
+// reverse topological discovery order; callers needing the paper's
+// priority order should sort by RecMII descending.
+func (g *Graph) SCCs() []*SCC {
+	n := len(g.nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps []*SCC
+	next := 0
+
+	type frame struct {
+		v    int
+		edge int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{v: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.edge < len(g.out[f.v]) {
+				w := g.out[f.v][f.edge].To
+				f.edge++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Post-order: pop the frame.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var members []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					members = append(members, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(members)
+				comps = append(comps, &SCC{Nodes: members})
+			}
+		}
+	}
+
+	for _, c := range comps {
+		c.Recurrence = g.isRecurrence(c.Nodes)
+		if c.Recurrence {
+			c.RecMII = g.recMIIOfSubgraph(c.Nodes)
+		}
+	}
+	return comps
+}
+
+// isRecurrence reports whether the node set contains a cycle: more than
+// one member, or a self-edge.
+func (g *Graph) isRecurrence(nodes []int) bool {
+	if len(nodes) > 1 {
+		return true
+	}
+	v := nodes[0]
+	for _, e := range g.out[v] {
+		if e.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Recurrences returns only the recurrence SCCs, sorted by RecMII
+// descending (the paper's ordering priority), ties broken by smallest
+// member ID for determinism.
+func (g *Graph) Recurrences() []*SCC {
+	var recs []*SCC
+	for _, c := range g.SCCs() {
+		if c.Recurrence {
+			recs = append(recs, c)
+		}
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].RecMII != recs[j].RecMII {
+			return recs[i].RecMII > recs[j].RecMII
+		}
+		return recs[i].Nodes[0] < recs[j].Nodes[0]
+	})
+	return recs
+}

@@ -1,0 +1,230 @@
+// Package emit lowers a modulo schedule to VLIW instruction words in the
+// paper's format (Figure 3): per cluster, one field per functional unit
+// plus an OUT-BUS and an IN-BUS field.  It produces the full prologue /
+// kernel / epilogue triple; the code-size study (Figure 10) counts the
+// useful and NOP fields of exactly these words.
+//
+// Register fields are symbolic — operands are identified by producer
+// node — because the paper's machine has no rotating register file and
+// physical allocation (modulo variable expansion) is orthogonal to every
+// measured quantity.
+package emit
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// NOP marks an empty instruction field.
+const NOP = -1
+
+// Instruction is one VLIW word.
+type Instruction struct {
+	// Ops[cluster][u] is the DDG node issued on unit u of the cluster
+	// (units flattened INT first, then FP, then MEM), or NOP.
+	Ops [][]int
+	// OutBus[bus] is the index (into the schedule's transfer list) of the
+	// transfer whose value is driven onto the bus this cycle, or NOP.
+	OutBus []int
+	// InBus[cluster][bus] is the transfer index whose value the cluster
+	// latches from the bus into its register file this cycle, or NOP.
+	InBus [][]int
+}
+
+// Program is the complete code of one modulo-scheduled loop.
+type Program struct {
+	// Schedule is the source schedule.
+	Schedule *sched.Schedule
+	// Kernel holds the II steady-state instructions.
+	Kernel []Instruction
+	// Prologue holds the (SC-1)*II ramp-up instructions.
+	Prologue []Instruction
+	// Epilogue holds the (SC-1)*II drain instructions.
+	Epilogue []Instruction
+}
+
+// Emit lowers a schedule.  The schedule must be valid (see
+// sched.Validate); Emit panics on FU field collisions, which a valid
+// schedule cannot produce.
+func Emit(s *sched.Schedule) *Program {
+	p := &Program{Schedule: s}
+	sc := s.SC()
+	ii := s.II
+
+	// With N total iterations (N >= SC assumed for the static code), the
+	// activity at flat schedule time x repeats at absolute cycles
+	// x + i*II.  The three sections select i ranges:
+	//
+	//   prologue cycle t (t in [0, (SC-1)*II)): x issues iff some i >= 0
+	//     lands on t, i.e. t >= x and (t-x) % II == 0;
+	//   kernel slot s: every x with x = s (mod II);
+	//   epilogue cycle k: the instances of the last SC-1 iterations that
+	//     outlive the final kernel copy: x - k a positive multiple of II.
+	for t := 0; t < (sc-1)*ii; t++ {
+		t := t
+		p.Prologue = append(p.Prologue, p.buildInstruction(func(x int) bool {
+			return t >= x && (t-x)%ii == 0
+		}))
+	}
+	for slot := 0; slot < ii; slot++ {
+		slot := slot
+		p.Kernel = append(p.Kernel, p.buildInstruction(func(x int) bool {
+			return mod(x, ii) == slot
+		}))
+	}
+	for k := 0; k < (sc-1)*ii; k++ {
+		k := k
+		p.Epilogue = append(p.Epilogue, p.buildInstruction(func(x int) bool {
+			d := x - k
+			return d >= ii && d%ii == 0
+		}))
+	}
+	return p
+}
+
+// buildInstruction collects the fields of the instruction whose issue
+// predicate over flat schedule cycles is given.  Bus OUT fields use the
+// transfer's start cycle, IN fields its arrival cycle.
+func (p *Program) buildInstruction(issues func(cycle int) bool) Instruction {
+	s := p.Schedule
+	cfg := s.Cfg
+	inst := Instruction{
+		Ops:    make([][]int, cfg.NClusters),
+		OutBus: make([]int, cfg.NBuses),
+		InBus:  make([][]int, cfg.NClusters),
+	}
+	for c := range inst.Ops {
+		inst.Ops[c] = make([]int, cfg.ClusterIssueWidth(c))
+		for u := range inst.Ops[c] {
+			inst.Ops[c][u] = NOP
+		}
+		inst.InBus[c] = make([]int, cfg.NBuses)
+		for b := range inst.InBus[c] {
+			inst.InBus[c][b] = NOP
+		}
+	}
+	for b := range inst.OutBus {
+		inst.OutBus[b] = NOP
+	}
+
+	for id, pl := range s.Placements {
+		if !issues(pl.Cycle) {
+			continue
+		}
+		u := p.unitIndex(pl.Cluster, s.Graph.Node(id).Class.FU(), pl.FU)
+		if inst.Ops[pl.Cluster][u] != NOP {
+			panic(fmt.Sprintf("emit: cluster %d unit %d double-booked by %d and %d",
+				pl.Cluster, u, inst.Ops[pl.Cluster][u], id))
+		}
+		inst.Ops[pl.Cluster][u] = id
+	}
+	for i, tr := range s.Transfers {
+		if issues(tr.Start) {
+			inst.OutBus[tr.Bus] = i
+		}
+		if issues(tr.Start + cfg.BusLatency) {
+			inst.InBus[tr.To][tr.Bus] = i
+		}
+	}
+	return inst
+}
+
+// unitIndex flattens (class, fu) to a unit index within the cluster.
+func (p *Program) unitIndex(cluster int, class machine.FUClass, fu int) int {
+	cfg := p.Schedule.Cfg
+	base := 0
+	for cl := machine.FUClass(0); cl < class; cl++ {
+		base += cfg.FUs(cluster, cl)
+	}
+	return base + fu
+}
+
+// Counts aggregates the code-size metrics of Figure 10.
+type Counts struct {
+	// Instructions is the static instruction count (prologue + kernel +
+	// epilogue).
+	Instructions int
+	// UsefulOps counts non-NOP functional-unit fields.
+	UsefulOps int
+	// BusOps counts non-NOP OUT-BUS and IN-BUS fields.
+	BusOps int
+	// TotalSlots counts every field (useful + bus + NOPs), i.e. the raw
+	// uncompressed code size in operation fields.
+	TotalSlots int
+}
+
+// NOPs returns the number of empty fields.
+func (c Counts) NOPs() int { return c.TotalSlots - c.UsefulOps - c.BusOps }
+
+// Count tallies the program's fields.
+func (p *Program) Count() Counts {
+	var counts Counts
+	all := [][]Instruction{p.Prologue, p.Kernel, p.Epilogue}
+	slots := p.Schedule.Cfg.SlotsPerInstruction()
+	for _, section := range all {
+		for _, inst := range section {
+			counts.Instructions++
+			counts.TotalSlots += slots
+			for _, ops := range inst.Ops {
+				for _, op := range ops {
+					if op != NOP {
+						counts.UsefulOps++
+					}
+				}
+			}
+			for _, tr := range inst.OutBus {
+				if tr != NOP {
+					counts.BusOps++
+				}
+			}
+			for _, in := range inst.InBus {
+				for _, tr := range in {
+					if tr != NOP {
+						counts.BusOps++
+					}
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// String renders the kernel (only) as an assembly-like listing.
+func (p *Program) String() string {
+	var b strings.Builder
+	s := p.Schedule
+	fmt.Fprintf(&b, "program %s on %s: II=%d SC=%d (%d prologue, %d kernel, %d epilogue)\n",
+		s.Graph.Name, s.Cfg.Name, s.II, s.SC(), len(p.Prologue), len(p.Kernel), len(p.Epilogue))
+	for slot, inst := range p.Kernel {
+		fmt.Fprintf(&b, "  K%-2d:", slot)
+		for c, ops := range inst.Ops {
+			fields := make([]string, len(ops))
+			for u, op := range ops {
+				if op == NOP {
+					fields[u] = "---"
+				} else {
+					fields[u] = s.Graph.Node(op).Name
+				}
+			}
+			fmt.Fprintf(&b, " c%d[%s]", c, strings.Join(fields, " "))
+		}
+		for bus, tr := range inst.OutBus {
+			if tr != NOP {
+				fmt.Fprintf(&b, " out%d=%s", bus, s.Graph.Node(s.Transfers[tr].Producer).Name)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func mod(x, m int) int {
+	r := x % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

@@ -1,0 +1,153 @@
+package emit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+func mustProgram(t *testing.T, g *ddg.Graph, cfg machine.Config) *Program {
+	t.Helper()
+	s, err := sched.ScheduleGraph(g, &cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	return Emit(s)
+}
+
+func TestSectionLengths(t *testing.T) {
+	p := mustProgram(t, ddg.SampleDotProduct(), machine.Unified())
+	s := p.Schedule
+	if len(p.Kernel) != s.II {
+		t.Errorf("kernel = %d instructions, want II=%d", len(p.Kernel), s.II)
+	}
+	want := (s.SC() - 1) * s.II
+	if len(p.Prologue) != want || len(p.Epilogue) != want {
+		t.Errorf("prologue/epilogue = %d/%d, want %d", len(p.Prologue), len(p.Epilogue), want)
+	}
+}
+
+func TestEveryNodeAppearsSCTimes(t *testing.T) {
+	for _, g := range []*ddg.Graph{
+		ddg.SampleDotProduct(), ddg.SampleStencil(), ddg.SampleFigure7(),
+		ddg.SampleChain(6), ddg.SampleStencil().Unroll(2),
+	} {
+		for _, cfg := range []machine.Config{
+			machine.Unified(), machine.TwoCluster(1, 1), machine.FourCluster(2, 2),
+		} {
+			p := mustProgram(t, g, cfg)
+			counts := make(map[int]int)
+			for _, section := range [][]Instruction{p.Prologue, p.Kernel, p.Epilogue} {
+				for _, inst := range section {
+					for _, ops := range inst.Ops {
+						for _, op := range ops {
+							if op != NOP {
+								counts[op]++
+							}
+						}
+					}
+				}
+			}
+			sc := p.Schedule.SC()
+			for id := 0; id < g.NumNodes(); id++ {
+				if counts[id] != sc {
+					t.Errorf("%s on %s: node %d appears %d times, want SC=%d",
+						g.Name, cfg.Name, id, counts[id], sc)
+				}
+			}
+		}
+	}
+}
+
+func TestKernelMatchesSchedule(t *testing.T) {
+	p := mustProgram(t, ddg.SampleStencil(), machine.TwoCluster(2, 1))
+	s := p.Schedule
+	for id, pl := range s.Placements {
+		slot := pl.Cycle % s.II
+		found := false
+		for _, ops := range p.Kernel[slot].Ops[pl.Cluster] {
+			if ops == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("node %d missing from kernel slot %d cluster %d", id, slot, pl.Cluster)
+		}
+	}
+}
+
+func TestBusFieldsMatchTransfers(t *testing.T) {
+	g := ddg.New("pair")
+	a := g.AddNode("a", machine.OpLoad)
+	b := g.AddNode("b", machine.OpFAdd)
+	g.AddTrueDep(a.ID, b.ID, 0)
+	cfg := machine.TwoCluster(1, 1)
+	s, err := sched.ScheduleGraph(g, &cfg, &sched.Options{Assignment: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Emit(s)
+	tr := s.Transfers[0]
+	outSlot := tr.Start % s.II
+	if got := p.Kernel[outSlot].OutBus[tr.Bus]; got != 0 {
+		t.Errorf("kernel slot %d OutBus = %d, want transfer 0", outSlot, got)
+	}
+	inSlot := (tr.Start + cfg.BusLatency) % s.II
+	if got := p.Kernel[inSlot].InBus[tr.To][tr.Bus]; got != 0 {
+		t.Errorf("kernel slot %d InBus[%d] = %d, want transfer 0", inSlot, tr.To, got)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	p := mustProgram(t, ddg.SampleDotProduct(), machine.Unified())
+	c := p.Count()
+	s := p.Schedule
+	wantInst := (2*(s.SC()-1) + 1) * s.II
+	if c.Instructions != wantInst {
+		t.Errorf("Instructions = %d, want %d", c.Instructions, wantInst)
+	}
+	wantUseful := s.Graph.NumNodes() * s.SC()
+	if c.UsefulOps != wantUseful {
+		t.Errorf("UsefulOps = %d, want nodes*SC = %d", c.UsefulOps, wantUseful)
+	}
+	if c.TotalSlots != c.Instructions*s.Cfg.SlotsPerInstruction() {
+		t.Errorf("TotalSlots = %d inconsistent", c.TotalSlots)
+	}
+	if c.NOPs() != c.TotalSlots-c.UsefulOps-c.BusOps {
+		t.Errorf("NOPs arithmetic broken")
+	}
+	if c.BusOps != 0 {
+		t.Errorf("unified program has %d bus ops", c.BusOps)
+	}
+}
+
+func TestUnrollingGrowsCode(t *testing.T) {
+	// Figure 10's premise: unrolling multiplies the body, growing static
+	// code even though the per-iteration performance improves.
+	g := ddg.SampleStencil()
+	cfg := machine.FourCluster(2, 1)
+	plain := mustProgram(t, g, cfg).Count()
+	unrolled := mustProgram(t, g.Unroll(4), cfg).Count()
+	if unrolled.UsefulOps <= plain.UsefulOps {
+		t.Errorf("unrolled useful ops %d <= plain %d", unrolled.UsefulOps, plain.UsefulOps)
+	}
+	if unrolled.Instructions <= plain.Instructions {
+		t.Errorf("unrolled instructions %d <= plain %d", unrolled.Instructions, plain.Instructions)
+	}
+}
+
+func TestStringListing(t *testing.T) {
+	p := mustProgram(t, ddg.SampleDotProduct(), machine.Unified())
+	out := p.String()
+	for _, want := range []string{"program", "K0", "acc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}

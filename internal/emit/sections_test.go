@@ -1,0 +1,137 @@
+package emit
+
+import (
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// countInSection tallies how often each node appears in a section.
+func countInSection(section []Instruction) map[int]int {
+	counts := map[int]int{}
+	for _, inst := range section {
+		for _, ops := range inst.Ops {
+			for _, op := range ops {
+				if op != NOP {
+					counts[op]++
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// TestSectionOccurrencesMatchStages pins the exact modulo-code shape: a
+// node of stage s issues SC-1-s times during the ramp-up, once per
+// kernel, and s times during the drain (its instances from the last
+// iterations outlive the final kernel copy).
+func TestSectionOccurrencesMatchStages(t *testing.T) {
+	for _, g := range []*ddg.Graph{
+		ddg.SampleDotProduct(), ddg.SampleStencil(), ddg.SampleChain(5),
+		ddg.SampleFigure7().Unroll(2),
+	} {
+		for _, cfg := range []machine.Config{
+			machine.Unified(), machine.TwoCluster(1, 2), machine.FourCluster(2, 1),
+		} {
+			s, err := sched.ScheduleGraph(g, &cfg, nil)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", g.Name, cfg.Name, err)
+			}
+			p := Emit(s)
+			sc := s.SC()
+			pro := countInSection(p.Prologue)
+			ker := countInSection(p.Kernel)
+			epi := countInSection(p.Epilogue)
+			for id := 0; id < g.NumNodes(); id++ {
+				stage := s.StageOf(id)
+				if got := pro[id]; got != sc-1-stage {
+					t.Errorf("%s/%s node %d (stage %d): prologue %d, want %d",
+						g.Name, cfg.Name, id, stage, got, sc-1-stage)
+				}
+				if got := ker[id]; got != 1 {
+					t.Errorf("%s/%s node %d: kernel %d, want 1", g.Name, cfg.Name, id, got)
+				}
+				if got := epi[id]; got != stage {
+					t.Errorf("%s/%s node %d (stage %d): epilogue %d, want %d",
+						g.Name, cfg.Name, id, stage, got, stage)
+				}
+			}
+		}
+	}
+}
+
+// TestPrologueRampIsMonotone checks that each prologue instruction
+// issues at least as many operations as the pipeline has filled stages:
+// the ramp never goes backwards.
+func TestPrologueRampIsMonotone(t *testing.T) {
+	g := ddg.SampleChain(6)
+	cfg := machine.Unified()
+	s, err := sched.ScheduleGraph(g, &cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Emit(s)
+	// Sum useful ops per II-sized block of the prologue: block k contains
+	// the first k+1 stages' worth of work, so totals must not decrease.
+	ii := s.II
+	prev := -1
+	for k := 0; k*ii < len(p.Prologue); k++ {
+		total := 0
+		for _, inst := range p.Prologue[k*ii : (k+1)*ii] {
+			for _, ops := range inst.Ops {
+				for _, op := range ops {
+					if op != NOP {
+						total++
+					}
+				}
+			}
+		}
+		if total < prev {
+			t.Fatalf("prologue block %d issues %d ops, previous %d", k, total, prev)
+		}
+		prev = total
+	}
+}
+
+// TestKernelBusFieldsAppearOncePerTransfer verifies each transfer has
+// exactly one OUT field and at most one IN field in the kernel.
+func TestKernelBusFieldsAppearOncePerTransfer(t *testing.T) {
+	g := ddg.New("pair")
+	a := g.AddNode("a", machine.OpLoad)
+	b := g.AddNode("b", machine.OpFAdd)
+	c := g.AddNode("c", machine.OpFMul)
+	g.AddTrueDep(a.ID, b.ID, 0)
+	g.AddTrueDep(a.ID, c.ID, 0)
+	cfg := machine.FourCluster(2, 2)
+	s, err := sched.ScheduleGraph(g, &cfg, &sched.Options{Assignment: []int{0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Emit(s)
+	outSeen := map[int]int{}
+	inSeen := map[int]int{}
+	for _, inst := range p.Kernel {
+		for _, tr := range inst.OutBus {
+			if tr != NOP {
+				outSeen[tr]++
+			}
+		}
+		for _, cl := range inst.InBus {
+			for _, tr := range cl {
+				if tr != NOP {
+					inSeen[tr]++
+				}
+			}
+		}
+	}
+	for i := range s.Transfers {
+		if outSeen[i] != 1 {
+			t.Errorf("transfer %d: %d OUT fields, want 1", i, outSeen[i])
+		}
+		if inSeen[i] > 1 {
+			t.Errorf("transfer %d: %d IN fields, want <= 1", i, inSeen[i])
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/order"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// AblationPolicy (A1) isolates the cluster-selection heuristic: the
+// paper's out-edge profit versus round-robin and first-fit placement on
+// the bus-starved 4-cluster machine.  The profit heuristic must win.
+func (s *Suite) AblationPolicy() (*report.Table, error) {
+	t := report.New("Ablation A1: cluster-selection policy (4-cluster, 1 bus, L=1)",
+		"policy", "relative IPC")
+	cfg, err := clusterConfig(4, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range []struct {
+		name   string
+		policy sched.Policy
+	}{
+		{"profit (paper)", sched.PolicyProfit},
+		{"round-robin", sched.PolicyRoundRobin},
+		{"first-fit", sched.PolicyFirstFit},
+	} {
+		rels, err := s.relIPCs(&cfg, core.Options{Sched: sched.Options{Policy: p.policy}})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(p.name, stats.Mean(rels))
+	}
+	return t, nil
+}
+
+// AblationOrdering (A2) isolates the SMS node ordering against a plain
+// topological order, with the rest of BSA unchanged.
+func (s *Suite) AblationOrdering() (*report.Table, error) {
+	t := report.New("Ablation A2: node ordering (4-cluster, 1 bus, L=1)",
+		"ordering", "relative IPC")
+	cfg, err := clusterConfig(4, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	// SMS is the default; the topological variant needs a per-loop order,
+	// so it bypasses the shared cache.
+	rels, err := s.relIPCs(&cfg, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("SMS (paper)", stats.Mean(rels))
+
+	var topoRels []float64
+	uni := machine.Unified()
+	for _, b := range s.Benchmarks {
+		base, err := s.benchIPC(b, &uni, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		var acc stats.Accum
+		for _, l := range b.Loops {
+			sc, err := sched.ScheduleGraph(l.Graph, &cfg, &sched.Options{Order: order.Topological(l.Graph)})
+			if err != nil {
+				return nil, fmt.Errorf("topological order: %s: %w", l.Graph.Name, err)
+			}
+			acc.Add(int64(l.Iters)*int64(l.Ops())*int64(l.Weight),
+				int64(sc.Cycles(l.Iters))*int64(l.Weight))
+		}
+		topoRels = append(topoRels, acc.Relative(base))
+	}
+	t.AddRow("topological", stats.Mean(topoRels))
+	return t, nil
+}
+
+// AblationUnrollFactor (A3) sweeps the unconditional unroll factor on
+// the 4-cluster machine: the paper sets U to the cluster count; the
+// sweep shows U=4 is the sweet spot and U=8 pays code size for little
+// IPC.
+func (s *Suite) AblationUnrollFactor() (*report.Table, error) {
+	t := report.New("Ablation A3: unroll factor (4-cluster, 1 bus, L=2)",
+		"factor", "relative IPC")
+	cfg, err := clusterConfig(4, 1, 2)
+	if err != nil {
+		return nil, err
+	}
+	for _, factor := range []int{1, 2, 4, 8} {
+		opts := core.Options{}
+		if factor > 1 {
+			opts = core.Options{Strategy: core.UnrollAll, Factor: factor}
+		}
+		rels, err := s.relIPCs(&cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("x%d", factor), stats.Mean(rels))
+	}
+	return t, nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/emit"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Fig10 reproduces Figure 10 for a cluster count: static code size —
+// total operation fields including NOPs, and useful operations only —
+// normalised per benchmark to the unified machine without unrolling,
+// then averaged.  Rows follow the same scenario grid as Figure 8.
+//
+// Paper shape to check: without unrolling, NOP share grows as buses get
+// scarce/slow (II inflation); unrolling multiplies code; selective
+// unrolling sits well below unroll-all while keeping its IPC.
+func (s *Suite) Fig10(clusters int) (*report.Table, error) {
+	t := report.New(fmt.Sprintf("Figure 10 (%d-cluster): code size relative to unified/no-unroll", clusters),
+		"scenario", "ops+NOPs", "useful ops")
+	t.Note = "mean over benchmarks; static fields of prologue+kernel+epilogue summed over loops"
+
+	uni := machine.Unified()
+
+	baseline := make([]emitTotals, len(s.Benchmarks))
+	for i, b := range s.Benchmarks {
+		tot, err := s.codeSize(b, &uni, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		baseline[i] = tot
+	}
+
+	addScenario := func(label string, cfg *machine.Config, opts core.Options) error {
+		var relTotal, relUseful []float64
+		for i, b := range s.Benchmarks {
+			tot, err := s.codeSize(b, cfg, opts)
+			if err != nil {
+				return err
+			}
+			relTotal = append(relTotal, float64(tot.slots)/float64(baseline[i].slots))
+			relUseful = append(relUseful, float64(tot.useful)/float64(baseline[i].useful))
+		}
+		t.AddRow(label, stats.Mean(relTotal), stats.Mean(relUseful))
+		return nil
+	}
+
+	if err := addScenario("unified no-unroll", &uni, core.Options{}); err != nil {
+		return nil, err
+	}
+	if err := addScenario(fmt.Sprintf("unified unroll x%d", clusters), &uni,
+		core.Options{Strategy: core.UnrollAll, Factor: clusters}); err != nil {
+		return nil, err
+	}
+	for _, st := range fig8Strategies {
+		for _, v := range fig8Variants {
+			cfg, err := clusterConfig(clusters, v.buses, v.lat)
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("%s B%d/L%d", st.name, v.buses, v.lat)
+			if err := addScenario(label, &cfg,
+				core.Options{Strategy: st.strat, Factor: factorFor(st.strat, clusters)}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// emitTotals accumulates static code-size fields over a benchmark.
+type emitTotals struct {
+	slots, useful, bus, instructions int
+}
+
+// codeSize emits every loop of a benchmark under the options and sums
+// the field counts.
+func (s *Suite) codeSize(b *corpus.Benchmark, cfg *machine.Config, opts core.Options) (emitTotals, error) {
+	var tot emitTotals
+	for _, l := range b.Loops {
+		res, err := s.compile(l, cfg, opts)
+		if err != nil {
+			return tot, err
+		}
+		c := emit.Emit(res.Schedule).Count()
+		tot.slots += c.TotalSlots
+		tot.useful += c.UsefulOps
+		tot.bus += c.BusOps
+		tot.instructions += c.Instructions
+	}
+	return tot, nil
+}

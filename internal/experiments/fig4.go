@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Fig4Buses is the bus-count sweep of Figure 4's x axis.
+var Fig4Buses = []int{1, 2, 3, 4, 6, 8, 12}
+
+// Fig4 reproduces Figure 4 for a cluster count (2 or 4): average
+// relative IPC (clustered vs unified, no unrolling) as the number of
+// buses sweeps, for the paper's BSA and the Nystrom & Eichenberger
+// two-phase baseline, at bus latencies 1 and 2.
+//
+// Paper shape to check: BSA >= N&E everywhere; both curves fall as buses
+// get scarce or slow, N&E falling harder.
+func (s *Suite) Fig4(clusters int) (*report.Table, error) {
+	headers := []string{"series"}
+	for _, b := range Fig4Buses {
+		headers = append(headers, fmt.Sprintf("B=%d", b))
+	}
+	t := report.New(fmt.Sprintf("Figure 4 (%d-cluster): relative IPC vs number of buses", clusters), headers...)
+	t.Note = "mean over benchmarks of IPC(clustered)/IPC(unified); no unrolling"
+
+	type series struct {
+		label string
+		sched core.Scheduler
+		lat   int
+	}
+	all := []series{
+		{"BSA L=1", core.BSA, 1},
+		{"BSA L=2", core.BSA, 2},
+		{"N&E L=1", core.NystromEichenberger, 1},
+		{"N&E L=2", core.NystromEichenberger, 2},
+	}
+	for _, ser := range all {
+		row := []any{ser.label}
+		for _, buses := range Fig4Buses {
+			cfg, err := clusterConfig(clusters, buses, ser.lat)
+			if err != nil {
+				return nil, err
+			}
+			rels, err := s.relIPCs(&cfg, core.Options{Scheduler: ser.sched})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, stats.Mean(rels))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

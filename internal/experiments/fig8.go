@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// fig8Variants are the clustered bar variants of Figure 8: bus count 1
+// and 2, bus latency 1, 2 and 4.
+var fig8Variants = []struct {
+	buses, lat int
+}{
+	{1, 1}, {1, 2}, {1, 4},
+	{2, 1}, {2, 2}, {2, 4},
+}
+
+// strategies in the paper's Figure 8 group order.
+var fig8Strategies = []struct {
+	name  string
+	strat core.Strategy
+}{
+	{"no-unroll", core.NoUnroll},
+	{"unroll", core.UnrollAll},
+	{"selective", core.SelectiveUnroll},
+}
+
+// Fig8 reproduces Figure 8 for one cluster count and one strategy
+// group: per-benchmark IPC of the unified machine and of the clustered
+// machine at every bus/latency variant, plus the AVERAGE row.
+//
+// In the "unroll" group the unified machine is also compiled with the
+// same unroll factor, as in the paper (whose explanation of clustered
+// beating unified relies on the unified scheduler handling unrolled
+// bodies greedily).  Selective unrolling never triggers on the unified
+// machine (it is never bus-limited).
+func (s *Suite) Fig8(clusters int, strategy core.Strategy) (*report.Table, error) {
+	stratName := "?"
+	for _, st := range fig8Strategies {
+		if st.strat == strategy {
+			stratName = st.name
+		}
+	}
+	headers := []string{"benchmark", "unified"}
+	for _, v := range fig8Variants {
+		headers = append(headers, fmt.Sprintf("B%d/L%d", v.buses, v.lat))
+	}
+	t := report.New(fmt.Sprintf("Figure 8 (%d-cluster, %s): IPC", clusters, stratName), headers...)
+
+	uni := machine.Unified()
+	uniOpts := core.Options{}
+	if strategy == core.UnrollAll {
+		uniOpts = core.Options{Strategy: core.UnrollAll, Factor: clusters}
+	}
+
+	sums := make([]stats.Accum, len(fig8Variants)+1)
+	for _, b := range s.Benchmarks {
+		row := []any{b.Name}
+		baseAcc, err := s.benchIPC(b, &uni, uniOpts)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, baseAcc.IPC())
+		sums[0].Merge(baseAcc)
+		for vi, v := range fig8Variants {
+			cfg, err := clusterConfig(clusters, v.buses, v.lat)
+			if err != nil {
+				return nil, err
+			}
+			acc, err := s.benchIPC(b, &cfg, core.Options{Strategy: strategy, Factor: factorFor(strategy, clusters)})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, acc.IPC())
+			sums[vi+1].Merge(acc)
+		}
+		t.AddRow(row...)
+	}
+	avg := []any{"AVERAGE"}
+	for _, a := range sums {
+		avg = append(avg, a.IPC())
+	}
+	t.AddRow(avg...)
+	return t, nil
+}
+
+// factorFor returns the UnrollAll factor of the paper: the cluster
+// count.  Other strategies ignore it.
+func factorFor(strategy core.Strategy, clusters int) int {
+	if strategy == core.UnrollAll {
+		return clusters
+	}
+	return 0
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// Fig9 reproduces Figure 9: wall-clock speedup of the clustered
+// configurations over the unified machine once Table 2's cycle times are
+// folded in, at bus latency 1, for no unrolling (NU) and selective
+// unrolling (SU) with one or two buses.
+//
+// Paper shape to check: every bar > 1; the best is the 4-cluster,
+// 1-bus, selective-unrolling configuration at ~3.6x.
+func (s *Suite) Fig9() (*report.Table, error) {
+	t := report.New("Figure 9: speedup over unified (cycle time included, bus latency 1)",
+		"config", "mean speedup", "min", "max")
+	model := timing.DefaultModel()
+	uni := machine.Unified()
+
+	type bar struct {
+		clusters, buses int
+		strat           core.Strategy
+		label           string
+	}
+	bars := []bar{
+		{2, 1, core.NoUnroll, "2-cluster NU B=1"},
+		{2, 2, core.NoUnroll, "2-cluster NU B=2"},
+		{2, 1, core.SelectiveUnroll, "2-cluster SU B=1"},
+		{2, 2, core.SelectiveUnroll, "2-cluster SU B=2"},
+		{4, 1, core.NoUnroll, "4-cluster NU B=1"},
+		{4, 2, core.NoUnroll, "4-cluster NU B=2"},
+		{4, 1, core.SelectiveUnroll, "4-cluster SU B=1"},
+		{4, 2, core.SelectiveUnroll, "4-cluster SU B=2"},
+	}
+	for _, bar := range bars {
+		cfg, err := clusterConfig(bar.clusters, bar.buses, 1)
+		if err != nil {
+			return nil, err
+		}
+		var speedups []float64
+		for _, b := range s.Benchmarks {
+			base, err := s.benchIPC(b, &uni, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			acc, err := s.benchIPC(b, &cfg, core.Options{Strategy: bar.strat})
+			if err != nil {
+				return nil, err
+			}
+			speedups = append(speedups, model.Speedup(&cfg, &uni, acc.IPC(), base.IPC()))
+		}
+		t.AddRow(bar.label, stats.Mean(speedups), minOf(speedups), maxOf(speedups))
+	}
+	t.Note = fmt.Sprintf("cycle times (ps): unified=%.0f 2c/B1=%.0f 2c/B2=%.0f 4c/B1=%.0f 4c/B2=%.0f",
+		model.CycleTime(&uni),
+		cyc(model, 2, 1), cyc(model, 2, 2), cyc(model, 4, 1), cyc(model, 4, 2))
+	return t, nil
+}
+
+func cyc(m timing.Model, clusters, buses int) float64 {
+	cfg, _ := clusterConfig(clusters, buses, 1)
+	return m.CycleTime(&cfg)
+}
+
+func minOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

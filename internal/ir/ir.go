@@ -1,0 +1,301 @@
+// Package ir provides a tiny textual intermediate representation for
+// loop bodies and a parser that lowers it to a dependence graph.  It
+// stands in for the ICTINEO front-end of the paper: experiments and
+// examples can state loops as source text instead of hand-building DDGs.
+//
+// Grammar (one statement per line, '#' starts a comment):
+//
+//	loop <name> [iters=<n>]         header (optional, once, first)
+//	<dest> = <op> [src{, src}]      value operation
+//	<name>: store src{, src}        store (named, produces no value)
+//	store src{, src}                store (auto-named)
+//	order <name> <name> [@<dist>]   explicit memory-ordering edge
+//
+// where <op> is one of iadd, imul, load, fadd, fmul, fdiv and every
+// source is an identifier with an optional '@<distance>' suffix: 's@1'
+// reads the value produced by statement 's' <distance> iterations ago.
+// Identifiers never defined in the loop are loop invariants and create
+// no dependence.
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// Loop is a parsed loop: its dependence graph plus execution metadata.
+type Loop struct {
+	// Graph is the lowered dependence graph.
+	Graph *ddg.Graph
+	// Iters is the iteration count declared in the header (default 100).
+	Iters int
+}
+
+// ParseError describes a syntax or semantic error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ir: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse lowers the textual IR to a Loop.  The resulting graph is
+// validated before being returned.
+func Parse(src string) (*Loop, error) {
+	p := &parser{
+		loop:   &Loop{Iters: 100},
+		byName: make(map[string]int),
+	}
+	p.loop.Graph = ddg.New("loop")
+
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		text := raw
+		if idx := strings.IndexByte(text, '#'); idx >= 0 {
+			text = text[:idx]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		if err := p.statement(line, text); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.resolve(); err != nil {
+		return nil, err
+	}
+	if err := p.loop.Graph.Validate(); err != nil {
+		return nil, fmt.Errorf("ir: %w", err)
+	}
+	return p.loop, nil
+}
+
+// pendingRef is an operand reference waiting for its producer: forward
+// references are legal for loop-carried reads (distance > 0).
+type pendingRef struct {
+	line     int
+	name     string
+	distance int
+	consumer int
+}
+
+type parser struct {
+	loop      *Loop
+	byName    map[string]int
+	sawHeader bool
+	sawStmt   bool
+	nStores   int
+	refs      []pendingRef
+	orders    []orderStmt
+}
+
+type orderStmt struct {
+	line     int
+	from, to string
+	distance int
+}
+
+func (p *parser) statement(line int, text string) error {
+	fields := strings.Fields(text)
+	switch {
+	case fields[0] == "loop":
+		return p.header(line, fields)
+	case fields[0] == "order":
+		return p.order(line, text)
+	case fields[0] == "store" || strings.HasSuffix(fields[0], ":"):
+		return p.store(line, text)
+	default:
+		return p.valueOp(line, text)
+	}
+}
+
+func (p *parser) header(line int, fields []string) error {
+	if p.sawHeader {
+		return errf(line, "duplicate loop header")
+	}
+	if p.sawStmt {
+		return errf(line, "loop header must precede statements")
+	}
+	if len(fields) < 2 {
+		return errf(line, "loop header needs a name")
+	}
+	p.sawHeader = true
+	p.loop.Graph.Name = fields[1]
+	for _, f := range fields[2:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok || key != "iters" {
+			return errf(line, "unknown header attribute %q", f)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 1 {
+			return errf(line, "bad iters value %q", val)
+		}
+		p.loop.Iters = n
+	}
+	return nil
+}
+
+func (p *parser) valueOp(line int, text string) error {
+	lhs, rhs, ok := strings.Cut(text, "=")
+	if !ok {
+		return errf(line, "expected '<dest> = <op> ...', got %q", text)
+	}
+	dest := strings.TrimSpace(lhs)
+	if dest == "" || strings.ContainsAny(dest, " \t") {
+		return errf(line, "bad destination %q", dest)
+	}
+	if _, dup := p.byName[dest]; dup {
+		return errf(line, "redefinition of %q", dest)
+	}
+	rhs = strings.TrimSpace(rhs)
+	opName, operands := splitOp(rhs)
+	class, ok := machine.OpClassByName(opName)
+	if !ok {
+		return errf(line, "unknown operation %q", opName)
+	}
+	if class == machine.OpStore {
+		return errf(line, "store does not produce a value; use '<name>: store ...'")
+	}
+	p.sawStmt = true
+	node := p.loop.Graph.AddNode(dest, class)
+	p.byName[dest] = node.ID
+	return p.addRefs(line, node.ID, operands)
+}
+
+func (p *parser) store(line int, text string) error {
+	name := ""
+	body := text
+	if label, rest, ok := strings.Cut(text, ":"); ok && !strings.Contains(label, " ") {
+		name = strings.TrimSpace(label)
+		body = strings.TrimSpace(rest)
+	}
+	opName, operands := splitOp(body)
+	if opName != "store" {
+		return errf(line, "expected store, got %q", opName)
+	}
+	if len(operands) == 0 {
+		return errf(line, "store needs at least one operand")
+	}
+	if name == "" {
+		p.nStores++
+		name = fmt.Sprintf("store%d", p.nStores)
+	}
+	if _, dup := p.byName[name]; dup {
+		return errf(line, "redefinition of %q", name)
+	}
+	p.sawStmt = true
+	node := p.loop.Graph.AddNode(name, machine.OpStore)
+	p.byName[name] = node.ID
+	return p.addRefs(line, node.ID, operands)
+}
+
+func (p *parser) order(line int, text string) error {
+	fields := strings.Fields(strings.TrimPrefix(text, "order"))
+	// Accept "order a b", "order a, b", "order a b @2".
+	var names []string
+	dist := 0
+	for _, f := range fields {
+		f = strings.Trim(f, ",")
+		if f == "" {
+			continue
+		}
+		if strings.HasPrefix(f, "@") {
+			d, err := strconv.Atoi(f[1:])
+			if err != nil || d < 0 {
+				return errf(line, "bad order distance %q", f)
+			}
+			dist = d
+			continue
+		}
+		names = append(names, f)
+	}
+	if len(names) != 2 {
+		return errf(line, "order needs exactly two operation names")
+	}
+	p.orders = append(p.orders, orderStmt{line: line, from: names[0], to: names[1], distance: dist})
+	return nil
+}
+
+func (p *parser) addRefs(line, consumer int, operands []string) error {
+	for _, op := range operands {
+		name, dist, err := splitRef(line, op)
+		if err != nil {
+			return err
+		}
+		p.refs = append(p.refs, pendingRef{line: line, name: name, distance: dist, consumer: consumer})
+	}
+	return nil
+}
+
+// resolve turns collected operand references and order statements into
+// edges, now that every destination is known.
+func (p *parser) resolve() error {
+	g := p.loop.Graph
+	for _, r := range p.refs {
+		producer, ok := p.byName[r.name]
+		if !ok {
+			continue // loop invariant: no dependence
+		}
+		if !g.Node(producer).Class.ProducesValue() {
+			return errf(r.line, "%q is a store and produces no value", r.name)
+		}
+		if r.distance == 0 && producer >= r.consumer {
+			return errf(r.line, "use of %q before its definition needs a '@distance'", r.name)
+		}
+		g.AddTrueDep(producer, r.consumer, r.distance)
+	}
+	for _, o := range p.orders {
+		from, ok := p.byName[o.from]
+		if !ok {
+			return errf(o.line, "order references unknown operation %q", o.from)
+		}
+		to, ok := p.byName[o.to]
+		if !ok {
+			return errf(o.line, "order references unknown operation %q", o.to)
+		}
+		g.AddMemDep(from, to, o.distance)
+	}
+	return nil
+}
+
+// splitOp separates "fmul a, b" into the mnemonic and operand list.
+func splitOp(s string) (string, []string) {
+	s = strings.TrimSpace(s)
+	op, rest, _ := strings.Cut(s, " ")
+	var operands []string
+	for _, part := range strings.Split(rest, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			operands = append(operands, part)
+		}
+	}
+	return op, operands
+}
+
+// splitRef separates "s@2" into name and distance.
+func splitRef(line int, s string) (string, int, error) {
+	name, distStr, hasDist := strings.Cut(s, "@")
+	if name == "" {
+		return "", 0, errf(line, "empty operand name in %q", s)
+	}
+	if !hasDist {
+		return name, 0, nil
+	}
+	d, err := strconv.Atoi(distStr)
+	if err != nil || d < 0 {
+		return "", 0, errf(line, "bad distance in operand %q", s)
+	}
+	return name, d, nil
+}

@@ -1,0 +1,196 @@
+package ir
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+const dotProductSrc = `
+# s += a[i] * b[i]
+loop dot iters=1000
+t1 = load a
+t2 = load b
+t3 = fmul t1, t2
+s  = fadd s@1, t3
+`
+
+func TestParseDotProduct(t *testing.T) {
+	loop, err := Parse(dotProductSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := loop.Graph
+	if g.Name != "dot" {
+		t.Errorf("name = %q, want dot", g.Name)
+	}
+	if loop.Iters != 1000 {
+		t.Errorf("iters = %d, want 1000", loop.Iters)
+	}
+	if g.NumNodes() != 4 {
+		t.Fatalf("nodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 4 { // t1->t3, t2->t3, t3->s, s->s@1
+		t.Fatalf("edges = %d, want 4", g.NumEdges())
+	}
+	if got := g.RecMII(); got != 3 {
+		t.Errorf("RecMII = %d, want 3", got)
+	}
+	// The self-recurrence must have distance 1 and the fadd latency.
+	for _, e := range g.Edges() {
+		if e.From == e.To {
+			if e.Distance != 1 || e.Latency != machine.OpFAdd.Latency() {
+				t.Errorf("self edge = %+v, want distance 1, latency 3", e)
+			}
+		}
+	}
+}
+
+func TestParseStoreForms(t *testing.T) {
+	loop, err := Parse(`
+loop s
+v = load a
+store v
+st2: store v, v
+order store1 st2
+order st2 store1 @1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := loop.Graph
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", g.NumNodes())
+	}
+	var stores int
+	for _, n := range g.Nodes() {
+		if n.Class == machine.OpStore {
+			stores++
+		}
+	}
+	if stores != 2 {
+		t.Errorf("stores = %d, want 2", stores)
+	}
+	var memEdges int
+	for _, e := range g.Edges() {
+		if e.Kind == ddg.DepMem {
+			memEdges++
+		}
+	}
+	if memEdges != 2 {
+		t.Errorf("mem edges = %d, want 2", memEdges)
+	}
+}
+
+func TestLoopInvariantOperandsCreateNoEdges(t *testing.T) {
+	loop, err := Parse("x = fmul alpha, beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loop.Graph.NumEdges() != 0 {
+		t.Errorf("edges = %d, want 0 (alpha/beta are invariants)", loop.Graph.NumEdges())
+	}
+	if loop.Iters != 100 {
+		t.Errorf("default iters = %d, want 100", loop.Iters)
+	}
+}
+
+func TestForwardReferenceNeedsDistance(t *testing.T) {
+	_, err := Parse(`
+a = fadd b
+b = fadd a
+`)
+	if err == nil {
+		t.Fatal("forward reference at distance 0 accepted")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) || pe.Line != 2 {
+		t.Errorf("error = %v, want ParseError at line 2", err)
+	}
+}
+
+func TestForwardLoopCarriedReference(t *testing.T) {
+	loop, err := Parse(`
+a = fadd b@1
+b = fadd a
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle a->b (lat 3, dist 0), b->a (lat 3, dist 1): RecMII = 6.
+	if got := loop.Graph.RecMII(); got != 6 {
+		t.Errorf("RecMII = %d, want 6", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		frag string
+	}{
+		{"unknown-op", "x = blah a", "unknown operation"},
+		{"redefinition", "x = load a\nx = load b", "redefinition"},
+		{"store-as-value", "x = store a", "store does not produce"},
+		{"use-of-store", "s1: store a\ny = fadd s1", "produces no value"},
+		{"bad-distance", "y = fadd x@-1", "bad distance"},
+		{"bad-iters", "loop l iters=zero", "bad iters"},
+		{"dup-header", "loop a\nloop b", "duplicate loop header"},
+		{"late-header", "x = load a\nloop l", "must precede"},
+		{"bad-attr", "loop l foo=1", "unknown header attribute"},
+		{"order-unknown", "x = load a\norder x nosuch", "unknown operation"},
+		{"order-arity", "x = load a\norder x", "exactly two"},
+		{"store-no-operands", "s: store", "at least one operand"},
+		{"missing-eq", "fadd a b", "expected"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("accepted %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error %q does not mention %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	loop, err := Parse("\n# only a comment\n\nx = load a # trailing\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loop.Graph.NumNodes() != 1 {
+		t.Errorf("nodes = %d, want 1", loop.Graph.NumNodes())
+	}
+}
+
+func TestParsedGraphMatchesHandBuilt(t *testing.T) {
+	loop, err := Parse(dotProductSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand := ddg.SampleDotProduct()
+	if loop.Graph.NumNodes() != hand.NumNodes() || loop.Graph.NumEdges() != hand.NumEdges() {
+		t.Errorf("parsed %s vs hand-built %s", loop.Graph, hand)
+	}
+	uni := machine.Unified()
+	if loop.Graph.MinII(&uni) != hand.MinII(&uni) {
+		t.Errorf("MinII differs: parsed %d, hand %d", loop.Graph.MinII(&uni), hand.MinII(&uni))
+	}
+}
+
+func TestMultipleUsesSameOperand(t *testing.T) {
+	loop, err := Parse("a = load p\nb = fmul a, a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two uses -> two edges (the scheduler dedups communications, not the IR).
+	if loop.Graph.NumEdges() != 2 {
+		t.Errorf("edges = %d, want 2", loop.Graph.NumEdges())
+	}
+}

@@ -1,0 +1,50 @@
+package ir
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// TestExampleLoopFilesCompile parses every .ir file shipped under
+// examples/loops and schedules it on the paper's machines, so the
+// documentation inputs can never rot.
+func TestExampleLoopFilesCompile(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "loops")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("examples/loops not present: %v", err)
+	}
+	found := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".ir" {
+			continue
+		}
+		found++
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		loop, err := Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		for _, cfg := range []machine.Config{
+			machine.Unified(), machine.TwoCluster(1, 1), machine.FourCluster(1, 2),
+		} {
+			s, err := sched.ScheduleGraph(loop.Graph, &cfg, nil)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", e.Name(), cfg.Name, err)
+			}
+			if err := sched.Validate(s); err != nil {
+				t.Fatalf("%s on %s: %v", e.Name(), cfg.Name, err)
+			}
+		}
+	}
+	if found < 4 {
+		t.Errorf("only %d .ir samples found, want >= 4", found)
+	}
+}

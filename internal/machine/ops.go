@@ -1,0 +1,87 @@
+package machine
+
+import "fmt"
+
+// OpClass identifies the kind of operation a DDG node performs.  Each
+// class maps to exactly one FUClass and has a fixed result latency.
+type OpClass int
+
+// Operation classes.  Table 1 of the paper lists the latencies; the OCR
+// of the table is unreadable, so we use the latencies of the SMS /
+// ICTINEO papers from the same group (documented in DESIGN.md): integer
+// ops 1 cycle, loads 2, stores 1, FP add/sub 3, FP multiply 4, FP divide
+// 17 (fully pipelined units).
+const (
+	OpIAdd  OpClass = iota // integer add/sub/logic/compare
+	OpIMul                 // integer multiply
+	OpLoad                 // memory load
+	OpStore                // memory store (produces no register value)
+	OpFAdd                 // FP add/sub/convert
+	OpFMul                 // FP multiply
+	OpFDiv                 // FP divide / sqrt
+	NumOpClasses
+)
+
+var opInfo = [NumOpClasses]struct {
+	name    string
+	fu      FUClass
+	latency int
+	value   bool // produces a register value
+}{
+	OpIAdd:  {"iadd", FUInteger, 1, true},
+	OpIMul:  {"imul", FUInteger, 2, true},
+	OpLoad:  {"load", FUMemory, 2, true},
+	OpStore: {"store", FUMemory, 1, false},
+	OpFAdd:  {"fadd", FUFloat, 3, true},
+	OpFMul:  {"fmul", FUFloat, 4, true},
+	OpFDiv:  {"fdiv", FUFloat, 17, true},
+}
+
+// Valid reports whether the class is one of the defined operations.
+func (o OpClass) Valid() bool { return o >= 0 && o < NumOpClasses }
+
+// String returns the mnemonic of the class.
+func (o OpClass) String() string {
+	if !o.Valid() {
+		return fmt.Sprintf("OpClass(%d)", int(o))
+	}
+	return opInfo[o].name
+}
+
+// FU returns the functional-unit class that executes this operation.
+func (o OpClass) FU() FUClass {
+	if !o.Valid() {
+		panic(fmt.Sprintf("machine: invalid op class %d", int(o)))
+	}
+	return opInfo[o].fu
+}
+
+// Latency returns the number of cycles before the result is available to
+// a dependent operation.
+func (o OpClass) Latency() int {
+	if !o.Valid() {
+		panic(fmt.Sprintf("machine: invalid op class %d", int(o)))
+	}
+	return opInfo[o].latency
+}
+
+// ProducesValue reports whether the operation writes a register (stores
+// do not, so they create no lifetime and never need a bus transfer of
+// their own result).
+func (o OpClass) ProducesValue() bool {
+	if !o.Valid() {
+		panic(fmt.Sprintf("machine: invalid op class %d", int(o)))
+	}
+	return opInfo[o].value
+}
+
+// OpClassByName resolves a mnemonic to its class, for the IR parser.
+// It returns false if the mnemonic is unknown.
+func OpClassByName(name string) (OpClass, bool) {
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		if opInfo[c].name == name {
+			return c, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,385 @@
+// Package order implements the node-ordering phase of Swing Modulo
+// Scheduling (Llosa et al., PACT 1996), which the paper adopts for its
+// clustered scheduler (§5.1): recurrences are visited first, in
+// decreasing RecMII order, together with the nodes on paths connecting
+// them; traversal alternates between top-down and bottom-up sweeps so
+// that every node (except the head of a fresh subgraph) is appended with
+// only predecessors or only successors already ordered, and graph
+// neighbours end up near each other in the list.
+package order
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ddg"
+)
+
+// SMS returns the node IDs of g in Swing-Modulo-Scheduling order.
+func SMS(g *ddg.Graph) []int {
+	sets := PrioritySets(g)
+	an := g.Analyze()
+
+	ordered := make([]bool, g.NumNodes())
+	var out []int
+	appendNode := func(v int) {
+		ordered[v] = true
+		out = append(out, v)
+	}
+
+	for _, set := range sets {
+		inSet := make(map[int]bool, len(set))
+		remaining := 0
+		for _, v := range set {
+			if !ordered[v] {
+				inSet[v] = true
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			continue
+		}
+
+		dir, r := initialFrontier(g, an, inSet, ordered)
+		for remaining > 0 {
+			for len(r) > 0 {
+				v := pickBest(r, an, dir)
+				delete(r, v)
+				if ordered[v] {
+					continue
+				}
+				appendNode(v)
+				remaining--
+				expandFrontier(g, v, inSet, ordered, dir, r)
+			}
+			if remaining == 0 {
+				break
+			}
+			// Swing: reverse direction and restart from the set nodes
+			// adjacent to the order built so far.
+			dir = dir.flip()
+			r = adjacentToOrdered(g, inSet, ordered, dir)
+			if len(r) == 0 {
+				// The set has a component not connected to the order yet
+				// (possible when a priority set unions disjoint pieces):
+				// restart as a fresh subgraph.
+				dir, r = freshStart(an, inSet, ordered)
+			}
+		}
+	}
+	return out
+}
+
+// direction of a sweep.
+type direction int
+
+const (
+	bottomUp direction = iota // follow predecessors, prioritise depth
+	topDown                   // follow successors, prioritise height
+)
+
+func (d direction) flip() direction {
+	if d == bottomUp {
+		return topDown
+	}
+	return bottomUp
+}
+
+// initialFrontier chooses the first sweep for a set: continue from the
+// existing order if the set touches it, otherwise start a fresh subgraph
+// from its deepest node.
+func initialFrontier(g *ddg.Graph, an *ddg.Analysis, inSet map[int]bool, ordered []bool) (direction, map[int]bool) {
+	if r := adjacentToOrdered(g, inSet, ordered, topDown); len(r) > 0 {
+		return topDown, r
+	}
+	if r := adjacentToOrdered(g, inSet, ordered, bottomUp); len(r) > 0 {
+		return bottomUp, r
+	}
+	return freshStart(an, inSet, ordered)
+}
+
+// freshStart returns a bottom-up sweep from the deepest unordered node
+// of the set (ties: highest height, then lowest ID).
+func freshStart(an *ddg.Analysis, inSet map[int]bool, ordered []bool) (direction, map[int]bool) {
+	best := -1
+	for v := range inSet {
+		if ordered[v] {
+			continue
+		}
+		if best == -1 || deeper(an, v, best) {
+			best = v
+		}
+	}
+	r := map[int]bool{}
+	if best >= 0 {
+		r[best] = true
+	}
+	return bottomUp, r
+}
+
+func deeper(an *ddg.Analysis, v, w int) bool {
+	if an.Depth[v] != an.Depth[w] {
+		return an.Depth[v] > an.Depth[w]
+	}
+	if an.Height[v] != an.Height[w] {
+		return an.Height[v] > an.Height[w]
+	}
+	return v < w
+}
+
+// adjacentToOrdered collects the unordered set members adjacent to the
+// current order: successors of ordered nodes for a top-down sweep,
+// predecessors for a bottom-up sweep (distance-0 edges, as in SMS).
+func adjacentToOrdered(g *ddg.Graph, inSet map[int]bool, ordered []bool, dir direction) map[int]bool {
+	r := map[int]bool{}
+	for v := range inSet {
+		if ordered[v] {
+			continue
+		}
+		if dir == topDown {
+			for _, e := range g.InEdges(v) {
+				if e.Distance == 0 && ordered[e.From] {
+					r[v] = true
+					break
+				}
+			}
+		} else {
+			for _, e := range g.OutEdges(v) {
+				if e.Distance == 0 && ordered[e.To] {
+					r[v] = true
+					break
+				}
+			}
+		}
+	}
+	return r
+}
+
+// expandFrontier adds v's unordered set neighbours in the sweep
+// direction to the frontier.
+func expandFrontier(g *ddg.Graph, v int, inSet map[int]bool, ordered []bool, dir direction, r map[int]bool) {
+	if dir == topDown {
+		for _, e := range g.OutEdges(v) {
+			if e.Distance == 0 && inSet[e.To] && !ordered[e.To] {
+				r[e.To] = true
+			}
+		}
+	} else {
+		for _, e := range g.InEdges(v) {
+			if e.Distance == 0 && inSet[e.From] && !ordered[e.From] {
+				r[e.From] = true
+			}
+		}
+	}
+}
+
+// pickBest selects the next node from the frontier: a top-down sweep
+// prefers the highest height (most critical work below it), a bottom-up
+// sweep the highest depth; ties fall to the other metric, then the
+// lowest ID for determinism.
+func pickBest(r map[int]bool, an *ddg.Analysis, dir direction) int {
+	best := -1
+	for v := range r {
+		if best == -1 {
+			best = v
+			continue
+		}
+		if dir == topDown {
+			if an.Height[v] != an.Height[best] {
+				if an.Height[v] > an.Height[best] {
+					best = v
+				}
+				continue
+			}
+			if an.Depth[v] != an.Depth[best] {
+				if an.Depth[v] > an.Depth[best] {
+					best = v
+				}
+				continue
+			}
+		} else {
+			if an.Depth[v] != an.Depth[best] {
+				if an.Depth[v] > an.Depth[best] {
+					best = v
+				}
+				continue
+			}
+			if an.Height[v] != an.Height[best] {
+				if an.Height[v] > an.Height[best] {
+					best = v
+				}
+				continue
+			}
+		}
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// PrioritySets partitions the nodes into the SMS priority sets:
+// recurrences in decreasing RecMII order, each augmented with the nodes
+// on distance-0 paths between previously selected sets and itself, then
+// the remaining nodes grouped by weakly connected component (each
+// component starts a fresh "subgraph" during ordering, which is what
+// lets unrolled iterations drift to different clusters).
+func PrioritySets(g *ddg.Graph) [][]int {
+	placed := make([]bool, g.NumNodes())
+	var sets [][]int
+
+	for _, rec := range g.Recurrences() {
+		var set []int
+		inPrev := map[int]bool{}
+		for v := 0; v < g.NumNodes(); v++ {
+			if placed[v] {
+				inPrev[v] = true
+			}
+		}
+		members := map[int]bool{}
+		for _, v := range rec.Nodes {
+			if !placed[v] {
+				set = append(set, v)
+				members[v] = true
+			}
+		}
+		if len(set) == 0 {
+			continue
+		}
+		// Path nodes: unplaced nodes both reachable from a previous set and
+		// reaching this recurrence (or vice versa).
+		if len(inPrev) > 0 {
+			prev := keys(inPrev)
+			downFromPrev := g.DescendantsWithin(prev, nil)
+			upToRec := g.AncestorsWithin(rec.Nodes, nil)
+			upFromPrev := g.AncestorsWithin(prev, nil)
+			downFromRec := g.DescendantsWithin(rec.Nodes, nil)
+			for v := 0; v < g.NumNodes(); v++ {
+				if placed[v] || members[v] {
+					continue
+				}
+				if (downFromPrev[v] && upToRec[v]) || (upFromPrev[v] && downFromRec[v]) {
+					set = append(set, v)
+					members[v] = true
+				}
+			}
+		}
+		sort.Ints(set)
+		for _, v := range set {
+			placed[v] = true
+		}
+		sets = append(sets, set)
+	}
+
+	// Remaining nodes, one set per weakly connected component.
+	for _, comp := range g.ConnectedComponents() {
+		var rest []int
+		for _, v := range comp {
+			if !placed[v] {
+				rest = append(rest, v)
+				placed[v] = true
+			}
+		}
+		if len(rest) > 0 {
+			sets = append(sets, rest)
+		}
+	}
+	return sets
+}
+
+// Topological returns a plain topological order of the distance-0
+// subgraph — the ablation baseline for the ordering study (A2).
+func Topological(g *ddg.Graph) []int {
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	for _, e := range g.Edges() {
+		if e.Distance == 0 {
+			indeg[e.To]++
+		}
+	}
+	var ready []int
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	out := make([]int, 0, n)
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		v := ready[0]
+		ready = ready[1:]
+		out = append(out, v)
+		for _, e := range g.OutEdges(v) {
+			if e.Distance != 0 {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				ready = append(ready, e.To)
+			}
+		}
+	}
+	return out
+}
+
+// CheckPermutation verifies that ord is a permutation of g's node IDs.
+func CheckPermutation(g *ddg.Graph, ord []int) error {
+	if len(ord) != g.NumNodes() {
+		return fmt.Errorf("order: length %d, want %d", len(ord), g.NumNodes())
+	}
+	seen := make([]bool, g.NumNodes())
+	for _, v := range ord {
+		if v < 0 || v >= g.NumNodes() {
+			return fmt.Errorf("order: node %d out of range", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("order: node %d appears twice", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// CountBothSided returns the number of non-recurrence nodes that see
+// both an ordered predecessor and an ordered successor when appended
+// (distance-0 edges).  SMS guarantees zero for acyclic and
+// single-recurrence graphs; bridge nodes connecting two recurrences
+// unavoidably see both sides, which is why this is a counter rather than
+// a hard invariant.
+func CountBothSided(g *ddg.Graph, ord []int) int {
+	seen := make([]bool, g.NumNodes())
+	inRec := make([]bool, g.NumNodes())
+	for _, rec := range g.Recurrences() {
+		for _, v := range rec.Nodes {
+			inRec[v] = true
+		}
+	}
+	count := 0
+	for _, v := range ord {
+		predsBefore, succsBefore := false, false
+		for _, e := range g.InEdges(v) {
+			if e.Distance == 0 && seen[e.From] {
+				predsBefore = true
+			}
+		}
+		for _, e := range g.OutEdges(v) {
+			if e.Distance == 0 && seen[e.To] {
+				succsBefore = true
+			}
+		}
+		if predsBefore && succsBefore && !inRec[v] {
+			count++
+		}
+		seen[v] = true
+	}
+	return count
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,235 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+func TestSMSIsPermutation(t *testing.T) {
+	for _, g := range []*ddg.Graph{
+		ddg.SampleDotProduct(), ddg.SampleFigure7(), ddg.SampleChain(10),
+		ddg.SampleIndependent(7), ddg.SampleStencil(), ddg.SampleStencil().Unroll(4),
+	} {
+		ord := SMS(g)
+		if err := CheckPermutation(g, ord); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestSMSStartsWithCriticalRecurrence(t *testing.T) {
+	g := ddg.New("two-recs")
+	// Low-priority recurrence: iadd self-loop (ratio 1).
+	a := g.AddNode("a", machine.OpIAdd)
+	g.AddTrueDep(a.ID, a.ID, 1)
+	// High-priority recurrence: fdiv self-loop (ratio 17).
+	b := g.AddNode("b", machine.OpFDiv)
+	g.AddTrueDep(b.ID, b.ID, 1)
+	ord := SMS(g)
+	if ord[0] != b.ID {
+		t.Errorf("order = %v, want fdiv recurrence (node %d) first", ord, b.ID)
+	}
+}
+
+func TestSMSNeighboursStayClose(t *testing.T) {
+	// In a chain, SMS must emit consecutive graph neighbours adjacently.
+	g := ddg.SampleChain(8)
+	ord := SMS(g)
+	pos := make([]int, len(ord))
+	for i, v := range ord {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		d := pos[e.From] - pos[e.To]
+		if d != 1 && d != -1 {
+			t.Errorf("chain neighbours %d,%d at order distance %d", e.From, e.To, d)
+		}
+	}
+}
+
+func TestSMSInvariantAcyclic(t *testing.T) {
+	for _, g := range []*ddg.Graph{
+		ddg.SampleChain(10), ddg.SampleIndependent(5),
+	} {
+		ord := SMS(g)
+		if n := CountBothSided(g, ord); n != 0 {
+			t.Errorf("%s: %d both-sided nodes, want 0", g.Name, n)
+		}
+	}
+}
+
+func TestSMSInvariantSingleRecurrence(t *testing.T) {
+	for _, g := range []*ddg.Graph{
+		ddg.SampleDotProduct(), ddg.SampleFigure7(), ddg.SampleStencil(),
+	} {
+		ord := SMS(g)
+		if n := CountBothSided(g, ord); n != 0 {
+			t.Errorf("%s: %d both-sided non-recurrence nodes, want 0", g.Name, n)
+		}
+	}
+}
+
+func TestPrioritySetsRecurrenceFirst(t *testing.T) {
+	g := ddg.SampleFigure7()
+	sets := PrioritySets(g)
+	if len(sets) < 2 {
+		t.Fatalf("sets = %v, want recurrence set then rest", sets)
+	}
+	// First set must be the recurrence {B,C,D} = IDs {1,2,3}.
+	want := []int{1, 2, 3}
+	if len(sets[0]) != 3 {
+		t.Fatalf("first set = %v, want %v", sets[0], want)
+	}
+	for i, v := range want {
+		if sets[0][i] != v {
+			t.Fatalf("first set = %v, want %v", sets[0], want)
+		}
+	}
+}
+
+func TestPrioritySetsIncludePathNodes(t *testing.T) {
+	// rec1 -> x -> rec2: x must be pulled into rec2's set, not left last.
+	g := ddg.New("bridge")
+	a := g.AddNode("a", machine.OpFDiv) // rec1, RecMII 17
+	g.AddTrueDep(a.ID, a.ID, 1)
+	x := g.AddNode("x", machine.OpIAdd) // bridge
+	b := g.AddNode("b", machine.OpFAdd) // rec2, RecMII 3
+	g.AddTrueDep(b.ID, b.ID, 1)
+	g.AddTrueDep(a.ID, x.ID, 0)
+	g.AddTrueDep(x.ID, b.ID, 0)
+	sets := PrioritySets(g)
+	if len(sets) != 2 {
+		t.Fatalf("sets = %v, want 2", sets)
+	}
+	if len(sets[1]) != 2 { // {x, b}
+		t.Errorf("second set = %v, want bridge node plus recurrence", sets[1])
+	}
+}
+
+func TestPrioritySetsCoverAllNodesOnce(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAGish(r)
+		seen := map[int]int{}
+		for _, s := range PrioritySets(g) {
+			for _, v := range s {
+				seen[v]++
+			}
+		}
+		if len(seen) != g.NumNodes() {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSMSPermutationProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAGish(r)
+		return CheckPermutation(g, SMS(g)) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSMSAcyclicInvariantProperty(t *testing.T) {
+	// On acyclic graphs the swing invariant must hold exactly.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r)
+		return CountBothSided(g, SMS(g)) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopologicalRespectsZeroDistanceEdges(t *testing.T) {
+	g := ddg.SampleStencil()
+	ord := Topological(g)
+	if err := CheckPermutation(g, ord); err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, len(ord))
+	for i, v := range ord {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if e.Distance == 0 && pos[e.From] >= pos[e.To] {
+			t.Errorf("edge %d->%d violates topological order", e.From, e.To)
+		}
+	}
+}
+
+func TestUnrolledIndependentIterationsFormSeparateSets(t *testing.T) {
+	// Unrolling a loop with no loop-carried deps gives disconnected
+	// copies; each must be its own priority set so the scheduler can
+	// start a fresh default cluster per iteration (paper §5.1 case a/b).
+	g := ddg.New("noLC")
+	l := g.AddNode("l", machine.OpLoad)
+	m := g.AddNode("m", machine.OpFMul)
+	s := g.AddNode("s", machine.OpStore)
+	g.AddTrueDep(l.ID, m.ID, 0)
+	g.AddTrueDep(m.ID, s.ID, 0)
+	u := g.Unroll(4)
+	sets := PrioritySets(u)
+	if len(sets) != 4 {
+		t.Fatalf("sets = %d, want 4 disconnected iterations", len(sets))
+	}
+}
+
+// randomDAGish builds a random graph with forward distance-0 edges and
+// random loop-carried edges (may contain recurrences).
+func randomDAGish(r *rand.Rand) *ddg.Graph {
+	g := ddg.New("rand")
+	n := 2 + r.Intn(18)
+	classes := []machine.OpClass{
+		machine.OpIAdd, machine.OpLoad, machine.OpFAdd, machine.OpFMul,
+	}
+	for i := 0; i < n; i++ {
+		g.AddNode("n", classes[r.Intn(len(classes))])
+	}
+	for i := 0; i < 2*n; i++ {
+		from, to := r.Intn(n), r.Intn(n)
+		dist := 0
+		if from >= to || r.Intn(4) == 0 {
+			dist = 1 + r.Intn(3)
+		}
+		g.AddTrueDep(from, to, dist)
+	}
+	return g
+}
+
+// randomDAG builds a purely acyclic random graph (no loop-carried edges).
+func randomDAG(r *rand.Rand) *ddg.Graph {
+	g := ddg.New("dag")
+	n := 2 + r.Intn(15)
+	for i := 0; i < n; i++ {
+		g.AddNode("n", machine.OpFAdd)
+	}
+	for i := 0; i < 2*n; i++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		g.AddTrueDep(a, b, 0)
+	}
+	return g
+}

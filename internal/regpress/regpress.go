@@ -1,0 +1,72 @@
+// Package regpress computes the register requirements (MaxLive) of
+// modulo-scheduled loops.  In a kernel of II cycles, a value live for
+// len cycles overlaps itself floor(len/II) times plus a partial interval,
+// so pressure at modulo slot s is the number of live-range instances
+// covering s.  The schedulers use MaxLive to discard cluster candidates
+// whose local register file would overflow (the paper generates no spill
+// code).
+package regpress
+
+// Lifetime is one value's live range in flat schedule time: the value is
+// live during [Start, End).  End must be >= Start; negative times are
+// allowed (modulo wraparound handles them).
+type Lifetime struct {
+	Start, End int
+}
+
+// Len returns the length of the lifetime in cycles.
+func (l Lifetime) Len() int { return l.End - l.Start }
+
+// MaxLive returns the maximum number of simultaneously live values over
+// the II modulo slots.  It is the minimum register count that can hold
+// all the lifetimes without spilling (assuming an ideal allocator).
+func MaxLive(lifetimes []Lifetime, ii int) int {
+	if ii < 1 {
+		panic("regpress: II must be >= 1")
+	}
+	pressure := Pressure(lifetimes, ii)
+	max := 0
+	for _, p := range pressure {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// Pressure returns the per-modulo-slot register pressure, a slice of II
+// entries.
+func Pressure(lifetimes []Lifetime, ii int) []int {
+	if ii < 1 {
+		panic("regpress: II must be >= 1")
+	}
+	slots := make([]int, ii)
+	for _, lt := range lifetimes {
+		n := lt.Len()
+		if n <= 0 {
+			continue
+		}
+		full := n / ii
+		rem := n % ii
+		if full > 0 {
+			for s := range slots {
+				slots[s] += full
+			}
+		}
+		if rem > 0 {
+			start := mod(lt.Start, ii)
+			for k := 0; k < rem; k++ {
+				slots[(start+k)%ii]++
+			}
+		}
+	}
+	return slots
+}
+
+func mod(x, m int) int {
+	r := x % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}

@@ -1,0 +1,161 @@
+package regpress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxLiveEmpty(t *testing.T) {
+	if got := MaxLive(nil, 4); got != 0 {
+		t.Errorf("MaxLive(nil) = %d, want 0", got)
+	}
+}
+
+func TestMaxLiveSingleShort(t *testing.T) {
+	// One value live 2 cycles in a 4-cycle kernel: pressure 1 at two slots.
+	p := Pressure([]Lifetime{{Start: 1, End: 3}}, 4)
+	want := []int{0, 1, 1, 0}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("Pressure = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestMaxLiveWraparound(t *testing.T) {
+	// Live [3,6) with II=4 wraps: slots 3, 0, 1.
+	p := Pressure([]Lifetime{{Start: 3, End: 6}}, 4)
+	want := []int{1, 1, 0, 1}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("Pressure = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestMaxLiveLongValueSelfOverlaps(t *testing.T) {
+	// A value live 9 cycles with II=4 overlaps itself: floor(9/4)=2
+	// everywhere plus 1 more on one slot.
+	if got := MaxLive([]Lifetime{{Start: 0, End: 9}}, 4); got != 3 {
+		t.Errorf("MaxLive = %d, want 3", got)
+	}
+	// Exactly II cycles: pressure 1 on every slot.
+	p := Pressure([]Lifetime{{Start: 2, End: 6}}, 4)
+	for i, v := range p {
+		if v != 1 {
+			t.Fatalf("slot %d pressure = %d, want 1 (%v)", i, v, p)
+		}
+	}
+}
+
+func TestMaxLiveNegativeStart(t *testing.T) {
+	// Negative flat times appear before schedules are normalised.
+	p := Pressure([]Lifetime{{Start: -3, End: -1}}, 4)
+	// -3 mod 4 = 1: slots 1 and 2.
+	want := []int{0, 1, 1, 0}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("Pressure = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestMaxLiveZeroAndEmptyLifetimes(t *testing.T) {
+	if got := MaxLive([]Lifetime{{Start: 5, End: 5}}, 3); got != 0 {
+		t.Errorf("empty lifetime: MaxLive = %d, want 0", got)
+	}
+}
+
+func TestMaxLiveAdditive(t *testing.T) {
+	lts := []Lifetime{{0, 2}, {1, 3}, {2, 4}}
+	// Slot pressures II=4: slot0:1({0,2}), slot1:2, slot2:2, slot3:1.
+	if got := MaxLive(lts, 4); got != 2 {
+		t.Errorf("MaxLive = %d, want 2", got)
+	}
+}
+
+func TestPressureSumProperty(t *testing.T) {
+	// Sum of slot pressures must equal the sum of lifetime lengths:
+	// every live cycle lands in exactly one slot.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ii := 1 + r.Intn(12)
+		n := r.Intn(20)
+		lts := make([]Lifetime, n)
+		total := 0
+		for i := range lts {
+			start := r.Intn(41) - 20
+			length := r.Intn(30)
+			lts[i] = Lifetime{Start: start, End: start + length}
+			total += length
+		}
+		sum := 0
+		for _, p := range Pressure(lts, ii) {
+			sum += p
+		}
+		return sum == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxLiveShiftInvariantProperty(t *testing.T) {
+	// Shifting all lifetimes by the same delta must not change MaxLive
+	// (the whole schedule shifting is a rotation of the kernel).
+	prop := func(seed int64, deltaRaw int8) bool {
+		r := rand.New(rand.NewSource(seed))
+		ii := 1 + r.Intn(9)
+		n := 1 + r.Intn(15)
+		lts := make([]Lifetime, n)
+		for i := range lts {
+			start := r.Intn(30) - 10
+			lts[i] = Lifetime{Start: start, End: start + r.Intn(25)}
+		}
+		delta := int(deltaRaw)
+		shifted := make([]Lifetime, n)
+		for i, lt := range lts {
+			shifted[i] = Lifetime{Start: lt.Start + delta, End: lt.End + delta}
+		}
+		return MaxLive(lts, ii) == MaxLive(shifted, ii)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxLiveBoundsProperty(t *testing.T) {
+	// MaxLive is bounded below by ceil(totalLiveCycles/II) (pigeonhole
+	// over the II slots) and above by the sum of per-lifetime
+	// self-overlap counts ceil(len/II).
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ii := 1 + r.Intn(10)
+		n := 1 + r.Intn(10)
+		lts := make([]Lifetime, n)
+		total, upper := 0, 0
+		for i := range lts {
+			start := r.Intn(20)
+			length := r.Intn(20)
+			lts[i] = Lifetime{Start: start, End: start + length}
+			total += length
+			upper += (length + ii - 1) / ii
+		}
+		m := MaxLive(lts, ii)
+		lower := (total + ii - 1) / ii
+		return m >= lower && m <= upper
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPressurePanicsOnBadII(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pressure with II=0 did not panic")
+		}
+	}()
+	Pressure(nil, 0)
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("Sample", "name", "value", "ratio")
+	t.AddRow("alpha", 12, 0.51234)
+	t.AddRow("beta-long-name", 3, 1.0)
+	t.Note = "a note"
+	return t
+}
+
+func TestStringAlignment(t *testing.T) {
+	out := sample().String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[0], "== Sample ==") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	// Header, separator and rows must share the same width.
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %v", lines)
+	}
+	w := len(lines[1])
+	for _, l := range lines[2:4] {
+		if len(l) != w {
+			t.Errorf("ragged table: %q (%d) vs header (%d)", l, len(l), w)
+		}
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Error("note missing")
+	}
+	if !strings.Contains(out, "0.512") {
+		t.Error("float not formatted with 3 decimals")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := sample().Markdown()
+	for _, want := range []string{
+		"### Sample",
+		"| name | value | ratio |",
+		"| --- | --- | --- |",
+		"| alpha | 12 | 0.512 |",
+		"*a note*",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := New("empty", "a")
+	if out := tab.String(); !strings.Contains(out, "a") {
+		t.Errorf("empty table broke rendering: %q", out)
+	}
+	if md := tab.Markdown(); !strings.Contains(md, "| a |") {
+		t.Errorf("empty markdown broke: %q", md)
+	}
+}
+
+func TestUntitledTableSkipsHeader(t *testing.T) {
+	tab := New("", "x")
+	tab.AddRow(1)
+	if strings.Contains(tab.String(), "==") {
+		t.Error("untitled table rendered a title bar")
+	}
+}

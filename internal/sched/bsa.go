@@ -1,0 +1,360 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/order"
+)
+
+// Policy selects how the scheduler chooses among feasible clusters.
+// PolicyProfit is the paper's heuristic; the others exist for the
+// ablation study (experiment A1).
+type Policy int
+
+// Cluster-selection policies.
+const (
+	// PolicyProfit ranks candidates by out-edge profit with the paper's
+	// tie-breaks (single candidate, pred/succ cluster, default cluster,
+	// minimum register requirements).
+	PolicyProfit Policy = iota
+	// PolicyRoundRobin ignores the profit and rotates through feasible
+	// clusters.
+	PolicyRoundRobin
+	// PolicyFirstFit always takes the lowest-numbered feasible cluster.
+	PolicyFirstFit
+)
+
+// Options tunes a scheduling run.  The zero value gives the paper's
+// algorithm.
+type Options struct {
+	// Order overrides the SMS node order (ablation A2).
+	Order []int
+	// Policy overrides cluster selection (ablation A1).
+	Policy Policy
+	// Assignment, when non-nil, fixes each node's cluster and turns the
+	// run into the scheduling phase of a two-phase scheme: the candidate
+	// set for node n is exactly {Assignment[n]}.
+	Assignment []int
+	// MaxII caps the initiation-interval search; 0 means an automatic
+	// bound (sequential-schedule length plus slack).
+	MaxII int
+	// ForceII, when positive, tries exactly that II and fails rather than
+	// incrementing.  Two-phase schemes use it so the restart (with a fresh
+	// cluster assignment) happens in their own driver loop.
+	ForceII int
+}
+
+// ScheduleGraph runs the basic scheduling algorithm (BSA) of the paper on g
+// for the machine cfg: unified assign-and-schedule following the SMS
+// order, increasing II and restarting whenever a node cannot be placed.
+// With cfg.NClusters == 1 it degenerates to plain SMS for the unified
+// machine.
+func ScheduleGraph(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Schedule, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("sched: %s: empty graph", g.Name)
+	}
+	if opts.Assignment != nil && len(opts.Assignment) != g.NumNodes() {
+		return nil, fmt.Errorf("sched: assignment length %d, want %d", len(opts.Assignment), g.NumNodes())
+	}
+
+	ord := opts.Order
+	if ord == nil {
+		ord = order.SMS(g)
+	}
+	if err := order.CheckPermutation(g, ord); err != nil {
+		return nil, err
+	}
+
+	minII := g.MinII(cfg)
+	maxII := opts.MaxII
+	if maxII == 0 {
+		maxII = minII + sequentialBound(g, cfg)
+	}
+	if opts.ForceII > 0 {
+		if opts.ForceII < minII {
+			return nil, &Error{Graph: g.Name, Machine: cfg.Name, MaxII: opts.ForceII,
+				Causes: map[FailCause]int{CauseFU: 1}, MinII: minII}
+		}
+		minII, maxII = opts.ForceII, opts.ForceII
+	}
+
+	causes := map[FailCause]int{}
+	lastFail := -1
+	fails := 0
+	for ii := minII; ii <= maxII; {
+		st := newState(g, cfg, ii)
+		cause, failNode := runAttempt(st, ord, opts)
+		if cause == CauseNone {
+			s := buildSchedule(st, *cfg)
+			s.MinII = minII
+			s.BusLimited = causes[CauseComm] > 0
+			s.Causes = causes
+			return s, nil
+		}
+		causes[cause]++
+		lastFail = failNode
+		fails++
+		// Dense stepping near MinII preserves schedule quality; after many
+		// consecutive failures the II grows geometrically so graphs that
+		// can never fit (e.g. register-impossible at any II) fail in
+		// O(log MaxII) attempts instead of sweeping the whole range.
+		if fails <= 16 {
+			ii++
+		} else {
+			ii += 1 + ii/4
+		}
+	}
+	return nil, &Error{Graph: g.Name, Machine: cfg.Name, MaxII: maxII, MinII: minII,
+		Causes: causes, LastNode: lastFail}
+}
+
+// sequentialBound returns an II safely large enough to schedule any loop:
+// issuing one operation at a time with full latencies and one bus
+// transfer per edge always fits.
+func sequentialBound(g *ddg.Graph, cfg *machine.Config) int {
+	sum := g.NumNodes()
+	for _, e := range g.Edges() {
+		sum += e.Latency
+	}
+	if cfg.Clustered() {
+		sum += cfg.BusLatency * (g.NumEdges() + 1)
+	}
+	return sum + 8
+}
+
+// debugSched enables failure dumps during development.
+var debugSched = false
+
+// candidate is one feasible (cluster, cycle, comm-plan) choice for a node.
+type candidate struct {
+	cluster int
+	res     tryResult
+	profit  int
+}
+
+// runAttempt schedules every node at the state's II, returning CauseNone
+// on success or the dominant failure cause plus the node that failed.
+func runAttempt(st *state, ord []int, opts *Options) (FailCause, int) {
+	defCluster := -1
+	rrCluster := -1
+	for _, n := range ord {
+		if !st.anyNeighborScheduled(n) {
+			defCluster = (defCluster + 1) % st.cfg.NClusters
+		}
+
+		var cands []candidate
+		worst := CauseFU
+		clusters := candidateClusters(st, n, opts)
+		for _, c := range clusters {
+			res, cause := st.try(n, c)
+			if cause == CauseNone {
+				cands = append(cands, candidate{cluster: c, res: res, profit: st.profit(n, c)})
+				continue
+			}
+			if cause > worst {
+				worst = cause
+			}
+		}
+		if len(cands) == 0 {
+			if debugSched {
+				w := st.windowOf(n)
+				live, fits := st.maxLiveFits()
+				fmt.Printf("DBG fail node %d (II=%d): window E=%d(%v,a%v) L=%d(%v,a%v) ncands=%d live=%v fits=%v\n",
+					n, st.ii, w.early, w.hasEarly, w.anchoredEarly, w.late, w.hasLate, w.anchoredLate, len(st.candidateCycles(w)), live, fits)
+				for id, ok := range st.placed {
+					if ok {
+						fmt.Printf("  placed %d @ t=%d c=%d\n", id, st.time[id], st.cluster[id])
+					}
+				}
+			}
+			return worst, n
+		}
+
+		var chosen candidate
+		switch opts.Policy {
+		case PolicyRoundRobin:
+			sort.Slice(cands, func(i, j int) bool { return cands[i].cluster < cands[j].cluster })
+			chosen = cands[0]
+			for _, c := range cands {
+				if c.cluster > rrCluster {
+					chosen = c
+					break
+				}
+			}
+			rrCluster = chosen.cluster
+		case PolicyFirstFit:
+			chosen = cands[0]
+			for _, c := range cands[1:] {
+				if c.cluster < chosen.cluster {
+					chosen = c
+				}
+			}
+		default:
+			chosen = chooseByProfit(st, n, preferHeadroom(st, cands), defCluster)
+		}
+		if debugSched {
+			w := st.windowOf(n)
+			fmt.Printf("DBG place node %d II=%d: E=%d(%v,a%v) L=%d(%v,a%v) -> c%d t=%d plan=%d\n",
+				n, st.ii, w.early, w.hasEarly, w.anchoredEarly, w.late, w.hasLate, w.anchoredLate,
+				chosen.cluster, chosen.res.cycle, len(chosen.res.plan))
+		}
+		st.commit(n, chosen.cluster, chosen.res)
+	}
+	return CauseNone, -1
+}
+
+// candidateClusters returns the clusters to try for node n.
+func candidateClusters(st *state, n int, opts *Options) []int {
+	if opts.Assignment != nil {
+		return []int{opts.Assignment[n]}
+	}
+	out := make([]int, st.cfg.NClusters)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// preferHeadroom drops candidates that would fill a cluster's register
+// file to the brim, as long as a roomier candidate exists.  Once a
+// cluster reaches its exact MaxLive capacity, nothing further can be
+// placed anywhere — even remote placements extend one of its lifetimes
+// through the bus-transfer hold — so a loop larger than one register
+// file would jam at every II.  This is BSA's analogue of Nystrom &
+// Eichenberger's warning about aggressively filled clusters.
+func preferHeadroom(st *state, cands []candidate) []candidate {
+	margin := st.cfg.RegsPerCluster / 8
+	if margin < 1 {
+		margin = 1
+	}
+	roomy := cands[:0:0]
+	for _, c := range cands {
+		if c.res.maxLive <= st.cfg.RegsPerCluster-margin {
+			roomy = append(roomy, c)
+		}
+	}
+	if len(roomy) == 0 {
+		return cands
+	}
+	return roomy
+}
+
+// chooseByProfit applies the paper's prioritised criteria (Figure 5,
+// steps 4-9): best profit; then the only candidate; then a cluster
+// holding a predecessor or successor of n; then the default cluster;
+// finally the candidate minimising register requirements.
+func chooseByProfit(st *state, n int, cands []candidate, defCluster int) candidate {
+	best := cands[0].profit
+	for _, c := range cands[1:] {
+		if c.profit > best {
+			best = c.profit
+		}
+	}
+	short := cands[:0:0]
+	for _, c := range cands {
+		if c.profit == best {
+			short = append(short, c)
+		}
+	}
+	if len(short) == 1 {
+		return short[0]
+	}
+	// Prefer the candidate with the most scheduled neighbours.
+	bestNb, nbCount := -1, 0
+	for i, c := range short {
+		if nb := st.neighborsIn(n, c.cluster); nb > nbCount {
+			bestNb, nbCount = i, nb
+		}
+	}
+	if bestNb >= 0 {
+		return short[bestNb]
+	}
+	for _, c := range short {
+		if c.cluster == defCluster {
+			return c
+		}
+	}
+	min := short[0]
+	for _, c := range short[1:] {
+		if c.res.maxLive < min.res.maxLive ||
+			(c.res.maxLive == min.res.maxLive && c.cluster < min.cluster) {
+			min = c
+		}
+	}
+	return min
+}
+
+// buildSchedule normalises the attempt into an immutable Schedule:
+// flat times are shifted so the earliest operation issues at cycle 0
+// (uniform shifts preserve all modulo distances), and FU indexes are
+// assigned within each (cluster, class, slot) group.
+func buildSchedule(st *state, cfg machine.Config) *Schedule {
+	min := 0
+	first := true
+	for id, ok := range st.placed {
+		if !ok {
+			continue
+		}
+		if first || st.time[id] < min {
+			min, first = st.time[id], false
+		}
+	}
+
+	s := &Schedule{
+		Graph:      st.g,
+		Cfg:        cfg,
+		II:         st.ii,
+		Placements: make([]Placement, st.g.NumNodes()),
+	}
+	for id := range st.placed {
+		s.Placements[id] = Placement{
+			Node:    id,
+			Cluster: st.cluster[id],
+			Cycle:   st.time[id] - min,
+		}
+	}
+	for _, t := range st.transfers {
+		t.Start -= min
+		s.Transfers = append(s.Transfers, t)
+	}
+
+	// Deterministic FU assignment inside each (cluster, class, slot).
+	type slotKey struct {
+		cluster int
+		class   machine.FUClass
+		slot    int
+	}
+	groups := map[slotKey][]int{}
+	for id := range s.Placements {
+		p := &s.Placements[id]
+		k := slotKey{p.Cluster, st.g.Node(id).Class.FU(), ((p.Cycle % st.ii) + st.ii) % st.ii}
+		groups[k] = append(groups[k], id)
+	}
+	for _, ids := range groups {
+		sort.Slice(ids, func(i, j int) bool {
+			if s.Placements[ids[i]].Cycle != s.Placements[ids[j]].Cycle {
+				return s.Placements[ids[i]].Cycle < s.Placements[ids[j]].Cycle
+			}
+			return ids[i] < ids[j]
+		})
+		for fu, id := range ids {
+			s.Placements[id].FU = fu
+		}
+	}
+	return s
+}
+
+// DebugSched toggles verbose failure dumps (development aid).
+func DebugSched(on bool) { debugSched = on }

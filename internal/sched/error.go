@@ -1,0 +1,31 @@
+package sched
+
+import "fmt"
+
+// Error reports a failed scheduling run with its failure-cause
+// histogram, letting drivers (the two-phase baseline, the selective
+// unroller) distinguish bus saturation from resource or register
+// exhaustion.
+type Error struct {
+	// Graph and Machine identify the failed run.
+	Graph, Machine string
+	// MinII is the lower bound that was attempted first.
+	MinII int
+	// MaxII is the last initiation interval attempted.
+	MaxII int
+	// Causes counts failed attempts by cause.
+	Causes map[FailCause]int
+	// LastNode is the node that failed in the final attempt (-1 if
+	// unknown).
+	LastNode int
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("sched: %s on %s: no schedule in II range [%d, %d] (causes: %v, last failing node %d)",
+		e.Graph, e.Machine, e.MinII, e.MaxII, e.Causes, e.LastNode)
+}
+
+// BusLimited reports whether any attempt failed because communications
+// could not be routed.
+func (e *Error) BusLimited() bool { return e.Causes[CauseComm] > 0 }

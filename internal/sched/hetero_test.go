@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// heteroConfig builds the non-homogeneous generalisation the paper's §3
+// mentions: cluster 0 is integer/memory-oriented, cluster 1 is a pure
+// floating-point engine with no integer units at all.
+func heteroConfig() machine.Config {
+	return machine.Config{
+		Name:           "hetero",
+		NClusters:      2,
+		RegsPerCluster: 32,
+		NBuses:         1,
+		BusLatency:     1,
+		Hetero: [][machine.NumFUClasses]int{
+			{2, 1, 2}, // cluster 0: 2 INT, 1 FP, 2 MEM
+			{0, 3, 1}, // cluster 1: 0 INT, 3 FP, 1 MEM
+		},
+	}
+}
+
+func TestHeteroConfigValidates(t *testing.T) {
+	cfg := heteroConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.TotalFUs(machine.FUFloat); got != 4 {
+		t.Errorf("total FP = %d, want 4", got)
+	}
+	if got := cfg.TotalFUs(machine.FUInteger); got != 2 {
+		t.Errorf("total INT = %d, want 2", got)
+	}
+	if got := cfg.ClusterIssueWidth(0); got != 5 {
+		t.Errorf("cluster 0 width = %d, want 5", got)
+	}
+	if got := cfg.ClusterIssueWidth(1); got != 4 {
+		t.Errorf("cluster 1 width = %d, want 4", got)
+	}
+	if got := cfg.TotalIssueWidth(); got != 9 {
+		t.Errorf("total width = %d, want 9", got)
+	}
+	// 5 + 4 FU fields plus IN/OUT per cluster.
+	if got := cfg.SlotsPerInstruction(); got != 13 {
+		t.Errorf("slots/instruction = %d, want 13", got)
+	}
+}
+
+func TestHeteroValidateRejectsBadShapes(t *testing.T) {
+	cfg := heteroConfig()
+	cfg.Hetero = cfg.Hetero[:1]
+	if err := cfg.Validate(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	cfg2 := heteroConfig()
+	cfg2.Hetero[1] = [machine.NumFUClasses]int{0, 0, 0}
+	if err := cfg2.Validate(); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	cfg3 := heteroConfig()
+	cfg3.Hetero[0][machine.FUInteger] = -1
+	if err := cfg3.Validate(); err == nil {
+		t.Error("negative FU count accepted")
+	}
+}
+
+func TestHeteroSchedulesRespectZeroCapacityClusters(t *testing.T) {
+	// Integer operations can only run on cluster 0.
+	cfg := heteroConfig()
+	g := ddg.New("mix")
+	a := g.AddNode("ia", machine.OpIAdd)
+	b := g.AddNode("ib", machine.OpIMul)
+	c := g.AddNode("fa", machine.OpFAdd)
+	d := g.AddNode("fb", machine.OpFMul)
+	g.AddTrueDep(a.ID, c.ID, 0)
+	g.AddTrueDep(b.ID, d.ID, 0)
+	s, err := ScheduleGraph(g, &cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{a.ID, b.ID} {
+		if s.ClusterOf(id) != 0 {
+			t.Errorf("integer op %d on cluster %d, want 0", id, s.ClusterOf(id))
+		}
+	}
+}
+
+func TestHeteroSamplesScheduleAndValidate(t *testing.T) {
+	cfg := heteroConfig()
+	for _, g := range []*ddg.Graph{
+		ddg.SampleDotProduct(), ddg.SampleStencil(), ddg.SampleChain(6),
+		ddg.SampleFigure7(), ddg.SampleStencil().Unroll(2),
+	} {
+		s, err := ScheduleGraph(g, &cfg, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if err := Validate(s); err != nil {
+			t.Fatalf("%s: %v\n%s", g.Name, err, s)
+		}
+		if s.II < s.MinII {
+			t.Errorf("%s: II %d < MinII %d", g.Name, s.II, s.MinII)
+		}
+	}
+}
+
+func TestHeteroResMIIUsesTotals(t *testing.T) {
+	cfg := heteroConfig()
+	// 8 FP multiplies over 4 total FP units: ResMII 2 even though the
+	// units are split 1/3 across the clusters.
+	g := ddg.SampleIndependent(8)
+	if got := g.ResMII(&cfg); got != 2 {
+		t.Errorf("ResMII = %d, want 2", got)
+	}
+	// An all-integer body is bound by cluster 0's two units alone.
+	g2 := ddg.New("ints")
+	for i := 0; i < 6; i++ {
+		g2.AddNode("i", machine.OpIAdd)
+	}
+	if got := g2.ResMII(&cfg); got != 3 {
+		t.Errorf("integer ResMII = %d, want 3 (6 ops / 2 units)", got)
+	}
+}
+
+func TestHeteroMinIIAchieved(t *testing.T) {
+	// The FP engine must absorb FP work beyond cluster 0's single unit:
+	// 8 independent multiplies need both clusters to reach II=2.
+	cfg := heteroConfig()
+	g := ddg.SampleIndependent(8)
+	s, err := ScheduleGraph(g, &cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.II != 2 {
+		t.Errorf("II = %d, want 2", s.II)
+	}
+	byCluster := map[int]int{}
+	for _, p := range s.Placements {
+		byCluster[p.Cluster]++
+	}
+	if byCluster[0] != 2 || byCluster[1] != 6 {
+		t.Errorf("split %v, want 2 on c0 and 6 on c1 (capacity-proportional)", byCluster)
+	}
+}

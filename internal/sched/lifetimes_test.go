@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/regpress"
+)
+
+// Lifetimes() drives every register-pressure decision; these tests pin
+// its exact intervals on hand-built schedules.
+
+func TestLifetimesLocalValue(t *testing.T) {
+	g := ddg.New("l")
+	p := g.AddNode("p", machine.OpLoad) // lat 2
+	c := g.AddNode("c", machine.OpFAdd)
+	g.AddTrueDep(p.ID, c.ID, 0)
+	s := &Schedule{
+		Graph: g, Cfg: machine.TwoCluster(1, 1), II: 2,
+		Placements: []Placement{
+			{Node: 0, Cluster: 0, Cycle: 0},
+			{Node: 1, Cluster: 0, Cycle: 4},
+		},
+	}
+	lts := s.Lifetimes()
+	// p lives from issue to its read (+1): [0, 5). c unused: [4, 5).
+	want := []regpress.Lifetime{{Start: 0, End: 5}, {Start: 4, End: 5}}
+	if len(lts[0]) != 2 {
+		t.Fatalf("cluster 0 lifetimes = %v", lts[0])
+	}
+	for i, w := range want {
+		if lts[0][i] != w {
+			t.Errorf("lifetime %d = %v, want %v", i, lts[0][i], w)
+		}
+	}
+	if len(lts[1]) != 0 {
+		t.Errorf("cluster 1 lifetimes = %v, want none", lts[1])
+	}
+}
+
+func TestLifetimesLoopCarriedStretch(t *testing.T) {
+	// A distance-2 consumer reads the instance two iterations later:
+	// flat read time = t(consumer) + 2*II.
+	g := ddg.New("lc")
+	p := g.AddNode("p", machine.OpFAdd) // lat 3
+	c := g.AddNode("c", machine.OpFAdd)
+	g.AddTrueDep(p.ID, c.ID, 2)
+	s := &Schedule{
+		Graph: g, Cfg: machine.Unified(), II: 3,
+		Placements: []Placement{
+			{Node: 0, Cluster: 0, Cycle: 0},
+			{Node: 1, Cluster: 0, Cycle: 0}, // legal: 0 + 2*3 >= 0+3
+		},
+	}
+	lts := s.Lifetimes()
+	// p: [0, 0+2*3+1) = [0, 7).
+	if lts[0][0] != (regpress.Lifetime{Start: 0, End: 7}) {
+		t.Errorf("carried lifetime = %v, want [0,7)", lts[0][0])
+	}
+}
+
+func TestLifetimesTransferSplitsOwnership(t *testing.T) {
+	// Producer on c0, consumer on c1, transfer at start 2 (latency 1):
+	// producer-side hold until the bus reads it, consumer-side from
+	// arrival to the read.
+	g := ddg.New("x")
+	p := g.AddNode("p", machine.OpLoad) // lat 2
+	c := g.AddNode("c", machine.OpFAdd)
+	g.AddTrueDep(p.ID, c.ID, 0)
+	s := &Schedule{
+		Graph: g, Cfg: machine.TwoCluster(1, 1), II: 8,
+		Placements: []Placement{
+			{Node: 0, Cluster: 0, Cycle: 0},
+			{Node: 1, Cluster: 1, Cycle: 5},
+		},
+		Transfers: []Transfer{{Producer: 0, From: 0, To: 1, Bus: 0, Start: 2}},
+	}
+	lts := s.Lifetimes()
+	// Producer cluster: [0, 3) — issue to bus start + 1.
+	if lts[0][0] != (regpress.Lifetime{Start: 0, End: 3}) {
+		t.Errorf("producer-side = %v, want [0,3)", lts[0][0])
+	}
+	// Consumer cluster: the arrived value [3, 6) — arrival to read + 1 —
+	// plus the consumer's own produced value [5, 6).
+	want := []regpress.Lifetime{{Start: 3, End: 6}, {Start: 5, End: 6}}
+	if len(lts[1]) != 2 || lts[1][0] != want[0] || lts[1][1] != want[1] {
+		t.Errorf("consumer-side = %v, want %v", lts[1], want)
+	}
+}
+
+func TestLifetimesIRVDirectConsumptionNeedsNoRegister(t *testing.T) {
+	// Consumer issues exactly at arrival: the value feeds the FU from
+	// the incoming-value register; no consumer-side lifetime.
+	g := ddg.New("irv")
+	p := g.AddNode("p", machine.OpLoad)
+	c := g.AddNode("c", machine.OpFAdd)
+	g.AddTrueDep(p.ID, c.ID, 0)
+	s := &Schedule{
+		Graph: g, Cfg: machine.TwoCluster(1, 1), II: 8,
+		Placements: []Placement{
+			{Node: 0, Cluster: 0, Cycle: 0},
+			{Node: 1, Cluster: 1, Cycle: 3}, // == arrival (2 + 1)
+		},
+		Transfers: []Transfer{{Producer: 0, From: 0, To: 1, Bus: 0, Start: 2}},
+	}
+	lts := s.Lifetimes()
+	// Only the consumer's own result remains: the arriving operand was
+	// consumed straight from the IRV.
+	if len(lts[1]) != 1 || lts[1][0] != (regpress.Lifetime{Start: 3, End: 4}) {
+		t.Errorf("consumer-side lifetimes = %v, want only c's own value [3,4)", lts[1])
+	}
+}
+
+func TestLifetimesStoreProducesNone(t *testing.T) {
+	g := ddg.New("st")
+	p := g.AddNode("p", machine.OpLoad)
+	st := g.AddNode("s", machine.OpStore)
+	g.AddTrueDep(p.ID, st.ID, 0)
+	s := &Schedule{
+		Graph: g, Cfg: machine.Unified(), II: 2,
+		Placements: []Placement{
+			{Node: 0, Cluster: 0, Cycle: 0},
+			{Node: 1, Cluster: 0, Cycle: 2},
+		},
+	}
+	lts := s.Lifetimes()
+	if len(lts[0]) != 1 { // only the load's value
+		t.Errorf("lifetimes = %v, want just the load", lts[0])
+	}
+}
+
+func TestMaxLiveMatchesManualComputation(t *testing.T) {
+	g := ddg.New("ml")
+	p := g.AddNode("p", machine.OpLoad) // lat 2
+	c := g.AddNode("c", machine.OpFAdd)
+	g.AddTrueDep(p.ID, c.ID, 0)
+	s := &Schedule{
+		Graph: g, Cfg: machine.TwoCluster(1, 1), II: 2,
+		Placements: []Placement{
+			{Node: 0, Cluster: 0, Cycle: 0},
+			{Node: 1, Cluster: 0, Cycle: 4},
+		},
+	}
+	// p: [0,5) -> ceil(5/2) = 3 overlapping instances at the peak;
+	// c: [4,5) adds 1 at slot 0.
+	live := s.MaxLive()
+	if live[0] != 4 {
+		t.Errorf("MaxLive = %v, want [4 0]", live)
+	}
+	if live[1] != 0 {
+		t.Errorf("cluster 1 MaxLive = %d, want 0", live[1])
+	}
+}

@@ -1,0 +1,97 @@
+package sched
+
+import "repro/internal/machine"
+
+// mrt is the modulo reservation table: per-cluster functional-unit
+// occupancy counters plus per-bus busy bitmaps, all indexed by kernel
+// slot (cycle mod II).  Buses are resources exactly like FUs (paper §3),
+// except a transfer holds its bus for BusLatency consecutive slots.
+type mrt struct {
+	ii  int
+	cfg *machine.Config
+	// fu[cluster][class][slot] = number of operations issued.
+	fu [][machine.NumFUClasses][]int
+	// bus[b][slot] = true when bus b is driving a value.
+	bus [][]bool
+}
+
+func newMRT(cfg *machine.Config, ii int) *mrt {
+	m := &mrt{ii: ii, cfg: cfg}
+	m.fu = make([][machine.NumFUClasses][]int, cfg.NClusters)
+	for c := range m.fu {
+		for class := range m.fu[c] {
+			m.fu[c][class] = make([]int, ii)
+		}
+	}
+	m.bus = make([][]bool, cfg.NBuses)
+	for b := range m.bus {
+		m.bus[b] = make([]bool, ii)
+	}
+	return m
+}
+
+func (m *mrt) slot(cycle int) int {
+	s := cycle % m.ii
+	if s < 0 {
+		s += m.ii
+	}
+	return s
+}
+
+// fuFree reports whether cluster c has a free unit of the class at the
+// given flat cycle.
+func (m *mrt) fuFree(c int, class machine.FUClass, cycle int) bool {
+	return m.fu[c][class][m.slot(cycle)] < m.cfg.FUs(c, class)
+}
+
+func (m *mrt) reserveFU(c int, class machine.FUClass, cycle int) {
+	s := m.slot(cycle)
+	if m.fu[c][class][s] >= m.cfg.FUs(c, class) {
+		panic("sched: FU overbooked")
+	}
+	m.fu[c][class][s]++
+}
+
+func (m *mrt) releaseFU(c int, class machine.FUClass, cycle int) {
+	s := m.slot(cycle)
+	if m.fu[c][class][s] == 0 {
+		panic("sched: FU release underflow")
+	}
+	m.fu[c][class][s]--
+}
+
+// busFree reports whether bus b can carry a transfer starting at the
+// flat cycle: BusLatency consecutive modulo slots must be idle.  A
+// latency exceeding the II can never fit — each kernel iteration issues
+// its own instance and they would overlap on the wire.
+func (m *mrt) busFree(b, start int) bool {
+	if m.cfg.BusLatency > m.ii {
+		return false
+	}
+	for k := 0; k < m.cfg.BusLatency; k++ {
+		if m.bus[b][m.slot(start+k)] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *mrt) reserveBus(b, start int) {
+	for k := 0; k < m.cfg.BusLatency; k++ {
+		s := m.slot(start + k)
+		if m.bus[b][s] {
+			panic("sched: bus overbooked")
+		}
+		m.bus[b][s] = true
+	}
+}
+
+func (m *mrt) releaseBus(b, start int) {
+	for k := 0; k < m.cfg.BusLatency; k++ {
+		s := m.slot(start + k)
+		if !m.bus[b][s] {
+			panic("sched: bus release underflow")
+		}
+		m.bus[b][s] = false
+	}
+}

@@ -1,0 +1,503 @@
+package sched
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/regpress"
+)
+
+// state is one in-progress scheduling attempt at a fixed II.
+type state struct {
+	g   *ddg.Graph
+	cfg *machine.Config
+	ii  int
+	res *mrt
+
+	placed  []bool
+	time    []int // flat cycle, valid when placed
+	cluster []int // cluster, valid when placed
+
+	transfers []Transfer
+	// byProdTo indexes committed transfers by (producer, destination
+	// cluster) for reuse: one bus write can serve every later consumer in
+	// that cluster (the value is latched and stored locally).
+	byProdTo map[[2]int][]int
+}
+
+func newState(g *ddg.Graph, cfg *machine.Config, ii int) *state {
+	n := g.NumNodes()
+	st := &state{
+		g: g, cfg: cfg, ii: ii,
+		res:      newMRT(cfg, ii),
+		placed:   make([]bool, n),
+		time:     make([]int, n),
+		cluster:  make([]int, n),
+		byProdTo: make(map[[2]int][]int),
+	}
+	for i := range st.cluster {
+		st.cluster[i] = -1
+	}
+	return st
+}
+
+// window is the legal cycle range for a node derived from its already
+// scheduled neighbours.  anchored{Early,Late} report whether a
+// distance-0 neighbour contributed: purely loop-carried bounds include a
+// -II*distance term that slides with every II retry, so they constrain
+// but should not *anchor* the scan start (a node tied to the rest of the
+// schedule only across iterations is placed near the fresh-subgraph base
+// instead of II*distance cycles away).
+type window struct {
+	early, late                 int
+	hasEarly, hasLate           bool
+	anchoredEarly, anchoredLate bool
+}
+
+func (st *state) windowOf(n int) window {
+	var w window
+	for _, e := range st.g.InEdges(n) {
+		if !st.placed[e.From] || e.From == n {
+			continue
+		}
+		t := st.time[e.From] + e.Latency - st.ii*e.Distance
+		if !w.hasEarly || t > w.early {
+			w.early, w.hasEarly = t, true
+		}
+		if e.Distance == 0 {
+			w.anchoredEarly = true
+		}
+	}
+	for _, e := range st.g.OutEdges(n) {
+		if !st.placed[e.To] || e.To == n {
+			continue
+		}
+		t := st.time[e.To] - e.Latency + st.ii*e.Distance
+		if !w.hasLate || t < w.late {
+			w.late, w.hasLate = t, true
+		}
+		if e.Distance == 0 {
+			w.anchoredLate = true
+		}
+	}
+	return w
+}
+
+// candidateCycles lists the cycles to try for a node, in preference
+// order, following SMS: forward from the earliest start when
+// predecessors dominate, backward from the latest when successors do,
+// the intersection when both exist, and a fresh [0, II) scan otherwise.
+//
+// On clustered machines the one-sided scans extend beyond one II window:
+// moving an operation a whole II later (or earlier) revisits the same
+// reservation slot but gives its communications more slack, letting the
+// SC grow instead of the II — the paper's §4 observation that
+// "communication operations may increase the length of the schedule, and
+// therefore the SC may be increased".  Bus patterns repeat with period
+// II, so II+BusLatency extra cycles exhaust every distinct possibility.
+func (st *state) candidateCycles(w window) []int {
+	span := st.ii
+	if st.cfg.Clustered() {
+		span += st.ii + st.cfg.BusLatency
+	}
+	var out []int
+	switch {
+	case w.hasEarly && !w.hasLate:
+		start := w.early
+		if !w.anchoredEarly && start < 0 {
+			start = 0 // loop-carried-only bound: stay near the base
+		}
+		for t := start; t < start+span; t++ {
+			out = append(out, t)
+		}
+	case !w.hasEarly && w.hasLate:
+		start := w.late
+		if !w.anchoredLate && start > st.ii-1 {
+			start = st.ii - 1
+		}
+		for t := start; t > start-span; t-- {
+			out = append(out, t)
+		}
+	case w.hasEarly && w.hasLate:
+		if !w.anchoredEarly && w.anchoredLate {
+			// The node's only same-iteration tie is to its successors:
+			// approach them from the latest legal cycle downward instead of
+			// drifting II*distance cycles early.
+			lo := w.early
+			if m := w.late - st.ii + 1; m > lo {
+				lo = m
+			}
+			for t := w.late; t >= lo; t-- {
+				out = append(out, t)
+			}
+			break
+		}
+		lo := w.early
+		if !w.anchoredEarly && !w.anchoredLate && lo < 0 && w.late >= 0 {
+			lo = 0 // both bounds loop-carried: stay near the base
+		}
+		hi := w.late
+		if m := lo + st.ii - 1; m < hi {
+			hi = m
+		}
+		for t := lo; t <= hi; t++ {
+			out = append(out, t)
+		}
+	default:
+		for t := 0; t < st.ii; t++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// plannedComm is one bus reservation made while trying a placement.
+type plannedComm struct {
+	producer, from, to int
+	bus, start         int
+}
+
+// commNeed describes one transfer that a tentative placement requires:
+// producer's value must reach cluster `to`, leaving no earlier than
+// `release` and arriving no later than `deadline`.
+type commNeed struct {
+	producer, from, to int
+	release, deadline  int // transfer start range: [release, deadline-BusLatency]
+}
+
+// commNeeds collects the transfers required to place node n on cluster c
+// at flat cycle t, deduplicated against committed transfers that already
+// satisfy the timing.  It returns false when a dependence crosses
+// clusters but no transfer could ever satisfy it (empty time range
+// excluded; that is detected later during bus search).
+func (st *state) commNeeds(n, c, t int) []commNeed {
+	needs := make(map[[2]int]*commNeed)
+
+	// Incoming values: scheduled producers in other clusters.
+	for _, e := range st.g.InEdges(n) {
+		if e.Kind != ddg.DepTrue || !st.placed[e.From] || e.From == n {
+			continue
+		}
+		pc := st.cluster[e.From]
+		if pc == c {
+			continue
+		}
+		deadline := t + st.ii*e.Distance
+		release := st.time[e.From] + e.Latency
+		st.mergeNeed(needs, [2]int{e.From, c}, commNeed{
+			producer: e.From, from: pc, to: c, release: release, deadline: deadline,
+		})
+	}
+	// Outgoing values: scheduled consumers in other clusters.
+	if st.g.Node(n).Class.ProducesValue() {
+		for _, e := range st.g.OutEdges(n) {
+			if e.Kind != ddg.DepTrue || !st.placed[e.To] || e.To == n {
+				continue
+			}
+			mc := st.cluster[e.To]
+			if mc == c {
+				continue
+			}
+			deadline := st.time[e.To] + st.ii*e.Distance
+			release := t + e.Latency
+			st.mergeNeed(needs, [2]int{n, mc}, commNeed{
+				producer: n, from: c, to: mc, release: release, deadline: deadline,
+			})
+		}
+	}
+
+	out := make([]commNeed, 0, len(needs))
+	for _, need := range needs {
+		// A committed transfer already covering the deadline serves all
+		// consumers of this value in that cluster.
+		if st.satisfiedByExisting(need) {
+			continue
+		}
+		out = append(out, *need)
+	}
+	return out
+}
+
+// mergeNeed tightens an existing need (same value, same destination):
+// the single transfer must satisfy the earliest deadline and the latest
+// release.
+func (st *state) mergeNeed(m map[[2]int]*commNeed, k [2]int, need commNeed) {
+	if cur, ok := m[k]; ok {
+		if need.deadline < cur.deadline {
+			cur.deadline = need.deadline
+		}
+		if need.release > cur.release {
+			cur.release = need.release
+		}
+		return
+	}
+	n := need
+	m[k] = &n
+}
+
+func (st *state) satisfiedByExisting(need *commNeed) bool {
+	for _, idx := range st.byProdTo[[2]int{need.producer, need.to}] {
+		tr := st.transfers[idx]
+		if tr.Start >= need.release && tr.Start+st.cfg.BusLatency <= need.deadline {
+			return true
+		}
+	}
+	return false
+}
+
+// planComms reserves buses for every need, first-fit earliest-start.
+// On failure it releases everything it reserved and returns false.
+func (st *state) planComms(needs []commNeed) ([]plannedComm, bool) {
+	var plan []plannedComm
+	for _, need := range needs {
+		pc, ok := st.planOne(need)
+		if !ok {
+			st.releasePlan(plan)
+			return nil, false
+		}
+		plan = append(plan, pc)
+	}
+	return plan, true
+}
+
+func (st *state) planOne(need commNeed) (plannedComm, bool) {
+	lastStart := need.deadline - st.cfg.BusLatency
+	if lastStart < need.release {
+		return plannedComm{}, false
+	}
+	// Bus occupancy repeats modulo II: scanning II distinct starts covers
+	// every pattern; the earliest feasible start minimises the producer-
+	// side register hold.
+	hi := lastStart
+	if m := need.release + st.ii - 1; m < hi {
+		hi = m
+	}
+	for s := need.release; s <= hi; s++ {
+		for b := 0; b < st.cfg.NBuses; b++ {
+			if st.res.busFree(b, s) {
+				st.res.reserveBus(b, s)
+				return plannedComm{
+					producer: need.producer, from: need.from, to: need.to,
+					bus: b, start: s,
+				}, true
+			}
+		}
+	}
+	return plannedComm{}, false
+}
+
+func (st *state) releasePlan(plan []plannedComm) {
+	for _, pc := range plan {
+		st.res.releaseBus(pc.bus, pc.start)
+	}
+}
+
+// place commits node n at (cluster c, cycle t) with its communication
+// plan.  The bus slots in plan are already reserved by planComms.
+func (st *state) place(n, c, t int, plan []plannedComm) {
+	st.res.reserveFU(c, st.g.Node(n).Class.FU(), t)
+	st.placed[n] = true
+	st.time[n] = t
+	st.cluster[n] = c
+	for _, pc := range plan {
+		idx := len(st.transfers)
+		st.transfers = append(st.transfers, Transfer{
+			Producer: pc.producer, From: pc.from, To: pc.to, Bus: pc.bus, Start: pc.start,
+		})
+		k := [2]int{pc.producer, pc.to}
+		st.byProdTo[k] = append(st.byProdTo[k], idx)
+	}
+}
+
+// unplace exactly reverses place (transfers are at the tail).
+func (st *state) unplace(n int, plan []plannedComm) {
+	st.res.releaseFU(st.cluster[n], st.g.Node(n).Class.FU(), st.time[n])
+	st.placed[n] = false
+	st.cluster[n] = -1
+	for range plan {
+		idx := len(st.transfers) - 1
+		tr := st.transfers[idx]
+		k := [2]int{tr.Producer, tr.To}
+		lst := st.byProdTo[k]
+		st.byProdTo[k] = lst[:len(lst)-1]
+		st.res.releaseBus(tr.Bus, tr.Start)
+		st.transfers = st.transfers[:idx]
+	}
+}
+
+// tryResult is a feasible placement found by try.
+type tryResult struct {
+	cycle   int
+	plan    []plannedComm
+	maxLive int // resulting MaxLive of the candidate cluster
+}
+
+// try searches for a feasible (cycle, comm plan) for node n on cluster
+// c, leaving the state untouched.  reached reports how far the search
+// got, for failure diagnosis: CauseFU if no cycle had a free unit,
+// CauseComm if communications never fit, CauseReg if only the register
+// check failed.
+func (st *state) try(n, c int) (tryResult, FailCause) {
+	w := st.windowOf(n)
+	class := st.g.Node(n).Class.FU()
+	reached := CauseFU
+	for _, t := range st.candidateCycles(w) {
+		if !st.res.fuFree(c, class, t) {
+			continue
+		}
+		needs := st.commNeeds(n, c, t)
+		plan, ok := st.planComms(needs)
+		if !ok {
+			if reached == CauseFU {
+				reached = CauseComm
+			}
+			continue
+		}
+		// Register check on the hypothetical state.
+		st.place(n, c, t, plan)
+		liveAll, fits := st.maxLiveFits()
+		if fits {
+			live := liveAll[c]
+			st.unplace(n, plan)
+			// Bus slots were released by unplace; the caller re-applies the
+			// plan on commit.
+			return tryResult{cycle: t, plan: plan, maxLive: live}, CauseNone
+		}
+		st.unplace(n, plan)
+		reached = CauseReg
+	}
+	return tryResult{}, reached
+}
+
+// commit re-applies a placement previously found by try.  Nothing
+// changed in between, so the identical reservations must succeed.
+func (st *state) commit(n, c int, r tryResult) {
+	for i, pc := range r.plan {
+		if !st.res.busFree(pc.bus, pc.start) {
+			panic("sched: committed transfer no longer fits")
+		}
+		st.res.reserveBus(pc.bus, pc.start)
+		_ = i
+	}
+	st.place(n, c, r.cycle, r.plan)
+}
+
+// maxLiveFits computes each cluster's MaxLive over placed values and
+// committed transfers and checks them against the register files.
+func (st *state) maxLiveFits() ([]int, bool) {
+	lts := make([][]regpress.Lifetime, st.cfg.NClusters)
+	byProd := make(map[int][]Transfer)
+	for _, t := range st.transfers {
+		byProd[t.Producer] = append(byProd[t.Producer], t)
+	}
+	for _, node := range st.g.Nodes() {
+		if !st.placed[node.ID] || !node.Class.ProducesValue() {
+			continue
+		}
+		pc, pt := st.cluster[node.ID], st.time[node.ID]
+		end := pt + 1
+		for _, e := range st.g.OutEdges(node.ID) {
+			if e.Kind != ddg.DepTrue || !st.placed[e.To] {
+				continue
+			}
+			if st.cluster[e.To] != pc {
+				continue
+			}
+			if r := st.time[e.To] + st.ii*e.Distance + 1; r > end {
+				end = r
+			}
+		}
+		for _, tr := range byProd[node.ID] {
+			if r := tr.Start + 1; r > end {
+				end = r
+			}
+		}
+		lts[pc] = append(lts[pc], regpress.Lifetime{Start: pt, End: end})
+
+		for _, tr := range byProd[node.ID] {
+			arrival := tr.Start + st.cfg.BusLatency
+			last := arrival
+			for _, e := range st.g.OutEdges(node.ID) {
+				if e.Kind != ddg.DepTrue || !st.placed[e.To] {
+					continue
+				}
+				if st.cluster[e.To] != tr.To {
+					continue
+				}
+				read := st.time[e.To] + st.ii*e.Distance
+				if read >= arrival && read+1 > last {
+					last = read + 1
+				}
+			}
+			if last > arrival+1 {
+				lts[tr.To] = append(lts[tr.To], regpress.Lifetime{Start: arrival, End: last})
+			}
+		}
+	}
+	out := make([]int, st.cfg.NClusters)
+	ok := true
+	for c := range lts {
+		out[c] = regpress.MaxLive(lts[c], st.ii)
+		if out[c] > st.cfg.RegsPerCluster {
+			ok = false
+		}
+	}
+	return out, ok
+}
+
+// profit implements the paper's cluster-selection metric: the change in
+// cluster c's outgoing true-dependence edges if n joined it.  Edges from
+// c's members into n become internal (+1 each); n's own out-edges to
+// nodes outside c leak (-1 each; unscheduled consumers count as outside,
+// exactly as in Figure 5 where tmpoutedges counts edges "to the rest of
+// nodes").
+func (st *state) profit(n, c int) int {
+	p := 0
+	for _, e := range st.g.InEdges(n) {
+		if e.Kind == ddg.DepTrue && e.From != n && st.placed[e.From] && st.cluster[e.From] == c {
+			p++
+		}
+	}
+	for _, e := range st.g.OutEdges(n) {
+		if e.Kind != ddg.DepTrue || e.To == n {
+			continue
+		}
+		if !(st.placed[e.To] && st.cluster[e.To] == c) {
+			p--
+		}
+	}
+	return p
+}
+
+// neighborsIn counts n's scheduled predecessors and successors living in
+// cluster c (tie-break (7) of the selection heuristics).
+func (st *state) neighborsIn(n, c int) int {
+	count := 0
+	for _, v := range st.g.Preds(n) {
+		if v != n && st.placed[v] && st.cluster[v] == c {
+			count++
+		}
+	}
+	for _, v := range st.g.Succs(n) {
+		if v != n && st.placed[v] && st.cluster[v] == c {
+			count++
+		}
+	}
+	return count
+}
+
+// anyNeighborScheduled reports whether any predecessor or successor of n
+// is already placed — when none is, n starts a new subgraph and the
+// default cluster advances (Figure 5, step 2).
+func (st *state) anyNeighborScheduled(n int) bool {
+	for _, v := range st.g.Preds(n) {
+		if v != n && st.placed[v] {
+			return true
+		}
+	}
+	for _, v := range st.g.Succs(n) {
+		if v != n && st.placed[v] {
+			return true
+		}
+	}
+	return false
+}

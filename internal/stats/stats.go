@@ -1,0 +1,70 @@
+// Package stats aggregates per-loop scheduling outcomes into the IPC
+// figures the paper reports: committed useful operations divided by
+// total cycles, with prologue, kernel, epilogue, per-loop trip counts
+// and per-loop invocation weights all accounted (paper §6.2).
+package stats
+
+import "math"
+
+// Accum accumulates executed operations and cycles.
+type Accum struct {
+	Ops    int64
+	Cycles int64
+}
+
+// Add folds one execution into the accumulator.
+func (a *Accum) Add(ops, cycles int64) {
+	a.Ops += ops
+	a.Cycles += cycles
+}
+
+// Merge folds another accumulator in.
+func (a *Accum) Merge(b Accum) {
+	a.Ops += b.Ops
+	a.Cycles += b.Cycles
+}
+
+// IPC returns operations per cycle (0 when empty).
+func (a Accum) IPC() float64 {
+	if a.Cycles == 0 {
+		return 0
+	}
+	return float64(a.Ops) / float64(a.Cycles)
+}
+
+// Relative returns this accumulator's IPC as a fraction of the
+// baseline's (the paper's "relative IPC").
+func (a Accum) Relative(base Accum) float64 {
+	b := base.IPC()
+	if b == 0 {
+		return 0
+	}
+	return a.IPC() / b
+}
+
+// Mean returns the arithmetic mean of the values (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of the (positive) values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumIPC(t *testing.T) {
+	var a Accum
+	if a.IPC() != 0 {
+		t.Errorf("empty IPC = %v, want 0", a.IPC())
+	}
+	a.Add(120, 40)
+	if got := a.IPC(); got != 3.0 {
+		t.Errorf("IPC = %v, want 3", got)
+	}
+	a.Add(80, 60) // total 200 ops / 100 cycles
+	if got := a.IPC(); got != 2.0 {
+		t.Errorf("IPC = %v, want 2", got)
+	}
+}
+
+func TestAccumMerge(t *testing.T) {
+	var a, b Accum
+	a.Add(10, 5)
+	b.Add(30, 15)
+	a.Merge(b)
+	if a.Ops != 40 || a.Cycles != 20 {
+		t.Errorf("merged = %+v", a)
+	}
+}
+
+func TestRelative(t *testing.T) {
+	var clustered, unified Accum
+	clustered.Add(100, 50) // IPC 2
+	unified.Add(100, 25)   // IPC 4
+	if got := clustered.Relative(unified); got != 0.5 {
+		t.Errorf("Relative = %v, want 0.5", got)
+	}
+	var empty Accum
+	if got := clustered.Relative(empty); got != 0 {
+		t.Errorf("Relative to empty = %v, want 0", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{1, 0, 3}); got != 0 {
+		t.Errorf("GeoMean with zero = %v, want 0", got)
+	}
+}
+
+func TestMeanBoundsGeoMeanProperty(t *testing.T) {
+	// AM >= GM for positive inputs.
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+		}
+		return Mean(xs)+1e-9 >= GeoMean(xs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumAdditivityProperty(t *testing.T) {
+	// Merging accumulators equals accumulating everything in one.
+	prop := func(ops1, cyc1, ops2, cyc2 uint16) bool {
+		var a, b, all Accum
+		a.Add(int64(ops1), int64(cyc1))
+		b.Add(int64(ops2), int64(cyc2))
+		all.Add(int64(ops1), int64(cyc1))
+		all.Add(int64(ops2), int64(cyc2))
+		a.Merge(b)
+		return a == all
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package timing estimates cycle times for the paper's configurations
+// with a Palacharla-style delay model (Complexity-Effective Superscalar
+// Processors, ISCA 1997) at the paper's 0.18 µm technology point.  The
+// paper's Table 2 derives each configuration's cycle time as
+//
+//	cycle = max(bypass delay, register file access time)
+//
+// where the bypass network grows quadratically with the functional units
+// it spans (wire length across all result buses) and the register file
+// grows with its size and quadratically with its port count (each port
+// widens every cell, lengthening word and bit lines in both dimensions).
+//
+// The paper's own table is unreadable in the source scan, so the
+// coefficients below are fitted to the published anchor points instead:
+// a 12-FU unified machine is bypass/RF bound several times slower than a
+// 3-FU cluster, such that the 4-cluster/1-bus machine ends up ~3.6x
+// faster at IPC parity (the paper's headline).  Only ratios matter for
+// Figure 9; absolute picoseconds are indicative.
+package timing
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Model holds the fitted delay coefficients (picoseconds at 0.18 µm).
+type Model struct {
+	// BypassPerFU2 scales the quadratic bypass term: t = BypassPerFU2 * nFU².
+	BypassPerFU2 float64
+	// RFBase is the register file's fixed overhead (decoder, sense amps).
+	RFBase float64
+	// RFPerReg scales the linear bit-line term.
+	RFPerReg float64
+	// RFPerPort2 scales the quadratic port term.
+	RFPerPort2 float64
+}
+
+// DefaultModel returns the calibrated 0.18 µm model used by Table 2 and
+// Figure 9.
+func DefaultModel() Model {
+	return Model{
+		BypassPerFU2: 6.0,
+		RFBase:       150.0,
+		RFPerReg:     2.0,
+		RFPerPort2:   0.5,
+	}
+}
+
+// Ports returns the register-file port count of one cluster: two read
+// and one write port per functional unit, plus one read and one write
+// port per bus (paper §6.3).
+func Ports(cfg *machine.Config) int {
+	ports := 3 * cfg.IssueWidth()
+	if cfg.Clustered() {
+		ports += 2 * cfg.NBuses
+	}
+	return ports
+}
+
+// Bypass returns the bypass-network delay of one cluster in picoseconds.
+func (m Model) Bypass(cfg *machine.Config) float64 {
+	n := float64(cfg.IssueWidth())
+	return m.BypassPerFU2 * n * n
+}
+
+// RegFile returns the local register file access time in picoseconds.
+func (m Model) RegFile(cfg *machine.Config) float64 {
+	p := float64(Ports(cfg))
+	return m.RFBase + m.RFPerReg*float64(cfg.RegsPerCluster) + m.RFPerPort2*p*p
+}
+
+// CycleTime returns the configuration's cycle time in picoseconds: the
+// slower of the bypass network and the register file.
+func (m Model) CycleTime(cfg *machine.Config) float64 {
+	b, r := m.Bypass(cfg), m.RegFile(cfg)
+	if b > r {
+		return b
+	}
+	return r
+}
+
+// Speedup converts relative IPC into wall-clock speedup over a baseline:
+//
+//	speedup = (ipc / baseIPC) * (baseCycle / cycle)
+func (m Model) Speedup(cfg, base *machine.Config, ipc, baseIPC float64) float64 {
+	if baseIPC == 0 || ipc == 0 {
+		return 0
+	}
+	return (ipc / baseIPC) * (m.CycleTime(base) / m.CycleTime(cfg))
+}
+
+// Row is one Table 2 line.
+type Row struct {
+	Config    string
+	Ports     int
+	BypassPS  float64
+	RegFilePS float64
+	CyclePS   float64
+}
+
+// Table2 reproduces the paper's Table 2 for the given configurations.
+func (m Model) Table2(cfgs []machine.Config) []Row {
+	rows := make([]Row, 0, len(cfgs))
+	for i := range cfgs {
+		cfg := &cfgs[i]
+		rows = append(rows, Row{
+			Config:    cfg.Name,
+			Ports:     Ports(cfg),
+			BypassPS:  m.Bypass(cfg),
+			RegFilePS: m.RegFile(cfg),
+			CyclePS:   m.CycleTime(cfg),
+		})
+	}
+	return rows
+}
+
+// String renders a row.
+func (r Row) String() string {
+	return fmt.Sprintf("%-16s ports=%2d bypass=%6.1fps rf=%6.1fps cycle=%6.1fps",
+		r.Config, r.Ports, r.BypassPS, r.RegFilePS, r.CyclePS)
+}

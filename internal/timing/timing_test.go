@@ -1,0 +1,93 @@
+package timing
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestPorts(t *testing.T) {
+	uni := machine.Unified()
+	if got := Ports(&uni); got != 36 { // 12 FUs * 3 ports, no bus
+		t.Errorf("unified ports = %d, want 36", got)
+	}
+	two := machine.TwoCluster(1, 1)
+	if got := Ports(&two); got != 20 { // 6*3 + 2
+		t.Errorf("2-cluster ports = %d, want 20", got)
+	}
+	four := machine.FourCluster(2, 1)
+	if got := Ports(&four); got != 13 { // 3*3 + 4
+		t.Errorf("4-cluster/2-bus ports = %d, want 13", got)
+	}
+}
+
+func TestCycleTimeOrdering(t *testing.T) {
+	m := DefaultModel()
+	uni, two, four := machine.Unified(), machine.TwoCluster(1, 1), machine.FourCluster(1, 1)
+	cu, c2, c4 := m.CycleTime(&uni), m.CycleTime(&two), m.CycleTime(&four)
+	if !(cu > c2 && c2 > c4) {
+		t.Errorf("cycle times not monotone: unified %.0f, 2c %.0f, 4c %.0f", cu, c2, c4)
+	}
+}
+
+func TestCalibrationHitsPaperRange(t *testing.T) {
+	// The paper's headline: at IPC parity, 4-cluster/1-bus is ~3.6x
+	// faster than unified.  The fitted model must put the raw cycle-time
+	// ratio in the 3.2-4.2 window so measured IPC ratios land near 3.6.
+	m := DefaultModel()
+	uni, four := machine.Unified(), machine.FourCluster(1, 1)
+	ratio := m.CycleTime(&uni) / m.CycleTime(&four)
+	if ratio < 3.2 || ratio > 4.2 {
+		t.Errorf("unified/4-cluster cycle ratio = %.2f, want ~3.6", ratio)
+	}
+	two := machine.TwoCluster(1, 1)
+	r2 := m.CycleTime(&uni) / m.CycleTime(&two)
+	if r2 < 1.8 || r2 > 2.8 {
+		t.Errorf("unified/2-cluster cycle ratio = %.2f, want ~2.2", r2)
+	}
+}
+
+func TestMoreBusesSlowTheClock(t *testing.T) {
+	// Extra buses add register-file ports: the 2-bus variant of a
+	// configuration can never be faster than the 1-bus variant.
+	m := DefaultModel()
+	one, two := machine.FourCluster(1, 1), machine.FourCluster(2, 1)
+	if m.CycleTime(&two) < m.CycleTime(&one) {
+		t.Error("2-bus cluster faster than 1-bus cluster")
+	}
+}
+
+func TestSpeedupFormula(t *testing.T) {
+	m := DefaultModel()
+	uni, four := machine.Unified(), machine.FourCluster(1, 1)
+	// Equal IPC: speedup equals the cycle-time ratio.
+	want := m.CycleTime(&uni) / m.CycleTime(&four)
+	if got := m.Speedup(&four, &uni, 2.0, 2.0); got != want {
+		t.Errorf("Speedup = %v, want %v", got, want)
+	}
+	// Half the IPC: half the speedup.
+	if got := m.Speedup(&four, &uni, 1.0, 2.0); got != want/2 {
+		t.Errorf("Speedup = %v, want %v", got, want/2)
+	}
+	if got := m.Speedup(&four, &uni, 1.0, 0); got != 0 {
+		t.Errorf("zero baseline IPC: speedup = %v, want 0", got)
+	}
+}
+
+func TestTable2Rows(t *testing.T) {
+	m := DefaultModel()
+	rows := m.Table2([]machine.Config{
+		machine.Unified(), machine.TwoCluster(1, 1), machine.FourCluster(1, 1),
+	})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.CyclePS < r.BypassPS || r.CyclePS < r.RegFilePS {
+			t.Errorf("%s: cycle %f below component max", r.Config, r.CyclePS)
+		}
+		if r.String() == "" {
+			t.Error("empty row rendering")
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package unroll implements the paper's selective loop unrolling
+// (Figure 6): schedule the original loop; if the result is bus-limited,
+// estimate — without scheduling — whether unrolling by the cluster count
+// would let the communications fit inside the unrolled loop's minimum
+// initiation interval, and only then unroll and reschedule.
+//
+// The estimate mirrors the paper's closed form.  Scheduling one
+// iteration copy per cluster turns every loop-carried true dependence
+// whose distance is not a multiple of the unroll factor into a
+// cross-cluster communication, once per copy:
+//
+//	comneeded = NDepsNotMult(G) * U
+//	cycneeded = ceil(comneeded / nbuses) * latbus
+//
+// and unrolling pays off when cycneeded fits into the unrolled loop's
+// MinII (computable directly from the unrolled graph, no schedule
+// needed).
+package unroll
+
+import (
+	"fmt"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// Decision records why the selective algorithm did or did not unroll.
+type Decision struct {
+	// Unrolled reports whether the unrolled schedule was chosen.
+	Unrolled bool
+	// Factor is the unroll factor used (1 when not unrolled).
+	Factor int
+	// BusLimited is the LimitedByBus test on the original schedule.
+	BusLimited bool
+	// ComNeeded is the estimated communications per unrolled kernel.
+	ComNeeded int
+	// CycNeeded is the estimated bus cycles those communications need.
+	CycNeeded int
+	// UnrolledMinII is the unrolled loop's scheduling lower bound.
+	UnrolledMinII int
+}
+
+// String explains the decision.
+func (d Decision) String() string {
+	if !d.BusLimited {
+		return "no unroll: schedule not limited by buses"
+	}
+	if !d.Unrolled {
+		return fmt.Sprintf("no unroll: %d comms need %d bus cycles > unrolled MinII %d",
+			d.ComNeeded, d.CycNeeded, d.UnrolledMinII)
+	}
+	return fmt.Sprintf("unroll x%d: %d comms need %d bus cycles <= unrolled MinII %d",
+		d.Factor, d.ComNeeded, d.CycNeeded, d.UnrolledMinII)
+}
+
+// Result bundles the chosen schedule with the decision trail.  The
+// schedule's Graph is the unrolled graph when Decision.Unrolled.
+type Result struct {
+	Schedule *sched.Schedule
+	Decision Decision
+}
+
+// Selective runs Figure 6 of the paper: ScheduleGraph, LimitedByBus
+// check, closed-form estimate, and the conditional unrolled reschedule.
+// The unroll factor is the cluster count (the scheduler spreads one
+// iteration copy per cluster).
+func Selective(g *ddg.Graph, cfg *machine.Config, opts *sched.Options) (*Result, error) {
+	s, err := sched.ScheduleGraph(g, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	dec := Decision{Factor: 1, BusLimited: s.BusLimited}
+	if !cfg.Clustered() || !s.BusLimited {
+		return &Result{Schedule: s, Decision: dec}, nil
+	}
+
+	u := cfg.NClusters
+	dec.ComNeeded = g.DepsNotMultiple(u) * u
+	unrolled := g.Unroll(u)
+	dec.UnrolledMinII = unrolled.MinII(cfg)
+	dec.CycNeeded = ceilDiv(dec.ComNeeded, cfg.NBuses) * cfg.BusLatency
+	if dec.CycNeeded > dec.UnrolledMinII {
+		return &Result{Schedule: s, Decision: dec}, nil
+	}
+
+	s2, err := sched.ScheduleGraph(unrolled, cfg, opts)
+	if err != nil {
+		// The estimate said yes but the full schedule failed (rare: e.g.
+		// register pressure).  Keep the original schedule.
+		return &Result{Schedule: s, Decision: dec}, nil
+	}
+	dec.Unrolled = true
+	dec.Factor = u
+	return &Result{Schedule: s2, Decision: dec}, nil
+}
+
+// All unconditionally unrolls by the given factor and schedules the
+// result — the "Unrolling" bars of Figure 8.  factor 1 schedules the
+// original loop.
+func All(g *ddg.Graph, cfg *machine.Config, factor int, opts *sched.Options) (*Result, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("unroll: factor %d < 1", factor)
+	}
+	ug := g
+	if factor > 1 {
+		ug = g.Unroll(factor)
+	}
+	s, err := sched.ScheduleGraph(ug, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Schedule: s,
+		Decision: Decision{Unrolled: factor > 1, Factor: factor, BusLimited: s.BusLimited},
+	}, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,168 @@
+package unroll
+
+import (
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+func TestSelectiveSkipsUnifiedMachine(t *testing.T) {
+	uni := machine.Unified()
+	res, err := Selective(ddg.SampleDotProduct(), &uni, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision.Unrolled || res.Decision.Factor != 1 {
+		t.Errorf("unified machine unrolled: %+v", res.Decision)
+	}
+}
+
+func TestSelectiveSkipsNonBusLimitedLoops(t *testing.T) {
+	// The dot product fits one cluster: never bus-limited, never unrolled.
+	cfg := machine.TwoCluster(1, 1)
+	res, err := Selective(ddg.SampleDotProduct(), &cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision.BusLimited {
+		t.Errorf("dot product flagged bus-limited")
+	}
+	if res.Decision.Unrolled {
+		t.Errorf("non-bus-limited loop was unrolled: %+v", res.Decision)
+	}
+}
+
+func TestSelectiveUnrollsFigure7(t *testing.T) {
+	// Figure 7's worked example with a 2-cycle bus (the paper notes
+	// unrolling hides the communication latency "even if the latency of
+	// the bus was 2 cycles").  The non-unrolled loop is bus-limited — a
+	// communication occupies both bus slots of an II=2 kernel — so the
+	// whole body collapses into one cluster at II=3; unrolling by 2
+	// restores two-cluster execution at II=4, i.e. 2 cycles per original
+	// iteration.
+	g := ddg.SampleFigure7()
+	cfg := machine.TwoCluster(1, 2)
+	plain, err := sched.ScheduleGraph(g, &cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.BusLimited {
+		t.Fatalf("figure 7 not bus-limited at L=2 (II=%d, MinII=%d)", plain.II, plain.MinII)
+	}
+	res, err := Selective(g, &cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decision.Unrolled {
+		t.Fatalf("figure 7 not unrolled: %v", res.Decision)
+	}
+	perIterPlain := float64(plain.II)
+	perIterUnrolled := float64(res.Schedule.II) / 2
+	if perIterUnrolled > perIterPlain {
+		t.Errorf("unrolled per-iteration II %.1f worse than plain %d", perIterUnrolled, plain.II)
+	}
+	if err := sched.Validate(res.Schedule); err != nil {
+		t.Errorf("unrolled schedule invalid: %v", err)
+	}
+}
+
+func TestSelectiveEstimateMatchesPaperExample(t *testing.T) {
+	// Figure 6 arithmetic on the Figure 7 loop: U=2 clusters; the
+	// distance-2 recurrence is a multiple of U and drops out, leaving the
+	// distance-1 dependence -> NDepsNotMult=1, comneeded=2; one 2-cycle
+	// bus -> cycneeded=4; the unrolled loop's MinII is 4 (the recurrence
+	// ratio doubles per copy), so 4 <= 4 admits the unroll.
+	g := ddg.SampleFigure7()
+	if got := g.DepsNotMultiple(2); got != 1 {
+		t.Errorf("DepsNotMultiple(2) = %d, want 1", got)
+	}
+	cfg := machine.TwoCluster(1, 2)
+	if got := g.Unroll(2).MinII(&cfg); got != 4 {
+		t.Errorf("unrolled MinII = %d, want 4", got)
+	}
+	res, err := Selective(g, &cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decision.BusLimited {
+		t.Fatal("figure 7 not bus-limited at L=2")
+	}
+	if res.Decision.ComNeeded != 2 {
+		t.Errorf("ComNeeded = %d, want 2", res.Decision.ComNeeded)
+	}
+	if res.Decision.CycNeeded != 4 {
+		t.Errorf("CycNeeded = %d, want 4", res.Decision.CycNeeded)
+	}
+	if res.Decision.UnrolledMinII != 4 {
+		t.Errorf("UnrolledMinII = %d, want 4", res.Decision.UnrolledMinII)
+	}
+}
+
+func TestAllFactorOne(t *testing.T) {
+	cfg := machine.TwoCluster(1, 1)
+	res, err := All(ddg.SampleStencil(), &cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision.Unrolled || res.Schedule.Graph.UnrollFactor != 1 {
+		t.Errorf("factor 1 unrolled the graph")
+	}
+}
+
+func TestAllSchedulesUnrolledGraph(t *testing.T) {
+	cfg := machine.FourCluster(2, 1)
+	res, err := All(ddg.SampleStencil(), &cfg, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Graph.UnrollFactor != 4 {
+		t.Errorf("scheduled graph unroll factor = %d, want 4", res.Schedule.Graph.UnrollFactor)
+	}
+	if err := sched.Validate(res.Schedule); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAllRejectsBadFactor(t *testing.T) {
+	cfg := machine.TwoCluster(1, 1)
+	if _, err := All(ddg.SampleStencil(), &cfg, 0, nil); err == nil {
+		t.Error("factor 0 accepted")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	cases := []Decision{
+		{BusLimited: false, Factor: 1},
+		{BusLimited: true, Unrolled: false, ComNeeded: 8, CycNeeded: 16, UnrolledMinII: 4},
+		{BusLimited: true, Unrolled: true, Factor: 4, ComNeeded: 4, CycNeeded: 4, UnrolledMinII: 8},
+	}
+	for _, d := range cases {
+		if d.String() == "" {
+			t.Errorf("empty Decision string for %+v", d)
+		}
+	}
+}
+
+func TestSelectiveReducesIterationIIOnBusBoundLoop(t *testing.T) {
+	// The stencil on 4 clusters with one slow bus: heavy internal traffic
+	// makes the non-unrolled schedule bus-limited; unrolled-by-4
+	// iterations run nearly independently.
+	g := ddg.SampleStencil()
+	cfg := machine.FourCluster(1, 2)
+	plain, err := sched.ScheduleGraph(g, &cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Selective(g, &cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainPerIter := float64(plain.II)
+	selPerIter := float64(res.Schedule.II) / float64(res.Decision.Factor)
+	if selPerIter > plainPerIter {
+		t.Errorf("selective made things worse: %.2f vs %.2f (decision %v)",
+			selPerIter, plainPerIter, res.Decision)
+	}
+}

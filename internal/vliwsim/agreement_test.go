@@ -1,0 +1,99 @@
+package vliwsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// TestValidatorSimulatorAgreement is the library's strongest internal
+// consistency check: for randomly mutated schedules, whenever the
+// static validator accepts, the dynamic simulator must also succeed.
+// (The converse need not hold — the simulator can be stricter on
+// boundary iterations — but a Validate-OK/sim-FAIL pair means one of
+// the two models is wrong.)
+func TestValidatorSimulatorAgreement(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	graphs := []*ddg.Graph{
+		ddg.SampleStencil(), ddg.SampleFigure7(), ddg.SampleDotProduct(),
+		ddg.SampleStencil().Unroll(2),
+	}
+	configs := []machine.Config{
+		machine.TwoCluster(1, 1), machine.TwoCluster(2, 2), machine.FourCluster(1, 1),
+	}
+	agreeChecked := 0
+	for trial := 0; trial < 400; trial++ {
+		g := graphs[trial%len(graphs)]
+		cfg := configs[trial%len(configs)]
+		s, err := sched.ScheduleGraph(g, &cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := perturb(r, s)
+		if sched.Validate(m) != nil {
+			continue // statically rejected; nothing to cross-check
+		}
+		agreeChecked++
+		if _, err := Run(m, 16); err != nil {
+			t.Fatalf("trial %d: validator accepted but simulator rejected: %v\n%s",
+				trial, err, m)
+		}
+	}
+	if agreeChecked < 50 {
+		t.Fatalf("only %d mutations survived validation; perturbation too destructive", agreeChecked)
+	}
+}
+
+// perturb shifts a random operation by a whole number of IIs — the one
+// mutation class that frequently stays valid (same kernel slot, larger
+// or smaller stage) and therefore exercises the agreement path.
+func perturb(r *rand.Rand, s *sched.Schedule) *sched.Schedule {
+	c := *s
+	c.Placements = append([]sched.Placement(nil), s.Placements...)
+	c.Transfers = append([]sched.Transfer(nil), s.Transfers...)
+	i := r.Intn(len(c.Placements))
+	switch r.Intn(3) {
+	case 0:
+		c.Placements[i].Cycle += s.II // one stage later
+	case 1:
+		c.Placements[i].Cycle += 1 + r.Intn(3) // arbitrary shift
+	default:
+		if len(c.Transfers) > 0 {
+			j := r.Intn(len(c.Transfers))
+			c.Transfers[j].Start += s.II // same bus slot, later stage
+		}
+	}
+	return &c
+}
+
+// TestCorpusEndToEnd simulates every corpus loop on the paper's three
+// machines, cross-checking static metrics against dynamic observations.
+func TestCorpusEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus-wide simulation")
+	}
+	configs := []machine.Config{
+		machine.Unified(), machine.TwoCluster(1, 1), machine.FourCluster(2, 2),
+	}
+	for _, b := range corpus.SPECfp95() {
+		for _, l := range b.Loops {
+			for i := range configs {
+				res, err := core.Compile(l.Graph, &configs[i], &core.Options{Strategy: core.SelectiveUnroll})
+				if err != nil {
+					t.Fatalf("%s/%s on %s: %v", b.Name, l.Graph.Name, configs[i].Name, err)
+				}
+				if err := sched.Validate(res.Schedule); err != nil {
+					t.Fatalf("%s/%s: %v", b.Name, l.Graph.Name, err)
+				}
+				if err := Verify(res.Schedule, 12); err != nil {
+					t.Fatalf("%s/%s on %s: %v", b.Name, l.Graph.Name, configs[i].Name, err)
+				}
+			}
+		}
+	}
+}

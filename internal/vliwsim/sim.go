@@ -1,0 +1,289 @@
+// Package vliwsim executes modulo schedules cycle by cycle on a
+// simulated clustered VLIW machine: per-cluster register files hold
+// value tokens tagged (producer, iteration), buses carry in-flight
+// transfers for their full latency, and every operand read must find the
+// token of exactly the right iteration in the consumer's local file.
+//
+// The simulator is the dynamic counterpart of sched.Validate: it proves
+// end to end that the schedule's timing, communication placement and
+// register-pressure accounting are consistent — a wrong cluster
+// assignment, a late transfer or an overwritten value surfaces as a
+// missing token at a precise cycle.  Memory is perfect (the paper's
+// model), so the cycle count is exactly (NITER + SC - 1) * II.
+//
+// Tokens are symbolic rather than physical registers: the paper's
+// machine has no rotating files and physical allocation (modulo variable
+// expansion) does not affect any measured quantity.  Loop live-ins
+// (reads of iterations before the first) are assumed present at entry
+// and excluded from pressure, as in the paper's steady-state accounting.
+package vliwsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ddg"
+	"repro/internal/sched"
+)
+
+// Result summarises one simulated loop execution.
+type Result struct {
+	// Cycles is the total execution time: (Iters + SC - 1) * II.
+	Cycles int
+	// OpsExecuted counts functional-unit operations issued.
+	OpsExecuted int
+	// TransfersExecuted counts bus transactions completed.
+	TransfersExecuted int
+	// MaxPressure is the observed per-cluster peak of simultaneously
+	// live tokens (always <= the static MaxLive).
+	MaxPressure []int
+	// BusBusy counts, per bus, the cycles the bus was driving a value.
+	BusBusy []int
+	// IPC is useful operations per cycle for this execution.
+	IPC float64
+}
+
+// tokenKey identifies one value instance.
+type tokenKey struct {
+	producer, iter int
+}
+
+// event is one scheduled action at an absolute cycle.
+type event struct {
+	cycle int
+	kind  int // 0 deposit, 1 read, 2 busStart, 3 busEnd
+	// deposit/read: cluster + token; busStart/busEnd: transfer index + iter.
+	cluster  int
+	tok      tokenKey
+	transfer int
+	node     int // reader node (kind 1) or producer (kind 0), for messages
+}
+
+const (
+	evDeposit = iota
+	evRead
+	evBusStart
+	evBusEnd
+)
+
+// Run simulates iters kernel iterations of the schedule.  It returns an
+// error describing the first inconsistency (missing operand token, bus
+// collision, FU oversubscription or register-file overflow).
+func Run(s *sched.Schedule, iters int) (*Result, error) {
+	if iters < 1 {
+		return nil, fmt.Errorf("vliwsim: iters = %d, want >= 1", iters)
+	}
+	g, cfg := s.Graph, s.Cfg
+
+	refs, err := expectedReads(s, iters)
+	if err != nil {
+		return nil, err
+	}
+
+	var events []event
+	// FU issues and result deposits.
+	for id, pl := range s.Placements {
+		node := g.Node(id)
+		for i := 0; i < iters; i++ {
+			issue := pl.Cycle + i*s.II
+			for _, e := range g.InEdges(id) {
+				if e.Kind != ddg.DepTrue {
+					continue
+				}
+				src := i - e.Distance
+				if src < 0 {
+					continue // loop live-in
+				}
+				events = append(events, event{cycle: issue, kind: evRead,
+					cluster: pl.Cluster, tok: tokenKey{e.From, src}, node: id})
+			}
+			if node.Class.ProducesValue() {
+				events = append(events, event{cycle: issue + node.Class.Latency(),
+					kind: evDeposit, cluster: pl.Cluster, tok: tokenKey{id, i}, node: id})
+			}
+		}
+	}
+	// Bus transactions: instance i carries (producer, i).
+	for ti, tr := range s.Transfers {
+		for i := 0; i < iters; i++ {
+			start := tr.Start + i*s.II
+			events = append(events, event{cycle: start, kind: evBusStart,
+				cluster: tr.From, tok: tokenKey{tr.Producer, i}, transfer: ti})
+			events = append(events, event{cycle: start + cfg.BusLatency, kind: evBusEnd,
+				cluster: tr.To, tok: tokenKey{tr.Producer, i}, transfer: ti})
+		}
+	}
+	// Deterministic order: by cycle, deposits and bus-ends (which deposit)
+	// before reads, bus-starts last (they read the register file at the
+	// start cycle, after same-cycle deposits from earlier stages).
+	kindOrder := [4]int{evDeposit: 0, evBusEnd: 1, evRead: 2, evBusStart: 3}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].cycle != events[b].cycle {
+			return events[a].cycle < events[b].cycle
+		}
+		return kindOrder[events[a].kind] < kindOrder[events[b].kind]
+	})
+
+	res := &Result{
+		MaxPressure: make([]int, cfg.NClusters),
+		BusBusy:     make([]int, cfg.NBuses),
+	}
+	files := make([]map[tokenKey]int, cfg.NClusters) // token -> remaining reads
+	for c := range files {
+		files[c] = map[tokenKey]int{}
+	}
+	busFreeAt := make([]int, cfg.NBuses)
+	fuUse := map[[3]int]int{} // (cluster, class, absCycle) -> issues
+
+	deposit := func(c int, tok tokenKey) {
+		need := refs[[3]int{tok.producer, tok.iter, c}]
+		if need <= 0 {
+			return // dead value: never stored
+		}
+		if _, dup := files[c][tok]; !dup {
+			files[c][tok] = need
+		}
+	}
+
+	// Pressure is sampled at end of cycle: a value arriving on the bus
+	// and fully consumed the same cycle feeds the FU from the IRV and
+	// never touches the register file (paper §3).
+	measure := func() {
+		for c := range files {
+			if len(files[c]) > res.MaxPressure[c] {
+				res.MaxPressure[c] = len(files[c])
+			}
+		}
+	}
+
+	for idx, ev := range events {
+		switch ev.kind {
+		case evDeposit:
+			deposit(ev.cluster, ev.tok)
+		case evBusEnd:
+			res.TransfersExecuted++
+			deposit(ev.cluster, ev.tok)
+		case evRead:
+			left, ok := files[ev.cluster][ev.tok]
+			if !ok {
+				return nil, fmt.Errorf(
+					"vliwsim: cycle %d: node %s (cluster %d) needs value of %s iteration %d: not in register file",
+					ev.cycle, g.Node(ev.node).Name, ev.cluster,
+					g.Node(ev.tok.producer).Name, ev.tok.iter)
+			}
+			if left == 1 {
+				delete(files[ev.cluster], ev.tok)
+			} else {
+				files[ev.cluster][ev.tok] = left - 1
+			}
+		case evBusStart:
+			tr := s.Transfers[ev.transfer]
+			if busFreeAt[tr.Bus] > ev.cycle {
+				return nil, fmt.Errorf("vliwsim: cycle %d: bus %d still busy (free at %d)",
+					ev.cycle, tr.Bus, busFreeAt[tr.Bus])
+			}
+			// The source cluster must hold the value when it is driven.
+			if _, ok := files[ev.cluster][ev.tok]; !ok {
+				return nil, fmt.Errorf(
+					"vliwsim: cycle %d: bus %d transfer of %s iteration %d: value not in cluster %d",
+					ev.cycle, tr.Bus, g.Node(ev.tok.producer).Name, ev.tok.iter, ev.cluster)
+			}
+			if left := files[ev.cluster][ev.tok]; left == 1 {
+				delete(files[ev.cluster], ev.tok)
+			} else {
+				files[ev.cluster][ev.tok] = left - 1
+			}
+			busFreeAt[tr.Bus] = ev.cycle + cfg.BusLatency
+			res.BusBusy[tr.Bus] += cfg.BusLatency
+		}
+		if idx+1 == len(events) || events[idx+1].cycle != ev.cycle {
+			measure()
+		}
+	}
+
+	// FU occupancy re-check (independent of the scheduler's table).
+	for id, pl := range s.Placements {
+		class := g.Node(id).Class.FU()
+		for i := 0; i < iters; i++ {
+			k := [3]int{pl.Cluster, int(class), pl.Cycle + i*s.II}
+			fuUse[k]++
+			if fuUse[k] > cfg.FUs(pl.Cluster, class) {
+				return nil, fmt.Errorf("vliwsim: cycle %d: cluster %d issues %d %s ops, has %d units",
+					k[2], pl.Cluster, fuUse[k], class, cfg.FUs(pl.Cluster, class))
+			}
+		}
+	}
+
+	for c, peak := range res.MaxPressure {
+		if peak > cfg.RegsPerCluster {
+			return nil, fmt.Errorf("vliwsim: cluster %d peak pressure %d exceeds %d registers",
+				c, peak, cfg.RegsPerCluster)
+		}
+	}
+
+	res.Cycles = s.Cycles(iters)
+	res.OpsExecuted = iters * g.NumNodes()
+	res.IPC = float64(res.OpsExecuted) / float64(res.Cycles)
+	return res, nil
+}
+
+// expectedReads computes, per (producer, iteration, cluster), how many
+// reads the simulation will perform: local consumers and outgoing bus
+// transactions in the producer's cluster, plus consumers in every
+// destination cluster.  Tokens with zero expected reads are never
+// stored (a dead value occupies no register).
+func expectedReads(s *sched.Schedule, iters int) (map[[3]int]int, error) {
+	g := s.Graph
+	refs := map[[3]int]int{}
+	transfersFrom := map[int][]sched.Transfer{}
+	for _, tr := range s.Transfers {
+		transfersFrom[tr.Producer] = append(transfersFrom[tr.Producer], tr)
+	}
+	for id := range s.Placements {
+		if !g.Node(id).Class.ProducesValue() {
+			continue
+		}
+		home := s.Placements[id].Cluster
+		for i := 0; i < iters; i++ {
+			for _, e := range g.OutEdges(id) {
+				if e.Kind != ddg.DepTrue {
+					continue
+				}
+				j := i + e.Distance
+				if j >= iters {
+					continue // consumer instance never runs
+				}
+				refs[[3]int{id, i, s.Placements[e.To].Cluster}]++
+			}
+			for range transfersFrom[id] {
+				refs[[3]int{id, i, home}]++
+			}
+		}
+	}
+	return refs, nil
+}
+
+// Verify runs the simulator and cross-checks its observations against
+// the static schedule metrics: dynamic peak pressure must not exceed the
+// static MaxLive, and bus utilisation must match the transfer count.
+func Verify(s *sched.Schedule, iters int) error {
+	res, err := Run(s, iters)
+	if err != nil {
+		return err
+	}
+	static := s.MaxLive()
+	for c, peak := range res.MaxPressure {
+		if peak > static[c] {
+			return fmt.Errorf("vliwsim: cluster %d dynamic pressure %d exceeds static MaxLive %d",
+				c, peak, static[c])
+		}
+	}
+	wantBusy := 0
+	for _, b := range res.BusBusy {
+		wantBusy += b
+	}
+	if got := len(s.Transfers) * iters * s.Cfg.BusLatency; wantBusy != got {
+		return fmt.Errorf("vliwsim: bus busy cycles %d, want %d", wantBusy, got)
+	}
+	return nil
+}

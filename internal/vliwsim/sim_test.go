@@ -1,0 +1,195 @@
+package vliwsim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+func schedule(t *testing.T, g *ddg.Graph, cfg machine.Config, opts *sched.Options) *sched.Schedule {
+	t.Helper()
+	s, err := sched.ScheduleGraph(g, &cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunDotProductUnified(t *testing.T) {
+	s := schedule(t, ddg.SampleDotProduct(), machine.Unified(), nil)
+	res, err := Run(s, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (50 + s.SC() - 1) * s.II; res.Cycles != want {
+		t.Errorf("Cycles = %d, want %d", res.Cycles, want)
+	}
+	if res.OpsExecuted != 50*4 {
+		t.Errorf("OpsExecuted = %d, want 200", res.OpsExecuted)
+	}
+	if res.TransfersExecuted != 0 {
+		t.Errorf("unified run executed %d transfers", res.TransfersExecuted)
+	}
+}
+
+func TestRunCrossClusterTransfers(t *testing.T) {
+	g := ddg.New("pair")
+	a := g.AddNode("a", machine.OpLoad)
+	b := g.AddNode("b", machine.OpFAdd)
+	g.AddTrueDep(a.ID, b.ID, 0)
+	s := schedule(t, g, machine.TwoCluster(1, 2), &sched.Options{Assignment: []int{0, 1}})
+	res, err := Run(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TransfersExecuted != 10 {
+		t.Errorf("TransfersExecuted = %d, want 10", res.TransfersExecuted)
+	}
+	if res.BusBusy[0] != 10*2 {
+		t.Errorf("BusBusy = %d, want 20 (10 transfers x latency 2)", res.BusBusy[0])
+	}
+}
+
+func TestRunDetectsLateTransfer(t *testing.T) {
+	// Corrupt a valid schedule: delay the consumer's operand transfer so
+	// the token misses its read.
+	g := ddg.New("pair")
+	a := g.AddNode("a", machine.OpLoad)
+	b := g.AddNode("b", machine.OpFAdd)
+	g.AddTrueDep(a.ID, b.ID, 0)
+	s := schedule(t, g, machine.TwoCluster(1, 1), &sched.Options{Assignment: []int{0, 1}})
+	bad := *s
+	bad.Transfers = append([]sched.Transfer(nil), s.Transfers...)
+	bad.Transfers[0].Start += 100
+	if _, err := Run(&bad, 5); err == nil {
+		t.Error("late transfer not detected")
+	} else if !strings.Contains(err.Error(), "not in register file") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestRunDetectsMissingTransfer(t *testing.T) {
+	g := ddg.New("pair")
+	a := g.AddNode("a", machine.OpLoad)
+	b := g.AddNode("b", machine.OpFAdd)
+	g.AddTrueDep(a.ID, b.ID, 0)
+	s := schedule(t, g, machine.TwoCluster(1, 1), &sched.Options{Assignment: []int{0, 1}})
+	bad := *s
+	bad.Transfers = nil
+	if _, err := Run(&bad, 5); err == nil {
+		t.Error("missing transfer not detected")
+	}
+}
+
+func TestRunDetectsBusCollision(t *testing.T) {
+	// Two producers pinned to cluster 0, consumers to cluster 1, then
+	// force both transfers onto the same bus slot.
+	g := ddg.New("clash")
+	a := g.AddNode("a", machine.OpLoad)
+	b := g.AddNode("b", machine.OpLoad)
+	c := g.AddNode("c", machine.OpFAdd)
+	d := g.AddNode("d", machine.OpFMul)
+	g.AddTrueDep(a.ID, c.ID, 0)
+	g.AddTrueDep(b.ID, d.ID, 0)
+	s := schedule(t, g, machine.TwoCluster(2, 1), &sched.Options{Assignment: []int{0, 0, 1, 1}})
+	if len(s.Transfers) != 2 {
+		t.Skipf("expected 2 transfers, got %d", len(s.Transfers))
+	}
+	bad := *s
+	bad.Transfers = append([]sched.Transfer(nil), s.Transfers...)
+	bad.Transfers[1].Bus = bad.Transfers[0].Bus
+	bad.Transfers[1].Start = bad.Transfers[0].Start
+	// Align the consumer so the operand read itself still succeeds.
+	if _, err := Run(&bad, 5); err == nil {
+		t.Error("bus collision not detected")
+	}
+}
+
+func TestLoopCarriedTokensFlowAcrossIterations(t *testing.T) {
+	// The accumulator reads its own value from the previous iteration;
+	// the simulator must match instance i against read i+1.
+	s := schedule(t, ddg.SampleDotProduct(), machine.TwoCluster(2, 1), nil)
+	if _, err := Run(s, 25); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifySamples(t *testing.T) {
+	for _, g := range []*ddg.Graph{
+		ddg.SampleDotProduct(), ddg.SampleFigure7(), ddg.SampleStencil(),
+		ddg.SampleChain(6), ddg.SampleIndependent(9),
+		ddg.SampleStencil().Unroll(2), ddg.SampleFigure7().Unroll(2),
+	} {
+		for _, cfg := range []machine.Config{
+			machine.Unified(), machine.TwoCluster(1, 1), machine.TwoCluster(2, 2),
+			machine.FourCluster(1, 1), machine.FourCluster(2, 4),
+		} {
+			s := schedule(t, g, cfg, nil)
+			if err := Verify(s, 20); err != nil {
+				t.Errorf("%s on %s: %v\n%s", g.Name, cfg.Name, err, s)
+			}
+		}
+	}
+}
+
+func TestVerifyRandomSchedules(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	classes := []machine.OpClass{
+		machine.OpIAdd, machine.OpIMul, machine.OpLoad,
+		machine.OpFAdd, machine.OpFMul, machine.OpStore,
+	}
+	configs := []machine.Config{
+		machine.TwoCluster(1, 1), machine.FourCluster(2, 2), machine.FourCluster(1, 4),
+	}
+	for trial := 0; trial < 40; trial++ {
+		g := ddg.New("rand")
+		n := 4 + r.Intn(14)
+		for i := 0; i < n; i++ {
+			g.AddNode("n", classes[r.Intn(len(classes))])
+		}
+		demand := 0
+		for i := 0; i < 2*n && demand < 20; i++ {
+			from, to := r.Intn(n), r.Intn(n)
+			if !g.Node(from).Class.ProducesValue() {
+				continue
+			}
+			dist := 0
+			if from >= to || r.Intn(5) == 0 {
+				dist = 1 + r.Intn(2)
+			}
+			g.AddTrueDep(from, to, dist)
+			demand += 1 + dist
+		}
+		cfg := configs[trial%len(configs)]
+		s, err := sched.ScheduleGraph(g, &cfg, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := Verify(s, 12); err != nil {
+			t.Fatalf("trial %d on %s: %v\n%s", trial, cfg.Name, err, s)
+		}
+	}
+}
+
+func TestRunRejectsBadIters(t *testing.T) {
+	s := schedule(t, ddg.SampleChain(3), machine.Unified(), nil)
+	if _, err := Run(s, 0); err == nil {
+		t.Error("iters=0 accepted")
+	}
+}
+
+func TestIPCComputation(t *testing.T) {
+	s := schedule(t, ddg.SampleIndependent(12), machine.Unified(), nil)
+	res, err := Run(s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 independent FP ops, 4 FP units: II=3, SC=1 -> IPC ~ 4.
+	if res.IPC < 3.5 || res.IPC > 4.01 {
+		t.Errorf("IPC = %.2f, want ~4", res.IPC)
+	}
+}
