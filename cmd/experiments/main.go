@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|table2|fig4|fig8|fig9|fig10|ablations] [-markdown]
+//	experiments [-run all|table1|table2|fig4|fig8|fig9|fig10|ablations] [-markdown] [-workers N]
 //
 // With -markdown the tables are printed as GitHub Markdown (the format
-// EXPERIMENTS.md records).
+// EXPERIMENTS.md records).  Compilations run through the concurrent
+// pipeline (internal/pipeline); -workers sizes its pool (default
+// GOMAXPROCS) and the cache statistics are printed to stderr at exit.
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
@@ -23,9 +26,10 @@ import (
 func main() {
 	run := flag.String("run", "all", "which artefact to regenerate (all, table1, table2, fig4, fig8, fig9, fig10, ablations)")
 	markdown := flag.Bool("markdown", false, "emit GitHub Markdown instead of ASCII")
+	workers := flag.Int("workers", 0, "pipeline worker count (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	suite := experiments.NewSuite()
+	suite := experiments.NewSuiteWorkers(corpus.SPECfp95(), *workers)
 	emit := func(t *report.Table, err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -71,4 +75,5 @@ func main() {
 		emit(suite.AblationUnrollFactor())
 	}
 	fmt.Fprintf(os.Stderr, "total time: %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "%v (%d workers)\n", suite.Pipe.Stats(), suite.Pipe.Workers())
 }

@@ -12,21 +12,29 @@
 //	-scheduler bsa|ne                   BSA or Nystrom-Eichenberger
 //	-unroll none|all|selective          unrolling strategy
 //	-dot                                print the DDG in Graphviz DOT and exit
+//	-batch                              compile every corpus loop on every
+//	                                    Table 1 configuration concurrently
+//	-workers N                          pipeline pool size (0 = GOMAXPROCS)
 //
-// Example:
+// Examples:
 //
 //	vliwsched -config 4cluster -buses 1 -unroll selective examples/loops/stencil.ir
+//	vliwsched -batch -unroll selective -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/emit"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/pipeline"
 	"repro/internal/sched"
 	"repro/internal/vliwsim"
 )
@@ -38,7 +46,56 @@ func main() {
 	scheduler := flag.String("scheduler", "bsa", "bsa or ne (Nystrom-Eichenberger)")
 	unrollMode := flag.String("unroll", "none", "none, all or selective")
 	dot := flag.Bool("dot", false, "print the dependence graph in DOT and exit")
+	batch := flag.Bool("batch", false, "compile the whole corpus on every Table 1 config concurrently")
+	workers := flag.Int("workers", 0, "pipeline worker count in batch mode (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	opts := core.Options{}
+	switch *scheduler {
+	case "bsa":
+	case "ne":
+		opts.Scheduler = core.NystromEichenberger
+	default:
+		fatal(fmt.Errorf("unknown scheduler %q", *scheduler))
+	}
+	switch *unrollMode {
+	case "none":
+	case "all":
+		opts.Strategy = core.UnrollAll
+	case "selective":
+		opts.Strategy = core.SelectiveUnroll
+	default:
+		fatal(fmt.Errorf("unknown unroll mode %q", *unrollMode))
+	}
+
+	if *batch {
+		// Batch mode sweeps every Table 1 configuration over the built-in
+		// corpus; single-loop flags and arguments would be silently
+		// meaningless, so reject them.
+		var conflict []string
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "config", "buses", "buslat", "dot":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			fatal(fmt.Errorf("batch mode sweeps every Table 1 configuration; drop %s",
+				strings.Join(conflict, ", ")))
+		}
+		if flag.NArg() > 0 {
+			fatal(fmt.Errorf("batch mode compiles the built-in corpus; unexpected argument %q", flag.Arg(0)))
+		}
+		runBatch(opts, *workers)
+		return
+	}
+
+	// The mirror check: -workers only means something in batch mode.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			fatal(fmt.Errorf("-workers only applies to -batch mode"))
+		}
+	})
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: vliwsched [flags] loop.ir")
@@ -61,23 +118,6 @@ func main() {
 	cfg, err := pickConfig(*configName, *buses, *busLat)
 	if err != nil {
 		fatal(err)
-	}
-	opts := core.Options{}
-	switch *scheduler {
-	case "bsa":
-	case "ne":
-		opts.Scheduler = core.NystromEichenberger
-	default:
-		fatal(fmt.Errorf("unknown scheduler %q", *scheduler))
-	}
-	switch *unrollMode {
-	case "none":
-	case "all":
-		opts.Strategy = core.UnrollAll
-	case "selective":
-		opts.Strategy = core.SelectiveUnroll
-	default:
-		fatal(fmt.Errorf("unknown unroll mode %q", *unrollMode))
 	}
 
 	fmt.Printf("loop %s: %d ops, %d edges, iters=%d\n",
@@ -107,6 +147,59 @@ func main() {
 	fmt.Printf("simulated %d kernel iterations (%d original): %d cycles, %d ops, %d transfers, IPC %.2f\n",
 		kIters, loop.Iters, sim.Cycles, sim.OpsExecuted, sim.TransfersExecuted, sim.IPC)
 	fmt.Printf("register pressure per cluster: %v (capacity %d)\n", sim.MaxPressure, cfg.RegsPerCluster)
+}
+
+// runBatch compiles every loop of the synthetic SPECfp95 corpus on
+// every Table 1 machine configuration through the concurrent pipeline,
+// validates every schedule, and prints one summary line per
+// configuration plus the pipeline statistics.
+func runBatch(opts core.Options, workers int) {
+	start := time.Now()
+	p := pipeline.New(workers)
+	cfgs := machine.Table1Configs()
+
+	var loops []*corpus.Loop
+	for _, b := range corpus.SPECfp95() {
+		loops = append(loops, b.Loops...)
+	}
+	var reqs []pipeline.Request
+	for _, cfg := range cfgs {
+		for _, l := range loops {
+			reqs = append(reqs, pipeline.Request{Loop: l, Cfg: cfg, Opts: opts})
+		}
+	}
+	resps := p.CompileBatch(reqs)
+
+	fmt.Printf("batch: %d loops x %d configs = %d compilations (%d workers)\n\n",
+		len(loops), len(cfgs), len(reqs), p.Workers())
+	fmt.Printf("%-18s %8s %10s %10s %8s %8s\n", "config", "loops", "mean II", "mean/iter", "unrolled", "failed")
+	for ci, cfg := range cfgs {
+		var iiSum, perIterSum float64
+		var unrolled, failed, ok int
+		for li := range loops {
+			r := resps[ci*len(loops)+li]
+			if r.Err != nil {
+				failed++
+				continue
+			}
+			if err := sched.Validate(r.Result.Schedule); err != nil {
+				fatal(fmt.Errorf("invalid schedule for %s on %s: %w",
+					loops[li].Graph.Name, cfg.Name, err))
+			}
+			ok++
+			iiSum += float64(r.Result.Schedule.II)
+			perIterSum += r.Result.IterationII()
+			if r.Result.Factor > 1 {
+				unrolled++
+			}
+		}
+		meanII, meanIter := 0.0, 0.0
+		if ok > 0 {
+			meanII, meanIter = iiSum/float64(ok), perIterSum/float64(ok)
+		}
+		fmt.Printf("%-18s %8d %10.2f %10.2f %8d %8d\n", cfg.Name, ok, meanII, meanIter, unrolled, failed)
+	}
+	fmt.Fprintf(os.Stderr, "\n%v, total %v\n", p.Stats(), time.Since(start).Round(time.Millisecond))
 }
 
 func pickConfig(name string, buses, busLat int) (machine.Config, error) {

@@ -7,4 +7,15 @@
 // bench_test.go in this directory regenerates every table and figure of
 // the paper's evaluation as testing.B benchmarks.  See README.md for a
 // tour and DESIGN.md for the system inventory.
+//
+// All batch compilation flows through internal/pipeline, a concurrent
+// subsystem pairing a sharded, singleflight-deduplicated compile cache
+// with a bounded worker pool: each (loop, machine, options) key is
+// compiled exactly once per pipeline, batches fan out across
+// GOMAXPROCS workers with deterministic result ordering, and a Stats
+// snapshot reports hits, misses, dedup joins and timing.  The
+// experiments drivers prime the pipeline with each figure's whole
+// compilation grid before building rows, and cmd/vliwsched's -batch
+// mode compiles the full corpus across every Table 1 configuration
+// concurrently.
 package repro

@@ -135,6 +135,28 @@ func SPECfp95() []*Benchmark {
 	return out
 }
 
+// Trimmed returns a reduced suite for tests and benchmarks: only the
+// named benchmarks, each cut to at most perBench loops, in the order
+// SPECfp95 lists them.
+func Trimmed(names []string, perBench int) []*Benchmark {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var picked []*Benchmark
+	for _, b := range SPECfp95() {
+		if !want[b.Name] {
+			continue
+		}
+		loops := b.Loops
+		if len(loops) > perBench {
+			loops = loops[:perBench]
+		}
+		picked = append(picked, &Benchmark{Name: b.Name, Loops: loops})
+	}
+	return picked
+}
+
 // TotalLoops counts the loops of a suite.
 func TotalLoops(suite []*Benchmark) int {
 	n := 0

@@ -152,3 +152,18 @@ func TestLoopOpsHelper(t *testing.T) {
 		t.Errorf("Ops = %d, want 4", l.Ops())
 	}
 }
+
+func TestTrimmed(t *testing.T) {
+	picked := Trimmed([]string{"tomcatv", "swim"}, 3)
+	if len(picked) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(picked))
+	}
+	for _, b := range picked {
+		if len(b.Loops) != 3 {
+			t.Errorf("%s trimmed to %d loops, want 3", b.Name, len(b.Loops))
+		}
+	}
+	if got := Trimmed([]string{"no-such-benchmark"}, 1); len(got) != 0 {
+		t.Errorf("unknown name produced %d benchmarks", len(got))
+	}
+}

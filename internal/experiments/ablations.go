@@ -21,15 +21,23 @@ func (s *Suite) AblationPolicy() (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range []struct {
-		name   string
-		policy sched.Policy
+	// opts lives in the table so the prime batch and the row walk share
+	// one grid.
+	policies := []struct {
+		name string
+		opts core.Options
 	}{
-		{"profit (paper)", sched.PolicyProfit},
-		{"round-robin", sched.PolicyRoundRobin},
-		{"first-fit", sched.PolicyFirstFit},
-	} {
-		rels, err := s.relIPCs(&cfg, core.Options{Sched: sched.Options{Policy: p.policy}})
+		{"profit (paper)", core.Options{Sched: sched.Options{Policy: sched.PolicyProfit}}},
+		{"round-robin", core.Options{Sched: sched.Options{Policy: sched.PolicyRoundRobin}}},
+		{"first-fit", core.Options{Sched: sched.Options{Policy: sched.PolicyFirstFit}}},
+	}
+	scens := []scenario{{machine.Unified(), core.Options{}}}
+	for _, p := range policies {
+		scens = append(scens, scenario{cfg, p.opts})
+	}
+	s.prime(scens)
+	for _, p := range policies {
+		rels, err := s.relIPCs(&cfg, p.opts)
 		if err != nil {
 			return nil, err
 		}
@@ -89,11 +97,20 @@ func (s *Suite) AblationUnrollFactor() (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, factor := range []int{1, 2, 4, 8} {
-		opts := core.Options{}
+	factors := []int{1, 2, 4, 8}
+	optsFor := func(factor int) core.Options {
 		if factor > 1 {
-			opts = core.Options{Strategy: core.UnrollAll, Factor: factor}
+			return core.Options{Strategy: core.UnrollAll, Factor: factor}
 		}
+		return core.Options{}
+	}
+	scens := []scenario{{machine.Unified(), core.Options{}}}
+	for _, factor := range factors {
+		scens = append(scens, scenario{cfg, optsFor(factor)})
+	}
+	s.prime(scens)
+	for _, factor := range factors {
+		opts := optsFor(factor)
 		rels, err := s.relIPCs(&cfg, opts)
 		if err != nil {
 			return nil, err

@@ -15,63 +15,74 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/machine"
+	"repro/internal/pipeline"
 	"repro/internal/stats"
 )
 
-// Suite wraps the workload with a compilation cache: every figure
-// reuses the same (loop, config, options) compilations.
+// Suite wraps the workload with a concurrent compilation pipeline:
+// every figure reuses the same (loop, config, options) compilations,
+// and each driver primes the cache by fanning its whole compilation
+// grid across the pipeline's worker pool before building rows.
 type Suite struct {
 	Benchmarks []*corpus.Benchmark
 
-	mu    sync.Mutex
-	cache map[string]*core.Result
+	// Pipe is the shared compile cache and worker pool; callers may
+	// read its Stats after a run.
+	Pipe *pipeline.Pipeline
 }
 
-// NewSuite loads the deterministic SPECfp95 substitute.
+// NewSuite loads the deterministic SPECfp95 substitute with a
+// GOMAXPROCS-sized pipeline.
 func NewSuite() *Suite {
-	return &Suite{Benchmarks: corpus.SPECfp95(), cache: map[string]*core.Result{}}
+	return NewSuiteWith(corpus.SPECfp95())
 }
 
 // NewSuiteWith uses a custom workload (tests use a trimmed one).
 func NewSuiteWith(benchmarks []*corpus.Benchmark) *Suite {
-	return &Suite{Benchmarks: benchmarks, cache: map[string]*core.Result{}}
+	return &Suite{Benchmarks: benchmarks, Pipe: pipeline.New(0)}
 }
 
-// compile compiles one loop under the options, with the pragmatic
-// fallback the evaluation needs: when unconditional unrolling cannot be
-// scheduled (register files too small for the unrolled body), the loop
-// falls back to its non-unrolled schedule, exactly what a compiler
-// would ship.
-func (s *Suite) compile(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
-	key := fmt.Sprintf("%s/%s|%s|%d|%d|%d|%d|%d|%d",
-		l.Bench, l.Graph.Name, cfg.Name, cfg.NBuses, cfg.BusLatency,
-		opts.Scheduler, opts.Strategy, opts.Factor, opts.Sched.Policy)
-	s.mu.Lock()
-	if r, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		return r, nil
-	}
-	s.mu.Unlock()
+// NewSuiteWorkers picks the pipeline pool size explicitly; workers <= 0
+// means GOMAXPROCS.
+func NewSuiteWorkers(benchmarks []*corpus.Benchmark, workers int) *Suite {
+	return &Suite{Benchmarks: benchmarks, Pipe: pipeline.New(workers)}
+}
 
-	res, err := core.Compile(l.Graph, cfg, &opts)
-	if err != nil && opts.Strategy == core.UnrollAll {
-		fallback := opts
-		fallback.Strategy = core.NoUnroll
-		res, err = core.Compile(l.Graph, cfg, &fallback)
-	}
+// compile resolves one compilation through the pipeline (the unroll
+// fallback lives there), adding the evaluation's error context.
+func (s *Suite) compile(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+	res, err := s.Pipe.Compile(pipeline.Request{Loop: l, Cfg: *cfg, Opts: opts})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%s on %s: %w", l.Bench, l.Graph.Name, cfg.Name, err)
 	}
-
-	s.mu.Lock()
-	s.cache[key] = res
-	s.mu.Unlock()
 	return res, nil
+}
+
+// scenario pairs one machine with one option set; drivers enumerate
+// their full scenario grid up front so prime can batch it.
+type scenario struct {
+	cfg  machine.Config
+	opts core.Options
+}
+
+// prime fans every loop × scenario compilation across the pipeline's
+// worker pool.  Errors are ignored here: they are cached, so the serial
+// row-building path re-encounters them immediately and reports them
+// with full context.
+func (s *Suite) prime(scenarios []scenario) {
+	var reqs []pipeline.Request
+	for _, sc := range scenarios {
+		for _, b := range s.Benchmarks {
+			for _, l := range b.Loops {
+				reqs = append(reqs, pipeline.Request{Loop: l, Cfg: sc.cfg, Opts: sc.opts})
+			}
+		}
+	}
+	s.Pipe.CompileBatch(reqs)
 }
 
 // benchIPC aggregates one benchmark's executed operations and cycles

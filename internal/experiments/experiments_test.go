@@ -14,14 +14,7 @@ import (
 // (recurrence-heavy tomcatv, parallel swim) with three loops each.
 func trimmedSuite(t *testing.T) *Suite {
 	t.Helper()
-	full := corpus.SPECfp95()
-	var picked []*corpus.Benchmark
-	for _, b := range full {
-		if b.Name == "tomcatv" || b.Name == "swim" {
-			nb := &corpus.Benchmark{Name: b.Name, Loops: b.Loops[:3]}
-			picked = append(picked, nb)
-		}
-	}
+	picked := corpus.Trimmed([]string{"tomcatv", "swim"}, 3)
 	if len(picked) != 2 {
 		t.Fatal("trimmed suite missing benchmarks")
 	}
@@ -260,5 +253,32 @@ func TestCompileCacheHits(t *testing.T) {
 func TestClusterConfigRejectsUnknown(t *testing.T) {
 	if _, err := clusterConfig(3, 1, 1); err == nil {
 		t.Error("3-cluster accepted")
+	}
+}
+
+func TestSuitePipelineStats(t *testing.T) {
+	s := trimmedSuite(t)
+	if _, err := s.Fig4(2); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Pipe.Stats()
+	if st.Compilations == 0 {
+		t.Fatal("pipeline saw no compilations")
+	}
+	if st.Compilations != st.Misses {
+		t.Errorf("compilations %d != misses %d", st.Compilations, st.Misses)
+	}
+	// The serial row walk revisits everything prime compiled, so the
+	// cache must be doing real work.
+	if st.Hits == 0 {
+		t.Error("figure build produced no cache hits")
+	}
+	// A second identical figure is answered entirely from cache.
+	before := st.Compilations
+	if _, err := s.Fig4(2); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Pipe.Stats().Compilations; after != before {
+		t.Errorf("rebuilding Fig4 recompiled (%d -> %d compilations)", before, after)
 	}
 }

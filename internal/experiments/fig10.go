@@ -26,6 +26,37 @@ func (s *Suite) Fig10(clusters int) (*report.Table, error) {
 
 	uni := machine.Unified()
 
+	// One labelled grid drives both the prime batch and the scenario
+	// walk, so the two cannot drift apart.
+	type gridRow struct {
+		label string
+		cfg   machine.Config
+		opts  core.Options
+	}
+	grid := []gridRow{
+		{"unified no-unroll", uni, core.Options{}},
+		{fmt.Sprintf("unified unroll x%d", clusters), uni,
+			core.Options{Strategy: core.UnrollAll, Factor: clusters}},
+	}
+	for _, st := range fig8Strategies {
+		for _, v := range fig8Variants {
+			cfg, err := clusterConfig(clusters, v.buses, v.lat)
+			if err != nil {
+				return nil, err
+			}
+			grid = append(grid, gridRow{
+				fmt.Sprintf("%s B%d/L%d", st.name, v.buses, v.lat),
+				cfg,
+				core.Options{Strategy: st.strat, Factor: factorFor(st.strat, clusters)},
+			})
+		}
+	}
+	scens := make([]scenario, len(grid))
+	for i, g := range grid {
+		scens[i] = scenario{g.cfg, g.opts}
+	}
+	s.prime(scens)
+
 	baseline := make([]emitTotals, len(s.Benchmarks))
 	for i, b := range s.Benchmarks {
 		tot, err := s.codeSize(b, &uni, core.Options{})
@@ -49,24 +80,9 @@ func (s *Suite) Fig10(clusters int) (*report.Table, error) {
 		return nil
 	}
 
-	if err := addScenario("unified no-unroll", &uni, core.Options{}); err != nil {
-		return nil, err
-	}
-	if err := addScenario(fmt.Sprintf("unified unroll x%d", clusters), &uni,
-		core.Options{Strategy: core.UnrollAll, Factor: clusters}); err != nil {
-		return nil, err
-	}
-	for _, st := range fig8Strategies {
-		for _, v := range fig8Variants {
-			cfg, err := clusterConfig(clusters, v.buses, v.lat)
-			if err != nil {
-				return nil, err
-			}
-			label := fmt.Sprintf("%s B%d/L%d", st.name, v.buses, v.lat)
-			if err := addScenario(label, &cfg,
-				core.Options{Strategy: st.strat, Factor: factorFor(st.strat, clusters)}); err != nil {
-				return nil, err
-			}
+	for _, g := range grid {
+		if err := addScenario(g.label, &g.cfg, g.opts); err != nil {
+			return nil, err
 		}
 	}
 	return t, nil

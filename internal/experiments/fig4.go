@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/machine"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
@@ -26,17 +27,34 @@ func (s *Suite) Fig4(clusters int) (*report.Table, error) {
 	t := report.New(fmt.Sprintf("Figure 4 (%d-cluster): relative IPC vs number of buses", clusters), headers...)
 	t.Note = "mean over benchmarks of IPC(clustered)/IPC(unified); no unrolling"
 
+	// opts is shared between the prime batch and the row walk so the
+	// two grids cannot drift apart.
 	type series struct {
 		label string
-		sched core.Scheduler
+		opts  core.Options
 		lat   int
 	}
 	all := []series{
-		{"BSA L=1", core.BSA, 1},
-		{"BSA L=2", core.BSA, 2},
-		{"N&E L=1", core.NystromEichenberger, 1},
-		{"N&E L=2", core.NystromEichenberger, 2},
+		{"BSA L=1", core.Options{Scheduler: core.BSA}, 1},
+		{"BSA L=2", core.Options{Scheduler: core.BSA}, 2},
+		{"N&E L=1", core.Options{Scheduler: core.NystromEichenberger}, 1},
+		{"N&E L=2", core.Options{Scheduler: core.NystromEichenberger}, 2},
 	}
+
+	// Fan the whole sweep (plus the unified baseline every relative-IPC
+	// row divides by) through the pipeline before the serial row walk.
+	scens := []scenario{{machine.Unified(), core.Options{}}}
+	for _, ser := range all {
+		for _, buses := range Fig4Buses {
+			cfg, err := clusterConfig(clusters, buses, ser.lat)
+			if err != nil {
+				return nil, err
+			}
+			scens = append(scens, scenario{cfg, ser.opts})
+		}
+	}
+	s.prime(scens)
+
 	for _, ser := range all {
 		row := []any{ser.label}
 		for _, buses := range Fig4Buses {
@@ -44,7 +62,7 @@ func (s *Suite) Fig4(clusters int) (*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			rels, err := s.relIPCs(&cfg, core.Options{Scheduler: ser.sched})
+			rels, err := s.relIPCs(&cfg, ser.opts)
 			if err != nil {
 				return nil, err
 			}

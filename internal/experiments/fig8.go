@@ -56,6 +56,19 @@ func (s *Suite) Fig8(clusters int, strategy core.Strategy) (*report.Table, error
 		uniOpts = core.Options{Strategy: core.UnrollAll, Factor: clusters}
 	}
 
+	// clOpts is shared between the prime batch and the row walk so the
+	// two grids cannot drift apart.
+	clOpts := core.Options{Strategy: strategy, Factor: factorFor(strategy, clusters)}
+	scens := []scenario{{uni, uniOpts}}
+	for _, v := range fig8Variants {
+		cfg, err := clusterConfig(clusters, v.buses, v.lat)
+		if err != nil {
+			return nil, err
+		}
+		scens = append(scens, scenario{cfg, clOpts})
+	}
+	s.prime(scens)
+
 	sums := make([]stats.Accum, len(fig8Variants)+1)
 	for _, b := range s.Benchmarks {
 		row := []any{b.Name}
@@ -70,7 +83,7 @@ func (s *Suite) Fig8(clusters int, strategy core.Strategy) (*report.Table, error
 			if err != nil {
 				return nil, err
 			}
-			acc, err := s.benchIPC(b, &cfg, core.Options{Strategy: strategy, Factor: factorFor(strategy, clusters)})
+			acc, err := s.benchIPC(b, &cfg, clOpts)
 			if err != nil {
 				return nil, err
 			}

@@ -247,6 +247,20 @@ func TwoCluster(buses, busLat int) Config {
 	}
 }
 
+// Table1Configs returns every machine configuration the paper's
+// evaluation visits: the unified baseline plus the 2- and 4-cluster
+// machines at one and two buses, bus latencies 1 and 2.  Sweeps (the
+// differential tests, cmd/vliwsched's batch mode) iterate over it.
+func Table1Configs() []Config {
+	cfgs := []Config{Unified()}
+	for _, buses := range []int{1, 2} {
+		for _, lat := range []int{1, 2} {
+			cfgs = append(cfgs, TwoCluster(buses, lat), FourCluster(buses, lat))
+		}
+	}
+	return cfgs
+}
+
 // FourCluster returns the paper's 4-cluster configuration: one FU of each
 // class and 16 registers per cluster (Table 1).
 func FourCluster(buses, busLat int) Config {

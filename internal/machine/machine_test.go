@@ -179,3 +179,23 @@ func TestHeteroString(t *testing.T) {
 		}
 	}
 }
+
+func TestTable1Configs(t *testing.T) {
+	cfgs := Table1Configs()
+	if len(cfgs) != 9 {
+		t.Fatalf("Table1Configs has %d entries, want 9 (unified + 2/4 clusters x B1/B2 x L1/L2)", len(cfgs))
+	}
+	seen := map[string]bool{}
+	for _, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+		if cfg.TotalIssueWidth() != 12 {
+			t.Errorf("%s: issue width %d, want 12", cfg.Name, cfg.TotalIssueWidth())
+		}
+		if seen[cfg.Name] {
+			t.Errorf("duplicate config %s", cfg.Name)
+		}
+		seen[cfg.Name] = true
+	}
+}

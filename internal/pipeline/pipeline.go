@@ -1,0 +1,269 @@
+// Package pipeline is the concurrent batch-compilation subsystem: a
+// sharded, deduplicating compile cache in front of core.Compile plus a
+// bounded worker pool that fans batches of compile requests out across
+// CPUs while preserving result order.
+//
+// The experiments drivers, cmd/experiments and cmd/vliwsched all funnel
+// their compilations through one Pipeline, so a figure that revisits a
+// (loop, machine, options) combination pays for it once no matter how
+// many goroutines ask, and a batch of independent compilations uses
+// every core.
+//
+// Concurrency model: the cache is split into shards, each guarded by
+// its own mutex, so concurrent requests for different keys rarely
+// contend.  The first request for a key claims an in-flight entry and
+// compiles outside any lock; later requests for the same key join that
+// entry (singleflight) and block on its done channel until the result
+// lands.  Results — including errors, since compilation is
+// deterministic — are cached forever; a Pipeline's lifetime is one
+// experiment run.  CompileBatch feeds a fixed pool of worker goroutines
+// from a channel of indices and writes each response into the slot of
+// its request, so the returned slice is deterministic regardless of
+// completion order.
+package pipeline
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/machine"
+)
+
+// numShards splits the cache; 32 is comfortably above any worker count
+// this library runs with.
+const numShards = 32
+
+// Request identifies one compilation: a loop, a target machine and the
+// compile options.
+type Request struct {
+	Loop *corpus.Loop
+	Cfg  machine.Config
+	Opts core.Options
+}
+
+// cacheable reports whether the request can be keyed: per-run slices
+// (an explicit node order or a fixed assignment) have no stable textual
+// identity, so such requests always compile.
+func (r Request) cacheable() bool {
+	return r.Opts.Sched.Order == nil && r.Opts.Sched.Assignment == nil
+}
+
+// key builds the cache identity.  The loop is identified by its graph
+// pointer (graphs are immutable once built and cache entries live only
+// for the pipeline's lifetime), so two distinct graphs sharing a name
+// never alias; Bench and Name ride along for debuggability.  Every
+// Config field that can change a schedule (including the FU mix and
+// any heterogeneous layout) and every keyable option is included
+// alongside the config Name, so two distinct configurations sharing a
+// label never collide either.
+func (r Request) key() string {
+	return fmt.Sprintf("%p:%s/%s|%s|%d|%v|%v|%d|%d|%d|%d|%d|%d|%d|%d|%d",
+		r.Loop.Graph, r.Loop.Bench, r.Loop.Graph.Name,
+		r.Cfg.Name, r.Cfg.NClusters, r.Cfg.FUsPerCluster, r.Cfg.Hetero,
+		r.Cfg.NBuses, r.Cfg.BusLatency, r.Cfg.RegsPerCluster,
+		r.Opts.Scheduler, r.Opts.Strategy, r.Opts.Factor,
+		r.Opts.Sched.Policy, r.Opts.Sched.MaxII, r.Opts.Sched.ForceII)
+}
+
+// Response pairs one batch request's result with its error.
+type Response struct {
+	Result *core.Result
+	Err    error
+}
+
+// Stats is a point-in-time snapshot of pipeline activity.
+type Stats struct {
+	// Hits counts requests answered from a completed cache entry.
+	Hits int64
+	// Misses counts requests that had to compile (including uncacheable
+	// ones).
+	Misses int64
+	// DedupJoins counts requests that found their key already in flight
+	// and waited for the first requester's result.
+	DedupJoins int64
+	// Compilations counts CompileFunc invocations (== Misses).  The
+	// default CompileFunc may run core.Compile twice inside one counted
+	// compilation when the unroll fallback engages.
+	Compilations int64
+	// CompileTime is total time spent inside core.Compile, summed over
+	// workers (it exceeds wall time when workers overlap).
+	CompileTime time.Duration
+	// WallTime is total wall-clock time spent inside CompileBatch calls.
+	WallTime time.Duration
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("pipeline: %d hits, %d misses, %d dedup joins, %d compilations, compile %v, wall %v",
+		s.Hits, s.Misses, s.DedupJoins, s.Compilations,
+		s.CompileTime.Round(time.Millisecond), s.WallTime.Round(time.Millisecond))
+}
+
+// CompileFunc performs one compilation; Pipeline's default wraps
+// core.Compile with the evaluation's unroll fallback.
+type CompileFunc func(*corpus.Loop, *machine.Config, core.Options) (*core.Result, error)
+
+// entry is one cache slot: done closes when res/err are final.
+type entry struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// Pipeline is a concurrent compile cache with a bounded worker pool.
+// It is safe for use by any number of goroutines.
+type Pipeline struct {
+	workers int
+	compile CompileFunc
+
+	shards [numShards]shard
+
+	hits, misses, joins, compilations atomic.Int64
+	compileNS, wallNS                 atomic.Int64
+}
+
+// New returns a Pipeline whose batch pool runs the given number of
+// workers; workers <= 0 means GOMAXPROCS.
+func New(workers int) *Pipeline {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pipeline{workers: workers, compile: compileOne}
+	for i := range p.shards {
+		p.shards[i].entries = map[string]*entry{}
+	}
+	return p
+}
+
+// Workers returns the batch pool size.
+func (p *Pipeline) Workers() int { return p.workers }
+
+// compileOne is the default CompileFunc: core.Compile with the
+// pragmatic fallback the evaluation needs — when unconditional
+// unrolling cannot be scheduled (register files too small for the
+// unrolled body), the loop falls back to its non-unrolled schedule,
+// exactly what a compiler would ship.
+func compileOne(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+	res, err := core.Compile(l.Graph, cfg, &opts)
+	if err != nil && opts.Strategy == core.UnrollAll {
+		fallback := opts
+		fallback.Strategy = core.NoUnroll
+		res, err = core.Compile(l.Graph, cfg, &fallback)
+	}
+	return res, err
+}
+
+func shardOf(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % numShards)
+}
+
+// Compile resolves one request through the cache: a completed entry is
+// a hit, an in-flight entry is joined, and a fresh key compiles exactly
+// once no matter how many goroutines race for it.
+func (p *Pipeline) Compile(req Request) (*core.Result, error) {
+	if !req.cacheable() {
+		p.misses.Add(1)
+		return p.run(req)
+	}
+	key := req.key()
+	sh := &p.shards[shardOf(key)]
+
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		sh.mu.Unlock()
+		select {
+		case <-e.done:
+			p.hits.Add(1)
+		default:
+			p.joins.Add(1)
+			<-e.done
+		}
+		return e.res, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	sh.entries[key] = e
+	sh.mu.Unlock()
+
+	p.misses.Add(1)
+	e.res, e.err = p.run(req)
+	close(e.done)
+	return e.res, e.err
+}
+
+// run performs the compilation and accounts for it.
+func (p *Pipeline) run(req Request) (*core.Result, error) {
+	start := time.Now()
+	res, err := p.compile(req.Loop, &req.Cfg, req.Opts)
+	p.compileNS.Add(time.Since(start).Nanoseconds())
+	p.compilations.Add(1)
+	return res, err
+}
+
+// CompileBatch fans the requests across the worker pool and returns one
+// response per request, in request order.  Duplicate requests inside a
+// batch compile once; errors are reported per slot, never aborting the
+// rest of the batch.
+func (p *Pipeline) CompileBatch(reqs []Request) []Response {
+	start := time.Now()
+	out := make([]Response, len(reqs))
+
+	workers := p.workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := p.Compile(reqs[i])
+				out[i] = Response{Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	p.wallNS.Add(time.Since(start).Nanoseconds())
+	return out
+}
+
+// Stats snapshots the counters.
+func (p *Pipeline) Stats() Stats {
+	return Stats{
+		Hits:         p.hits.Load(),
+		Misses:       p.misses.Load(),
+		DedupJoins:   p.joins.Load(),
+		Compilations: p.compilations.Load(),
+		CompileTime:  time.Duration(p.compileNS.Load()),
+		WallTime:     time.Duration(p.wallNS.Load()),
+	}
+}
+
+// Len returns the number of cached entries (completed or in flight).
+func (p *Pipeline) Len() int {
+	n := 0
+	for i := range p.shards {
+		p.shards[i].mu.Lock()
+		n += len(p.shards[i].entries)
+		p.shards[i].mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,304 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/order"
+	"repro/internal/sched"
+)
+
+// testLoops builds a handful of distinct loops around the shared sample
+// graphs.
+func testLoops(n int) []*corpus.Loop {
+	makers := []func() *ddg.Graph{
+		ddg.SampleStencil, ddg.SampleDotProduct, ddg.SampleFigure7,
+		func() *ddg.Graph { return ddg.SampleChain(5) },
+		func() *ddg.Graph { return ddg.SampleIndependent(6) },
+	}
+	var loops []*corpus.Loop
+	for i := 0; i < n; i++ {
+		g := makers[i%len(makers)]()
+		g.Name = fmt.Sprintf("%s#%d", g.Name, i)
+		loops = append(loops, &corpus.Loop{Graph: g, Iters: 16, Weight: 1, Bench: "test"})
+	}
+	return loops
+}
+
+// TestExactlyOnceUnderContention hammers a small overlapping key set
+// from 32 goroutines and asserts each key is compiled exactly once,
+// with every other request accounted as a hit or a dedup join.
+func TestExactlyOnceUnderContention(t *testing.T) {
+	const (
+		goroutines = 32
+		perG       = 64
+		keys       = 8
+	)
+	loops := testLoops(keys)
+
+	p := New(4)
+	var mu sync.Mutex
+	compiled := map[string]int{}
+	p.compile = func(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+		mu.Lock()
+		compiled[l.Graph.Name]++
+		mu.Unlock()
+		time.Sleep(time.Millisecond) // widen the in-flight window
+		return &core.Result{Factor: 1}, nil
+	}
+
+	cfg := machine.TwoCluster(1, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				req := Request{Loop: loops[(g+i)%keys], Cfg: cfg}
+				if _, err := p.Compile(req); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for name, n := range compiled {
+		if n != 1 {
+			t.Errorf("loop %s compiled %d times, want exactly once", name, n)
+		}
+	}
+	if len(compiled) != keys {
+		t.Errorf("compiled %d distinct keys, want %d", len(compiled), keys)
+	}
+	st := p.Stats()
+	if st.Compilations != keys || st.Misses != keys {
+		t.Errorf("stats report %d compilations / %d misses, want %d", st.Compilations, st.Misses, keys)
+	}
+	if total := st.Hits + st.Misses + st.DedupJoins; total != goroutines*perG {
+		t.Errorf("hits+misses+joins = %d, want %d requests", total, goroutines*perG)
+	}
+	if p.Len() != keys {
+		t.Errorf("cache holds %d entries, want %d", p.Len(), keys)
+	}
+}
+
+// TestBatchPreservesOrder checks CompileBatch writes each response into
+// its request's slot regardless of completion order.
+func TestBatchPreservesOrder(t *testing.T) {
+	loops := testLoops(24)
+	p := New(8)
+	p.compile = func(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+		time.Sleep(time.Duration(len(l.Graph.Name)%5) * time.Millisecond)
+		return &core.Result{Factor: l.Graph.NumNodes()}, nil
+	}
+	cfg := machine.FourCluster(1, 1)
+	var reqs []Request
+	for _, l := range loops {
+		reqs = append(reqs, Request{Loop: l, Cfg: cfg})
+	}
+	resps := p.CompileBatch(reqs)
+	if len(resps) != len(reqs) {
+		t.Fatalf("got %d responses for %d requests", len(resps), len(reqs))
+	}
+	for i, r := range resps {
+		if r.Err != nil {
+			t.Fatalf("slot %d: %v", i, r.Err)
+		}
+		if want := reqs[i].Loop.Graph.NumNodes(); r.Result.Factor != want {
+			t.Errorf("slot %d: result for a different request (factor %d, want %d)",
+				i, r.Result.Factor, want)
+		}
+	}
+	if st := p.Stats(); st.WallTime <= 0 {
+		t.Error("batch recorded no wall time")
+	}
+}
+
+// TestBatchReportsErrorsPerSlot checks one failing compilation does not
+// poison the rest of the batch.
+func TestBatchReportsErrorsPerSlot(t *testing.T) {
+	loops := testLoops(6)
+	boom := errors.New("boom")
+	p := New(3)
+	p.compile = func(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+		if l == loops[2] {
+			return nil, boom
+		}
+		return &core.Result{Factor: 1}, nil
+	}
+	cfg := machine.TwoCluster(1, 1)
+	var reqs []Request
+	for _, l := range loops {
+		reqs = append(reqs, Request{Loop: l, Cfg: cfg})
+	}
+	resps := p.CompileBatch(reqs)
+	for i, r := range resps {
+		if i == 2 {
+			if !errors.Is(r.Err, boom) {
+				t.Errorf("slot 2: err = %v, want boom", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Errorf("slot %d: unexpected error %v", i, r.Err)
+		}
+	}
+}
+
+// TestRealCompileCacheIdentity drives the default CompileFunc end to
+// end: the second identical request must return the same *core.Result.
+func TestRealCompileCacheIdentity(t *testing.T) {
+	l := &corpus.Loop{Graph: ddg.SampleStencil(), Iters: 16, Weight: 1, Bench: "test"}
+	p := New(2)
+	cfg := machine.FourCluster(2, 1)
+	req := Request{Loop: l, Cfg: cfg, Opts: core.Options{Strategy: core.SelectiveUnroll}}
+	a, err := p.Compile(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Compile(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cache miss for identical request")
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if st.CompileTime <= 0 {
+		t.Error("no compile time recorded")
+	}
+}
+
+// TestUnrollFallback checks the default CompileFunc falls back to
+// NoUnroll when unconditional unrolling cannot be scheduled, matching
+// what the serial experiments cache did.
+func TestUnrollFallback(t *testing.T) {
+	// A big unroll factor on the register-starved, slow-bus 4-cluster
+	// machine cannot be scheduled; the fallback must hand back factor 1.
+	l := &corpus.Loop{Graph: ddg.SampleFigure7(), Iters: 16, Weight: 1, Bench: "test"}
+	p := New(1)
+	cfg := machine.FourCluster(1, 4)
+	res, err := p.Compile(Request{Loop: l, Cfg: cfg,
+		Opts: core.Options{Strategy: core.UnrollAll, Factor: 16}})
+	if err != nil {
+		t.Fatalf("fallback did not rescue the unschedulable unroll: %v", err)
+	}
+	if res.Factor != 1 {
+		t.Errorf("factor = %d, want the NoUnroll fallback (1)", res.Factor)
+	}
+}
+
+// TestUncacheableRequestsBypass checks per-run slices (explicit order,
+// fixed assignment) are never cached: they have no stable key.
+func TestUncacheableRequestsBypass(t *testing.T) {
+	l := &corpus.Loop{Graph: ddg.SampleChain(4), Iters: 8, Weight: 1, Bench: "test"}
+	p := New(1)
+	cfg := machine.TwoCluster(1, 1)
+	req := Request{Loop: l, Cfg: cfg,
+		Opts: core.Options{Sched: sched.Options{Order: order.Topological(l.Graph)}}}
+	if _, err := p.Compile(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Compile(req); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Compilations != 2 {
+		t.Errorf("uncacheable request compiled %d times over 2 calls, want 2", st.Compilations)
+	}
+	if p.Len() != 0 {
+		t.Errorf("uncacheable request left %d cache entries", p.Len())
+	}
+}
+
+// TestErrorsAreCached checks a deterministic failure is cached like a
+// success: the second request must not recompile.
+func TestErrorsAreCached(t *testing.T) {
+	l := testLoops(1)[0]
+	p := New(1)
+	calls := 0
+	p.compile = func(*corpus.Loop, *machine.Config, core.Options) (*core.Result, error) {
+		calls++
+		return nil, errors.New("deterministic failure")
+	}
+	cfg := machine.TwoCluster(1, 1)
+	req := Request{Loop: l, Cfg: cfg}
+	if _, err := p.Compile(req); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := p.Compile(req); err == nil {
+		t.Fatal("want cached error")
+	}
+	if calls != 1 {
+		t.Errorf("compile ran %d times, want 1", calls)
+	}
+}
+
+// TestKeySeparatesConfigsAndOptions checks distinct machines or options
+// never alias in the cache even when names collide.
+func TestKeySeparatesConfigsAndOptions(t *testing.T) {
+	l := testLoops(1)[0]
+	a := machine.TwoCluster(1, 1)
+	b := machine.TwoCluster(1, 1)
+	b.Name = a.Name // same label...
+	b.NBuses = 2    // ...different machine
+	c := machine.TwoCluster(1, 1)
+	c.FUsPerCluster = [machine.NumFUClasses]int{3, 2, 1} // different FU mix, same label
+	h := machine.TwoCluster(1, 1)
+	h.Hetero = [][machine.NumFUClasses]int{{2, 2, 2}, {1, 1, 1}}
+	reqs := []Request{
+		{Loop: l, Cfg: a},
+		{Loop: l, Cfg: b},
+		{Loop: l, Cfg: c},
+		{Loop: l, Cfg: h},
+		{Loop: l, Cfg: a, Opts: core.Options{Strategy: core.SelectiveUnroll}},
+		{Loop: l, Cfg: a, Opts: core.Options{Scheduler: core.NystromEichenberger}},
+		{Loop: l, Cfg: a, Opts: core.Options{Sched: sched.Options{MaxII: 9}}},
+	}
+	seen := map[string]bool{}
+	for _, r := range reqs {
+		k := r.key()
+		if seen[k] {
+			t.Errorf("key collision: %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+// TestKeySeparatesDistinctGraphsWithSameName checks two different
+// graphs sharing Bench and Name never alias in the cache: the key is
+// anchored on graph identity.
+func TestKeySeparatesDistinctGraphsWithSameName(t *testing.T) {
+	g1, g2 := ddg.SampleChain(3), ddg.SampleChain(4)
+	g2.Name = g1.Name
+	l1 := &corpus.Loop{Graph: g1, Iters: 8, Weight: 1, Bench: "b"}
+	l2 := &corpus.Loop{Graph: g2, Iters: 8, Weight: 1, Bench: "b"}
+	p := New(1)
+	cfg := machine.TwoCluster(1, 1)
+	r1, err := p.Compile(Request{Loop: l1, Cfg: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Compile(Request{Loop: l2, Cfg: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 {
+		t.Fatal("distinct graphs with the same name aliased in the cache")
+	}
+	if r1.Schedule.Graph != g1 || r2.Schedule.Graph != g2 {
+		t.Error("results wired to the wrong graphs")
+	}
+}

@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// fuzzConfigs are the clustered machines the fuzzer schedules on: the
+// paper's 2- and 4-cluster configurations at contrasting bus shapes.
+var fuzzConfigs = []machine.Config{
+	machine.TwoCluster(1, 1),
+	machine.TwoCluster(2, 2),
+	machine.FourCluster(1, 1),
+	machine.FourCluster(2, 2),
+}
+
+// fuzzGraph builds a random small DDG.  nNodes == 0 selects one of the
+// known-good sample graphs of ddg/samples.go (scaled by seed), so the
+// corpus stays anchored on the shapes the paper discusses; otherwise a
+// random DAG of nNodes operations is grown with forward true
+// dependences from value producers, a sprinkle of memory-ordering
+// edges, and up to two loop-carried recurrences.
+func fuzzGraph(seed uint64, nNodes, nExtra uint8) *ddg.Graph {
+	if nNodes == 0 {
+		switch seed % 5 {
+		case 0:
+			return ddg.SampleDotProduct()
+		case 1:
+			return ddg.SampleFigure7()
+		case 2:
+			return ddg.SampleStencil()
+		case 3:
+			return ddg.SampleChain(3 + int(seed/5)%8)
+		default:
+			return ddg.SampleIndependent(2 + int(seed/5)%10)
+		}
+	}
+	n := int(nNodes)
+	if n > 16 {
+		n = 2 + n%15
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	classes := []machine.OpClass{
+		machine.OpIAdd, machine.OpIMul, machine.OpLoad, machine.OpStore,
+		machine.OpFAdd, machine.OpFMul, machine.OpFDiv,
+	}
+	g := ddg.New("fuzz")
+	for i := 0; i < n; i++ {
+		g.AddNode("n", classes[rng.Intn(len(classes))])
+	}
+	// Forward edges keep the zero-distance subgraph acyclic; true deps
+	// must leave a value-producing node.
+	for i := 1; i < n; i++ {
+		from := rng.Intn(i)
+		if g.Node(from).Class.ProducesValue() {
+			g.AddTrueDep(from, i, 0)
+		} else {
+			g.AddMemDep(from, i, 0)
+		}
+	}
+	for e := 0; e < int(nExtra)%8; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		switch {
+		case a < b && g.Node(a).Class.ProducesValue():
+			g.AddTrueDep(a, b, rng.Intn(2))
+		case a < b:
+			g.AddMemDep(a, b, rng.Intn(2))
+		case g.Node(a).Class.ProducesValue():
+			// Backward or self edge: loop-carried only.
+			g.AddTrueDep(a, b, 1+rng.Intn(2))
+		}
+	}
+	if g.Validate() != nil {
+		return nil
+	}
+	return g
+}
+
+// FuzzSchedule generates random small DDGs, schedules them on the
+// paper's 2- and 4-cluster configurations, and asserts the independent
+// validator's invariants (FU and bus occupancy, dependence distances,
+// cross-cluster transfers, register pressure) never fire on a schedule
+// the scheduler claims succeeded.  A scheduling failure (register file
+// too small, unroutable communication) is a legitimate outcome, not a
+// finding.
+func FuzzSchedule(f *testing.F) {
+	// Anchors: every sample graph, plus assorted random shapes.
+	for s := uint64(0); s < 5; s++ {
+		f.Add(s, uint8(0), uint8(0), uint8(s%4))
+	}
+	f.Add(uint64(1), uint8(6), uint8(3), uint8(0))
+	f.Add(uint64(42), uint8(10), uint8(5), uint8(2))
+	f.Add(uint64(7), uint8(14), uint8(7), uint8(1))
+	f.Add(uint64(123), uint8(9), uint8(6), uint8(3))
+
+	f.Fuzz(func(t *testing.T, seed uint64, nNodes, nExtra, cfgPick uint8) {
+		g := fuzzGraph(seed, nNodes, nExtra)
+		if g == nil {
+			t.Skip("generator produced an invalid graph")
+		}
+		cfg := fuzzConfigs[int(cfgPick)%len(fuzzConfigs)]
+		s, err := ScheduleGraph(g, &cfg, nil)
+		if err != nil {
+			t.Skip("graph not schedulable on this machine")
+		}
+		if err := Validate(s); err != nil {
+			t.Fatalf("scheduler produced an invalid schedule on %s: %v\ngraph: %s",
+				cfg.Name, err, g)
+		}
+		if s.II < s.MinII {
+			t.Fatalf("II %d below MinII %d on %s", s.II, s.MinII, cfg.Name)
+		}
+	})
+}

@@ -71,6 +71,64 @@ func perturb(r *rand.Rand, s *sched.Schedule) *sched.Schedule {
 	return &c
 }
 
+// TestDifferentialSweep is the scheduler's differential test: for every
+// machine configuration of Table 1 and every loop of a trimmed corpus,
+// the BSA schedule is run through the simulator (the independent
+// oracle) and the dynamic observations must match the scheduler's
+// claims — the simulator-observed II (the cycle delta between
+// consecutive iteration counts), the closed-form cycle count, and value
+// agreement (the simulator finds every operand token at exactly the
+// claimed cycle and cluster, or it errors).
+func TestDifferentialSweep(t *testing.T) {
+	var loops []*corpus.Loop
+	for _, b := range corpus.Trimmed([]string{"tomcatv", "swim", "hydro2d"}, 3) {
+		loops = append(loops, b.Loops...)
+	}
+	if len(loops) != 9 {
+		t.Fatalf("trimmed corpus has %d loops, want 9", len(loops))
+	}
+	for _, cfg := range machine.Table1Configs() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			for _, l := range loops {
+				res, err := core.Compile(l.Graph, &cfg, &core.Options{})
+				if err != nil {
+					t.Fatalf("%s/%s: %v", l.Bench, l.Graph.Name, err)
+				}
+				s := res.Schedule
+				if err := sched.Validate(s); err != nil {
+					t.Fatalf("%s/%s: validator rejects: %v", l.Bench, l.Graph.Name, err)
+				}
+				const iters = 12
+				// Value agreement: a missing/late token, bus collision or
+				// pressure overflow aborts Run with an error.
+				a, err := Run(s, iters)
+				if err != nil {
+					t.Fatalf("%s/%s: simulator disagrees with scheduler: %v",
+						l.Bench, l.Graph.Name, err)
+				}
+				b, err := Run(s, iters+1)
+				if err != nil {
+					t.Fatalf("%s/%s: simulator disagrees at %d iters: %v",
+						l.Bench, l.Graph.Name, iters+1, err)
+				}
+				if observedII := b.Cycles - a.Cycles; observedII != s.II {
+					t.Errorf("%s/%s: simulator-observed II %d, scheduler claims %d",
+						l.Bench, l.Graph.Name, observedII, s.II)
+				}
+				if want := s.Cycles(iters); a.Cycles != want {
+					t.Errorf("%s/%s: simulated %d cycles, closed form says %d",
+						l.Bench, l.Graph.Name, a.Cycles, want)
+				}
+				// Static-vs-dynamic metric agreement (pressure, bus busy).
+				if err := Verify(s, iters); err != nil {
+					t.Errorf("%s/%s: %v", l.Bench, l.Graph.Name, err)
+				}
+			}
+		})
+	}
+}
+
 // TestCorpusEndToEnd simulates every corpus loop on the paper's three
 // machines, cross-checking static metrics against dynamic observations.
 func TestCorpusEndToEnd(t *testing.T) {
