@@ -3,12 +3,19 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|table2|fig4|fig8|fig9|fig10|ablations] [-markdown] [-workers N]
+//	experiments [-run all|table1|table2|fig4|fig8|fig9|fig10|optgap|ablations] [-markdown] [-workers N] [-trim N]
 //
 // With -markdown the tables are printed as GitHub Markdown (the format
 // EXPERIMENTS.md records).  Compilations run through the concurrent
 // pipeline (internal/pipeline); -workers sizes its pool (default
 // GOMAXPROCS) and the cache statistics are printed to stderr at exit.
+//
+// -run optgap scores BSA against the exact branch-and-bound oracle
+// (internal/exact) on every Table 1 configuration; it is the slowest
+// artefact (minutes on the full corpus) and therefore NOT part of
+// -run all — ask for it explicitly.  -trim N cuts every benchmark to
+// its first N loops — the CI smoke uses it to keep the oracle sweep
+// to seconds.
 package main
 
 import (
@@ -19,17 +26,19 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/exact"
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
 
 func main() {
-	run := flag.String("run", "all", "which artefact to regenerate (all, table1, table2, fig4, fig8, fig9, fig10, ablations)")
+	run := flag.String("run", "all", "which artefact to regenerate (all, table1, table2, fig4, fig8, fig9, fig10, optgap, ablations)")
 	markdown := flag.Bool("markdown", false, "emit GitHub Markdown instead of ASCII")
 	workers := flag.Int("workers", 0, "pipeline worker count (0 = GOMAXPROCS)")
+	trim := flag.Int("trim", 0, "keep only the first N loops of every benchmark (0 = full corpus)")
 	flag.Parse()
 
-	suite := experiments.NewSuiteWorkers(corpus.SPECfp95(), *workers)
+	suite := experiments.NewSuiteWorkers(loadCorpus(*trim), *workers)
 	emit := func(t *report.Table, err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -69,6 +78,11 @@ func main() {
 		emit(suite.Fig10(2))
 		emit(suite.Fig10(4))
 	}
+	// The oracle sweep takes minutes on the full corpus: explicit only,
+	// never folded into -run all.
+	if *run == "optgap" {
+		emit(suite.OptGapTable(exact.Budget{}))
+	}
 	if want("ablations") {
 		emit(suite.AblationPolicy())
 		emit(suite.AblationOrdering())
@@ -76,4 +90,17 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "total time: %v\n", time.Since(start).Round(time.Millisecond))
 	fmt.Fprintf(os.Stderr, "%v (%d workers)\n", suite.Pipe.Stats(), suite.Pipe.Workers())
+}
+
+// loadCorpus returns the full synthetic SPECfp95 suite, or every
+// benchmark cut to trim loops when trim > 0.
+func loadCorpus(trim int) []*corpus.Benchmark {
+	if trim <= 0 {
+		return corpus.SPECfp95()
+	}
+	var names []string
+	for _, p := range corpus.Profiles() {
+		names = append(names, p.Name)
+	}
+	return corpus.Trimmed(names, trim)
 }

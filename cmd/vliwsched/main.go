@@ -9,7 +9,8 @@
 //	-config unified|2cluster|4cluster   target machine (default 4cluster)
 //	-buses N                            bus count (default 1)
 //	-buslat N                           bus latency (default 1)
-//	-scheduler bsa|ne                   BSA or Nystrom-Eichenberger
+//	-scheduler bsa|ne|exact             BSA, Nystrom-Eichenberger, or the
+//	                                    exact branch-and-bound oracle
 //	-unroll none|all|selective          unrolling strategy
 //	-dot                                print the DDG in Graphviz DOT and exit
 //	-batch                              compile every corpus loop on every
@@ -43,7 +44,7 @@ func main() {
 	configName := flag.String("config", "4cluster", "machine: unified, 2cluster or 4cluster")
 	buses := flag.Int("buses", 1, "number of inter-cluster buses")
 	busLat := flag.Int("buslat", 1, "bus latency in cycles")
-	scheduler := flag.String("scheduler", "bsa", "bsa or ne (Nystrom-Eichenberger)")
+	scheduler := flag.String("scheduler", "bsa", "bsa, ne (Nystrom-Eichenberger) or exact (optimality oracle)")
 	unrollMode := flag.String("unroll", "none", "none, all or selective")
 	dot := flag.Bool("dot", false, "print the dependence graph in DOT and exit")
 	batch := flag.Bool("batch", false, "compile the whole corpus on every Table 1 config concurrently")
@@ -55,6 +56,8 @@ func main() {
 	case "bsa":
 	case "ne":
 		opts.Scheduler = core.NystromEichenberger
+	case "exact":
+		opts.Scheduler = core.Exact
 	default:
 		fatal(fmt.Errorf("unknown scheduler %q", *scheduler))
 	}
@@ -135,6 +138,9 @@ func main() {
 	}
 	if opts.Strategy == core.SelectiveUnroll {
 		fmt.Println("selective unrolling:", res.Decision)
+	}
+	if res.Exact != nil {
+		fmt.Println(res.Exact)
 	}
 	fmt.Println(res.Schedule)
 	fmt.Println(emit.Emit(res.Schedule))

@@ -13,9 +13,21 @@
 // with a bounded worker pool: each (loop, machine, options) key is
 // compiled exactly once per pipeline, batches fan out across
 // GOMAXPROCS workers with deterministic result ordering, and a Stats
-// snapshot reports hits, misses, dedup joins and timing.  The
-// experiments drivers prime the pipeline with each figure's whole
-// compilation grid before building rows, and cmd/vliwsched's -batch
-// mode compiles the full corpus across every Table 1 configuration
-// concurrently.
+// snapshot reports hits, misses, dedup joins, unroll fallbacks and
+// timing.  The experiments drivers prime the pipeline with each
+// figure's whole compilation grid before building rows, and
+// cmd/vliwsched's -batch mode compiles the full corpus across every
+// Table 1 configuration concurrently.
+//
+// internal/exact is the optimality oracle: a branch-and-bound modulo
+// scheduler built on the production scheduler's own attempt state
+// (sched.Attempt — same reservation table, bus planner, register check
+// and placement windows), sweeping IIs from MinII upward and proving
+// minimality when its node/step budget holds.  Since every BSA
+// placement is one path of the exhaustive search, a proved exact II is
+// a hard lower bound on BSA's — the differential tests in
+// internal/sched assert it on every sample graph, fuzz seed and small
+// corpus loop, and experiments.OptGapTable (cmd/experiments -run
+// optgap) reports the per-benchmark optimality gap across the Table 1
+// machines.
 package repro

@@ -58,7 +58,10 @@ func NystromEichenberger(g *ddg.Graph, cfg *machine.Config, opts *Options) (*sch
 	}
 
 	ord := order.SMS(g)
-	minII := g.MinII(cfg)
+	// As in BSA, a MinII raised to the bus-latency floor (ddg.BusMII)
+	// means lower IIs were abandoned for the bus without being attempted;
+	// keep the LimitedByBus signal alive.
+	minII, busFloored := g.MinIIFloored(cfg)
 	maxII := opts.MaxII
 	if maxII == 0 {
 		maxII = minII + seqBound(g, cfg)
@@ -74,7 +77,7 @@ func NystromEichenberger(g *ddg.Graph, cfg *machine.Config, opts *Options) (*sch
 		})
 		if err == nil {
 			s.MinII = minII
-			s.BusLimited = causes[sched.CauseComm] > 0
+			s.BusLimited = causes[sched.CauseComm] > 0 || busFloored
 			s.Causes = causes
 			return s, nil
 		}

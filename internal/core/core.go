@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/assign"
 	"repro/internal/ddg"
+	"repro/internal/exact"
 	"repro/internal/machine"
 	"repro/internal/sched"
 	"repro/internal/unroll"
@@ -34,6 +35,13 @@ const (
 	// NystromEichenberger is the two-phase baseline: assign first,
 	// schedule second, restart on failure with II+1.
 	NystromEichenberger
+	// Exact is the branch-and-bound optimality oracle (internal/exact):
+	// it returns the minimum-II schedule within its search budget and,
+	// when the budget holds, a proof of minimality.  Strategies NoUnroll
+	// and UnrollAll are supported; SelectiveUnroll is not, because the
+	// Figure 6 test keys on heuristic bus-failure telemetry the
+	// exhaustive search does not produce.
+	Exact
 )
 
 // Strategy selects the unrolling policy applied before scheduling.
@@ -60,6 +68,9 @@ type Options struct {
 	Factor int
 	// Sched forwards low-level scheduling options (ablation hooks).
 	Sched sched.Options
+	// Exact budgets the optimality oracle (Scheduler == Exact only);
+	// the zero value means the exact package's defaults.
+	Exact exact.Budget
 }
 
 // Result is a finished compilation.
@@ -72,6 +83,14 @@ type Result struct {
 	// Decision is the selective-unrolling audit trail (zero value unless
 	// Strategy was SelectiveUnroll or UnrollAll).
 	Decision unroll.Decision
+	// Exact carries the oracle's proof metadata (Proved, LowerBound,
+	// Steps); nil unless Scheduler was Exact.
+	Exact *exact.Result
+	// FellBack reports that the compile pipeline's UnrollAll→NoUnroll
+	// fallback produced this result: Schedule is a non-unrolled schedule
+	// even though unrolling was requested.  Decision.FailReason records
+	// why.  Always false straight out of Compile.
+	FellBack bool
 }
 
 // IterationII returns the effective initiation interval per *original*
@@ -90,6 +109,9 @@ func Compile(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Result, error) 
 
 	if opts.Scheduler == NystromEichenberger {
 		return compileNE(g, cfg, opts)
+	}
+	if opts.Scheduler == Exact {
+		return compileExact(g, cfg, opts)
 	}
 
 	switch opts.Strategy {
@@ -115,6 +137,40 @@ func Compile(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Result, error) 
 			return nil, err
 		}
 		return &Result{Schedule: res.Schedule, Factor: res.Decision.Factor, Decision: res.Decision}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %d", opts.Strategy)
+	}
+}
+
+// compileExact drives the optimality oracle.  The unrolled variant
+// searches the unrolled graph under the same budget; large unrolled
+// bodies fail fast with exact.ErrTooLarge rather than searching.
+func compileExact(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Result, error) {
+	budget := opts.Exact
+	switch opts.Strategy {
+	case NoUnroll:
+		er, err := exact.Schedule(g, cfg, &budget)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: er.Schedule, Factor: 1, Exact: er}, nil
+	case UnrollAll:
+		f := opts.Factor
+		if f == 0 {
+			f = cfg.NClusters
+		}
+		ug := g
+		if f > 1 {
+			ug = g.Unroll(f)
+		}
+		er, err := exact.Schedule(ug, cfg, &budget)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: er.Schedule, Factor: f, Exact: er,
+			Decision: unroll.Decision{Unrolled: f > 1, Factor: f}}, nil
+	case SelectiveUnroll:
+		return nil, fmt.Errorf("core: exact oracle does not support SelectiveUnroll (see Exact)")
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %d", opts.Strategy)
 	}

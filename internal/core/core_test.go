@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/ddg"
+	"repro/internal/exact"
 	"repro/internal/machine"
 	"repro/internal/sched"
 )
@@ -97,5 +99,69 @@ func TestCompileUnknownStrategy(t *testing.T) {
 	if _, err := Compile(ddg.SampleChain(2), &uni,
 		&Options{Scheduler: NystromEichenberger, Strategy: Strategy(99)}); err == nil {
 		t.Error("unknown NE strategy accepted")
+	}
+}
+
+// TestCompileExactScheduler drives the optimality oracle through the
+// front door and checks the proof metadata rides on the Result.
+func TestCompileExactScheduler(t *testing.T) {
+	g := ddg.SampleFigure7()
+	cfg := machine.TwoCluster(1, 1)
+	res := compile(t, g, cfg, &Options{Scheduler: Exact})
+	if res.Exact == nil {
+		t.Fatal("Result.Exact is nil for the exact scheduler")
+	}
+	if !res.Exact.Proved {
+		t.Error("figure7 on 2-cluster should be proved within the default budget")
+	}
+	if res.Schedule.II != 2 {
+		t.Errorf("exact II = %d, want the paper's 2", res.Schedule.II)
+	}
+
+	// Never above BSA on the same input.
+	bsa := compile(t, g, cfg, nil)
+	if res.Schedule.II > bsa.Schedule.II {
+		t.Errorf("exact II %d above BSA II %d", res.Schedule.II, bsa.Schedule.II)
+	}
+}
+
+// TestCompileExactUnrollAll searches the unrolled graph under the same
+// budget and keeps the factor/decision bookkeeping.
+func TestCompileExactUnrollAll(t *testing.T) {
+	g := ddg.SampleFigure7()
+	cfg := machine.TwoCluster(2, 1)
+	res := compile(t, g, cfg, &Options{Scheduler: Exact, Strategy: UnrollAll})
+	if res.Factor != cfg.NClusters {
+		t.Errorf("Factor = %d, want %d", res.Factor, cfg.NClusters)
+	}
+	if !res.Decision.Unrolled {
+		t.Error("Decision.Unrolled = false for UnrollAll")
+	}
+	if res.Schedule.Graph.UnrollFactor != 2 {
+		t.Errorf("scheduled graph unroll factor = %d, want 2", res.Schedule.Graph.UnrollFactor)
+	}
+	if res.Exact == nil {
+		t.Error("Result.Exact missing")
+	}
+}
+
+// TestCompileExactRejectsSelective pins the documented limitation.
+func TestCompileExactRejectsSelective(t *testing.T) {
+	cfg := machine.TwoCluster(1, 1)
+	_, err := Compile(ddg.SampleFigure7(), &cfg, &Options{Scheduler: Exact, Strategy: SelectiveUnroll})
+	if err == nil {
+		t.Fatal("Exact+SelectiveUnroll accepted")
+	}
+}
+
+// TestCompileExactBudgetFlows checks Options.Exact reaches the oracle.
+func TestCompileExactBudgetFlows(t *testing.T) {
+	cfg := machine.TwoCluster(1, 1)
+	_, err := Compile(ddg.SampleChain(8), &cfg, &Options{
+		Scheduler: Exact,
+		Exact:     exact.Budget{MaxNodes: 4},
+	})
+	if !errors.Is(err, exact.ErrTooLarge) {
+		t.Errorf("err = %v, want exact.ErrTooLarge", err)
 	}
 }

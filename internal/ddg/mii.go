@@ -40,13 +40,118 @@ func (g *Graph) RecMII() int {
 	return g.recMIIOfSubgraph(allIDs(len(g.nodes)))
 }
 
-// MinII returns max(ResMII, RecMII), the scheduler's starting II.
+// MinII returns max(ResMII, RecMII, BusMII), the scheduler's starting
+// II.  The bus term is this library's refinement of the paper's
+// max(ResMII, RecMII): IIs on which no bus transfer can ever fit and no
+// single cluster can host the whole body are provably infeasible, so
+// starting below them only burns failed attempts.
 func (g *Graph) MinII(cfg *machine.Config) int {
-	mii := g.ResMII(cfg)
-	if rec := g.RecMII(); rec > mii {
-		mii = rec
-	}
+	mii, _ := g.MinIIFloored(cfg)
 	return mii
+}
+
+// MinIIFloored returns MinII together with whether the bus-latency
+// floor (BusMII) alone raised it above max(ResMII, RecMII).  The
+// schedulers translate that flag into LimitedByBus — the IIs the floor
+// skipped were abandoned for the bus without ever being attempted —
+// and use this entry point so each bound is computed exactly once per
+// scheduling run.
+func (g *Graph) MinIIFloored(cfg *machine.Config) (minII int, busFloored bool) {
+	minII = g.ResMII(cfg)
+	if rec := g.RecMII(); rec > minII {
+		minII = rec
+	}
+	if bus := g.BusMII(cfg); bus > minII {
+		return bus, true
+	}
+	return minII, false
+}
+
+// BusMII returns the bus-latency feasibility floor of the II search, or
+// 0 when no floor applies.  A transfer holds its bus for BusLatency
+// consecutive kernel slots and every kernel iteration re-issues it, so
+// at II < BusLatency no transfer fits at all (mrt.busFree).  A schedule
+// at such an II must therefore confine the loop to a single cluster —
+// impossible below S, the smallest II at which some one cluster has
+// enough functional units for the whole body.  When the body is
+// connected by true dependences (any split across clusters cuts at
+// least one value edge, which needs a transfer), every II below
+// min(BusLatency, S) is infeasible, making it a sound lower bound.
+func (g *Graph) BusMII(cfg *machine.Config) int {
+	if !cfg.Clustered() || cfg.BusLatency <= 1 {
+		return 0
+	}
+	if !g.trueDepConnected() {
+		return 0
+	}
+	floor := g.singleClusterMinII(cfg)
+	if cfg.BusLatency < floor {
+		floor = cfg.BusLatency
+	}
+	return floor
+}
+
+// singleClusterMinII returns the smallest II at which some single
+// cluster could execute every operation of the body, or a huge value
+// when no cluster has units of every class the body uses.
+func (g *Graph) singleClusterMinII(cfg *machine.Config) int {
+	counts := g.OpCount()
+	best := 1 << 30
+	for cl := 0; cl < cfg.NClusters; cl++ {
+		ii := 1
+		feasible := true
+		for class := machine.FUClass(0); class < machine.NumFUClasses; class++ {
+			if counts[class] == 0 {
+				continue
+			}
+			fus := cfg.FUs(cl, class)
+			if fus == 0 {
+				feasible = false
+				break
+			}
+			if c := ceilDiv(counts[class], fus); c > ii {
+				ii = c
+			}
+		}
+		if feasible && ii < best {
+			best = ii
+		}
+	}
+	return best
+}
+
+// trueDepConnected reports whether every node lies in one weakly
+// connected component of the true-dependence subgraph.  Only then does
+// every cross-cluster partition necessarily cut a value edge.
+func (g *Graph) trueDepConnected() bool {
+	n := len(g.nodes)
+	if n == 0 {
+		return false
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	comps := n
+	for _, e := range g.edges {
+		if e.Kind != DepTrue {
+			continue
+		}
+		ra, rb := find(e.From), find(e.To)
+		if ra != rb {
+			parent[rb] = ra
+			comps--
+		}
+	}
+	return comps == 1
 }
 
 func (g *Graph) hasCycle() bool {

@@ -1,0 +1,68 @@
+package ddg
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestBusMIIRaisesFloor covers the satellite audit's finding: the II
+// search used to start below the bus-latency feasibility floor.  A
+// true-dependence-connected chain of 4 FP adds on the 4-cluster machine
+// (1 FP unit per cluster) cannot fit one cluster below II 4, and with a
+// 2-cycle bus no transfer fits below II 2 — so II 1 is provably
+// infeasible and MinII must say so.
+func TestBusMIIRaisesFloor(t *testing.T) {
+	g := SampleChain(4)
+	cfg := machine.FourCluster(1, 2)
+	if got := g.ResMII(&cfg); got != 1 {
+		t.Fatalf("ResMII = %d, want 1 (precondition)", got)
+	}
+	if got := g.RecMII(); got != 0 {
+		t.Fatalf("RecMII = %d, want 0 (precondition)", got)
+	}
+	if got := g.BusMII(&cfg); got != 2 {
+		t.Errorf("BusMII = %d, want 2 (bus latency)", got)
+	}
+	if got := g.MinII(&cfg); got != 2 {
+		t.Errorf("MinII = %d, want 2 (raised to the bus floor)", got)
+	}
+}
+
+// TestBusMIICappedBySingleCluster: when one cluster can host the whole
+// body earlier than a transfer could fit, the floor stops there — a
+// single-cluster schedule needs no bus.
+func TestBusMIICappedBySingleCluster(t *testing.T) {
+	g := SampleChain(4) // 4 FP ops
+	cfg := machine.TwoCluster(1, 8)
+	// One 2-FP cluster hosts 4 ops at II 2 < BusLatency 8.
+	if got := g.BusMII(&cfg); got != 2 {
+		t.Errorf("BusMII = %d, want 2 (single-cluster cap)", got)
+	}
+}
+
+// TestBusMIINotAppliedWhenDisconnected: independent operations can be
+// split across clusters without any value crossing, so no floor.
+func TestBusMIINotAppliedWhenDisconnected(t *testing.T) {
+	g := SampleIndependent(8)
+	cfg := machine.FourCluster(1, 2)
+	if got := g.BusMII(&cfg); got != 0 {
+		t.Errorf("BusMII = %d, want 0 for a true-dep-disconnected body", got)
+	}
+	if got := g.MinII(&cfg); got != 2 { // plain ResMII ceil(8/4)
+		t.Errorf("MinII = %d, want 2", got)
+	}
+}
+
+// TestBusMIINotAppliedUnclusteredOrFastBus pins the trivial exits.
+func TestBusMIINotAppliedUnclusteredOrFastBus(t *testing.T) {
+	g := SampleChain(4)
+	uni := machine.Unified()
+	if got := g.BusMII(&uni); got != 0 {
+		t.Errorf("BusMII on unified = %d, want 0", got)
+	}
+	fast := machine.FourCluster(1, 1)
+	if got := g.BusMII(&fast); got != 0 {
+		t.Errorf("BusMII with 1-cycle bus = %d, want 0", got)
+	}
+}

@@ -1,0 +1,175 @@
+package exact
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// TestProvesKnownOptima checks the oracle returns the hand-verifiable
+// optimum with a proof on the worked examples: Figure 7's II=2 on the
+// paper's 2-cluster machine, and MinII-achieving schedules elsewhere.
+func TestProvesKnownOptima(t *testing.T) {
+	cases := []struct {
+		g    *ddg.Graph
+		cfg  machine.Config
+		want int
+	}{
+		// Figure 7: minII = 2 (ResMII ceil(6/4), RecMII 4/2) and the paper
+		// schedules it at II=2 on the 2-cluster machine with one 1-cycle bus.
+		{ddg.SampleFigure7(), machine.TwoCluster(1, 1), 2},
+		// Dot product: RecMII 3 from the accumulator self-dependence.
+		{ddg.SampleDotProduct(), machine.Unified(), 3},
+		// Eight independent multiplies on 4 FP units: ResMII 2.
+		{ddg.SampleIndependent(8), machine.Unified(), 2},
+	}
+	for _, tc := range cases {
+		r, err := Schedule(tc.g, &tc.cfg, nil)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", tc.g.Name, tc.cfg.Name, err)
+		}
+		if r.Schedule.II != tc.want || !r.Proved {
+			t.Errorf("%s on %s: II=%d proved=%v, want II=%d proved",
+				tc.g.Name, tc.cfg.Name, r.Schedule.II, r.Proved, tc.want)
+		}
+		if r.LowerBound != r.Schedule.II {
+			t.Errorf("%s: proved result has LowerBound %d != II %d",
+				tc.g.Name, r.LowerBound, r.Schedule.II)
+		}
+		if err := sched.Validate(r.Schedule); err != nil {
+			t.Errorf("%s on %s: oracle produced invalid schedule: %v",
+				tc.g.Name, tc.cfg.Name, err)
+		}
+	}
+}
+
+// TestSchedulesValidateEverywhere runs the oracle over every sample
+// graph and Table 1 machine and pushes each result through the
+// independent validator — the oracle must never trade optimality for
+// validity.
+func TestSchedulesValidateEverywhere(t *testing.T) {
+	graphs := []*ddg.Graph{
+		ddg.SampleDotProduct(), ddg.SampleFigure7(), ddg.SampleStencil(),
+		ddg.SampleChain(6), ddg.SampleIndependent(8),
+	}
+	for _, cfg := range machine.Table1Configs() {
+		for _, g := range graphs {
+			r, err := Schedule(g, &cfg, nil)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", g.Name, cfg.Name, err)
+			}
+			if err := sched.Validate(r.Schedule); err != nil {
+				t.Errorf("%s on %s: %v", g.Name, cfg.Name, err)
+			}
+			if r.Schedule.II < r.Schedule.MinII {
+				t.Errorf("%s on %s: II %d below MinII %d",
+					g.Name, cfg.Name, r.Schedule.II, r.Schedule.MinII)
+			}
+		}
+	}
+}
+
+// TestNodeBudget rejects oversized graphs with ErrTooLarge before
+// searching.
+func TestNodeBudget(t *testing.T) {
+	g := ddg.SampleChain(8)
+	cfg := machine.TwoCluster(1, 1)
+	if _, err := Schedule(g, &cfg, &Budget{MaxNodes: 4}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+	// MaxNodes < 0 disables the check.
+	if _, err := Schedule(g, &cfg, &Budget{MaxNodes: -1}); err != nil {
+		t.Errorf("disabled node budget still failed: %v", err)
+	}
+}
+
+// TestStepBudget exhausts a tiny step budget and checks the error is
+// classified, not mistaken for infeasibility.
+func TestStepBudget(t *testing.T) {
+	g := ddg.SampleStencil()
+	cfg := machine.FourCluster(1, 2)
+	_, err := Schedule(g, &cfg, &Budget{MaxSteps: 3})
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "lower bound") {
+		t.Errorf("budget error %q does not report the proved lower bound", err)
+	}
+}
+
+// TestMaxIICap fails cleanly when the sweep cap is below feasibility.
+func TestMaxIICap(t *testing.T) {
+	g := ddg.SampleDotProduct() // optimum 3 on the unified machine
+	cfg := machine.Unified()
+	if _, err := Schedule(g, &cfg, &Budget{MaxII: 2}); err == nil {
+		t.Error("II capped below the optimum must fail")
+	}
+}
+
+// TestHeterogeneousMachine keeps the cluster-symmetry reduction honest:
+// on a heterogeneous machine the first node must be allowed onto any
+// cluster.  One cluster has the only FP units, the other the only
+// memory units, so a schedule exists but never with everything on
+// cluster 0.
+func TestHeterogeneousMachine(t *testing.T) {
+	g := ddg.SampleDotProduct()
+	cfg := machine.Config{
+		Name:      "hetero",
+		NClusters: 2,
+		Hetero: [][machine.NumFUClasses]int{
+			{2, 2, 0}, // INT+FP only
+			{2, 0, 2}, // INT+MEM only
+		},
+		RegsPerCluster: 16,
+		NBuses:         2,
+		BusLatency:     1,
+	}
+	r, err := Schedule(g, &cfg, nil)
+	if err != nil {
+		t.Fatalf("hetero: %v", err)
+	}
+	if err := sched.Validate(r.Schedule); err != nil {
+		t.Errorf("hetero schedule invalid: %v", err)
+	}
+	clusters := map[int]bool{}
+	for _, p := range r.Schedule.Placements {
+		clusters[p.Cluster] = true
+	}
+	if len(clusters) != 2 {
+		t.Errorf("hetero schedule uses clusters %v, want both", clusters)
+	}
+}
+
+// TestEmptyAndInvalidInputs covers the guard rails.
+func TestEmptyAndInvalidInputs(t *testing.T) {
+	cfg := machine.Unified()
+	if _, err := Schedule(ddg.New("empty"), &cfg, nil); err == nil {
+		t.Error("empty graph accepted")
+	}
+	bad := machine.Config{Name: "bad"}
+	if _, err := Schedule(ddg.SampleChain(3), &bad, nil); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+// TestResultString covers both proof phrasings.
+func TestResultString(t *testing.T) {
+	g := ddg.SampleChain(3)
+	cfg := machine.Unified()
+	r, err := Schedule(g, &cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.String(); !strings.Contains(s, "proved optimal") {
+		t.Errorf("String() = %q, want proof claim", s)
+	}
+	r.Proved = false
+	r.LowerBound = 1
+	if s := r.String(); !strings.Contains(s, "unproven") {
+		t.Errorf("String() = %q, want unproven claim", s)
+	}
+}

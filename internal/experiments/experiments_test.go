@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/exact"
 	"repro/internal/machine"
 )
 
@@ -280,5 +281,55 @@ func TestSuitePipelineStats(t *testing.T) {
 	}
 	if after := s.Pipe.Stats().Compilations; after != before {
 		t.Errorf("rebuilding Fig4 recompiled (%d -> %d compilations)", before, after)
+	}
+}
+
+// TestOptGapTableShape runs the optimality-gap driver on the trimmed
+// suite with a tight oracle budget and checks the structural
+// invariants every row must satisfy: compared+unsettled <= loops, BSA's
+// mean II never below the exact mean, the geometric-mean ratio >= 1 on
+// compared loops, and a closing ALL row per config.
+func TestOptGapTableShape(t *testing.T) {
+	s := trimmedSuite(t)
+	tbl, err := s.OptGapTable(exact.Budget{MaxNodes: 16, MaxSteps: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nConfigs := len(machine.Table1Configs())
+	wantRows := nConfigs * (len(s.Benchmarks) + 1) // + ALL per config
+	if len(tbl.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), wantRows)
+	}
+	allRows := 0
+	for _, row := range tbl.Rows {
+		loops := int(cellFloat(t, row[2]))
+		cmp := int(cellFloat(t, row[3]))
+		opt := int(cellFloat(t, row[4]))
+		gaps := int(cellFloat(t, row[5]))
+		na := int(cellFloat(t, row[6]))
+		if cmp+na > loops {
+			t.Errorf("row %v: cmp %d + n/a %d exceeds loops %d", row, cmp, na, loops)
+		}
+		if opt+gaps != cmp {
+			t.Errorf("row %v: opt %d + gaps %d != cmp %d", row, opt, gaps, cmp)
+		}
+		if cmp > 0 {
+			bsaII, exactII := cellFloat(t, row[7]), cellFloat(t, row[8])
+			if bsaII < exactII-1e-9 {
+				t.Errorf("row %v: mean BSA II %v below exact %v", row, bsaII, exactII)
+			}
+			if ratio := cellFloat(t, row[9]); ratio < 1-1e-9 {
+				t.Errorf("row %v: gm ratio %v < 1", row, ratio)
+			}
+			if ipc := cellFloat(t, row[10]); ipc > 1+1e-9 {
+				t.Errorf("row %v: BSA IPC gap %v above 1 (beats the optimum?)", row, ipc)
+			}
+		}
+		if row[1] == "ALL" {
+			allRows++
+		}
+	}
+	if allRows != nConfigs {
+		t.Errorf("ALL rows = %d, want one per config (%d)", allRows, nConfigs)
 	}
 }

@@ -63,12 +63,13 @@ func (r Request) cacheable() bool {
 // alongside the config Name, so two distinct configurations sharing a
 // label never collide either.
 func (r Request) key() string {
-	return fmt.Sprintf("%p:%s/%s|%s|%d|%v|%v|%d|%d|%d|%d|%d|%d|%d|%d|%d",
+	return fmt.Sprintf("%p:%s/%s|%s|%d|%v|%v|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d",
 		r.Loop.Graph, r.Loop.Bench, r.Loop.Graph.Name,
 		r.Cfg.Name, r.Cfg.NClusters, r.Cfg.FUsPerCluster, r.Cfg.Hetero,
 		r.Cfg.NBuses, r.Cfg.BusLatency, r.Cfg.RegsPerCluster,
 		r.Opts.Scheduler, r.Opts.Strategy, r.Opts.Factor,
-		r.Opts.Sched.Policy, r.Opts.Sched.MaxII, r.Opts.Sched.ForceII)
+		r.Opts.Sched.Policy, r.Opts.Sched.MaxII, r.Opts.Sched.ForceII,
+		r.Opts.Exact.MaxNodes, r.Opts.Exact.MaxSteps, r.Opts.Exact.MaxII)
 }
 
 // Response pairs one batch request's result with its error.
@@ -91,6 +92,11 @@ type Stats struct {
 	// default CompileFunc may run core.Compile twice inside one counted
 	// compilation when the unroll fallback engages.
 	Compilations int64
+	// Fallbacks counts compilations whose result came from the
+	// UnrollAll→NoUnroll fallback (Result.FellBack): the row a figure
+	// reports as "Unrolling" is actually a non-unrolled schedule.  A
+	// cached fallback result counts once, at compile time.
+	Fallbacks int64
 	// CompileTime is total time spent inside core.Compile, summed over
 	// workers (it exceeds wall time when workers overlap).
 	CompileTime time.Duration
@@ -99,8 +105,8 @@ type Stats struct {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("pipeline: %d hits, %d misses, %d dedup joins, %d compilations, compile %v, wall %v",
-		s.Hits, s.Misses, s.DedupJoins, s.Compilations,
+	return fmt.Sprintf("pipeline: %d hits, %d misses, %d dedup joins, %d compilations (%d unroll fallbacks), compile %v, wall %v",
+		s.Hits, s.Misses, s.DedupJoins, s.Compilations, s.Fallbacks,
 		s.CompileTime.Round(time.Millisecond), s.WallTime.Round(time.Millisecond))
 }
 
@@ -128,8 +134,8 @@ type Pipeline struct {
 
 	shards [numShards]shard
 
-	hits, misses, joins, compilations atomic.Int64
-	compileNS, wallNS                 atomic.Int64
+	hits, misses, joins, compilations, fallbacks atomic.Int64
+	compileNS, wallNS                            atomic.Int64
 }
 
 // New returns a Pipeline whose batch pool runs the given number of
@@ -152,13 +158,22 @@ func (p *Pipeline) Workers() int { return p.workers }
 // pragmatic fallback the evaluation needs — when unconditional
 // unrolling cannot be scheduled (register files too small for the
 // unrolled body), the loop falls back to its non-unrolled schedule,
-// exactly what a compiler would ship.
+// exactly what a compiler would ship.  The fallback is never silent:
+// the result is marked FellBack, the Decision records why the unrolled
+// compile failed, and Stats.Fallbacks counts it — otherwise a Figure
+// 8/10 "Unrolling" row could quietly report non-unrolled schedules.
 func compileOne(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
 	res, err := core.Compile(l.Graph, cfg, &opts)
 	if err != nil && opts.Strategy == core.UnrollAll {
+		unrollErr := err
 		fallback := opts
 		fallback.Strategy = core.NoUnroll
 		res, err = core.Compile(l.Graph, cfg, &fallback)
+		if err == nil {
+			res.FellBack = true
+			res.Decision.Factor = 1
+			res.Decision.FailReason = fmt.Sprintf("unroll-all unschedulable, fell back to no-unroll: %v", unrollErr)
+		}
 	}
 	return res, err
 }
@@ -208,6 +223,9 @@ func (p *Pipeline) run(req Request) (*core.Result, error) {
 	res, err := p.compile(req.Loop, &req.Cfg, req.Opts)
 	p.compileNS.Add(time.Since(start).Nanoseconds())
 	p.compilations.Add(1)
+	if res != nil && res.FellBack {
+		p.fallbacks.Add(1)
+	}
 	return res, err
 }
 
@@ -252,6 +270,7 @@ func (p *Pipeline) Stats() Stats {
 		Misses:       p.misses.Load(),
 		DedupJoins:   p.joins.Load(),
 		Compilations: p.compilations.Load(),
+		Fallbacks:    p.fallbacks.Load(),
 		CompileTime:  time.Duration(p.compileNS.Load()),
 		WallTime:     time.Duration(p.wallNS.Load()),
 	}

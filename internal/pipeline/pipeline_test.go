@@ -3,6 +3,7 @@ package pipeline
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -197,6 +198,59 @@ func TestUnrollFallback(t *testing.T) {
 	}
 	if res.Factor != 1 {
 		t.Errorf("factor = %d, want the NoUnroll fallback (1)", res.Factor)
+	}
+}
+
+// TestUnrollFallbackIsVisible is the regression test for the invisible
+// fallback: a Figure 8/10 row built from this result must be able to
+// tell it is looking at a non-unrolled schedule.  The result carries
+// the marker and the reason, Stats counts it, and the cached entry
+// keeps all of it without double counting.
+func TestUnrollFallbackIsVisible(t *testing.T) {
+	l := &corpus.Loop{Graph: ddg.SampleFigure7(), Iters: 16, Weight: 1, Bench: "test"}
+	p := New(1)
+	cfg := machine.FourCluster(1, 4)
+	req := Request{Loop: l, Cfg: cfg,
+		Opts: core.Options{Strategy: core.UnrollAll, Factor: 16}}
+
+	res, err := p.Compile(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FellBack {
+		t.Error("fallback result not marked FellBack")
+	}
+	if res.Decision.FailReason == "" {
+		t.Error("fallback result has no Decision.FailReason")
+	}
+	if !strings.Contains(res.Decision.String(), "fell back") {
+		t.Errorf("Decision.String() = %q does not surface the fallback", res.Decision)
+	}
+	if st := p.Stats(); st.Fallbacks != 1 {
+		t.Errorf("Stats.Fallbacks = %d, want 1", st.Fallbacks)
+	}
+	if !strings.Contains(p.Stats().String(), "1 unroll fallbacks") {
+		t.Errorf("Stats.String() = %q does not report fallbacks", p.Stats())
+	}
+
+	// The cache hit returns the same marked result and counts nothing new.
+	res2, err := p.Compile(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != res {
+		t.Error("cache miss for identical fallback request")
+	}
+	if st := p.Stats(); st.Fallbacks != 1 {
+		t.Errorf("Stats.Fallbacks after cache hit = %d, want still 1", st.Fallbacks)
+	}
+
+	// A compile that does not fall back must not be counted.
+	if _, err := p.Compile(Request{Loop: l, Cfg: cfg, Opts: core.Options{}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Fallbacks != 1 {
+		t.Errorf("Stats.Fallbacks after clean compile = %d, want 1", st.Fallbacks)
 	}
 }
 

@@ -159,3 +159,63 @@ func TestPressurePanicsOnBadII(t *testing.T) {
 	}()
 	Pressure(nil, 0)
 }
+
+// refPressure is an independent reference: pressure at slot s is the
+// number of (lifetime, kernel-iteration) instances covering s, i.e. the
+// count of integers t in [Start, End) with t ≡ s (mod II).
+func refPressure(lifetimes []Lifetime, ii int) []int {
+	slots := make([]int, ii)
+	for _, lt := range lifetimes {
+		for t := lt.Start; t < lt.End; t++ {
+			slots[mod(t, ii)]++
+		}
+	}
+	return slots
+}
+
+// TestPressureNegativeStartMultiWrap pins the two cases the satellite
+// audit called out together: lifetimes that start at negative flat
+// times AND are long enough to wrap the II several times.
+func TestPressureNegativeStartMultiWrap(t *testing.T) {
+	cases := []struct {
+		lt Lifetime
+		ii int
+	}{
+		{Lifetime{Start: -5, End: 7}, 3},   // 12 cycles = 4 full wraps exactly
+		{Lifetime{Start: -4, End: 3}, 3},   // 7 cycles = 2 wraps + 1
+		{Lifetime{Start: -11, End: -2}, 4}, // fully negative, 2 wraps + 1
+		{Lifetime{Start: -1, End: 13}, 5},  // crosses zero, 2 wraps + 4
+	}
+	for _, tc := range cases {
+		got := Pressure([]Lifetime{tc.lt}, tc.ii)
+		want := refPressure([]Lifetime{tc.lt}, tc.ii)
+		for s := range want {
+			if got[s] != want[s] {
+				t.Errorf("lifetime %+v II=%d: Pressure = %v, want %v", tc.lt, tc.ii, got, want)
+				break
+			}
+		}
+	}
+}
+
+// TestPressureMatchesReferenceProperty fuzzes mixed negative-start,
+// multi-wrap lifetime sets against the reference implementation.
+func TestPressureMatchesReferenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		ii := 1 + rng.Intn(7)
+		n := rng.Intn(6)
+		lts := make([]Lifetime, n)
+		for i := range lts {
+			start := rng.Intn(40) - 20
+			lts[i] = Lifetime{Start: start, End: start + rng.Intn(4*ii+2)}
+		}
+		got := Pressure(lts, ii)
+		want := refPressure(lts, ii)
+		for s := range want {
+			if got[s] != want[s] {
+				t.Fatalf("trial %d (II=%d, %v): Pressure = %v, want %v", trial, ii, lts, got, want)
+			}
+		}
+	}
+}

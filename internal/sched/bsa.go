@@ -77,7 +77,12 @@ func ScheduleGraph(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Schedule,
 		return nil, err
 	}
 
-	minII := g.MinII(cfg)
+	// MinII includes the bus-latency feasibility floor (ddg.BusMII): IIs
+	// on which a needed transfer can never fit are skipped, not
+	// attempted.  A floor above max(ResMII, RecMII) means lower IIs were
+	// abandoned for the bus — exactly Figure 6's LimitedByBus condition —
+	// so the flag is preserved even though no CauseComm attempt ran.
+	minII, busFloored := g.MinIIFloored(cfg)
 	maxII := opts.MaxII
 	if maxII == 0 {
 		maxII = minII + sequentialBound(g, cfg)
@@ -99,7 +104,7 @@ func ScheduleGraph(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Schedule,
 		if cause == CauseNone {
 			s := buildSchedule(st, *cfg)
 			s.MinII = minII
-			s.BusLimited = causes[CauseComm] > 0
+			s.BusLimited = causes[CauseComm] > 0 || busFloored
 			s.Causes = causes
 			return s, nil
 		}

@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// TestIISearchStartsAtBusFloor checks the scheduler never attempts IIs
+// below the bus-latency feasibility floor (ddg.BusMII) and — the part
+// Figure 6 depends on — still reports the schedule as bus-limited even
+// though no CauseComm attempt ever ran: the floor exists precisely
+// because communications cannot fit any lower.
+func TestIISearchStartsAtBusFloor(t *testing.T) {
+	g := ddg.SampleChain(4)
+	cfg := machine.FourCluster(1, 2)
+	if ddg.SampleChain(4).BusMII(&cfg) != 2 {
+		t.Fatal("precondition: expected a bus floor of 2")
+	}
+	s, err := ScheduleGraph(g, &cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MinII != 2 {
+		t.Errorf("Schedule.MinII = %d, want the floored 2", s.MinII)
+	}
+	if s.II < 2 {
+		t.Errorf("II = %d below the provable floor 2", s.II)
+	}
+	if !s.BusLimited {
+		t.Error("floored schedule lost its BusLimited flag")
+	}
+	if err := Validate(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBusLimitedUnchangedWithoutFloor: a loop whose MinII the floor
+// does not touch keeps the old CauseComm-driven semantics.
+func TestBusLimitedUnchangedWithoutFloor(t *testing.T) {
+	g := ddg.SampleDotProduct() // RecMII 3 dominates any floor
+	cfg := machine.TwoCluster(1, 1)
+	s, err := ScheduleGraph(g, &cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BusLimited {
+		t.Error("dot product flagged bus-limited on a 1-cycle bus")
+	}
+}

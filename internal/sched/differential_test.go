@@ -1,0 +1,155 @@
+// This file is an external test package on purpose: it pits the
+// heuristic scheduler against internal/exact, which itself imports
+// sched, so the comparison can only live outside the import cycle.
+package sched_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/ddg"
+	"repro/internal/exact"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// diffBudget keeps the differential sweep fast; graphs that exceed it
+// are skipped, never silently passed.
+var diffBudget = exact.Budget{MaxNodes: 14, MaxSteps: 150_000}
+
+// diffConfigs mirrors the fuzzer's machine picks.
+var diffConfigs = []machine.Config{
+	machine.TwoCluster(1, 1),
+	machine.TwoCluster(2, 2),
+	machine.FourCluster(1, 1),
+	machine.FourCluster(2, 2),
+}
+
+// checkAgainstOracle schedules g both ways and enforces the oracle
+// contract: a Proved exact II is never above BSA's (BSA's every
+// placement is inside the exhaustive search space, so the reverse
+// would be a search-space bug in one of the two), and any gap — a
+// valid but needlessly slow BSA schedule — is logged as a finding.
+func checkAgainstOracle(t *testing.T, g *ddg.Graph, cfg *machine.Config) (gap int, settled bool) {
+	t.Helper()
+	bsa, err := sched.ScheduleGraph(g, cfg, nil)
+	if err != nil {
+		// Not schedulable by the heuristic at all; nothing to compare.
+		return 0, false
+	}
+	r, err := exact.Schedule(g, cfg, &diffBudget)
+	if errors.Is(err, exact.ErrTooLarge) || errors.Is(err, exact.ErrBudget) {
+		return 0, false
+	}
+	if err != nil {
+		t.Fatalf("%s on %s: BSA schedules (II=%d) but the oracle errors: %v",
+			g.Name, cfg.Name, bsa.II, err)
+	}
+	if err := sched.Validate(r.Schedule); err != nil {
+		t.Fatalf("%s on %s: oracle schedule invalid: %v", g.Name, cfg.Name, err)
+	}
+	if !r.Proved {
+		return 0, false
+	}
+	if bsa.II < r.Schedule.II {
+		t.Errorf("%s on %s: BSA II %d beats 'proved optimal' %d — exact search-space bug",
+			g.Name, cfg.Name, bsa.II, r.Schedule.II)
+	}
+	if gap := bsa.II - r.Schedule.II; gap > 0 {
+		t.Logf("FINDING %s on %s: BSA II=%d, optimal II=%d (gap %d, MinII %d)",
+			g.Name, cfg.Name, bsa.II, r.Schedule.II, gap, bsa.MinII)
+		return gap, true
+	}
+	return 0, true
+}
+
+// TestBSADifferentialSamples proves (or documents the gap of) BSA's II
+// on every sample graph across every Table 1 machine.
+func TestBSADifferentialSamples(t *testing.T) {
+	graphs := []*ddg.Graph{
+		ddg.SampleDotProduct(), ddg.SampleFigure7(), ddg.SampleStencil(),
+		ddg.SampleChain(4), ddg.SampleChain(7),
+		ddg.SampleIndependent(5), ddg.SampleIndependent(9),
+	}
+	settled, gaps := 0, 0
+	for _, cfg := range machine.Table1Configs() {
+		for _, g := range graphs {
+			gap, ok := checkAgainstOracle(t, g, &cfg)
+			if ok {
+				settled++
+			}
+			if gap > 0 {
+				gaps++
+			}
+		}
+	}
+	if settled == 0 {
+		t.Error("oracle settled no sample graph; differential test is vacuous")
+	}
+	t.Logf("samples: %d settled, %d gaps", settled, gaps)
+}
+
+// TestBSADifferentialFuzzSeeds replays the fuzzer's seed tuples (the
+// same ddg.Random family FuzzSchedule walks) through the oracle.
+func TestBSADifferentialFuzzSeeds(t *testing.T) {
+	type seed struct {
+		s              uint64
+		nNodes, nExtra uint8
+	}
+	seeds := []seed{
+		{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {3, 0, 0}, {4, 0, 0},
+		{1, 6, 3}, {42, 10, 5}, {7, 14, 7}, {123, 9, 6},
+	}
+	// A few extra random shapes beyond the committed f.Add anchors.
+	for s := uint64(5); s < 25; s++ {
+		seeds = append(seeds, seed{s, uint8(4 + s%11), uint8(s % 8)})
+	}
+	settled, gaps := 0, 0
+	for _, sd := range seeds {
+		g := ddg.Random(sd.s, sd.nNodes, sd.nExtra)
+		if g == nil {
+			continue
+		}
+		g.Name = fmt.Sprintf("%s/seed%d-%d-%d", g.Name, sd.s, sd.nNodes, sd.nExtra)
+		cfg := diffConfigs[int(sd.s)%len(diffConfigs)]
+		gap, ok := checkAgainstOracle(t, g, &cfg)
+		if ok {
+			settled++
+		}
+		if gap > 0 {
+			gaps++
+		}
+	}
+	if settled == 0 {
+		t.Error("oracle settled no fuzz seed; differential test is vacuous")
+	}
+	t.Logf("fuzz seeds: %d settled, %d gaps", settled, gaps)
+}
+
+// TestBSADifferentialCorpus runs the oracle over the small loops of a
+// trimmed corpus slice — real workload shapes, not just samples.
+func TestBSADifferentialCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle sweep over corpus loops is not short")
+	}
+	settled, gaps := 0, 0
+	for _, b := range corpus.Trimmed([]string{"swim", "hydro2d", "wave5"}, 3) {
+		for _, l := range b.Loops {
+			if l.Graph.NumNodes() > diffBudget.MaxNodes {
+				continue
+			}
+			for _, cfg := range []machine.Config{machine.TwoCluster(1, 1), machine.FourCluster(1, 2)} {
+				gap, ok := checkAgainstOracle(t, l.Graph, &cfg)
+				if ok {
+					settled++
+				}
+				if gap > 0 {
+					gaps++
+				}
+			}
+		}
+	}
+	t.Logf("corpus: %d settled, %d gaps", settled, gaps)
+}

@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// This file exposes the scheduler's incremental attempt state to
+// exhaustive searchers (internal/exact).  An Attempt is exactly one
+// runAttempt in progress — the same modulo reservation table, bus
+// planner, window computation and register check BSA uses — but driven
+// from outside: the caller enumerates every feasible placement of a
+// node, commits one, recurses, and rolls back.  Because the candidate
+// enumeration is shared verbatim with BSA's try(), any schedule BSA can
+// reach is inside an exhaustive search over Attempt placements; that
+// containment is what lets internal/exact prove IIs infeasible.
+
+// Attempt is one in-progress scheduling attempt at a fixed II, open for
+// external search.  It is not safe for concurrent use.
+type Attempt struct {
+	st *state
+}
+
+// NewAttempt starts an empty attempt for g on cfg at the given II.  The
+// caller is responsible for having validated g and cfg (exact.Schedule
+// does it once per run, not once per II).
+func NewAttempt(g *ddg.Graph, cfg *machine.Config, ii int) *Attempt {
+	return &Attempt{st: newState(g, cfg, ii)}
+}
+
+// II returns the attempt's initiation interval.
+func (a *Attempt) II() int { return a.st.ii }
+
+// Choice is one feasible (cluster, cycle, communication-plan) placement
+// for a node, valid for Place until the attempt state changes.
+type Choice struct {
+	// Cluster and Cycle locate the placement.
+	Cluster, Cycle int
+
+	res tryResult
+}
+
+// Choices enumerates every feasible placement of node n in the current
+// state: for each cluster, every cycle of the node's candidate window
+// (the same window try() scans) with a free functional unit, routable
+// communications and register files that still fit.  The node's window
+// is computed once and shared across the cluster scan.  The enumeration
+// leaves the state untouched.
+func (a *Attempt) Choices(n int) []Choice {
+	st := a.st
+	w := st.windowOf(n)
+	cycles := st.candidateCycles(w)
+	class := st.g.Node(n).Class.FU()
+	var out []Choice
+	for c := 0; c < st.cfg.NClusters; c++ {
+		for _, t := range cycles {
+			if !st.res.fuFree(c, class, t) {
+				continue
+			}
+			needs := st.commNeeds(n, c, t)
+			plan, ok := st.planComms(needs)
+			if !ok {
+				continue
+			}
+			st.place(n, c, t, plan)
+			_, fits := st.maxLiveFits()
+			st.unplace(n, plan)
+			if fits {
+				out = append(out, Choice{Cluster: c, Cycle: t,
+					res: tryResult{cycle: t, plan: plan}})
+			}
+		}
+	}
+	return out
+}
+
+// Place commits a choice previously returned by Choices for node n.
+// The attempt state must be identical to what it was at enumeration
+// time (the depth-first discipline guarantees it), or Place panics on a
+// no-longer-free bus slot.
+func (a *Attempt) Place(n int, ch Choice) {
+	a.st.commit(n, ch.Cluster, ch.res)
+}
+
+// Unplace exactly reverses Place.
+func (a *Attempt) Unplace(n int, ch Choice) {
+	a.st.unplace(n, ch.res.plan)
+}
+
+// Schedule freezes a complete attempt (every node placed) into a
+// normalised Schedule.  MinII, BusLimited and Causes are left for the
+// caller: an exhaustive search has no heuristic failure telemetry.
+func (a *Attempt) Schedule() *Schedule {
+	return buildSchedule(a.st, *a.st.cfg)
+}
+
+// SequentialBound returns an II safely large enough to schedule any
+// loop (one operation at a time, full latencies, one bus transfer per
+// edge) — the same automatic MaxII cap ScheduleGraph uses, exported so
+// exhaustive searchers sweep the identical range.
+func SequentialBound(g *ddg.Graph, cfg *machine.Config) int {
+	return sequentialBound(g, cfg)
+}

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"math/rand"
 	"testing"
 
 	"repro/internal/ddg"
@@ -17,66 +16,11 @@ var fuzzConfigs = []machine.Config{
 	machine.FourCluster(2, 2),
 }
 
-// fuzzGraph builds a random small DDG.  nNodes == 0 selects one of the
-// known-good sample graphs of ddg/samples.go (scaled by seed), so the
-// corpus stays anchored on the shapes the paper discusses; otherwise a
-// random DAG of nNodes operations is grown with forward true
-// dependences from value producers, a sprinkle of memory-ordering
-// edges, and up to two loop-carried recurrences.
+// fuzzGraph builds a random small DDG via ddg.Random, which the
+// BSA-vs-exact differential test also walks (see the package comment
+// there for why the two share one graph family).
 func fuzzGraph(seed uint64, nNodes, nExtra uint8) *ddg.Graph {
-	if nNodes == 0 {
-		switch seed % 5 {
-		case 0:
-			return ddg.SampleDotProduct()
-		case 1:
-			return ddg.SampleFigure7()
-		case 2:
-			return ddg.SampleStencil()
-		case 3:
-			return ddg.SampleChain(3 + int(seed/5)%8)
-		default:
-			return ddg.SampleIndependent(2 + int(seed/5)%10)
-		}
-	}
-	n := int(nNodes)
-	if n > 16 {
-		n = 2 + n%15
-	}
-	rng := rand.New(rand.NewSource(int64(seed)))
-	classes := []machine.OpClass{
-		machine.OpIAdd, machine.OpIMul, machine.OpLoad, machine.OpStore,
-		machine.OpFAdd, machine.OpFMul, machine.OpFDiv,
-	}
-	g := ddg.New("fuzz")
-	for i := 0; i < n; i++ {
-		g.AddNode("n", classes[rng.Intn(len(classes))])
-	}
-	// Forward edges keep the zero-distance subgraph acyclic; true deps
-	// must leave a value-producing node.
-	for i := 1; i < n; i++ {
-		from := rng.Intn(i)
-		if g.Node(from).Class.ProducesValue() {
-			g.AddTrueDep(from, i, 0)
-		} else {
-			g.AddMemDep(from, i, 0)
-		}
-	}
-	for e := 0; e < int(nExtra)%8; e++ {
-		a, b := rng.Intn(n), rng.Intn(n)
-		switch {
-		case a < b && g.Node(a).Class.ProducesValue():
-			g.AddTrueDep(a, b, rng.Intn(2))
-		case a < b:
-			g.AddMemDep(a, b, rng.Intn(2))
-		case g.Node(a).Class.ProducesValue():
-			// Backward or self edge: loop-carried only.
-			g.AddTrueDep(a, b, 1+rng.Intn(2))
-		}
-	}
-	if g.Validate() != nil {
-		return nil
-	}
-	return g
+	return ddg.Random(seed, nNodes, nExtra)
 }
 
 // FuzzSchedule generates random small DDGs, schedules them on the

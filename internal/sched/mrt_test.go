@@ -1,0 +1,48 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestBusFreeAtLatencyEqualsII covers the BusLatency == II boundary: a
+// transfer occupies every kernel slot, which is legal for exactly one
+// transfer per bus and must not be confused with the BusLatency > II
+// case, where no transfer can ever fit.
+func TestBusFreeAtLatencyEqualsII(t *testing.T) {
+	cfg := machine.TwoCluster(2, 3) // 2 buses, latency 3
+	m := newMRT(&cfg, 3)            // II == BusLatency
+
+	for start := 0; start < 3; start++ {
+		if !m.busFree(0, start) {
+			t.Fatalf("empty bus not free at start %d with BusLatency == II", start)
+		}
+	}
+	m.reserveBus(0, 1)
+	// One transfer fills all II slots: no second start fits on bus 0...
+	for start := 0; start < 3; start++ {
+		if m.busFree(0, start) {
+			t.Errorf("bus 0 free at start %d after a full-II reservation", start)
+		}
+	}
+	// ...but bus 1 is untouched.
+	if !m.busFree(1, 0) {
+		t.Error("bus 1 affected by bus 0 reservation")
+	}
+	m.releaseBus(0, 1)
+	if !m.busFree(0, 0) {
+		t.Error("release did not clear the full-II reservation")
+	}
+}
+
+// TestBusFreeAboveII pins the infeasible side of the boundary.
+func TestBusFreeAboveII(t *testing.T) {
+	cfg := machine.TwoCluster(1, 4)
+	m := newMRT(&cfg, 3) // BusLatency 4 > II 3
+	for start := 0; start < 3; start++ {
+		if m.busFree(0, start) {
+			t.Errorf("busFree(%d) = true with BusLatency > II", start)
+		}
+	}
+}

@@ -54,17 +54,31 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// GeoMean returns the geometric mean of the (positive) values.
+// GeoMean returns the geometric mean of the positive values, skipping
+// non-positive entries: one degenerate loop (an IPC or ratio of 0) must
+// not zero out a whole summary row.  Returns 0 when no positive value
+// remains.  Callers that need to know whether anything was dropped can
+// use GeoMeanStrict.
 func GeoMean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
+	m, _ := GeoMeanStrict(xs)
+	return m
+}
+
+// GeoMeanStrict is GeoMean plus the number of non-positive entries it
+// skipped.
+func GeoMeanStrict(xs []float64) (mean float64, skipped int) {
 	logSum := 0.0
+	n := 0
 	for _, x := range xs {
 		if x <= 0 {
-			return 0
+			skipped++
+			continue
 		}
 		logSum += math.Log(x)
+		n++
 	}
-	return math.Exp(logSum / float64(len(xs)))
+	if n == 0 {
+		return 0, skipped
+	}
+	return math.Exp(logSum / float64(n)), skipped
 }

@@ -60,8 +60,30 @@ func TestGeoMean(t *testing.T) {
 	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
 		t.Errorf("GeoMean = %v, want 4", got)
 	}
-	if got := GeoMean([]float64{1, 0, 3}); got != 0 {
-		t.Errorf("GeoMean with zero = %v, want 0", got)
+}
+
+// TestGeoMeanSkipsNonPositive covers the regression where a single
+// degenerate value (IPC 0 from one unschedulable loop) zeroed an entire
+// summary row: non-positive entries are skipped, not contagious.
+func TestGeoMeanSkipsNonPositive(t *testing.T) {
+	if got, want := GeoMean([]float64{1, 0, 3}), math.Sqrt(3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("GeoMean(1,0,3) = %v, want %v (zero skipped)", got, want)
+	}
+	if got, want := GeoMean([]float64{-2, 2, 8}), 4.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("GeoMean(-2,2,8) = %v, want %v (negative skipped)", got, want)
+	}
+	if got := GeoMean([]float64{0, -1}); got != 0 {
+		t.Errorf("GeoMean of only non-positives = %v, want 0", got)
+	}
+	m, skipped := GeoMeanStrict([]float64{1, 0, 3, -5})
+	if skipped != 2 {
+		t.Errorf("GeoMeanStrict skipped = %d, want 2", skipped)
+	}
+	if math.Abs(m-math.Sqrt(3)) > 1e-12 {
+		t.Errorf("GeoMeanStrict mean = %v, want %v", m, math.Sqrt(3))
+	}
+	if m, skipped := GeoMeanStrict([]float64{2, 8}); skipped != 0 || math.Abs(m-4) > 1e-12 {
+		t.Errorf("GeoMeanStrict all-positive = (%v, %d), want (4, 0)", m, skipped)
 	}
 }
 

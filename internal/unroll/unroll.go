@@ -39,19 +39,32 @@ type Decision struct {
 	CycNeeded int
 	// UnrolledMinII is the unrolled loop's scheduling lower bound.
 	UnrolledMinII int
+	// FailReason explains why an unrolled schedule was abandoned after
+	// the estimate (or the strategy) asked for one: the reschedule
+	// failure in Selective, or the UnrollAll fallback in the compile
+	// pipeline.  Empty when nothing went wrong.
+	FailReason string
 }
 
 // String explains the decision.
 func (d Decision) String() string {
+	var suffix string
+	if d.FailReason != "" {
+		suffix = fmt.Sprintf(" [%s]", d.FailReason)
+	}
 	if !d.BusLimited {
-		return "no unroll: schedule not limited by buses"
+		return "no unroll: schedule not limited by buses" + suffix
 	}
 	if !d.Unrolled {
+		if d.FailReason != "" {
+			return fmt.Sprintf("no unroll: estimate passed (%d comms, %d bus cycles <= unrolled MinII %d) but%s",
+				d.ComNeeded, d.CycNeeded, d.UnrolledMinII, suffix)
+		}
 		return fmt.Sprintf("no unroll: %d comms need %d bus cycles > unrolled MinII %d",
 			d.ComNeeded, d.CycNeeded, d.UnrolledMinII)
 	}
 	return fmt.Sprintf("unroll x%d: %d comms need %d bus cycles <= unrolled MinII %d",
-		d.Factor, d.ComNeeded, d.CycNeeded, d.UnrolledMinII)
+		d.Factor, d.ComNeeded, d.CycNeeded, d.UnrolledMinII) + suffix
 }
 
 // Result bundles the chosen schedule with the decision trail.  The
@@ -61,12 +74,16 @@ type Result struct {
 	Decision Decision
 }
 
+// scheduleFn is the scheduler entry point; tests swap it to inject
+// failures into the unrolled-reschedule path.
+var scheduleFn = sched.ScheduleGraph
+
 // Selective runs Figure 6 of the paper: ScheduleGraph, LimitedByBus
 // check, closed-form estimate, and the conditional unrolled reschedule.
 // The unroll factor is the cluster count (the scheduler spreads one
 // iteration copy per cluster).
 func Selective(g *ddg.Graph, cfg *machine.Config, opts *sched.Options) (*Result, error) {
-	s, err := sched.ScheduleGraph(g, cfg, opts)
+	s, err := scheduleFn(g, cfg, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -84,10 +101,13 @@ func Selective(g *ddg.Graph, cfg *machine.Config, opts *sched.Options) (*Result,
 		return &Result{Schedule: s, Decision: dec}, nil
 	}
 
-	s2, err := sched.ScheduleGraph(unrolled, cfg, opts)
+	s2, err := scheduleFn(unrolled, cfg, opts)
 	if err != nil {
 		// The estimate said yes but the full schedule failed (rare: e.g.
-		// register pressure).  Keep the original schedule.
+		// register pressure).  Keep the original schedule, and keep the
+		// reason — a Decision that cannot explain why unrolling was
+		// abandoned reads exactly like one that never tried.
+		dec.FailReason = fmt.Sprintf("unrolled reschedule failed: %v", err)
 		return &Result{Schedule: s, Decision: dec}, nil
 	}
 	dec.Unrolled = true

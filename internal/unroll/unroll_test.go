@@ -1,6 +1,8 @@
 package unroll
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/ddg"
@@ -164,5 +166,57 @@ func TestSelectiveReducesIterationIIOnBusBoundLoop(t *testing.T) {
 	if selPerIter > plainPerIter {
 		t.Errorf("selective made things worse: %.2f vs %.2f (decision %v)",
 			selPerIter, plainPerIter, res.Decision)
+	}
+}
+
+// TestSelectiveRecordsRescheduleFailure is the regression test for the
+// swallowed unrolled-reschedule error: when the estimate says unroll
+// but the full schedule fails, the Decision must explain why unrolling
+// was abandoned instead of silently keeping the original schedule.
+func TestSelectiveRecordsRescheduleFailure(t *testing.T) {
+	// Figure 7 on the 2-cluster/2-cycle-bus machine passes the estimate
+	// and normally unrolls (TestSelectiveUnrollsFigure7).  Inject a
+	// scheduler that fails on exactly the unrolled graph.
+	orig := scheduleFn
+	defer func() { scheduleFn = orig }()
+	scheduleFn = func(g *ddg.Graph, cfg *machine.Config, opts *sched.Options) (*sched.Schedule, error) {
+		if g.UnrollFactor > 1 {
+			return nil, errors.New("injected: unrolled body rejected")
+		}
+		return sched.ScheduleGraph(g, cfg, opts)
+	}
+
+	cfg := machine.TwoCluster(1, 2)
+	res, err := Selective(ddg.SampleFigure7(), &cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Decision
+	if d.Unrolled || d.Factor != 1 {
+		t.Fatalf("injected failure still unrolled: %+v", d)
+	}
+	if !strings.Contains(d.FailReason, "injected: unrolled body rejected") {
+		t.Errorf("FailReason = %q, want the injected error", d.FailReason)
+	}
+	if s := d.String(); !strings.Contains(s, "injected: unrolled body rejected") ||
+		!strings.Contains(s, "estimate passed") {
+		t.Errorf("Decision.String() = %q does not explain the abandonment", s)
+	}
+	if res.Schedule.Graph.UnrollFactor != 1 {
+		t.Error("fallback schedule is not the original loop's")
+	}
+}
+
+// TestSelectiveNoFailReasonOnCleanPaths pins FailReason to the failure
+// path only.
+func TestSelectiveNoFailReasonOnCleanPaths(t *testing.T) {
+	for _, cfg := range []machine.Config{machine.Unified(), machine.TwoCluster(1, 2)} {
+		res, err := Selective(ddg.SampleFigure7(), &cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Decision.FailReason != "" {
+			t.Errorf("%s: clean path has FailReason %q", cfg.Name, res.Decision.FailReason)
+		}
 	}
 }
