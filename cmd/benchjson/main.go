@@ -1,0 +1,194 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document, optionally joined against a baseline
+// bench-output file so the document carries before/after speedup ratios.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson [-baseline old.txt] > BENCH_sched.json
+//
+// Repeated -count runs of the same benchmark are averaged.  The repo's
+// scripts/bench_sched.sh wraps this to produce the BENCH_sched.json
+// perf-trajectory artefact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one benchmark's aggregated result.
+type Entry struct {
+	Name     string  `json:"name"`
+	Runs     int     `json:"runs"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds any additional `value unit` metrics (hits, misses...).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Ratio compares an entry against its baseline counterpart.
+type Ratio struct {
+	Name          string  `json:"name"`
+	NsSpeedup     float64 `json:"ns_speedup"`
+	AllocsRatio   float64 `json:"allocs_reduction,omitempty"`
+	BaselineNs    float64 `json:"baseline_ns_per_op"`
+	BaselineAlloc float64 `json:"baseline_allocs_per_op,omitempty"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []*Entry `json:"benchmarks"`
+	Baseline   []*Entry `json:"baseline,omitempty"`
+	Ratios     []*Ratio `json:"ratios,omitempty"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "previous `go test -bench` output to compare against")
+	flag.Parse()
+
+	cur, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	doc := &Doc{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: cur,
+	}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+			os.Exit(1)
+		}
+		base, err := parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: baseline:", err)
+			os.Exit(1)
+		}
+		doc.Baseline = base
+		byName := make(map[string]*Entry, len(base))
+		for _, e := range base {
+			byName[e.Name] = e
+		}
+		for _, e := range cur {
+			b, ok := byName[e.Name]
+			if !ok || e.NsPerOp == 0 {
+				continue
+			}
+			r := &Ratio{Name: e.Name, NsSpeedup: round2(b.NsPerOp / e.NsPerOp), BaselineNs: b.NsPerOp}
+			if e.AllocsOp > 0 {
+				r.AllocsRatio = round2(b.AllocsOp / e.AllocsOp)
+				r.BaselineAlloc = b.AllocsOp
+			}
+			doc.Ratios = append(doc.Ratios, r)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+// parse aggregates benchmark lines, averaging repeated -count runs.
+func parse(r io.Reader) ([]*Entry, error) {
+	type acc struct {
+		entry         *Entry
+		ns, b, allocs float64
+		extra         map[string]float64
+	}
+	var order []string
+	accs := map[string]*acc{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the -GOMAXPROCS suffix
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		a := accs[name]
+		if a == nil {
+			a = &acc{entry: &Entry{Name: name}, extra: map[string]float64{}}
+			accs[name] = a
+			order = append(order, name)
+		}
+		a.entry.Runs++
+		a.entry.Iters += iters
+		// Remaining fields come in `value unit` pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				a.ns += v
+			case "B/op":
+				a.b += v
+			case "allocs/op":
+				a.allocs += v
+			default:
+				a.extra[fields[i+1]] += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	out := make([]*Entry, 0, len(order))
+	for _, name := range order {
+		a := accs[name]
+		runs := float64(a.entry.Runs)
+		a.entry.NsPerOp = round2(a.ns / runs)
+		a.entry.BPerOp = round2(a.b / runs)
+		a.entry.AllocsOp = round2(a.allocs / runs)
+		for k, v := range a.extra {
+			if a.entry.Extra == nil {
+				a.entry.Extra = map[string]float64{}
+			}
+			a.entry.Extra[k] = round2(v / runs)
+		}
+		out = append(out, a.entry)
+	}
+	return out, nil
+}

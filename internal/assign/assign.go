@@ -196,13 +196,13 @@ func affinity(g *ddg.Graph, assigned []int, v, c int) int {
 }
 
 func anyNeighborAssigned(g *ddg.Graph, assigned []int, v int) bool {
-	for _, p := range g.Preds(v) {
-		if p != v && assigned[p] >= 0 {
+	for _, e := range g.InEdges(v) {
+		if e.From != v && assigned[e.From] >= 0 {
 			return true
 		}
 	}
-	for _, s := range g.Succs(v) {
-		if s != v && assigned[s] >= 0 {
+	for _, e := range g.OutEdges(v) {
+		if e.To != v && assigned[e.To] >= 0 {
 			return true
 		}
 	}

@@ -27,12 +27,13 @@ type Analysis struct {
 // The graph must be a DAG over those edges (Validate enforces this).
 func (g *Graph) Analyze() *Analysis {
 	n := len(g.nodes)
+	back := make([]int, 5*n) // one backing array for all five tables
 	a := &Analysis{
-		ASAP:     make([]int, n),
-		ALAP:     make([]int, n),
-		Mobility: make([]int, n),
-		Depth:    make([]int, n),
-		Height:   make([]int, n),
+		ASAP:     back[0*n : 1*n : 1*n],
+		ALAP:     back[1*n : 2*n : 2*n],
+		Mobility: back[2*n : 3*n : 3*n],
+		Depth:    back[3*n : 4*n : 4*n],
+		Height:   back[4*n : 5*n : 5*n],
 	}
 	order := g.topoZeroDistance()
 
@@ -82,19 +83,20 @@ func (g *Graph) Analyze() *Analysis {
 // subgraph (Kahn's algorithm; deterministic by smallest ID first).
 func (g *Graph) topoZeroDistance() []int {
 	n := len(g.nodes)
-	indeg := make([]int, n)
+	back := make([]int, n, 3*n)
+	indeg := back[:n:n]
 	for _, e := range g.edges {
 		if e.Distance == 0 {
 			indeg[e.To]++
 		}
 	}
-	var ready []int
+	ready := back[n : n : 2*n]
 	for v := 0; v < n; v++ {
 		if indeg[v] == 0 {
 			ready = append(ready, v)
 		}
 	}
-	order := make([]int, 0, n)
+	order := back[2*n : 2*n : 3*n]
 	for len(ready) > 0 {
 		sort.Ints(ready)
 		v := ready[0]
@@ -143,17 +145,33 @@ func (g *Graph) ConnectedComponents() [][]int {
 	for _, e := range g.edges {
 		union(e.From, e.To)
 	}
-	groups := make(map[int][]int)
+	// Two counting passes turn the union-find into exactly-sized member
+	// slices over one backing array — no map, no sort, no regrowth.
+	// Scanning nodes in ascending ID orders each component's members
+	// ascending and the components by smallest member.
+	size := make([]int, n)
+	nComps := 0
 	for v := 0; v < n; v++ {
 		r := find(v)
-		groups[r] = append(groups[r], v)
+		if size[r] == 0 {
+			nComps++
+		}
+		size[r]++
 	}
-	comps := make([][]int, 0, len(groups))
-	for _, members := range groups {
-		sort.Ints(members)
-		comps = append(comps, members)
+	comps := make([][]int, 0, nComps)
+	backing := make([]int, 0, n)
+	idx := size // reuse: idx[root] = component index + 1, 0 = unseen
+	for v := 0; v < n; v++ {
+		r := find(v)
+		if idx[r] <= n { // first member: carve this component's slice
+			sz := idx[r]
+			comps = append(comps, backing[len(backing):len(backing):len(backing)+sz])
+			backing = backing[:len(backing)+sz]
+			idx[r] = n + len(comps)
+		}
+		c := idx[r] - n - 1
+		comps[c] = append(comps[c], v)
 	}
-	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
 	return comps
 }
 

@@ -154,10 +154,40 @@ func (g *Graph) trueDepConnected() bool {
 	return comps == 1
 }
 
+// hasCycle reports whether the graph has any directed cycle (all edge
+// distances considered) via an iterative three-colour DFS — much
+// cheaper than materialising the SCC decomposition just to look for a
+// recurrence.
 func (g *Graph) hasCycle() bool {
-	for _, c := range g.SCCs() {
-		if c.Recurrence {
-			return true
+	n := len(g.nodes)
+	// 0 = unvisited, 1 = on the current DFS path, 2 = done.
+	color := make([]uint8, n)
+	type frame struct {
+		v, edge int
+	}
+	stack := make([]frame, 0, n)
+	for root := 0; root < n; root++ {
+		if color[root] != 0 {
+			continue
+		}
+		color[root] = 1
+		stack = append(stack, frame{v: root})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.edge < len(g.out[f.v]) {
+				w := g.out[f.v][f.edge].To
+				f.edge++
+				switch color[w] {
+				case 0:
+					color[w] = 1
+					stack = append(stack, frame{v: w})
+				case 1:
+					return true // back edge (self-edges included)
+				}
+				continue
+			}
+			color[f.v] = 2
+			stack = stack[:len(stack)-1]
 		}
 	}
 	return false
@@ -169,7 +199,7 @@ func (g *Graph) recMIIOfSubgraph(nodes []int) int {
 	// Upper bound: the sum of all edge latencies inside the subgraph is
 	// at least any single cycle's latency sum, and every cycle has
 	// distance >= 1, so latSum is always feasible.
-	inSet := make(map[int]bool, len(nodes))
+	inSet := make([]bool, len(g.nodes))
 	for _, v := range nodes {
 		inSet[v] = true
 	}
@@ -182,10 +212,11 @@ func (g *Graph) recMIIOfSubgraph(nodes []int) int {
 	if latSum < 1 {
 		latSum = 1
 	}
+	dist := make([]int, len(g.nodes))
 	lo, hi := 1, latSum
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if g.iiFeasible(nodes, inSet, mid) {
+		if g.iiFeasible(nodes, inSet, dist, mid) {
 			hi = mid
 		} else {
 			lo = mid + 1
@@ -197,9 +228,9 @@ func (g *Graph) recMIIOfSubgraph(nodes []int) int {
 // iiFeasible reports whether no cycle inside the node set has positive
 // weight under w(e) = latency - II*distance.  It runs Bellman-Ford-style
 // longest-path relaxation; a relaxation still succeeding after n rounds
-// proves a positive cycle.
-func (g *Graph) iiFeasible(nodes []int, inSet map[int]bool, ii int) bool {
-	dist := make(map[int]int, len(nodes))
+// proves a positive cycle.  dist is caller-provided scratch (one entry
+// per graph node).
+func (g *Graph) iiFeasible(nodes []int, inSet []bool, dist []int, ii int) bool {
 	for _, v := range nodes {
 		dist[v] = 0
 	}

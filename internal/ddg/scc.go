@@ -20,7 +20,13 @@ type SCC struct {
 // stack) and each recurrence's RecMII.  Components are returned in
 // reverse topological discovery order; callers needing the paper's
 // priority order should sort by RecMII descending.
-func (g *Graph) SCCs() []*SCC {
+func (g *Graph) SCCs() []*SCC { return g.tarjan(true) }
+
+// tarjan runs the SCC decomposition; with all == false only recurrence
+// components (multi-node, or single node with a self-edge) are
+// materialised, which keeps hot callers like Recurrences from
+// allocating one SCC per trivial singleton.
+func (g *Graph) tarjan(all bool) []*SCC {
 	n := len(g.nodes)
 	index := make([]int, n)
 	low := make([]int, n)
@@ -28,7 +34,7 @@ func (g *Graph) SCCs() []*SCC {
 	for i := range index {
 		index[i] = -1
 	}
-	var stack []int
+	stack := make([]int, 0, n)
 	var comps []*SCC
 	next := 0
 
@@ -36,11 +42,12 @@ func (g *Graph) SCCs() []*SCC {
 		v    int
 		edge int
 	}
+	frameBuf := make([]frame, 0, n)
 	for root := 0; root < n; root++ {
 		if index[root] != -1 {
 			continue
 		}
-		frames := []frame{{v: root}}
+		frames := append(frameBuf[:0], frame{v: root})
 		index[root], low[root] = next, next
 		next++
 		stack = append(stack, root)
@@ -72,18 +79,24 @@ func (g *Graph) SCCs() []*SCC {
 				}
 			}
 			if low[v] == index[v] {
-				var members []int
+				// Pop the component off the shared stack in place.
+				top := len(stack)
+				base := top
 				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
+					base--
+					w := stack[base]
 					onStack[w] = false
-					members = append(members, w)
 					if w == v {
 						break
 					}
 				}
-				sort.Ints(members)
-				comps = append(comps, &SCC{Nodes: members})
+				popped := stack[base:top]
+				stack = stack[:base]
+				if all || g.isRecurrence(popped) {
+					members := append([]int(nil), popped...)
+					sort.Ints(members)
+					comps = append(comps, &SCC{Nodes: members})
+				}
 			}
 		}
 	}
@@ -114,14 +127,10 @@ func (g *Graph) isRecurrence(nodes []int) bool {
 
 // Recurrences returns only the recurrence SCCs, sorted by RecMII
 // descending (the paper's ordering priority), ties broken by smallest
-// member ID for determinism.
+// member ID for determinism.  Trivial singleton components are never
+// materialised.
 func (g *Graph) Recurrences() []*SCC {
-	var recs []*SCC
-	for _, c := range g.SCCs() {
-		if c.Recurrence {
-			recs = append(recs, c)
-		}
-	}
+	recs := g.tarjan(false)
 	sort.SliceStable(recs, func(i, j int) bool {
 		if recs[i].RecMII != recs[j].RecMII {
 			return recs[i].RecMII > recs[j].RecMII

@@ -229,14 +229,15 @@ func TestRecMIIPropertyFeasibility(t *testing.T) {
 			return !g.hasCycle()
 		}
 		ids := allIDs(g.NumNodes())
-		in := map[int]bool{}
+		in := make([]bool, g.NumNodes())
 		for _, v := range ids {
 			in[v] = true
 		}
-		if !g.iiFeasible(ids, in, rec) {
+		dist := make([]int, g.NumNodes())
+		if !g.iiFeasible(ids, in, dist, rec) {
 			return false
 		}
-		if rec > 1 && g.iiFeasible(ids, in, rec-1) {
+		if rec > 1 && g.iiFeasible(ids, in, dist, rec-1) {
 			return false
 		}
 		return true

@@ -1,0 +1,37 @@
+package exact
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// BenchmarkExactOracle runs the full branch-and-bound sweep (every II
+// from MinII to the first feasible one, exhaustively refuted) on a
+// small graph.  Each expansion's register check rides the incremental
+// pressure tables of the shared sched.Attempt, so allocations should
+// stay proportional to the number of feasible Choices, not to the
+// number of candidate placements examined.
+func BenchmarkExactOracle(b *testing.B) {
+	g := ddg.Random(42, 10, 5)
+	if g == nil {
+		b.Fatal("bench graph generation failed")
+	}
+	for _, cfg := range []machine.Config{machine.TwoCluster(1, 1), machine.FourCluster(1, 2)} {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			// The step budget bounds each iteration to a deterministic
+			// amount of search; hitting it is a valid outcome (the
+			// benchmark then measures exactly MaxSteps expansions).
+			budget := Budget{MaxNodes: 16, MaxSteps: 50_000}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Schedule(g, &cfg, &budget); err != nil && !errors.Is(err, ErrBudget) {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

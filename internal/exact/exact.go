@@ -148,6 +148,11 @@ func Schedule(g *ddg.Graph, cfg *machine.Config, budget *Budget) (*Result, error
 		homog:    cfg.Hetero == nil,
 	}
 	minII := g.MinII(cfg)
+	// One attempt is allocated for the whole sweep and Reset per II: the
+	// reservation tables, incremental pressure tables and undo logs are
+	// recycled, so each of the search's expansions costs O(lifetime
+	// length) bookkeeping with no steady-state allocation.
+	s.a = sched.NewAttempt(g, cfg, minII)
 	maxII := budget.MaxII
 	if maxII == 0 {
 		maxII = minII + sched.SequentialBound(g, cfg)
@@ -191,15 +196,17 @@ type searcher struct {
 	g        *ddg.Graph
 	cfg      *machine.Config
 	ord      []int
+	a        *sched.Attempt
 	homog    bool
 	maxSteps int64
 	steps    int64
 }
 
-// searchII exhaustively explores placements at one II.
+// searchII exhaustively explores placements at one II, rewinding the
+// shared attempt in place.
 func (s *searcher) searchII(ii int) (status, *sched.Schedule) {
-	a := sched.NewAttempt(s.g, s.cfg, ii)
-	return s.dfs(a, 0)
+	s.a.Reset(ii)
+	return s.dfs(s.a, 0)
 }
 
 // dfs places the idx-th node of the SMS order every feasible way and

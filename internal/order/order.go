@@ -16,19 +16,22 @@ import (
 )
 
 // SMS returns the node IDs of g in Swing-Modulo-Scheduling order.
+//
+// The frontier and set membership are tracked in flat boolean scratch
+// arrays rather than maps: selection is governed by a strict total
+// order (depth/height, ties to the lowest ID), so iteration order never
+// affects the result and the whole ordering allocates O(1) slices.
 func SMS(g *ddg.Graph) []int {
+	n := g.NumNodes()
 	sets := PrioritySets(g)
 	an := g.Analyze()
 
-	ordered := make([]bool, g.NumNodes())
-	var out []int
-	appendNode := func(v int) {
-		ordered[v] = true
-		out = append(out, v)
-	}
+	ordered := make([]bool, n)
+	inSet := make([]bool, n)
+	frontier := make([]bool, n)
+	out := make([]int, 0, n)
 
 	for _, set := range sets {
-		inSet := make(map[int]bool, len(set))
 		remaining := 0
 		for _, v := range set {
 			if !ordered[v] {
@@ -40,17 +43,19 @@ func SMS(g *ddg.Graph) []int {
 			continue
 		}
 
-		dir, r := initialFrontier(g, an, inSet, ordered)
+		dir, nf := initialFrontier(g, an, inSet, ordered, frontier)
 		for remaining > 0 {
-			for len(r) > 0 {
-				v := pickBest(r, an, dir)
-				delete(r, v)
+			for nf > 0 {
+				v := pickBest(frontier, an, dir)
+				frontier[v] = false
+				nf--
 				if ordered[v] {
 					continue
 				}
-				appendNode(v)
+				ordered[v] = true
+				out = append(out, v)
 				remaining--
-				expandFrontier(g, v, inSet, ordered, dir, r)
+				nf += expandFrontier(g, v, inSet, ordered, dir, frontier)
 			}
 			if remaining == 0 {
 				break
@@ -58,13 +63,16 @@ func SMS(g *ddg.Graph) []int {
 			// Swing: reverse direction and restart from the set nodes
 			// adjacent to the order built so far.
 			dir = dir.flip()
-			r = adjacentToOrdered(g, inSet, ordered, dir)
-			if len(r) == 0 {
+			nf = adjacentToOrdered(g, inSet, ordered, dir, frontier)
+			if nf == 0 {
 				// The set has a component not connected to the order yet
 				// (possible when a priority set unions disjoint pieces):
 				// restart as a fresh subgraph.
-				dir, r = freshStart(an, inSet, ordered)
+				dir, nf = freshStart(an, inSet, ordered, frontier)
 			}
+		}
+		for _, v := range set {
+			inSet[v] = false
 		}
 	}
 	return out
@@ -87,34 +95,35 @@ func (d direction) flip() direction {
 
 // initialFrontier chooses the first sweep for a set: continue from the
 // existing order if the set touches it, otherwise start a fresh subgraph
-// from its deepest node.
-func initialFrontier(g *ddg.Graph, an *ddg.Analysis, inSet map[int]bool, ordered []bool) (direction, map[int]bool) {
-	if r := adjacentToOrdered(g, inSet, ordered, topDown); len(r) > 0 {
-		return topDown, r
+// from its deepest node.  The chosen frontier is written into the
+// all-false scratch slice; the count of frontier nodes is returned.
+func initialFrontier(g *ddg.Graph, an *ddg.Analysis, inSet, ordered, frontier []bool) (direction, int) {
+	if nf := adjacentToOrdered(g, inSet, ordered, topDown, frontier); nf > 0 {
+		return topDown, nf
 	}
-	if r := adjacentToOrdered(g, inSet, ordered, bottomUp); len(r) > 0 {
-		return bottomUp, r
+	if nf := adjacentToOrdered(g, inSet, ordered, bottomUp, frontier); nf > 0 {
+		return bottomUp, nf
 	}
-	return freshStart(an, inSet, ordered)
+	return freshStart(an, inSet, ordered, frontier)
 }
 
-// freshStart returns a bottom-up sweep from the deepest unordered node
+// freshStart seeds a bottom-up sweep with the deepest unordered node
 // of the set (ties: highest height, then lowest ID).
-func freshStart(an *ddg.Analysis, inSet map[int]bool, ordered []bool) (direction, map[int]bool) {
+func freshStart(an *ddg.Analysis, inSet, ordered, frontier []bool) (direction, int) {
 	best := -1
 	for v := range inSet {
-		if ordered[v] {
+		if !inSet[v] || ordered[v] {
 			continue
 		}
 		if best == -1 || deeper(an, v, best) {
 			best = v
 		}
 	}
-	r := map[int]bool{}
-	if best >= 0 {
-		r[best] = true
+	if best < 0 {
+		return bottomUp, 0
 	}
-	return bottomUp, r
+	frontier[best] = true
+	return bottomUp, 1
 }
 
 func deeper(an *ddg.Analysis, v, w int) bool {
@@ -127,59 +136,70 @@ func deeper(an *ddg.Analysis, v, w int) bool {
 	return v < w
 }
 
-// adjacentToOrdered collects the unordered set members adjacent to the
+// adjacentToOrdered marks the unordered set members adjacent to the
 // current order: successors of ordered nodes for a top-down sweep,
 // predecessors for a bottom-up sweep (distance-0 edges, as in SMS).
-func adjacentToOrdered(g *ddg.Graph, inSet map[int]bool, ordered []bool, dir direction) map[int]bool {
-	r := map[int]bool{}
+// frontier must be all-false on entry; the count of marked nodes is
+// returned.
+func adjacentToOrdered(g *ddg.Graph, inSet, ordered []bool, dir direction, frontier []bool) int {
+	nf := 0
 	for v := range inSet {
-		if ordered[v] {
+		if !inSet[v] || ordered[v] {
 			continue
 		}
 		if dir == topDown {
 			for _, e := range g.InEdges(v) {
 				if e.Distance == 0 && ordered[e.From] {
-					r[v] = true
+					frontier[v] = true
+					nf++
 					break
 				}
 			}
 		} else {
 			for _, e := range g.OutEdges(v) {
 				if e.Distance == 0 && ordered[e.To] {
-					r[v] = true
+					frontier[v] = true
+					nf++
 					break
 				}
 			}
 		}
 	}
-	return r
+	return nf
 }
 
 // expandFrontier adds v's unordered set neighbours in the sweep
-// direction to the frontier.
-func expandFrontier(g *ddg.Graph, v int, inSet map[int]bool, ordered []bool, dir direction, r map[int]bool) {
+// direction to the frontier, returning how many were newly added.
+func expandFrontier(g *ddg.Graph, v int, inSet, ordered []bool, dir direction, frontier []bool) int {
+	added := 0
 	if dir == topDown {
 		for _, e := range g.OutEdges(v) {
-			if e.Distance == 0 && inSet[e.To] && !ordered[e.To] {
-				r[e.To] = true
+			if e.Distance == 0 && inSet[e.To] && !ordered[e.To] && !frontier[e.To] {
+				frontier[e.To] = true
+				added++
 			}
 		}
 	} else {
 		for _, e := range g.InEdges(v) {
-			if e.Distance == 0 && inSet[e.From] && !ordered[e.From] {
-				r[e.From] = true
+			if e.Distance == 0 && inSet[e.From] && !ordered[e.From] && !frontier[e.From] {
+				frontier[e.From] = true
+				added++
 			}
 		}
 	}
+	return added
 }
 
 // pickBest selects the next node from the frontier: a top-down sweep
 // prefers the highest height (most critical work below it), a bottom-up
 // sweep the highest depth; ties fall to the other metric, then the
 // lowest ID for determinism.
-func pickBest(r map[int]bool, an *ddg.Analysis, dir direction) int {
+func pickBest(frontier []bool, an *ddg.Analysis, dir direction) int {
 	best := -1
-	for v := range r {
+	for v := range frontier {
+		if !frontier[v] {
+			continue
+		}
 		if best == -1 {
 			best = v
 			continue
@@ -225,18 +245,32 @@ func pickBest(r map[int]bool, an *ddg.Analysis, dir direction) int {
 // component starts a fresh "subgraph" during ordering, which is what
 // lets unrolled iterations drift to different clusters).
 func PrioritySets(g *ddg.Graph) [][]int {
-	placed := make([]bool, g.NumNodes())
+	n := g.NumNodes()
+	placed := make([]bool, n)
 	var sets [][]int
 
-	for _, rec := range g.Recurrences() {
-		var set []int
-		inPrev := map[int]bool{}
-		for v := 0; v < g.NumNodes(); v++ {
-			if placed[v] {
-				inPrev[v] = true
+	recs := g.Recurrences()
+	// Reachability scratch, shared across recurrences: one boolean
+	// backing for the four reach marks plus set membership, and one
+	// stack for the local DFS.
+	var downFromPrev, upToRec, upFromPrev, downFromRec, members []bool
+	var prev, stack []int
+	anyPlaced := false
+	for _, rec := range recs {
+		if members == nil {
+			back := make([]bool, 5*n)
+			downFromPrev = back[0*n : 1*n : 1*n]
+			upToRec = back[1*n : 2*n : 2*n]
+			upFromPrev = back[2*n : 3*n : 3*n]
+			downFromRec = back[3*n : 4*n : 4*n]
+			members = back[4*n : 5*n : 5*n]
+			stack = make([]int, 0, n)
+		} else {
+			for i := 0; i < n; i++ {
+				downFromPrev[i], upToRec[i], upFromPrev[i], downFromRec[i], members[i] = false, false, false, false, false
 			}
 		}
-		members := map[int]bool{}
+		var set []int
 		for _, v := range rec.Nodes {
 			if !placed[v] {
 				set = append(set, v)
@@ -248,13 +282,18 @@ func PrioritySets(g *ddg.Graph) [][]int {
 		}
 		// Path nodes: unplaced nodes both reachable from a previous set and
 		// reaching this recurrence (or vice versa).
-		if len(inPrev) > 0 {
-			prev := keys(inPrev)
-			downFromPrev := g.DescendantsWithin(prev, nil)
-			upToRec := g.AncestorsWithin(rec.Nodes, nil)
-			upFromPrev := g.AncestorsWithin(prev, nil)
-			downFromRec := g.DescendantsWithin(rec.Nodes, nil)
-			for v := 0; v < g.NumNodes(); v++ {
+		if anyPlaced {
+			prev = prev[:0]
+			for v := 0; v < n; v++ {
+				if placed[v] {
+					prev = append(prev, v)
+				}
+			}
+			stack = markReach(g, prev, downFromPrev, false, stack)
+			stack = markReach(g, rec.Nodes, upToRec, true, stack)
+			stack = markReach(g, prev, upFromPrev, true, stack)
+			stack = markReach(g, rec.Nodes, downFromRec, false, stack)
+			for v := 0; v < n; v++ {
 				if placed[v] || members[v] {
 					continue
 				}
@@ -268,6 +307,7 @@ func PrioritySets(g *ddg.Graph) [][]int {
 		for _, v := range set {
 			placed[v] = true
 		}
+		anyPlaced = true
 		sets = append(sets, set)
 	}
 
@@ -285,6 +325,40 @@ func PrioritySets(g *ddg.Graph) [][]int {
 		}
 	}
 	return sets
+}
+
+// markReach marks out[w] = true for every node w reachable from targets
+// via one or more distance-0 edges (forward, or backward when backward
+// is set).  The traversal stack is threaded through and returned so the
+// four reach passes per recurrence share one buffer.  Whether targets
+// themselves end up marked is irrelevant to the caller: the path-node
+// test skips placed nodes and current members, which cover every
+// target.
+func markReach(g *ddg.Graph, targets []int, out []bool, backward bool, stack []int) []int {
+	stack = append(stack[:0], targets...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		edges := g.OutEdges(v)
+		if backward {
+			edges = g.InEdges(v)
+		}
+		for _, e := range edges {
+			if e.Distance != 0 {
+				continue
+			}
+			w := e.To
+			if backward {
+				w = e.From
+			}
+			if out[w] {
+				continue
+			}
+			out[w] = true
+			stack = append(stack, w)
+		}
+	}
+	return stack[:0]
 }
 
 // Topological returns a plain topological order of the distance-0
@@ -373,13 +447,4 @@ func CountBothSided(g *ddg.Graph, ord []int) int {
 		seen[v] = true
 	}
 	return count
-}
-
-func keys(m map[int]bool) []int {
-	out := make([]int, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Ints(out)
-	return out
 }

@@ -1,0 +1,136 @@
+package regpress
+
+// Table is an incrementally maintained modulo register-pressure table:
+// the per-slot pressure of a set of lifetimes, kept up to date as
+// individual live ranges are added and removed instead of being
+// recomputed from scratch.  Pressure is additive over splitting a live
+// range — the contribution of [lo, hi) to slot s is the number of cycles
+// in the interval congruent to s mod II — so extending a lifetime from
+// end e1 to e2 is exactly Add(e1, e2) and the inverse is Sub(e1, e2).
+// That additivity is what lets the scheduler undo speculative placements
+// in O(lifetime length) instead of rebuilding everything (the Pressure
+// function is the from-scratch oracle the fuzz tests compare against).
+//
+// The table also tracks how many slots currently exceed a fixed register
+// capacity, making the scheduler's "does every register file still fit"
+// check O(1) per cluster.
+type Table struct {
+	ii    int
+	limit int   // register capacity; slots above it count toward over
+	slots []int // per-modulo-slot pressure, ii entries
+	over  int   // number of slots with pressure > limit
+}
+
+// NewTable returns a table of ii slots checking against the given
+// register capacity.
+func NewTable(ii, capacity int) *Table {
+	t := &Table{}
+	t.Init(ii, capacity)
+	return t
+}
+
+// Init (re)initialises a table in place — the value-type counterpart of
+// NewTable, so callers can embed Tables in slices without per-element
+// pointer allocations.
+func (t *Table) Init(ii, capacity int) {
+	t.limit = capacity
+	t.Reset(ii)
+}
+
+// Reset clears the table and resizes it to ii slots, reusing the backing
+// array when capacity allows (no allocation in the steady state of an II
+// search, which grows ii one step at a time).
+func (t *Table) Reset(ii int) {
+	if ii < 1 {
+		panic("regpress: II must be >= 1")
+	}
+	t.ii = ii
+	if cap(t.slots) < ii {
+		t.slots = make([]int, ii, ii+ii/2+4)
+	} else {
+		t.slots = t.slots[:ii]
+		for i := range t.slots {
+			t.slots[i] = 0
+		}
+	}
+	t.over = 0
+}
+
+// II returns the current number of modulo slots.
+func (t *Table) II() int { return t.ii }
+
+// Capacity returns the register capacity the over-count checks against.
+func (t *Table) Capacity() int { return t.limit }
+
+// Add adds one live-range instance over the flat-cycle interval
+// [lo, hi): every cycle in the interval contributes 1 to its modulo
+// slot.  Negative cycles are allowed (wraparound).  Empty intervals are
+// no-ops.
+func (t *Table) Add(lo, hi int) { t.addRange(lo, hi, 1) }
+
+// Sub removes a live-range instance previously added over [lo, hi).
+func (t *Table) Sub(lo, hi int) { t.addRange(lo, hi, -1) }
+
+func (t *Table) addRange(lo, hi, delta int) {
+	if hi <= lo {
+		return
+	}
+	n := hi - lo
+	full := n / t.ii
+	rem := n % t.ii
+	if full > 0 {
+		d := delta * full
+		for s := range t.slots {
+			t.bump(s, d)
+		}
+	}
+	if rem > 0 {
+		s := mod(lo, t.ii)
+		for k := 0; k < rem; k++ {
+			t.bump(s, delta)
+			s++
+			if s == t.ii {
+				s = 0
+			}
+		}
+	}
+}
+
+func (t *Table) bump(s, delta int) {
+	old := t.slots[s]
+	now := old + delta
+	if now < 0 {
+		panic("regpress: pressure table underflow (unbalanced Sub)")
+	}
+	t.slots[s] = now
+	if old <= t.limit {
+		if now > t.limit {
+			t.over++
+		}
+	} else if now <= t.limit {
+		t.over--
+	}
+}
+
+// Fits reports whether every slot is within capacity — equivalent to
+// Max() <= Capacity(), but O(1).
+func (t *Table) Fits() bool { return t.over == 0 }
+
+// Max returns the current MaxLive: the peak pressure over all slots.
+func (t *Table) Max() int {
+	max := 0
+	for _, p := range t.slots {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// Slot returns the pressure at modulo slot s.
+func (t *Table) Slot(s int) int { return t.slots[s] }
+
+// Slots returns the live per-slot pressure array.  It aliases the
+// table's internal state and must not be mutated; it is exposed for
+// invariant checks and diagnostics.
+func (t *Table) Slots() []int { return t.slots }

@@ -1,0 +1,90 @@
+package regpress
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The Table must agree with the from-scratch Pressure oracle under any
+// interleaving of adds and removes — that equivalence is what the
+// scheduler's incremental register check rests on.
+
+func tableEquals(t *testing.T, tab *Table, lts []Lifetime, ii int, ctx string) {
+	t.Helper()
+	want := Pressure(lts, ii)
+	wantOver := 0
+	for s, p := range want {
+		if p != tab.Slot(s) {
+			t.Fatalf("%s: slot %d = %d, oracle %d (lifetimes %v)", ctx, s, tab.Slot(s), p, lts)
+		}
+		if p > tab.Capacity() {
+			wantOver++
+		}
+	}
+	if (wantOver == 0) != tab.Fits() {
+		t.Fatalf("%s: Fits() = %v, oracle over-count %d", ctx, tab.Fits(), wantOver)
+	}
+	if got, want := tab.Max(), MaxLive(lts, ii); got != want {
+		t.Fatalf("%s: Max() = %d, oracle MaxLive %d", ctx, got, want)
+	}
+}
+
+func TestTableMatchesPressureOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		ii := 1 + rng.Intn(9)
+		tab := NewTable(ii, 1+rng.Intn(4))
+		var live []Lifetime
+		for op := 0; op < 40; op++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				// Remove a random lifetime (LIFO not required by Table).
+				i := rng.Intn(len(live))
+				tab.Sub(live[i].Start, live[i].End)
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				lt := Lifetime{Start: rng.Intn(21) - 10}
+				lt.End = lt.Start + rng.Intn(3*ii+2)
+				tab.Add(lt.Start, lt.End)
+				live = append(live, lt)
+			}
+			tableEquals(t, tab, live, ii, "interleaved")
+		}
+	}
+}
+
+func TestTableExtensionSplitsExactly(t *testing.T) {
+	// Add [0, 3) then extend to [0, 11) via Add(3, 11): must equal one
+	// lifetime [0, 11) — the additivity the scheduler's incremental
+	// lifetime extensions rely on.
+	tab := NewTable(4, 8)
+	tab.Add(0, 3)
+	tab.Add(3, 11)
+	tableEquals(t, tab, []Lifetime{{Start: 0, End: 11}}, 4, "extension")
+	tab.Sub(3, 11)
+	tableEquals(t, tab, []Lifetime{{Start: 0, End: 3}}, 4, "rollback")
+}
+
+func TestTableResetReusesBacking(t *testing.T) {
+	tab := NewTable(4, 2)
+	tab.Add(-5, 9)
+	tab.Reset(3)
+	for s := 0; s < 3; s++ {
+		if tab.Slot(s) != 0 {
+			t.Fatalf("slot %d = %d after Reset, want 0", s, tab.Slot(s))
+		}
+	}
+	if !tab.Fits() {
+		t.Fatal("fresh table must fit")
+	}
+	tab.Add(0, 7) // II=3: 2 full wraps + 1 extra at slot 0
+	tableEquals(t, tab, []Lifetime{{Start: 0, End: 7}}, 3, "after reset")
+}
+
+func TestTableUnderflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced Sub must panic")
+		}
+	}()
+	NewTable(2, 4).Sub(0, 1)
+}

@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/order"
+)
+
+// Micro-benchmarks for the scheduler hot path.  All report allocations:
+// the inner loop (window scan, comm planning, incremental register
+// check, place/unplace) is designed to be allocation-free in the steady
+// state, and these benchmarks are the regression guard for that
+// property.  scripts/bench_sched.sh folds them into BENCH_sched.json.
+
+// benchConfigs is the per-machine sweep: the paper's three shapes at
+// contrasting bus latencies.
+var benchConfigs = []machine.Config{
+	machine.Unified(),
+	machine.TwoCluster(1, 1),
+	machine.TwoCluster(2, 2),
+	machine.FourCluster(1, 1),
+	machine.FourCluster(1, 2),
+}
+
+// benchGraph is a deterministic 14-node ddg.Random body — dense enough
+// to exercise transfers and register pressure on every machine.
+func benchGraph() *ddg.Graph {
+	g := ddg.Random(42, 14, 7)
+	if g == nil {
+		panic("bench graph generation failed")
+	}
+	return g
+}
+
+// BenchmarkBSA runs the full heuristic (MinII, SMS order, II search)
+// per machine configuration.
+func BenchmarkBSA(b *testing.B) {
+	g := benchGraph()
+	for i := range benchConfigs {
+		cfg := benchConfigs[i]
+		b.Run(cfg.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ScheduleGraph(g, &cfg, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTryCommitAttempt is the try/commit hot path in isolation:
+// one full runAttempt per iteration on a recycled state at a fixed
+// feasible II — no MinII, ordering or Schedule construction.  This is
+// the loop the incremental pressure table and the scratch buffers make
+// allocation-free.
+func BenchmarkTryCommitAttempt(b *testing.B) {
+	g := benchGraph()
+	for _, pick := range []int{0, 3} { // unified and 4-cluster/B1/L1
+		cfg := benchConfigs[pick]
+		s, err := ScheduleGraph(g, &cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ord := order.SMS(g)
+		b.Run(cfg.Name, func(b *testing.B) {
+			st := newSchedState(g, &cfg)
+			opts := &Options{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.reset(s.II)
+				if cause, _ := runAttempt(st, ord, opts); cause != CauseNone {
+					b.Fatalf("attempt failed at proven-feasible II %d", s.II)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAttemptExpansion measures one exact-oracle-style expansion
+// wave: reset, then greedily enumerate Choices and place the first for
+// every node — the per-node cost the branch-and-bound search pays at
+// every depth of its DFS.
+func BenchmarkAttemptExpansion(b *testing.B) {
+	g := benchGraph()
+	cfg := machine.TwoCluster(1, 1)
+	s, err := ScheduleGraph(g, &cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := NewAttempt(g, &cfg, s.II)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Reset(s.II)
+		for n := 0; n < g.NumNodes(); n++ {
+			chs := a.Choices(n)
+			if len(chs) == 0 {
+				break
+			}
+			a.Place(n, chs[0])
+		}
+	}
+}
+
+// BenchmarkPlaceUnplace is the innermost speculative step by itself:
+// place a node with a known-feasible placement, check fits, unplace.
+func BenchmarkPlaceUnplace(b *testing.B) {
+	g := benchGraph()
+	cfg := machine.FourCluster(1, 1)
+	s, err := ScheduleGraph(g, &cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := newSchedState(g, &cfg)
+	st.reset(s.II)
+	// Commit everything except the last node in SMS order, then
+	// speculate on that one.
+	ord := order.SMS(g)
+	last := ord[len(ord)-1]
+	for _, n := range ord[:len(ord)-1] {
+		placedOne := false
+		for c := 0; c < cfg.NClusters && !placedOne; c++ {
+			if res, cause := st.try(n, c); cause == CauseNone {
+				st.commit(n, c, res)
+				placedOne = true
+			}
+		}
+		if !placedOne {
+			b.Fatalf("setup: node %d unplaceable at II %d", n, s.II)
+		}
+	}
+	res, cause := st.try(last, s.Placements[last].Cluster)
+	if cause != CauseNone {
+		b.Fatalf("setup: last node unplaceable")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.commit(last, s.Placements[last].Cluster, res)
+		if !st.fits() {
+			b.Fatal("known-feasible placement reported unfit")
+		}
+		st.unplace(last, res.plan)
+	}
+}

@@ -52,6 +52,10 @@ type Options struct {
 // order, increasing II and restarting whenever a node cannot be placed.
 // With cfg.NClusters == 1 it degenerates to plain SMS for the unified
 // machine.
+//
+// One attempt state is allocated per run and recycled across the whole
+// II search (epoch-based reset); the inner placement loop is
+// allocation-free in the steady state.
 func ScheduleGraph(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Schedule, error) {
 	if opts == nil {
 		opts = &Options{}
@@ -95,11 +99,12 @@ func ScheduleGraph(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Schedule,
 		minII, maxII = opts.ForceII, opts.ForceII
 	}
 
-	causes := map[FailCause]int{}
+	var causes map[FailCause]int // lazily: the first attempt often succeeds
 	lastFail := -1
 	fails := 0
+	st := newSchedState(g, cfg)
 	for ii := minII; ii <= maxII; {
-		st := newState(g, cfg, ii)
+		st.reset(ii)
 		cause, failNode := runAttempt(st, ord, opts)
 		if cause == CauseNone {
 			s := buildSchedule(st, *cfg)
@@ -107,6 +112,9 @@ func ScheduleGraph(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Schedule,
 			s.BusLimited = causes[CauseComm] > 0 || busFloored
 			s.Causes = causes
 			return s, nil
+		}
+		if causes == nil {
+			causes = make(map[FailCause]int, 4)
 		}
 		causes[cause]++
 		lastFail = failNode
@@ -159,11 +167,17 @@ func runAttempt(st *state, ord []int, opts *Options) (FailCause, int) {
 			defCluster = (defCluster + 1) % st.cfg.NClusters
 		}
 
-		var cands []candidate
+		// The candidate window depends only on the node, so the cycle
+		// scan is computed once and shared across the cluster candidates.
+		st.cycleBuf = st.candidateCycles(st.windowOf(n), st.cycleBuf[:0])
+
+		// cands stays sorted by ascending cluster: candidateClusters
+		// yields clusters in ascending order and try returns at most one
+		// candidate per cluster.
+		cands := st.candBuf[:0]
 		worst := CauseFU
-		clusters := candidateClusters(st, n, opts)
-		for _, c := range clusters {
-			res, cause := st.try(n, c)
+		for _, c := range candidateClusters(st, n, opts) {
+			res, cause := st.tryCycles(n, c, st.cycleBuf)
 			if cause == CauseNone {
 				cands = append(cands, candidate{cluster: c, res: res, profit: st.profit(n, c)})
 				continue
@@ -172,14 +186,15 @@ func runAttempt(st *state, ord []int, opts *Options) (FailCause, int) {
 				worst = cause
 			}
 		}
+		st.candBuf = cands[:0]
 		if len(cands) == 0 {
 			if debugSched {
 				w := st.windowOf(n)
-				live, fits := st.maxLiveFits()
 				fmt.Printf("DBG fail node %d (II=%d): window E=%d(%v,a%v) L=%d(%v,a%v) ncands=%d live=%v fits=%v\n",
-					n, st.ii, w.early, w.hasEarly, w.anchoredEarly, w.late, w.hasLate, w.anchoredLate, len(st.candidateCycles(w)), live, fits)
-				for id, ok := range st.placed {
-					if ok {
+					n, st.ii, w.early, w.hasEarly, w.anchoredEarly, w.late, w.hasLate, w.anchoredLate,
+					len(st.candidateCycles(w, nil)), st.maxLiveAll(), st.fits())
+				for id := 0; id < st.g.NumNodes(); id++ {
+					if st.placed(id) {
 						fmt.Printf("  placed %d @ t=%d c=%d\n", id, st.time[id], st.cluster[id])
 					}
 				}
@@ -190,7 +205,6 @@ func runAttempt(st *state, ord []int, opts *Options) (FailCause, int) {
 		var chosen candidate
 		switch opts.Policy {
 		case PolicyRoundRobin:
-			sort.Slice(cands, func(i, j int) bool { return cands[i].cluster < cands[j].cluster })
 			chosen = cands[0]
 			for _, c := range cands {
 				if c.cluster > rrCluster {
@@ -220,16 +234,15 @@ func runAttempt(st *state, ord []int, opts *Options) (FailCause, int) {
 	return CauseNone, -1
 }
 
-// candidateClusters returns the clusters to try for node n.
+// candidateClusters returns the clusters to try for node n, always in
+// ascending cluster order, without allocating (the state's prebuilt
+// lists are reused).
 func candidateClusters(st *state, n int, opts *Options) []int {
 	if opts.Assignment != nil {
-		return []int{opts.Assignment[n]}
+		st.oneCluster[0] = opts.Assignment[n]
+		return st.oneCluster[:]
 	}
-	out := make([]int, st.cfg.NClusters)
-	for i := range out {
-		out[i] = i
-	}
-	return out
+	return st.allClusters
 }
 
 // preferHeadroom drops candidates that would fill a cluster's register
@@ -244,12 +257,13 @@ func preferHeadroom(st *state, cands []candidate) []candidate {
 	if margin < 1 {
 		margin = 1
 	}
-	roomy := cands[:0:0]
+	roomy := st.roomyBuf[:0]
 	for _, c := range cands {
 		if c.res.maxLive <= st.cfg.RegsPerCluster-margin {
 			roomy = append(roomy, c)
 		}
 	}
+	st.roomyBuf = roomy[:0]
 	if len(roomy) == 0 {
 		return cands
 	}
@@ -267,12 +281,13 @@ func chooseByProfit(st *state, n int, cands []candidate, defCluster int) candida
 			best = c.profit
 		}
 	}
-	short := cands[:0:0]
+	short := st.shortBuf[:0]
 	for _, c := range cands {
 		if c.profit == best {
 			short = append(short, c)
 		}
 	}
+	st.shortBuf = short[:0]
 	if len(short) == 1 {
 		return short[0]
 	}
@@ -304,12 +319,14 @@ func chooseByProfit(st *state, n int, cands []candidate, defCluster int) candida
 // buildSchedule normalises the attempt into an immutable Schedule:
 // flat times are shifted so the earliest operation issues at cycle 0
 // (uniform shifts preserve all modulo distances), and FU indexes are
-// assigned within each (cluster, class, slot) group.
+// assigned within each (cluster, class, slot) group by sorting one
+// index permutation — no per-group map or slices.
 func buildSchedule(st *state, cfg machine.Config) *Schedule {
+	n := st.g.NumNodes()
 	min := 0
 	first := true
-	for id, ok := range st.placed {
-		if !ok {
+	for id := 0; id < n; id++ {
+		if !st.placed(id) {
 			continue
 		}
 		if first || st.time[id] < min {
@@ -321,44 +338,67 @@ func buildSchedule(st *state, cfg machine.Config) *Schedule {
 		Graph:      st.g,
 		Cfg:        cfg,
 		II:         st.ii,
-		Placements: make([]Placement, st.g.NumNodes()),
+		Placements: make([]Placement, n),
 	}
-	for id := range st.placed {
+	for id := 0; id < n; id++ {
 		s.Placements[id] = Placement{
 			Node:    id,
 			Cluster: st.cluster[id],
 			Cycle:   st.time[id] - min,
 		}
 	}
-	for _, t := range st.transfers {
-		t.Start -= min
-		s.Transfers = append(s.Transfers, t)
-	}
-
-	// Deterministic FU assignment inside each (cluster, class, slot).
-	type slotKey struct {
-		cluster int
-		class   machine.FUClass
-		slot    int
-	}
-	groups := map[slotKey][]int{}
-	for id := range s.Placements {
-		p := &s.Placements[id]
-		k := slotKey{p.Cluster, st.g.Node(id).Class.FU(), ((p.Cycle % st.ii) + st.ii) % st.ii}
-		groups[k] = append(groups[k], id)
-	}
-	for _, ids := range groups {
-		sort.Slice(ids, func(i, j int) bool {
-			if s.Placements[ids[i]].Cycle != s.Placements[ids[j]].Cycle {
-				return s.Placements[ids[i]].Cycle < s.Placements[ids[j]].Cycle
-			}
-			return ids[i] < ids[j]
-		})
-		for fu, id := range ids {
-			s.Placements[id].FU = fu
+	if len(st.transfers) > 0 {
+		s.Transfers = make([]Transfer, len(st.transfers))
+		for i, t := range st.transfers {
+			t.Start -= min
+			s.Transfers[i] = t
 		}
 	}
+
+	// Deterministic FU assignment inside each (cluster, class, slot):
+	// sort the node IDs by group then by (cycle, id) and walk the runs.
+	sortBack := make([]int, 2*n)
+	fs := &fuSorter{ids: sortBack[:n:n], key: sortBack[n:]}
+	for id := 0; id < n; id++ {
+		fs.ids[id] = id
+		slot := ((s.Placements[id].Cycle % st.ii) + st.ii) % st.ii
+		fs.key[id] = (s.Placements[id].Cluster*int(machine.NumFUClasses)+
+			int(st.g.Node(id).Class.FU()))*st.ii + slot
+	}
+	fs.cycles = s.Placements
+	sort.Sort(fs)
+	for i := 0; i < n; {
+		j := i
+		for j < n && fs.key[fs.ids[j]] == fs.key[fs.ids[i]] {
+			s.Placements[fs.ids[j]].FU = j - i
+			j++
+		}
+		i = j
+	}
 	return s
+}
+
+// fuSorter orders node IDs by (cluster, class, slot) group key, then by
+// (cycle, id) within a group — a concrete sort.Interface so the
+// once-per-schedule normalisation avoids sort.Slice's reflection
+// machinery.
+type fuSorter struct {
+	ids    []int
+	key    []int
+	cycles []Placement
+}
+
+func (f *fuSorter) Len() int      { return len(f.ids) }
+func (f *fuSorter) Swap(a, b int) { f.ids[a], f.ids[b] = f.ids[b], f.ids[a] }
+func (f *fuSorter) Less(a, b int) bool {
+	i, j := f.ids[a], f.ids[b]
+	if f.key[i] != f.key[j] {
+		return f.key[i] < f.key[j]
+	}
+	if f.cycles[i].Cycle != f.cycles[j].Cycle {
+		return f.cycles[i].Cycle < f.cycles[j].Cycle
+	}
+	return i < j
 }
 
 // DebugSched toggles verbose failure dumps (development aid).

@@ -1,0 +1,46 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/regpress"
+)
+
+// pressureChecks, when enabled, cross-checks the incremental per-cluster
+// pressure tables against the from-scratch regpress.Pressure oracle
+// after every place and unplace, panicking with a diagnostic dump on the
+// first divergence.  It turns every scheduling run — BSA, the exact
+// oracle's DFS, the fuzzer — into a differential test of the incremental
+// bookkeeping, at the cost of restoring the O(V+E) recompute it exists
+// to verify.  Tests toggle it via DebugPressureChecks.
+var pressureChecks = false
+
+// DebugPressureChecks toggles the incremental-vs-oracle pressure
+// verification on every place/unplace (development and test aid; the
+// differential and fuzz tests rely on it).
+func DebugPressureChecks(on bool) { pressureChecks = on }
+
+// checkPressure asserts the invariant the incremental tables maintain:
+// for every cluster, the table's slots equal regpress.Pressure of the
+// lifetimes rebuilt from scratch, and the O(1) fits verdict matches the
+// oracle's.
+func (st *state) checkPressure(op string) {
+	lts := st.referenceLifetimes()
+	for c := range st.press {
+		want := regpress.Pressure(lts[c], st.ii)
+		got := st.press[c].Slots()
+		for s := range want {
+			if got[s] != want[s] {
+				panic(fmt.Sprintf(
+					"sched: pressure divergence after %s: graph %s II=%d cluster %d slot %d: incremental %v, oracle %v (lifetimes %v)",
+					op, st.g.Name, st.ii, c, s, got, want, lts[c]))
+			}
+		}
+		oracleFits := regpress.MaxLive(lts[c], st.ii) <= st.cfg.RegsPerCluster
+		if st.press[c].Fits() != oracleFits {
+			panic(fmt.Sprintf(
+				"sched: fits divergence after %s: graph %s II=%d cluster %d: incremental %v, oracle %v",
+				op, st.g.Name, st.ii, c, st.press[c].Fits(), oracleFits))
+		}
+	}
+}

@@ -65,6 +65,41 @@ func checkAgainstOracle(t *testing.T, g *ddg.Graph, cfg *machine.Config) (gap in
 	return 0, true
 }
 
+// TestPressureInvariantThroughOracle drives the exact branch-and-bound
+// search — thousands of place/unplace expansions in rollback orders BSA
+// never produces — with the incremental-vs-from-scratch pressure
+// verification live inside every mutation (sched.DebugPressureChecks).
+// Together with the in-package fuzz-corpus test this is the
+// differential proof that the incremental tables decide register
+// feasibility identically to the old full recompute, i.e. that the
+// refactor changed no schedules.
+func TestPressureInvariantThroughOracle(t *testing.T) {
+	sched.DebugPressureChecks(true)
+	defer sched.DebugPressureChecks(false)
+	budget := exact.Budget{MaxNodes: 10, MaxSteps: 40_000}
+	settled := 0
+	for _, g := range []*ddg.Graph{
+		ddg.SampleDotProduct(), ddg.SampleChain(5), ddg.SampleIndependent(6),
+	} {
+		for _, cfg := range []machine.Config{machine.TwoCluster(1, 1), machine.FourCluster(1, 2)} {
+			r, err := exact.Schedule(g, &cfg, &budget)
+			if errors.Is(err, exact.ErrTooLarge) || errors.Is(err, exact.ErrBudget) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s on %s: %v", g.Name, cfg.Name, err)
+			}
+			if err := sched.Validate(r.Schedule); err != nil {
+				t.Fatalf("%s on %s: oracle schedule invalid: %v", g.Name, cfg.Name, err)
+			}
+			settled++
+		}
+	}
+	if settled == 0 {
+		t.Fatal("oracle settled nothing; pressure invariant untested through exact")
+	}
+}
+
 // TestBSADifferentialSamples proves (or documents the gap of) BSA's II
 // on every sample graph across every Table 1 machine.
 func TestBSADifferentialSamples(t *testing.T) {

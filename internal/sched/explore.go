@@ -14,6 +14,12 @@ import (
 // enumeration is shared verbatim with BSA's try(), any schedule BSA can
 // reach is inside an exhaustive search over Attempt placements; that
 // containment is what lets internal/exact prove IIs infeasible.
+//
+// The register check behind Choices is the incremental per-cluster
+// pressure table: each speculative place/check/unplace costs O(lifetime
+// length), not a full O(V+E) recompute — the difference between the
+// branch-and-bound oracle's millions of expansions being dominated by
+// bookkeeping or by actual search.
 
 // Attempt is one in-progress scheduling attempt at a fixed II, open for
 // external search.  It is not safe for concurrent use.
@@ -28,8 +34,23 @@ func NewAttempt(g *ddg.Graph, cfg *machine.Config, ii int) *Attempt {
 	return &Attempt{st: newState(g, cfg, ii)}
 }
 
+// Reset rewinds the attempt to empty at a new II, reusing every
+// internal buffer (reservation tables, pressure tables, transfer and
+// undo logs).  An II sweep should allocate one Attempt and Reset it per
+// II rather than constructing a fresh one.
+func (a *Attempt) Reset(ii int) { a.st.reset(ii) }
+
 // II returns the attempt's initiation interval.
 func (a *Attempt) II() int { return a.st.ii }
+
+// MaxLive returns cluster c's current peak register pressure, read from
+// the incrementally maintained table (O(II) scan, no recompute).
+func (a *Attempt) MaxLive(c int) int { return a.st.press[c].Max() }
+
+// Fits reports whether every cluster's register file currently holds
+// its MaxLive — O(NClusters), the same check Choices applies to every
+// enumerated placement.
+func (a *Attempt) Fits() bool { return a.st.fits() }
 
 // Choice is one feasible (cluster, cycle, communication-plan) placement
 // for a node, valid for Place until the attempt state changes.
@@ -45,29 +66,32 @@ type Choice struct {
 // (the same window try() scans) with a free functional unit, routable
 // communications and register files that still fit.  The node's window
 // is computed once and shared across the cluster scan.  The enumeration
-// leaves the state untouched.
+// leaves the state untouched.  Only the returned choices allocate;
+// infeasible candidates are filtered through reused scratch buffers.
 func (a *Attempt) Choices(n int) []Choice {
 	st := a.st
-	w := st.windowOf(n)
-	cycles := st.candidateCycles(w)
+	st.cycleBuf = st.candidateCycles(st.windowOf(n), st.cycleBuf[:0])
 	class := st.g.Node(n).Class.FU()
 	var out []Choice
 	for c := 0; c < st.cfg.NClusters; c++ {
-		for _, t := range cycles {
+		for _, t := range st.cycleBuf {
 			if !st.res.fuFree(c, class, t) {
 				continue
 			}
-			needs := st.commNeeds(n, c, t)
-			plan, ok := st.planComms(needs)
+			st.needBuf = st.commNeeds(n, c, t, st.needBuf[:0])
+			plan, ok := st.planComms(st.needBuf)
 			if !ok {
 				continue
 			}
 			st.place(n, c, t, plan)
-			_, fits := st.maxLiveFits()
+			fits := st.fits()
 			st.unplace(n, plan)
 			if fits {
+				// The plan lives in the shared scratch buffer: copy it so
+				// the choice survives later enumerations and placements.
+				kept := append([]plannedComm(nil), plan...)
 				out = append(out, Choice{Cluster: c, Cycle: t,
-					res: tryResult{cycle: t, plan: plan}})
+					res: tryResult{cycle: t, plan: kept}})
 			}
 		}
 	}

@@ -46,6 +46,10 @@ func FuzzSchedule(f *testing.F) {
 			t.Skip("generator produced an invalid graph")
 		}
 		cfg := fuzzConfigs[int(cfgPick)%len(fuzzConfigs)]
+		// Verify the incremental pressure tables against the from-scratch
+		// regpress oracle on every place/unplace the run makes.
+		DebugPressureChecks(true)
+		defer DebugPressureChecks(false)
 		s, err := ScheduleGraph(g, &cfg, nil)
 		if err != nil {
 			t.Skip("graph not schedulable on this machine")

@@ -6,28 +6,62 @@ import "repro/internal/machine"
 // occupancy counters plus per-bus busy bitmaps, all indexed by kernel
 // slot (cycle mod II).  Buses are resources exactly like FUs (paper §3),
 // except a transfer holds its bus for BusLatency consecutive slots.
+//
+// The table is reusable across the II search: reset resizes the slot
+// arrays in place (capacity kept, with headroom for the II growing one
+// step at a time), so restarting an attempt allocates nothing in the
+// steady state.
 type mrt struct {
 	ii  int
 	cfg *machine.Config
-	// fu[cluster][class][slot] = number of operations issued.
-	fu [][machine.NumFUClasses][]int
+	// fu[cluster][class][slot] = number of operations issued.  All the
+	// per-(cluster, class) rows subslice one backing array so a reset
+	// costs at most one (amortised) allocation.
+	fu     [][machine.NumFUClasses][]int
+	fuBack []int
 	// bus[b][slot] = true when bus b is driving a value.
-	bus [][]bool
+	bus     [][]bool
+	busBack []bool
 }
 
-func newMRT(cfg *machine.Config, ii int) *mrt {
-	m := &mrt{ii: ii, cfg: cfg}
+func newMRT(cfg *machine.Config) *mrt {
+	m := &mrt{cfg: cfg}
 	m.fu = make([][machine.NumFUClasses][]int, cfg.NClusters)
-	for c := range m.fu {
-		for class := range m.fu[c] {
-			m.fu[c][class] = make([]int, ii)
-		}
-	}
-	m.bus = make([][]bool, cfg.NBuses)
-	for b := range m.bus {
-		m.bus[b] = make([]bool, ii)
+	if cfg.NBuses > 0 {
+		m.bus = make([][]bool, cfg.NBuses)
 	}
 	return m
+}
+
+// reset clears the table and resizes every slot array to ii entries.
+func (m *mrt) reset(ii int) {
+	m.ii = ii
+	need := len(m.fu) * int(machine.NumFUClasses) * ii
+	if cap(m.fuBack) < need {
+		m.fuBack = make([]int, need, need+need/2+8)
+	}
+	m.fuBack = m.fuBack[:need]
+	for i := range m.fuBack {
+		m.fuBack[i] = 0
+	}
+	off := 0
+	for c := range m.fu {
+		for class := range m.fu[c] {
+			m.fu[c][class] = m.fuBack[off : off+ii : off+ii]
+			off += ii
+		}
+	}
+	need = len(m.bus) * ii
+	if cap(m.busBack) < need {
+		m.busBack = make([]bool, need, need+need/2+8)
+	}
+	m.busBack = m.busBack[:need]
+	for i := range m.busBack {
+		m.busBack[i] = false
+	}
+	for b := range m.bus {
+		m.bus[b] = m.busBack[b*ii : (b+1)*ii : (b+1)*ii]
+	}
 }
 
 func (m *mrt) slot(cycle int) int {

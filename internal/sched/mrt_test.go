@@ -12,7 +12,8 @@ import (
 // case, where no transfer can ever fit.
 func TestBusFreeAtLatencyEqualsII(t *testing.T) {
 	cfg := machine.TwoCluster(2, 3) // 2 buses, latency 3
-	m := newMRT(&cfg, 3)            // II == BusLatency
+	m := newMRT(&cfg)
+	m.reset(3) // II == BusLatency
 
 	for start := 0; start < 3; start++ {
 		if !m.busFree(0, start) {
@@ -39,7 +40,8 @@ func TestBusFreeAtLatencyEqualsII(t *testing.T) {
 // TestBusFreeAboveII pins the infeasible side of the boundary.
 func TestBusFreeAboveII(t *testing.T) {
 	cfg := machine.TwoCluster(1, 4)
-	m := newMRT(&cfg, 3) // BusLatency 4 > II 3
+	m := newMRT(&cfg)
+	m.reset(3) // BusLatency 4 > II 3
 	for start := 0; start < 3; start++ {
 		if m.busFree(0, start) {
 			t.Errorf("busFree(%d) = true with BusLatency > II", start)

@@ -7,38 +7,170 @@ import (
 )
 
 // state is one in-progress scheduling attempt at a fixed II.
+//
+// It is built for reuse: ScheduleGraph allocates one state per run and
+// reset() rewinds it for every II of the search (epoch-based placement
+// flags, modulo tables resized in place, scratch buffers recycled), so
+// the II sweep and the try/place/unplace inner loop are allocation-free
+// in the steady state.
+//
+// Register pressure is maintained incrementally: press holds one
+// regpress.Table per cluster, updated in place/unplace with exactly the
+// lifetime segments a placement creates — the node's own value, the
+// extensions of already-placed same-cluster producers, and the
+// producer/consumer holds of its bus transfers.  Every pressure mutation
+// is recorded in an undo log so a speculative place/check/unplace (the
+// inner loop of try and of the exact oracle's expansions) costs
+// O(lifetime length) rather than a full O(V+E) recompute.
 type state struct {
 	g   *ddg.Graph
 	cfg *machine.Config
 	ii  int
 	res *mrt
 
-	placed  []bool
-	time    []int // flat cycle, valid when placed
-	cluster []int // cluster, valid when placed
+	// Placement flags are epoch-based so reset() is O(1): node n is
+	// placed iff placedEpoch[n] == epoch.  time/cluster/lifeEnd/mark are
+	// only read while a node is placed.
+	epoch       int32
+	placedEpoch []int32
+	time        []int // flat cycle, valid when placed
+	cluster     []int // cluster, valid when placed
 
 	transfers []Transfer
-	// byProdTo indexes committed transfers by (producer, destination
-	// cluster) for reuse: one bus write can serve every later consumer in
-	// that cluster (the value is latched and stored locally).
-	byProdTo map[[2]int][]int
+	// byProd indexes committed transfers by producer (all destination
+	// clusters) for transfer reuse — one bus write can serve every later
+	// consumer in its destination cluster — and for the incremental
+	// consumer-side lifetime extensions.  Entries are appended and popped
+	// in lockstep with transfers (strictly LIFO).
+	byProd [][]int32
+	// transLast[i] is transfers[i]'s consumer-side lifetime bound: the
+	// latest read+1 among placed consumers in the destination cluster
+	// served by the transfer (>= arrival).  Values read exactly at
+	// arrival live in the IRV and need no register, so the lifetime
+	// [arrival, transLast) only contributes pressure when
+	// transLast > arrival+1.
+	transLast []int
+
+	// lifeEnd[n] is node n's producer-side lifetime end — issue to last
+	// same-cluster read, loop-carried reads included, or last bus write,
+	// whichever is later.  Valid while n is placed and produces a value.
+	lifeEnd []int
+
+	// press[c] is cluster c's incrementally maintained modulo register
+	// pressure; fits() is O(NClusters).
+	press []regpress.Table
+	// undo records every pressure mutation so unplace can rewind to
+	// mark[n], the undo-stack depth saved when n was placed.  place and
+	// unplace are strictly LIFO (try's speculate/rollback, the exact
+	// oracle's DFS), which is what makes a single stack sufficient.
+	undo []undoRec
+	mark []int
+
+	// seen/seenEpoch stamp visited neighbours for the allocation-free
+	// distinct-neighbour counts (neighborsIn).
+	seen      []int32
+	seenEpoch int32
+
+	// Scratch buffers reused across try/Choices calls.
+	cycleBuf    []int
+	needBuf     []commNeed
+	planBuf     []plannedComm
+	keepBuf     [][]plannedComm // per-cluster: survives until the candidate is committed
+	candBuf     []candidate
+	roomyBuf    []candidate
+	shortBuf    []candidate
+	allClusters []int
+	oneCluster  [1]int
 }
 
-func newState(g *ddg.Graph, cfg *machine.Config, ii int) *state {
+// undoRec is one reversible pressure mutation.
+type undoRec struct {
+	kind    int8
+	x, y, z int
+}
+
+const (
+	uInterval  int8 = iota // subtract one instance over [y, z) on cluster x
+	uLifeEnd               // restore lifeEnd[x] = y (removing [y, lifeEnd[x]) on x's cluster)
+	uTransLast             // restore transLast[x] = y
+)
+
+// newSchedState allocates a reusable attempt state; call reset(ii)
+// before each II.
+func newSchedState(g *ddg.Graph, cfg *machine.Config) *state {
 	n := g.NumNodes()
+	// One backing array per element type keeps the fixed per-run
+	// allocation count flat regardless of how many per-node tables the
+	// state carries.
+	ints := make([]int, 4*n+cfg.NClusters)
+	int32s := make([]int32, 2*n)
 	st := &state{
-		g: g, cfg: cfg, ii: ii,
-		res:      newMRT(cfg, ii),
-		placed:   make([]bool, n),
-		time:     make([]int, n),
-		cluster:  make([]int, n),
-		byProdTo: make(map[[2]int][]int),
+		g: g, cfg: cfg,
+		res:         newMRT(cfg),
+		placedEpoch: int32s[:n:n],
+		seen:        int32s[n : 2*n : 2*n],
+		time:        ints[0*n : 1*n : 1*n],
+		cluster:     ints[1*n : 2*n : 2*n],
+		lifeEnd:     ints[2*n : 3*n : 3*n],
+		mark:        ints[3*n : 4*n : 4*n],
+		allClusters: ints[4*n:],
+		byProd:      make([][]int32, n),
+		press:       make([]regpress.Table, cfg.NClusters),
+		keepBuf:     make([][]plannedComm, cfg.NClusters),
+		undo:        make([]undoRec, 0, 4*n+8),
 	}
+	cands := make([]candidate, 3*cfg.NClusters)
+	st.candBuf = cands[0*cfg.NClusters : 0 : cfg.NClusters]
+	st.roomyBuf = cands[1*cfg.NClusters : cfg.NClusters : 2*cfg.NClusters]
+	st.shortBuf = cands[2*cfg.NClusters : 2*cfg.NClusters : 3*cfg.NClusters]
 	for i := range st.cluster {
 		st.cluster[i] = -1
 	}
+	for i := range st.allClusters {
+		st.allClusters[i] = i
+	}
 	return st
 }
+
+// newState returns a state ready at the given II (tests and one-shot
+// callers; ScheduleGraph uses newSchedState + reset directly).
+func newState(g *ddg.Graph, cfg *machine.Config, ii int) *state {
+	st := newSchedState(g, cfg)
+	st.reset(ii)
+	return st
+}
+
+// reset rewinds the state to an empty attempt at the given II without
+// allocating: the placement epoch advances (O(1) clear), the modulo
+// tables are resized in place, and the transfer/undo logs are truncated
+// with their capacity kept.
+func (st *state) reset(ii int) {
+	st.ii = ii
+	st.res.reset(ii)
+	st.epoch++
+	for i := range st.transfers {
+		p := st.transfers[i].Producer
+		st.byProd[p] = st.byProd[p][:0]
+	}
+	st.transfers = st.transfers[:0]
+	st.transLast = st.transLast[:0]
+	st.undo = st.undo[:0]
+	for c := range st.press {
+		st.press[c].Init(ii, st.cfg.RegsPerCluster)
+	}
+	// The widest cycle scan is bounded by the candidate span; one
+	// up-front grow keeps candidateCycles allocation-free.
+	span := ii
+	if st.cfg.Clustered() {
+		span += ii + st.cfg.BusLatency
+	}
+	if cap(st.cycleBuf) < span {
+		st.cycleBuf = make([]int, 0, span+span/2+4)
+	}
+}
+
+// placed reports whether node n is placed in the current attempt.
+func (st *state) placed(n int) bool { return st.placedEpoch[n] == st.epoch }
 
 // window is the legal cycle range for a node derived from its already
 // scheduled neighbours.  anchored{Early,Late} report whether a
@@ -56,7 +188,7 @@ type window struct {
 func (st *state) windowOf(n int) window {
 	var w window
 	for _, e := range st.g.InEdges(n) {
-		if !st.placed[e.From] || e.From == n {
+		if !st.placed(e.From) || e.From == n {
 			continue
 		}
 		t := st.time[e.From] + e.Latency - st.ii*e.Distance
@@ -68,7 +200,7 @@ func (st *state) windowOf(n int) window {
 		}
 	}
 	for _, e := range st.g.OutEdges(n) {
-		if !st.placed[e.To] || e.To == n {
+		if !st.placed(e.To) || e.To == n {
 			continue
 		}
 		t := st.time[e.To] - e.Latency + st.ii*e.Distance
@@ -82,10 +214,12 @@ func (st *state) windowOf(n int) window {
 	return w
 }
 
-// candidateCycles lists the cycles to try for a node, in preference
-// order, following SMS: forward from the earliest start when
+// candidateCycles appends to out the cycles to try for a node, in
+// preference order, following SMS: forward from the earliest start when
 // predecessors dominate, backward from the latest when successors do,
 // the intersection when both exist, and a fresh [0, II) scan otherwise.
+// Callers pass a scratch slice (typically buf[:0]) so the scan is
+// allocation-free once the buffer has grown.
 //
 // On clustered machines the one-sided scans extend beyond one II window:
 // moving an operation a whole II later (or earlier) revisits the same
@@ -94,12 +228,11 @@ func (st *state) windowOf(n int) window {
 // "communication operations may increase the length of the schedule, and
 // therefore the SC may be increased".  Bus patterns repeat with period
 // II, so II+BusLatency extra cycles exhaust every distinct possibility.
-func (st *state) candidateCycles(w window) []int {
+func (st *state) candidateCycles(w window, out []int) []int {
 	span := st.ii
 	if st.cfg.Clustered() {
 		span += st.ii + st.cfg.BusLatency
 	}
-	var out []int
 	switch {
 	case w.hasEarly && !w.hasLate:
 		start := w.early
@@ -164,98 +297,100 @@ type commNeed struct {
 	release, deadline  int // transfer start range: [release, deadline-BusLatency]
 }
 
-// commNeeds collects the transfers required to place node n on cluster c
-// at flat cycle t, deduplicated against committed transfers that already
-// satisfy the timing.  It returns false when a dependence crosses
-// clusters but no transfer could ever satisfy it (empty time range
-// excluded; that is detected later during bus search).
-func (st *state) commNeeds(n, c, t int) []commNeed {
-	needs := make(map[[2]int]*commNeed)
-
+// commNeeds appends to out the transfers required to place node n on
+// cluster c at flat cycle t, deduplicated against committed transfers
+// that already satisfy the timing.  Needs for the same (value,
+// destination) are merged to the tightest window; the output order is
+// the deterministic in-edge-then-out-edge encounter order.  Callers pass
+// a scratch slice (typically buf[:0]).
+func (st *state) commNeeds(n, c, t int, out []commNeed) []commNeed {
 	// Incoming values: scheduled producers in other clusters.
 	for _, e := range st.g.InEdges(n) {
-		if e.Kind != ddg.DepTrue || !st.placed[e.From] || e.From == n {
+		if e.Kind != ddg.DepTrue || !st.placed(e.From) || e.From == n {
 			continue
 		}
 		pc := st.cluster[e.From]
 		if pc == c {
 			continue
 		}
-		deadline := t + st.ii*e.Distance
-		release := st.time[e.From] + e.Latency
-		st.mergeNeed(needs, [2]int{e.From, c}, commNeed{
-			producer: e.From, from: pc, to: c, release: release, deadline: deadline,
+		out = mergeNeed(out, commNeed{
+			producer: e.From, from: pc, to: c,
+			release: st.time[e.From] + e.Latency, deadline: t + st.ii*e.Distance,
 		})
 	}
 	// Outgoing values: scheduled consumers in other clusters.
 	if st.g.Node(n).Class.ProducesValue() {
 		for _, e := range st.g.OutEdges(n) {
-			if e.Kind != ddg.DepTrue || !st.placed[e.To] || e.To == n {
+			if e.Kind != ddg.DepTrue || !st.placed(e.To) || e.To == n {
 				continue
 			}
 			mc := st.cluster[e.To]
 			if mc == c {
 				continue
 			}
-			deadline := st.time[e.To] + st.ii*e.Distance
-			release := t + e.Latency
-			st.mergeNeed(needs, [2]int{n, mc}, commNeed{
-				producer: n, from: c, to: mc, release: release, deadline: deadline,
+			out = mergeNeed(out, commNeed{
+				producer: n, from: c, to: mc,
+				release: t + e.Latency, deadline: st.time[e.To] + st.ii*e.Distance,
 			})
 		}
 	}
 
-	out := make([]commNeed, 0, len(needs))
-	for _, need := range needs {
-		// A committed transfer already covering the deadline serves all
-		// consumers of this value in that cluster.
-		if st.satisfiedByExisting(need) {
+	// A committed transfer already covering the deadline serves all
+	// consumers of this value in that cluster: drop the need.
+	kept := out[:0]
+	for i := range out {
+		if st.satisfiedByExisting(&out[i]) {
 			continue
 		}
-		out = append(out, *need)
+		kept = append(kept, out[i])
 	}
-	return out
+	return kept
 }
 
 // mergeNeed tightens an existing need (same value, same destination):
 // the single transfer must satisfy the earliest deadline and the latest
 // release.
-func (st *state) mergeNeed(m map[[2]int]*commNeed, k [2]int, need commNeed) {
-	if cur, ok := m[k]; ok {
-		if need.deadline < cur.deadline {
-			cur.deadline = need.deadline
+func mergeNeed(needs []commNeed, need commNeed) []commNeed {
+	for i := range needs {
+		if needs[i].producer == need.producer && needs[i].to == need.to {
+			if need.deadline < needs[i].deadline {
+				needs[i].deadline = need.deadline
+			}
+			if need.release > needs[i].release {
+				needs[i].release = need.release
+			}
+			return needs
 		}
-		if need.release > cur.release {
-			cur.release = need.release
-		}
-		return
 	}
-	n := need
-	m[k] = &n
+	return append(needs, need)
 }
 
 func (st *state) satisfiedByExisting(need *commNeed) bool {
-	for _, idx := range st.byProdTo[[2]int{need.producer, need.to}] {
-		tr := st.transfers[idx]
-		if tr.Start >= need.release && tr.Start+st.cfg.BusLatency <= need.deadline {
+	for _, idx := range st.byProd[need.producer] {
+		tr := &st.transfers[idx]
+		if tr.To == need.to && tr.Start >= need.release && tr.Start+st.cfg.BusLatency <= need.deadline {
 			return true
 		}
 	}
 	return false
 }
 
-// planComms reserves buses for every need, first-fit earliest-start.
-// On failure it releases everything it reserved and returns false.
+// planComms reserves buses for every need, first-fit earliest-start,
+// into the state's plan scratch buffer (valid until the next planComms
+// call).  On failure it releases everything it reserved and returns
+// false.
 func (st *state) planComms(needs []commNeed) ([]plannedComm, bool) {
-	var plan []plannedComm
+	plan := st.planBuf[:0]
 	for _, need := range needs {
 		pc, ok := st.planOne(need)
 		if !ok {
 			st.releasePlan(plan)
+			st.planBuf = plan[:0]
 			return nil, false
 		}
 		plan = append(plan, pc)
 	}
+	st.planBuf = plan
 	return plan, true
 }
 
@@ -291,37 +426,174 @@ func (st *state) releasePlan(plan []plannedComm) {
 	}
 }
 
+// effEnd maps a transfer's consumer-side bound to the end of its
+// pressure interval: a value read no later than arrival+1 is consumed
+// straight from the incoming-value register and holds no local register,
+// so its effective interval [arrival, effEnd) is empty.
+func effEnd(arrival, last int) int {
+	if last > arrival+1 {
+		return last
+	}
+	return arrival
+}
+
 // place commits node n at (cluster c, cycle t) with its communication
-// plan.  The bus slots in plan are already reserved by planComms.
+// plan, updating the per-cluster pressure tables with exactly the
+// lifetime segments the placement creates.  The bus slots in plan are
+// already reserved by planComms.
 func (st *state) place(n, c, t int, plan []plannedComm) {
 	st.res.reserveFU(c, st.g.Node(n).Class.FU(), t)
-	st.placed[n] = true
+	st.mark[n] = len(st.undo)
+	st.placedEpoch[n] = st.epoch
 	st.time[n] = t
 	st.cluster[n] = c
+
+	// n as consumer: extend the producer-side lifetime of same-cluster
+	// producers, and the consumer-side lifetime of committed transfers
+	// that cover the new read.  (Self-edges are n's own lifetime,
+	// handled below; plan transfers are appended afterwards so this loop
+	// only sees committed ones.)
+	for _, e := range st.g.InEdges(n) {
+		if e.Kind != ddg.DepTrue || e.From == n || !st.placed(e.From) {
+			continue
+		}
+		p := e.From
+		read := t + st.ii*e.Distance
+		if st.cluster[p] == c {
+			if read+1 > st.lifeEnd[p] {
+				st.undo = append(st.undo, undoRec{kind: uLifeEnd, x: p, y: st.lifeEnd[p]})
+				st.press[c].Add(st.lifeEnd[p], read+1)
+				st.lifeEnd[p] = read + 1
+			}
+		} else {
+			for _, idx := range st.byProd[p] {
+				tr := &st.transfers[idx]
+				if tr.To != c {
+					continue
+				}
+				arrival := tr.Start + st.cfg.BusLatency
+				if read >= arrival && read+1 > st.transLast[idx] {
+					old := st.transLast[idx]
+					st.undo = append(st.undo, undoRec{kind: uTransLast, x: int(idx), y: old})
+					st.press[c].Add(effEnd(arrival, old), read+1)
+					st.transLast[idx] = read + 1
+				}
+			}
+		}
+	}
+
+	// n's own value: live from issue to its last already-placed
+	// same-cluster read (self-edges included); bus writes extend it in
+	// the transfer loop below.
+	if st.g.Node(n).Class.ProducesValue() {
+		end := t + 1
+		for _, e := range st.g.OutEdges(n) {
+			if e.Kind != ddg.DepTrue || !st.placed(e.To) || st.cluster[e.To] != c {
+				continue
+			}
+			if r := st.time[e.To] + st.ii*e.Distance + 1; r > end {
+				end = r
+			}
+		}
+		st.lifeEnd[n] = end
+		st.press[c].Add(t, end)
+		st.undo = append(st.undo, undoRec{kind: uInterval, x: c, y: t, z: end})
+	}
+
+	// New transfers: producer-side hold until the bus write, and a fresh
+	// consumer-side lifetime over every placed read the arrival covers.
 	for _, pc := range plan {
 		idx := len(st.transfers)
 		st.transfers = append(st.transfers, Transfer{
 			Producer: pc.producer, From: pc.from, To: pc.to, Bus: pc.bus, Start: pc.start,
 		})
-		k := [2]int{pc.producer, pc.to}
-		st.byProdTo[k] = append(st.byProdTo[k], idx)
+		st.byProd[pc.producer] = append(st.byProd[pc.producer], int32(idx))
+
+		if end := pc.start + 1; end > st.lifeEnd[pc.producer] {
+			st.undo = append(st.undo, undoRec{kind: uLifeEnd, x: pc.producer, y: st.lifeEnd[pc.producer]})
+			st.press[pc.from].Add(st.lifeEnd[pc.producer], end)
+			st.lifeEnd[pc.producer] = end
+		}
+
+		arrival := pc.start + st.cfg.BusLatency
+		last := arrival
+		for _, e := range st.g.OutEdges(pc.producer) {
+			if e.Kind != ddg.DepTrue || !st.placed(e.To) || st.cluster[e.To] != pc.to {
+				continue
+			}
+			read := st.time[e.To] + st.ii*e.Distance
+			if read >= arrival && read+1 > last {
+				last = read + 1
+			}
+		}
+		st.transLast = append(st.transLast, last)
+		if last > arrival+1 {
+			st.press[pc.to].Add(arrival, last)
+			st.undo = append(st.undo, undoRec{kind: uInterval, x: pc.to, y: arrival, z: last})
+		}
+	}
+
+	if pressureChecks {
+		st.checkPressure("place")
 	}
 }
 
-// unplace exactly reverses place (transfers are at the tail).
+// unplace exactly reverses place: the plan's transfers are popped from
+// the tail and the pressure mutations are rewound from the undo log
+// down to the mark saved at placement.
 func (st *state) unplace(n int, plan []plannedComm) {
 	st.res.releaseFU(st.cluster[n], st.g.Node(n).Class.FU(), st.time[n])
-	st.placed[n] = false
-	st.cluster[n] = -1
 	for range plan {
 		idx := len(st.transfers) - 1
 		tr := st.transfers[idx]
-		k := [2]int{tr.Producer, tr.To}
-		lst := st.byProdTo[k]
-		st.byProdTo[k] = lst[:len(lst)-1]
+		lst := st.byProd[tr.Producer]
+		st.byProd[tr.Producer] = lst[:len(lst)-1]
 		st.res.releaseBus(tr.Bus, tr.Start)
 		st.transfers = st.transfers[:idx]
+		st.transLast = st.transLast[:idx]
 	}
+	for len(st.undo) > st.mark[n] {
+		u := st.undo[len(st.undo)-1]
+		st.undo = st.undo[:len(st.undo)-1]
+		switch u.kind {
+		case uInterval:
+			st.press[u.x].Sub(u.y, u.z)
+		case uLifeEnd:
+			st.press[st.cluster[u.x]].Sub(u.y, st.lifeEnd[u.x])
+			st.lifeEnd[u.x] = u.y
+		case uTransLast:
+			tr := &st.transfers[u.x]
+			arrival := tr.Start + st.cfg.BusLatency
+			st.press[tr.To].Sub(effEnd(arrival, u.y), effEnd(arrival, st.transLast[u.x]))
+			st.transLast[u.x] = u.y
+		}
+	}
+	st.placedEpoch[n] = 0
+	st.cluster[n] = -1
+
+	if pressureChecks {
+		st.checkPressure("unplace")
+	}
+}
+
+// fits reports whether every cluster's register file still holds its
+// MaxLive — O(NClusters) thanks to the incremental tables.
+func (st *state) fits() bool {
+	for c := range st.press {
+		if !st.press[c].Fits() {
+			return false
+		}
+	}
+	return true
+}
+
+// maxLiveAll snapshots each cluster's current MaxLive (diagnostics).
+func (st *state) maxLiveAll() []int {
+	out := make([]int, st.cfg.NClusters)
+	for c := range out {
+		out[c] = st.press[c].Max()
+	}
+	return out
 }
 
 // tryResult is a feasible placement found by try.
@@ -337,15 +609,25 @@ type tryResult struct {
 // CauseComm if communications never fit, CauseReg if only the register
 // check failed.
 func (st *state) try(n, c int) (tryResult, FailCause) {
-	w := st.windowOf(n)
+	st.cycleBuf = st.candidateCycles(st.windowOf(n), st.cycleBuf[:0])
+	return st.tryCycles(n, c, st.cycleBuf)
+}
+
+// tryCycles is try with the candidate cycles precomputed, so the BSA
+// driver scans each node's window once and shares it across the cluster
+// candidates (the window does not depend on the cluster).  On success
+// the returned plan lives in the per-cluster keep buffer: valid until
+// the next try of the same cluster, which is exactly the candidate
+// lifetime of the BSA selection loop.
+func (st *state) tryCycles(n, c int, cycles []int) (tryResult, FailCause) {
 	class := st.g.Node(n).Class.FU()
 	reached := CauseFU
-	for _, t := range st.candidateCycles(w) {
+	for _, t := range cycles {
 		if !st.res.fuFree(c, class, t) {
 			continue
 		}
-		needs := st.commNeeds(n, c, t)
-		plan, ok := st.planComms(needs)
+		st.needBuf = st.commNeeds(n, c, t, st.needBuf[:0])
+		plan, ok := st.planComms(st.needBuf)
 		if !ok {
 			if reached == CauseFU {
 				reached = CauseComm
@@ -354,13 +636,14 @@ func (st *state) try(n, c int) (tryResult, FailCause) {
 		}
 		// Register check on the hypothetical state.
 		st.place(n, c, t, plan)
-		liveAll, fits := st.maxLiveFits()
-		if fits {
-			live := liveAll[c]
+		if st.fits() {
+			live := st.press[c].Max()
 			st.unplace(n, plan)
 			// Bus slots were released by unplace; the caller re-applies the
-			// plan on commit.
-			return tryResult{cycle: t, plan: plan, maxLive: live}, CauseNone
+			// plan on commit.  Copy the plan out of the scratch buffer so it
+			// survives the sibling clusters' tries.
+			st.keepBuf[c] = append(st.keepBuf[c][:0], plan...)
+			return tryResult{cycle: t, plan: st.keepBuf[c], maxLive: live}, CauseNone
 		}
 		st.unplace(n, plan)
 		reached = CauseReg
@@ -371,32 +654,32 @@ func (st *state) try(n, c int) (tryResult, FailCause) {
 // commit re-applies a placement previously found by try.  Nothing
 // changed in between, so the identical reservations must succeed.
 func (st *state) commit(n, c int, r tryResult) {
-	for i, pc := range r.plan {
+	for _, pc := range r.plan {
 		if !st.res.busFree(pc.bus, pc.start) {
 			panic("sched: committed transfer no longer fits")
 		}
 		st.res.reserveBus(pc.bus, pc.start)
-		_ = i
 	}
 	st.place(n, c, r.cycle, r.plan)
 }
 
-// maxLiveFits computes each cluster's MaxLive over placed values and
-// committed transfers and checks them against the register files.
-func (st *state) maxLiveFits() ([]int, bool) {
+// referenceLifetimes rebuilds every cluster's lifetime list from
+// scratch, exactly as the incremental tables model them: each placed
+// value lives in its cluster from issue until its last same-cluster read
+// or bus write, and each transfer adds a consumer-side hold from arrival
+// to the last read it covers.  This is the slow O(V+E) oracle the
+// incremental tables replaced; it survives as the differential/fuzz
+// check (checkPressure) and for failure diagnostics.
+func (st *state) referenceLifetimes() [][]regpress.Lifetime {
 	lts := make([][]regpress.Lifetime, st.cfg.NClusters)
-	byProd := make(map[int][]Transfer)
-	for _, t := range st.transfers {
-		byProd[t.Producer] = append(byProd[t.Producer], t)
-	}
 	for _, node := range st.g.Nodes() {
-		if !st.placed[node.ID] || !node.Class.ProducesValue() {
+		if !st.placed(node.ID) || !node.Class.ProducesValue() {
 			continue
 		}
 		pc, pt := st.cluster[node.ID], st.time[node.ID]
 		end := pt + 1
 		for _, e := range st.g.OutEdges(node.ID) {
-			if e.Kind != ddg.DepTrue || !st.placed[e.To] {
+			if e.Kind != ddg.DepTrue || !st.placed(e.To) {
 				continue
 			}
 			if st.cluster[e.To] != pc {
@@ -406,18 +689,19 @@ func (st *state) maxLiveFits() ([]int, bool) {
 				end = r
 			}
 		}
-		for _, tr := range byProd[node.ID] {
-			if r := tr.Start + 1; r > end {
+		for _, idx := range st.byProd[node.ID] {
+			if r := st.transfers[idx].Start + 1; r > end {
 				end = r
 			}
 		}
 		lts[pc] = append(lts[pc], regpress.Lifetime{Start: pt, End: end})
 
-		for _, tr := range byProd[node.ID] {
+		for _, idx := range st.byProd[node.ID] {
+			tr := st.transfers[idx]
 			arrival := tr.Start + st.cfg.BusLatency
 			last := arrival
 			for _, e := range st.g.OutEdges(node.ID) {
-				if e.Kind != ddg.DepTrue || !st.placed[e.To] {
+				if e.Kind != ddg.DepTrue || !st.placed(e.To) {
 					continue
 				}
 				if st.cluster[e.To] != tr.To {
@@ -433,15 +717,7 @@ func (st *state) maxLiveFits() ([]int, bool) {
 			}
 		}
 	}
-	out := make([]int, st.cfg.NClusters)
-	ok := true
-	for c := range lts {
-		out[c] = regpress.MaxLive(lts[c], st.ii)
-		if out[c] > st.cfg.RegsPerCluster {
-			ok = false
-		}
-	}
-	return out, ok
+	return lts
 }
 
 // profit implements the paper's cluster-selection metric: the change in
@@ -453,7 +729,7 @@ func (st *state) maxLiveFits() ([]int, bool) {
 func (st *state) profit(n, c int) int {
 	p := 0
 	for _, e := range st.g.InEdges(n) {
-		if e.Kind == ddg.DepTrue && e.From != n && st.placed[e.From] && st.cluster[e.From] == c {
+		if e.Kind == ddg.DepTrue && e.From != n && st.placed(e.From) && st.cluster[e.From] == c {
 			p++
 		}
 	}
@@ -461,7 +737,7 @@ func (st *state) profit(n, c int) int {
 		if e.Kind != ddg.DepTrue || e.To == n {
 			continue
 		}
-		if !(st.placed[e.To] && st.cluster[e.To] == c) {
+		if !(st.placed(e.To) && st.cluster[e.To] == c) {
 			p--
 		}
 	}
@@ -469,16 +745,25 @@ func (st *state) profit(n, c int) int {
 }
 
 // neighborsIn counts n's scheduled predecessors and successors living in
-// cluster c (tie-break (7) of the selection heuristics).
+// cluster c (tie-break (7) of the selection heuristics).  Distinct
+// neighbours are counted once per direction (a node that is both
+// predecessor and successor counts twice, matching ddg.Preds + Succs);
+// the seen-stamp scratch keeps the dedup allocation-free.
 func (st *state) neighborsIn(n, c int) int {
 	count := 0
-	for _, v := range st.g.Preds(n) {
-		if v != n && st.placed[v] && st.cluster[v] == c {
+	st.seenEpoch++
+	for _, e := range st.g.InEdges(n) {
+		v := e.From
+		if v != n && st.seen[v] != st.seenEpoch && st.placed(v) && st.cluster[v] == c {
+			st.seen[v] = st.seenEpoch
 			count++
 		}
 	}
-	for _, v := range st.g.Succs(n) {
-		if v != n && st.placed[v] && st.cluster[v] == c {
+	st.seenEpoch++
+	for _, e := range st.g.OutEdges(n) {
+		v := e.To
+		if v != n && st.seen[v] != st.seenEpoch && st.placed(v) && st.cluster[v] == c {
+			st.seen[v] = st.seenEpoch
 			count++
 		}
 	}
@@ -489,13 +774,13 @@ func (st *state) neighborsIn(n, c int) int {
 // is already placed — when none is, n starts a new subgraph and the
 // default cluster advances (Figure 5, step 2).
 func (st *state) anyNeighborScheduled(n int) bool {
-	for _, v := range st.g.Preds(n) {
-		if v != n && st.placed[v] {
+	for _, e := range st.g.InEdges(n) {
+		if e.From != n && st.placed(e.From) {
 			return true
 		}
 	}
-	for _, v := range st.g.Succs(n) {
-		if v != n && st.placed[v] {
+	for _, e := range st.g.OutEdges(n) {
+		if e.To != n && st.placed(e.To) {
 			return true
 		}
 	}

@@ -48,7 +48,7 @@ func TestWindowLoopCarriedIsUnanchored(t *testing.T) {
 		t.Error("distance-3 pred must not anchor")
 	}
 	// The scan must clamp to the base instead of starting at -29.
-	cands := st.candidateCycles(w)
+	cands := st.candidateCycles(w, nil)
 	if cands[0] != 0 {
 		t.Errorf("first candidate = %d, want 0 (clamped)", cands[0])
 	}
@@ -68,7 +68,7 @@ func TestWindowBothSidesIntersection(t *testing.T) {
 	if w.early != 1 || w.late != 5 {
 		t.Errorf("window = [%d, %d], want [1, 5]", w.early, w.late)
 	}
-	cands := st.candidateCycles(w)
+	cands := st.candidateCycles(w, nil)
 	if cands[0] != 1 || cands[len(cands)-1] != 4 { // early..min(late, early+II-1)
 		t.Errorf("candidates = %v, want 1..4", cands)
 	}
@@ -85,7 +85,7 @@ func TestCandidateCyclesDescendForSuccOnly(t *testing.T) {
 	if !w.hasLate || w.late != 9 {
 		t.Fatalf("late = %d (%v), want 9", w.late, w.hasLate)
 	}
-	cands := st.candidateCycles(w)
+	cands := st.candidateCycles(w, nil)
 	if cands[0] != 9 || cands[1] != 8 {
 		t.Errorf("candidates = %v, want descending from 9", cands[:2])
 	}
@@ -138,7 +138,7 @@ func TestCommNeedsMergesSameProducer(t *testing.T) {
 	g.AddTrueDep(p.ID, n.ID, 0)
 	st := newTestState(g, machine.TwoCluster(1, 1), 4)
 	st.place(p.ID, 0, 0, nil)
-	needs := st.commNeeds(n.ID, 1, 8)
+	needs := st.commNeeds(n.ID, 1, 8, nil)
 	if len(needs) != 1 {
 		t.Fatalf("needs = %d, want 1 (merged)", len(needs))
 	}
@@ -157,18 +157,18 @@ func TestCommNeedsSkipsSatisfied(t *testing.T) {
 	st := newTestState(g, machine.TwoCluster(2, 1), 6)
 	st.place(p.ID, 0, 0, nil)
 	// Place n1 on cluster 1 with its transfer.
-	needs := st.commNeeds(n1.ID, 1, 5)
+	needs := st.commNeeds(n1.ID, 1, 5, nil)
 	plan, ok := st.planComms(needs)
 	if !ok {
 		t.Fatal("planComms failed")
 	}
 	st.place(n1.ID, 1, 5, plan)
 	// n2 at a later cycle reuses the committed transfer: no new need.
-	if needs2 := st.commNeeds(n2.ID, 1, 5); len(needs2) != 0 {
+	if needs2 := st.commNeeds(n2.ID, 1, 5, nil); len(needs2) != 0 {
 		t.Errorf("needs2 = %v, want none (reuse)", needs2)
 	}
 	// n2 at an impossibly early cycle cannot reuse it (arrival too late).
-	if needs3 := st.commNeeds(n2.ID, 1, 2); len(needs3) != 1 {
+	if needs3 := st.commNeeds(n2.ID, 1, 2, nil); len(needs3) != 1 {
 		t.Errorf("needs3 = %v, want a fresh (infeasible) need", needs3)
 	}
 }
@@ -206,7 +206,7 @@ func TestUnplaceRestoresState(t *testing.T) {
 	}
 	st.commit(2, 1, res)
 	st.unplace(2, res.plan)
-	if st.placed[2] || st.cluster[2] != -1 {
+	if st.placed(2) || st.cluster[2] != -1 {
 		t.Error("unplace left the node placed")
 	}
 	if len(st.transfers) != before {
