@@ -1,0 +1,101 @@
+// Command schedd is the modulo-scheduling daemon: the compile pipeline
+// behind an HTTP surface (internal/service) speaking the versioned JSON
+// wire format (internal/wire).
+//
+// Quickstart:
+//
+//	schedd -addr :8080 &
+//	curl -s localhost:8080/v1/compile -d '{
+//	  "v": 1, "loop_ref": "tomcatv.loop0", "machine_ref": "4-cluster/B1/L1",
+//	  "options": {"strategy": "selective"}
+//	}'
+//	curl -s localhost:8080/v1/stats
+//
+// POST /v1/batch takes {"v":1,"requests":[...]} and streams NDJSON, one
+// result line per request as each compilation completes.  SIGINT/SIGTERM
+// drain gracefully: the listener closes, in-flight requests finish
+// (bounded by -grace), then the final pipeline stats go to stderr.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "compile workers (0 = GOMAXPROCS)")
+		cacheBytes = flag.Int64("cache-bytes", 64<<20, "compile cache byte budget (0 = unbounded)")
+		inflight   = flag.Int("inflight", 0, "max concurrently admitted compiles (0 = 2x workers)")
+		queue      = flag.Int("queue", 64, "admission queue depth before 429s")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request compile deadline")
+		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "upper clamp on client timeout_ms")
+		maxBody    = flag.Int64("max-body", 8<<20, "request body size cap in bytes")
+		grace      = flag.Duration("grace", 30*time.Second, "shutdown drain budget")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		CacheBytes:     *cacheBytes,
+		MaxInflight:    *inflight,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBodyBytes:   *maxBody,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("schedd: listening on %s (%d workers, %s cache)",
+		*addr, srv.Pipeline().Workers(), byteCount(*cacheBytes))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("schedd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("schedd: draining (up to %v)", *grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("schedd: drain incomplete: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("schedd: %v", err)
+	}
+	log.Printf("schedd: %v", srv.Pipeline().Stats())
+}
+
+// byteCount renders a byte budget for the startup log.
+func byteCount(n int64) string {
+	switch {
+	case n <= 0:
+		return "unbounded"
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMiB", n>>20)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,63 @@
+// Stable textual names for the Scheduler and Strategy enums: the
+// spellings the CLI flags and the service wire format (internal/wire)
+// use.  Renaming one is a wire-format break and needs a version bump.
+
+package core
+
+import "fmt"
+
+// String returns the wire name of the scheduler.
+func (s Scheduler) String() string {
+	switch s {
+	case BSA:
+		return "bsa"
+	case NystromEichenberger:
+		return "ne"
+	case Exact:
+		return "exact"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// ParseScheduler resolves a wire name to its Scheduler.
+func ParseScheduler(name string) (Scheduler, error) {
+	switch name {
+	case "bsa":
+		return BSA, nil
+	case "ne", "nystrom-eichenberger":
+		return NystromEichenberger, nil
+	case "exact":
+		return Exact, nil
+	default:
+		return 0, fmt.Errorf("core: unknown scheduler %q (want bsa, ne or exact)", name)
+	}
+}
+
+// String returns the wire name of the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case NoUnroll:
+		return "no_unroll"
+	case UnrollAll:
+		return "unroll_all"
+	case SelectiveUnroll:
+		return "selective"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy resolves a wire name to its Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "no_unroll", "none":
+		return NoUnroll, nil
+	case "unroll_all", "all":
+		return UnrollAll, nil
+	case "selective":
+		return SelectiveUnroll, nil
+	default:
+		return 0, fmt.Errorf("core: unknown strategy %q (want no_unroll, unroll_all or selective)", name)
+	}
+}

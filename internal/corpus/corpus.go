@@ -22,18 +22,20 @@ import (
 	"repro/internal/machine"
 )
 
-// Loop is one innermost loop of the suite.
+// Loop is one innermost loop of the suite.  The JSON tags are the
+// service wire shape (internal/wire): a loop serializes with its full
+// dependence graph via the ddg codec.
 type Loop struct {
 	// Graph is the loop body's dependence graph.
-	Graph *ddg.Graph
+	Graph *ddg.Graph `json:"graph"`
 	// Iters is the trip count per invocation (> 4; the paper only
 	// schedules innermost loops with more than four iterations).
-	Iters int
+	Iters int `json:"iters,omitempty"`
 	// Weight is the number of invocations, scaling this loop's share of
 	// the benchmark's executed instructions.
-	Weight int
+	Weight int `json:"weight,omitempty"`
 	// Bench is the owning benchmark's name.
-	Bench string
+	Bench string `json:"bench,omitempty"`
 }
 
 // Ops returns the operation count of one original loop iteration.
@@ -155,6 +157,24 @@ func Trimmed(names []string, perBench int) []*Benchmark {
 		picked = append(picked, &Benchmark{Name: b.Name, Loops: loops})
 	}
 	return picked
+}
+
+// Index maps every loop of a suite by its graph name ("tomcatv.loop0"),
+// the identity service clients use in loop_ref fields.  Graph names are
+// unique across the generated suite; Index panics on a duplicate so a
+// corpus change that breaks ref stability fails loudly.
+func Index(suite []*Benchmark) map[string]*Loop {
+	idx := make(map[string]*Loop)
+	for _, b := range suite {
+		for _, l := range b.Loops {
+			name := l.Graph.Name
+			if _, dup := idx[name]; dup {
+				panic(fmt.Sprintf("corpus: duplicate loop name %q", name))
+			}
+			idx[name] = l
+		}
+	}
+	return idx
 }
 
 // TotalLoops counts the loops of a suite.

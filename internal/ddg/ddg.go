@@ -13,6 +13,7 @@ package ddg
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/machine"
 )
@@ -85,6 +86,11 @@ type Graph struct {
 	edges []*Edge
 	out   [][]*Edge
 	in    [][]*Edge
+
+	// fp caches the content hash of Fingerprint (json.go); computed at
+	// most once, after which the graph must not be mutated.
+	fpOnce sync.Once
+	fp     string
 }
 
 // New returns an empty graph with the given name.

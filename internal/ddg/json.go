@@ -1,0 +1,198 @@
+// JSON codec and content fingerprint for dependence graphs: the wire
+// representation the scheduling service (internal/wire, cmd/schedd)
+// ships loops in, and the structural identity the compile cache keys on.
+//
+// The JSON shape is stable and versioned by the wire envelope around it
+// (internal/wire.Version); within a version it only grows
+// backward-compatibly.  Node IDs are implicit: nodes[i] has ID i, and
+// edges reference those indices.
+
+package ddg
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// graphJSON is the wire shape of a Graph.
+type graphJSON struct {
+	Name         string     `json:"name"`
+	UnrollFactor int        `json:"unroll_factor,omitempty"`
+	Nodes        []nodeJSON `json:"nodes"`
+	Edges        []edgeJSON `json:"edges"`
+}
+
+// nodeJSON is one operation; its ID is its index in the nodes array.
+type nodeJSON struct {
+	Name string `json:"name"`
+	Op   string `json:"op"`
+	Orig *int   `json:"orig,omitempty"`
+	Copy int    `json:"copy,omitempty"`
+}
+
+// edgeJSON is one dependence between node indices.
+type edgeJSON struct {
+	From     int    `json:"from"`
+	To       int    `json:"to"`
+	Latency  int    `json:"latency"`
+	Distance int    `json:"distance,omitempty"`
+	Kind     string `json:"kind"`
+}
+
+// edgeKindNames maps the wire names; the zero kind is "true".
+var edgeKindNames = map[string]EdgeKind{
+	"true":   DepTrue,
+	"anti":   DepAnti,
+	"output": DepOutput,
+	"mem":    DepMem,
+}
+
+// EdgeKindByName resolves a wire name ("true", "anti", "output", "mem")
+// to its EdgeKind; it returns false for unknown names.
+func EdgeKindByName(name string) (EdgeKind, bool) {
+	k, ok := edgeKindNames[name]
+	return k, ok
+}
+
+// MarshalJSON encodes the graph in the service wire shape.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	out := graphJSON{Name: g.Name, Nodes: []nodeJSON{}, Edges: []edgeJSON{}}
+	if g.UnrollFactor != 1 {
+		out.UnrollFactor = g.UnrollFactor
+	}
+	for _, n := range g.nodes {
+		nj := nodeJSON{Name: n.Name, Op: n.Class.String(), Copy: n.Copy}
+		if n.Orig != n.ID {
+			orig := n.Orig
+			nj.Orig = &orig
+		}
+		out.Nodes = append(out.Nodes, nj)
+	}
+	for _, e := range g.edges {
+		out.Edges = append(out.Edges, edgeJSON{
+			From: e.From, To: e.To, Latency: e.Latency,
+			Distance: e.Distance, Kind: e.Kind.String(),
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a graph from the wire shape and validates it;
+// a graph that fails Validate (unknown op, out-of-range edge, negative
+// distance, distance-0 cycle) is rejected.  Decoding is strict — an
+// unknown or misspelled field inside a node or edge is an error, never
+// a silently-zeroed latency — matching the wire package's contract
+// (a custom UnmarshalJSON does not inherit the outer decoder's
+// DisallowUnknownFields, so it is re-imposed here).
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var in graphJSON
+	jd := json.NewDecoder(bytes.NewReader(data))
+	jd.DisallowUnknownFields()
+	if err := jd.Decode(&in); err != nil {
+		return err
+	}
+	dec := New(in.Name)
+	if in.UnrollFactor != 0 {
+		dec.UnrollFactor = in.UnrollFactor
+	}
+	if dec.UnrollFactor < 1 {
+		return fmt.Errorf("ddg: graph %q: unroll_factor %d, want >= 1", in.Name, dec.UnrollFactor)
+	}
+	for i, nj := range in.Nodes {
+		class, ok := machine.OpClassByName(nj.Op)
+		if !ok {
+			return fmt.Errorf("ddg: graph %q: node %d has unknown op %q", in.Name, i, nj.Op)
+		}
+		n := dec.AddNode(nj.Name, class)
+		if nj.Orig != nil {
+			if *nj.Orig < 0 || *nj.Orig >= len(in.Nodes) {
+				return fmt.Errorf("ddg: graph %q: node %d orig %d out of range", in.Name, i, *nj.Orig)
+			}
+			n.Orig = *nj.Orig
+		}
+		if nj.Copy < 0 {
+			return fmt.Errorf("ddg: graph %q: node %d has negative copy index", in.Name, i)
+		}
+		n.Copy = nj.Copy
+	}
+	for i, ej := range in.Edges {
+		kind, ok := EdgeKindByName(ej.Kind)
+		if !ok {
+			return fmt.Errorf("ddg: graph %q: edge %d has unknown kind %q", in.Name, i, ej.Kind)
+		}
+		if ej.From < 0 || ej.From >= len(in.Nodes) || ej.To < 0 || ej.To >= len(in.Nodes) {
+			return fmt.Errorf("ddg: graph %q: edge %d (%d->%d) out of range", in.Name, i, ej.From, ej.To)
+		}
+		if ej.Distance < 0 {
+			return fmt.Errorf("ddg: graph %q: edge %d has negative distance", in.Name, i)
+		}
+		if ej.Latency < 0 {
+			return fmt.Errorf("ddg: graph %q: edge %d has negative latency", in.Name, i)
+		}
+		dec.AddEdge(ej.From, ej.To, ej.Latency, ej.Distance, kind)
+	}
+	if err := dec.Validate(); err != nil {
+		return err
+	}
+	// Field-wise copy: Graph embeds a sync.Once (the fingerprint cache),
+	// so the struct must not be copied wholesale.  Decoding into a graph
+	// whose Fingerprint was already taken is not supported.
+	g.Name = dec.Name
+	g.UnrollFactor = dec.UnrollFactor
+	g.nodes = dec.nodes
+	g.edges = dec.edges
+	g.out = dec.out
+	g.in = dec.in
+	return nil
+}
+
+// Fingerprint returns a content hash of the graph — name, unroll factor,
+// every node (name, class, unroll provenance) and every edge — as a
+// fixed-length hex string.  Two graphs with equal fingerprints schedule
+// identically and are indistinguishable in reports, so the compile cache
+// (internal/pipeline) uses it as the loop's identity: structurally
+// identical loops deduplicate even when they arrive as distinct decoded
+// objects, e.g. from separate service requests.
+//
+// The hash is computed once and cached; graphs must not be mutated after
+// the first Fingerprint call (they are immutable once built everywhere
+// in this codebase).
+func (g *Graph) Fingerprint() string {
+	g.fpOnce.Do(func() {
+		h := sha256.New()
+		var buf [8]byte
+		writeInt := func(v int) {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+		writeStr := func(s string) {
+			writeInt(len(s))
+			h.Write([]byte(s))
+		}
+		writeStr(g.Name)
+		writeInt(g.UnrollFactor)
+		writeInt(len(g.nodes))
+		for _, n := range g.nodes {
+			writeStr(n.Name)
+			writeInt(int(n.Class))
+			writeInt(n.Orig)
+			writeInt(n.Copy)
+		}
+		writeInt(len(g.edges))
+		for _, e := range g.edges {
+			writeInt(e.From)
+			writeInt(e.To)
+			writeInt(e.Latency)
+			writeInt(e.Distance)
+			writeInt(int(e.Kind))
+		}
+		g.fp = hex.EncodeToString(h.Sum(nil)[:16])
+	})
+	return g.fp
+}

@@ -261,6 +261,21 @@ func Table1Configs() []Config {
 	return cfgs
 }
 
+// ConfigByName resolves one of the Table 1 configuration names
+// ("unified", "2-cluster/B1/L2", "4-cluster/B2/L1", ...) to its Config;
+// it returns false for unknown names.  These are the machine_ref names
+// of the service wire format — the daemon indexes Table1Configs once
+// at startup rather than calling this per request, and the wire tests
+// pin the two resolution paths to each other.
+func ConfigByName(name string) (Config, bool) {
+	for _, c := range Table1Configs() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Config{}, false
+}
+
 // FourCluster returns the paper's 4-cluster configuration: one FU of each
 // class and 16 registers per cluster (Table 1).
 func FourCluster(buses, busLat int) Config {

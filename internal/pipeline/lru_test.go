@@ -1,0 +1,371 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// sameShardRequests builds n distinct cacheable requests whose keys all
+// land in one shard, with equal key lengths so every entry costs the
+// same.  The loop names are fixed-width, so key length never varies.
+func sameShardRequests(t *testing.T, n int) []Request {
+	t.Helper()
+	cfg := machine.TwoCluster(1, 1)
+	byShard := map[int][]Request{}
+	for i := 0; len(byShard[0]) < n && i < 100000; i++ {
+		g := ddg.SampleChain(3)
+		g.Name = fmt.Sprintf("lru-%06d", i)
+		req := Request{Loop: &corpus.Loop{Graph: g, Iters: 8, Weight: 1, Bench: "t"}, Cfg: cfg}
+		s := shardOf(req.key())
+		byShard[s] = append(byShard[s], req)
+	}
+	if len(byShard[0]) < n {
+		t.Fatalf("could not find %d same-shard keys", n)
+	}
+	return byShard[0][:n]
+}
+
+// stubResult is what the stub compiles return: a fixed-size result so
+// entry costs are predictable.
+func stubResult() *core.Result { return &core.Result{Factor: 1} }
+
+// TestLRUEvictionOrder fills one shard past its byte budget and checks
+// the least recently used completed entries go first, that a cache hit
+// refreshes recency, that Stats counts the evictions, and that an
+// evicted key recompiles.
+func TestLRUEvictionOrder(t *testing.T) {
+	reqs := sameShardRequests(t, 4)
+	keys := make([]string, len(reqs))
+	for i, r := range reqs {
+		keys[i] = r.key()
+	}
+	perEntry := entryBytes(keys[0], stubResult())
+	for _, k := range keys {
+		if got := entryBytes(k, stubResult()); got != perEntry {
+			t.Fatalf("entry sizes differ: %d vs %d", got, perEntry)
+		}
+	}
+
+	p := New(1)
+	compiled := map[string]int{}
+	p.SetCompile(func(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+		compiled[l.Graph.Name]++
+		return stubResult(), nil
+	})
+	var evicted []string
+	p.SetEvictHook(func(key string, bytes int64) {
+		if bytes != perEntry {
+			t.Errorf("evicted %q with %d bytes, want %d", key, bytes, perEntry)
+		}
+		evicted = append(evicted, key)
+	})
+	// Budget: each shard holds two entries, not three.
+	p.SetCacheBytes(numShards * (2*perEntry + perEntry/2))
+
+	mustCompile := func(i int) {
+		t.Helper()
+		if _, err := p.Compile(reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	mustCompile(0)
+	mustCompile(1)
+	if len(evicted) != 0 {
+		t.Fatalf("evictions before the budget overflowed: %v", evicted)
+	}
+
+	// Third entry overflows the shard: the oldest (0) must go.
+	mustCompile(2)
+	if len(evicted) != 1 || evicted[0] != keys[0] {
+		t.Fatalf("evicted %v, want exactly [%s]", evicted, keys[0])
+	}
+
+	// Touch 1 so 2 becomes the LRU, then overflow again: 2 must go.
+	mustCompile(1)
+	mustCompile(3)
+	if len(evicted) != 2 || evicted[1] != keys[2] {
+		t.Fatalf("evicted %v, want second eviction %s", evicted, keys[2])
+	}
+
+	st := p.Stats()
+	if st.Evictions != 2 {
+		t.Errorf("Stats.Evictions = %d, want 2", st.Evictions)
+	}
+	if st.CachedBytes != 2*perEntry {
+		t.Errorf("Stats.CachedBytes = %d, want %d", st.CachedBytes, 2*perEntry)
+	}
+
+	// The evicted key is gone: asking again recompiles.
+	mustCompile(0)
+	if compiled[reqs[0].Loop.Graph.Name] != 2 {
+		t.Errorf("evicted key compiled %d times, want 2", compiled[reqs[0].Loop.Graph.Name])
+	}
+	if compiled[reqs[1].Loop.Graph.Name] != 1 {
+		t.Errorf("refreshed key recompiled: %d", compiled[reqs[1].Loop.Graph.Name])
+	}
+}
+
+// TestLRUKeepsTotalUnderBudget hammers a bounded pipeline with far more
+// distinct keys than fit and checks the global bound holds at every
+// step, entries actually churn, and every response is still served.
+func TestLRUKeepsTotalUnderBudget(t *testing.T) {
+	const maxBytes = 16 << 10
+	p := New(4)
+	p.SetCompile(func(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+		return stubResult(), nil
+	})
+	p.SetCacheBytes(maxBytes)
+
+	cfg := machine.FourCluster(1, 1)
+	var reqs []Request
+	for i := 0; i < 400; i++ {
+		g := ddg.SampleChain(4)
+		g.Name = fmt.Sprintf("churn-%04d", i)
+		reqs = append(reqs, Request{Loop: &corpus.Loop{Graph: g, Iters: 8, Weight: 1, Bench: "t"}, Cfg: cfg})
+	}
+	for i, r := range reqs {
+		if _, err := p.Compile(r); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			if st := p.Stats(); st.CachedBytes > maxBytes {
+				t.Fatalf("after %d compiles: %d cached bytes over the %d budget", i+1, st.CachedBytes, maxBytes)
+			}
+		}
+	}
+	st := p.Stats()
+	if st.CachedBytes > maxBytes {
+		t.Errorf("CachedBytes = %d over the %d budget", st.CachedBytes, maxBytes)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions despite overflowing the budget")
+	}
+	if p.Len() >= len(reqs) {
+		t.Errorf("Len() = %d, want far fewer than %d distinct keys", p.Len(), len(reqs))
+	}
+	if int64(p.Len()) != st.CachedEntries {
+		t.Errorf("Len() = %d but Stats.CachedEntries = %d", p.Len(), st.CachedEntries)
+	}
+}
+
+// TestCompileCtxDeadline checks an expired deadline unblocks the caller
+// while the shared compile finishes and lands in the cache.
+func TestCompileCtxDeadline(t *testing.T) {
+	p := New(1)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	p.SetCompile(func(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+		calls.Add(1)
+		<-release
+		return stubResult(), nil
+	})
+	req := Request{Loop: testLoops(1)[0], Cfg: machine.TwoCluster(1, 1)}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := p.CompileCtx(ctx, req); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+
+	// The compile is still in flight; a joiner with a live context gets
+	// the result once it completes, without recompiling.
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Compile(req)
+		done <- err
+	}()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("compile ran %d times, want 1 (deadline must not abandon the entry)", n)
+	}
+}
+
+// TestCompileCtxCanceledUpFront checks a dead context never compiles.
+func TestCompileCtxCanceledUpFront(t *testing.T) {
+	p := New(1)
+	var calls atomic.Int64
+	p.SetCompile(func(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+		calls.Add(1)
+		return stubResult(), nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := Request{Loop: testLoops(1)[0], Cfg: machine.TwoCluster(1, 1)}
+	if _, err := p.CompileCtx(ctx, req); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Error("canceled context still compiled")
+	}
+}
+
+// TestCompileBatchCtxCancel checks a batch whose context dies mid-run
+// marks every unserved slot with the context error and leaves none
+// empty.
+func TestCompileBatchCtxCancel(t *testing.T) {
+	p := New(2)
+	p.SetCompile(func(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+		time.Sleep(5 * time.Millisecond)
+		return stubResult(), nil
+	})
+	loops := testLoops(32)
+	cfg := machine.TwoCluster(1, 1)
+	var reqs []Request
+	for _, l := range loops {
+		reqs = append(reqs, Request{Loop: l, Cfg: cfg})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 12*time.Millisecond)
+	defer cancel()
+	out := p.CompileBatchCtx(ctx, reqs)
+
+	served, failed := 0, 0
+	for i, r := range out {
+		switch {
+		case r.Result != nil:
+			served++
+		case errors.Is(r.Err, context.DeadlineExceeded):
+			failed++
+		default:
+			t.Errorf("slot %d: empty response (err %v)", i, r.Err)
+		}
+	}
+	if served == 0 {
+		t.Error("no slot served before the deadline")
+	}
+	if failed == 0 {
+		t.Error("no slot marked with the context error")
+	}
+}
+
+// TestMaxConcurrentCompiles checks the compile cap: while one compile
+// holds the only slot, a second distinct request must not even start
+// compiling — its deadline expires slotless and spawns nothing — and
+// once the slot frees, the key compiles normally.
+func TestMaxConcurrentCompiles(t *testing.T) {
+	p := New(4)
+	p.SetMaxConcurrentCompiles(1)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	p.SetCompile(func(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+		calls.Add(1)
+		<-release
+		return stubResult(), nil
+	})
+	loops := testLoops(2)
+	cfg := machine.TwoCluster(1, 1)
+
+	first := make(chan error, 1)
+	go func() {
+		_, err := p.Compile(Request{Loop: loops[0], Cfg: cfg})
+		first <- err
+	}()
+	for i := 0; i < 500 && calls.Load() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if calls.Load() != 1 {
+		t.Fatal("first compile never started")
+	}
+
+	// Second key: the slot is taken, so the deadline must expire before
+	// any compile starts, leaving no cache entry behind.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := p.CompileCtx(ctx, Request{Loop: loops[1], Cfg: cfg}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("capped compile started anyway (%d calls)", n)
+	}
+	if p.Len() != 1 {
+		t.Errorf("slotless attempt left a cache entry (Len %d, want 1)", p.Len())
+	}
+
+	close(release)
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Compile(Request{Loop: loops[1], Cfg: cfg}); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("compiles ran %d times, want 2", n)
+	}
+}
+
+// TestMaxConcurrentCompilesContention checks correctness under the cap:
+// many goroutines, overlapping keys, every request answered and each
+// key compiled exactly once.
+func TestMaxConcurrentCompilesContention(t *testing.T) {
+	p := New(8)
+	p.SetMaxConcurrentCompiles(2)
+	var calls atomic.Int64
+	p.SetCompile(func(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+		calls.Add(1)
+		time.Sleep(time.Millisecond)
+		return stubResult(), nil
+	})
+	loops := testLoops(8)
+	cfg := machine.TwoCluster(1, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				if _, err := p.Compile(Request{Loop: loops[(g+i)%len(loops)], Cfg: cfg}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := calls.Load(); n != int64(len(loops)) {
+		t.Errorf("%d compiles for %d keys", n, len(loops))
+	}
+}
+
+// TestBoundedCacheRaces runs concurrent compiles, hits and evictions
+// under a tiny budget; the race detector and the byte bound are the
+// assertions.
+func TestBoundedCacheRaces(t *testing.T) {
+	const maxBytes = 8 << 10
+	p := New(4)
+	p.SetCompile(func(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+		return stubResult(), nil
+	})
+	p.SetCacheBytes(maxBytes)
+	loops := testLoops(64)
+	cfg := machine.FourCluster(1, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := p.Compile(Request{Loop: loops[(g*7+i)%len(loops)], Cfg: cfg}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := p.Stats(); st.CachedBytes > maxBytes {
+		t.Errorf("CachedBytes = %d over the %d budget", st.CachedBytes, maxBytes)
+	}
+}

@@ -3,8 +3,9 @@
 // bounded worker pool that fans batches of compile requests out across
 // CPUs while preserving result order.
 //
-// The experiments drivers, cmd/experiments and cmd/vliwsched all funnel
-// their compilations through one Pipeline, so a figure that revisits a
+// The experiments drivers, cmd/experiments, cmd/vliwsched and the
+// scheduling service (internal/service) all funnel their compilations
+// through one Pipeline, so a figure or a request that revisits a
 // (loop, machine, options) combination pays for it once no matter how
 // many goroutines ask, and a batch of independent compilations uses
 // every core.
@@ -12,17 +13,27 @@
 // Concurrency model: the cache is split into shards, each guarded by
 // its own mutex, so concurrent requests for different keys rarely
 // contend.  The first request for a key claims an in-flight entry and
-// compiles outside any lock; later requests for the same key join that
-// entry (singleflight) and block on its done channel until the result
-// lands.  Results — including errors, since compilation is
-// deterministic — are cached forever; a Pipeline's lifetime is one
-// experiment run.  CompileBatch feeds a fixed pool of worker goroutines
-// from a channel of indices and writes each response into the slot of
-// its request, so the returned slice is deterministic regardless of
-// completion order.
+// compiles on a detached goroutine; later requests for the same key
+// join that entry (singleflight) and block on its done channel until
+// the result lands.  Results — including errors, since compilation is
+// deterministic — are cached; loops are identified by their content
+// fingerprint (ddg.Graph.Fingerprint), so structurally identical loops
+// deduplicate even when they arrive as distinct decoded objects.
+// CompileBatch feeds a fixed pool of worker goroutines from a channel
+// of indices and writes each response into the slot of its request, so
+// the returned slice is deterministic regardless of completion order.
+//
+// Long-running use (the service daemon) adds two facilities batch runs
+// don't need: CompileCtx respects a context deadline — the caller
+// unblocks at expiry while the shared compile runs to completion and is
+// cached for the next asker — and SetCacheBytes bounds the cache with a
+// per-shard LRU so a daemon's memory stays flat under an endless
+// request stream (evictions are visible in Stats).
 package pipeline
 
 import (
+	"container/list"
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -54,17 +65,17 @@ func (r Request) cacheable() bool {
 	return r.Opts.Sched.Order == nil && r.Opts.Sched.Assignment == nil
 }
 
-// key builds the cache identity.  The loop is identified by its graph
-// pointer (graphs are immutable once built and cache entries live only
-// for the pipeline's lifetime), so two distinct graphs sharing a name
-// never alias; Bench and Name ride along for debuggability.  Every
-// Config field that can change a schedule (including the FU mix and
-// any heterogeneous layout) and every keyable option is included
-// alongside the config Name, so two distinct configurations sharing a
-// label never collide either.
+// key builds the cache identity.  The loop is identified by its graph's
+// content fingerprint — name, unroll factor, every node and edge — so
+// two structurally identical graphs share one entry no matter where
+// they were decoded, and two distinct graphs sharing a name never
+// alias.  Every Config field that can change a schedule (including the
+// FU mix and any heterogeneous layout) and every keyable option is
+// included alongside the config Name, so two distinct configurations
+// sharing a label never collide either.
 func (r Request) key() string {
-	return fmt.Sprintf("%p:%s/%s|%s|%d|%v|%v|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d",
-		r.Loop.Graph, r.Loop.Bench, r.Loop.Graph.Name,
+	return fmt.Sprintf("%s:%s|%s|%d|%v|%v|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d",
+		r.Loop.Graph.Fingerprint(), r.Loop.Bench,
 		r.Cfg.Name, r.Cfg.NClusters, r.Cfg.FUsPerCluster, r.Cfg.Hetero,
 		r.Cfg.NBuses, r.Cfg.BusLatency, r.Cfg.RegsPerCluster,
 		r.Opts.Scheduler, r.Opts.Strategy, r.Opts.Factor,
@@ -97,6 +108,15 @@ type Stats struct {
 	// reports as "Unrolling" is actually a non-unrolled schedule.  A
 	// cached fallback result counts once, at compile time.
 	Fallbacks int64
+	// Evictions counts completed entries dropped by the LRU byte bound
+	// (zero on an unbounded pipeline).
+	Evictions int64
+	// CachedBytes is the current estimated size of all completed cache
+	// entries (see SetCacheBytes for the accounting model).
+	CachedBytes int64
+	// CachedEntries is the current number of cache entries, completed or
+	// in flight (== Len()).
+	CachedEntries int64
 	// CompileTime is total time spent inside core.Compile, summed over
 	// workers (it exceeds wall time when workers overlap).
 	CompileTime time.Duration
@@ -105,8 +125,9 @@ type Stats struct {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("pipeline: %d hits, %d misses, %d dedup joins, %d compilations (%d unroll fallbacks), compile %v, wall %v",
+	return fmt.Sprintf("pipeline: %d hits, %d misses, %d dedup joins, %d compilations (%d unroll fallbacks), %d evictions, %d entries / %d bytes cached, compile %v, wall %v",
 		s.Hits, s.Misses, s.DedupJoins, s.Compilations, s.Fallbacks,
+		s.Evictions, s.CachedEntries, s.CachedBytes,
 		s.CompileTime.Round(time.Millisecond), s.WallTime.Round(time.Millisecond))
 }
 
@@ -114,16 +135,25 @@ func (s Stats) String() string {
 // core.Compile with the evaluation's unroll fallback.
 type CompileFunc func(*corpus.Loop, *machine.Config, core.Options) (*core.Result, error)
 
-// entry is one cache slot: done closes when res/err are final.
+// entry is one cache slot: done closes when res/err are final.  bytes is
+// zero while the compile is in flight and positive once completed (the
+// estimate always includes the key), which is how eviction tells the two
+// apart.
 type entry struct {
-	done chan struct{}
-	res  *core.Result
-	err  error
+	key   string
+	done  chan struct{}
+	res   *core.Result
+	err   error
+	bytes int64
 }
 
+// shard is one cache partition: a key-indexed LRU list of entries plus
+// the byte total of its completed ones.
 type shard struct {
 	mu      sync.Mutex
-	entries map[string]*entry
+	entries map[string]*list.Element // value: *entry; front = most recent
+	lru     *list.List
+	bytes   int64
 }
 
 // Pipeline is a concurrent compile cache with a bounded worker pool.
@@ -134,25 +164,74 @@ type Pipeline struct {
 
 	shards [numShards]shard
 
-	hits, misses, joins, compilations, fallbacks atomic.Int64
-	compileNS, wallNS                            atomic.Int64
+	// maxBytes > 0 bounds the cache (see SetCacheBytes).
+	maxBytes atomic.Int64
+	// onEvict, when non-nil, observes evictions (see SetEvictHook).
+	onEvict func(key string, bytes int64)
+	// fillSem, when non-nil, caps concurrently running compiles (see
+	// SetMaxConcurrentCompiles): a slot is acquired before an entry is
+	// claimed and released when its fill goroutine finishes.
+	fillSem chan struct{}
+
+	hits, misses, joins, compilations, fallbacks, evictions atomic.Int64
+	compileNS, wallNS                                       atomic.Int64
 }
 
 // New returns a Pipeline whose batch pool runs the given number of
-// workers; workers <= 0 means GOMAXPROCS.
+// workers; workers <= 0 means GOMAXPROCS.  The cache is unbounded until
+// SetCacheBytes.
 func New(workers int) *Pipeline {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	p := &Pipeline{workers: workers, compile: compileOne}
 	for i := range p.shards {
-		p.shards[i].entries = map[string]*entry{}
+		p.shards[i].entries = map[string]*list.Element{}
+		p.shards[i].lru = list.New()
 	}
 	return p
 }
 
 // Workers returns the batch pool size.
 func (p *Pipeline) Workers() int { return p.workers }
+
+// SetCacheBytes bounds the completed-entry cache to roughly n bytes,
+// split evenly across the shards; each shard evicts its least recently
+// used completed entries once its share overflows, so the global total
+// never exceeds n.  Entry sizes are an estimate of resident memory
+// (key, result, schedule tables and the retained graph).  n <= 0 means
+// unbounded — the default, and what one-shot experiment runs want.
+// In-flight entries are never evicted.
+func (p *Pipeline) SetCacheBytes(n int64) { p.maxBytes.Store(n) }
+
+// SetEvictHook registers fn to observe every LRU eviction (key and
+// estimated bytes).  fn runs with the shard lock held, so it must be
+// fast and must not reenter the pipeline.  Call before serving traffic;
+// nil unregisters.  Tests and metrics exporters use this.
+func (p *Pipeline) SetEvictHook(fn func(key string, bytes int64)) { p.onEvict = fn }
+
+// SetCompile replaces the compile function (default: core.Compile with
+// the unroll fallback).  Call before serving traffic.  Tests use this
+// to inject failures, delays and invocation counters.
+func (p *Pipeline) SetCompile(fn CompileFunc) { p.compile = fn }
+
+// SetMaxConcurrentCompiles caps the number of compiles running at once
+// across all callers; n <= 0 means unbounded (the default).  Call
+// before serving traffic.  Without a cap, a caller whose deadline
+// expires leaves its compile running detached — harmless for batch
+// runs, but a daemon fed cheap-to-request, expensive-to-compile work
+// with tiny timeouts could otherwise accumulate unbounded concurrent
+// compiles; with the cap, a prospective compile waits for a slot
+// before its cache entry is even claimed (so the wait is
+// deadline-bounded and spawns nothing), and at most n fill goroutines
+// exist at any instant.
+func (p *Pipeline) SetMaxConcurrentCompiles(n int) {
+	if n > 0 {
+		p.fillSem = make(chan struct{}, n)
+	} else {
+		p.fillSem = nil
+	}
+}
 
 // compileOne is the default CompileFunc: core.Compile with the
 // pragmatic fallback the evaluation needs — when unconditional
@@ -188,6 +267,24 @@ func shardOf(key string) int {
 // a hit, an in-flight entry is joined, and a fresh key compiles exactly
 // once no matter how many goroutines race for it.
 func (p *Pipeline) Compile(req Request) (*core.Result, error) {
+	return p.CompileCtx(context.Background(), req)
+}
+
+// CompileCtx is Compile with a context: a caller whose context expires
+// unblocks immediately with ctx.Err(), while the underlying compile —
+// shared by every requester of the key — runs to completion on its own
+// goroutine and lands in the cache for the next asker.  The compile
+// itself is not interruptible (the schedulers take no context), so a
+// deadline bounds the caller's wait, not the work.  Exception:
+// uncacheable requests (an explicit Order or Assignment — per-run
+// ablation paths, never reachable over the wire) run synchronously on
+// the caller's goroutine; they have no entry for anyone to share, so
+// detaching them would only discard the work, and the deadline is
+// checked solely on entry.
+func (p *Pipeline) CompileCtx(ctx context.Context, req Request) (*core.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !req.cacheable() {
 		p.misses.Add(1)
 		return p.run(req)
@@ -195,26 +292,133 @@ func (p *Pipeline) Compile(req Request) (*core.Result, error) {
 	key := req.key()
 	sh := &p.shards[shardOf(key)]
 
-	sh.mu.Lock()
-	if e, ok := sh.entries[key]; ok {
+	haveSlot := false
+	for {
+		sh.mu.Lock()
+		if el, ok := sh.entries[key]; ok {
+			sh.lru.MoveToFront(el)
+			e := el.Value.(*entry)
+			sh.mu.Unlock()
+			if haveSlot {
+				<-p.fillSem // lost the claim race; join instead
+			}
+			select {
+			case <-e.done:
+				p.hits.Add(1)
+				return e.res, e.err
+			default:
+			}
+			p.joins.Add(1)
+			select {
+			case <-e.done:
+				return e.res, e.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if p.fillSem == nil || haveSlot {
+			e := &entry{key: key, done: make(chan struct{})}
+			sh.entries[key] = sh.lru.PushFront(e)
+			sh.mu.Unlock()
+
+			p.misses.Add(1)
+			go func() {
+				p.fill(sh, e, req)
+				if haveSlot {
+					<-p.fillSem
+				}
+			}()
+
+			select {
+			case <-e.done:
+				return e.res, e.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		// Capped: wait for a compile slot before claiming the key, so an
+		// expired deadline aborts here without spawning anything.
 		sh.mu.Unlock()
 		select {
-		case <-e.done:
-			p.hits.Add(1)
-		default:
-			p.joins.Add(1)
-			<-e.done
+		case p.fillSem <- struct{}{}:
+			haveSlot = true
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
-		return e.res, e.err
 	}
-	e := &entry{done: make(chan struct{})}
-	sh.entries[key] = e
-	sh.mu.Unlock()
+}
 
-	p.misses.Add(1)
-	e.res, e.err = p.run(req)
+// fill completes an in-flight entry: compile, publish the result (the
+// close happens-before every waiter's read), account the bytes and
+// evict whatever the new entry pushed over the shard's budget.
+func (p *Pipeline) fill(sh *shard, e *entry, req Request) {
+	res, err := p.run(req)
+	sh.mu.Lock()
+	e.res, e.err = res, err
+	e.bytes = entryBytes(e.key, res)
+	sh.bytes += e.bytes
+	// Evict before publishing: a caller returning from this entry then
+	// observes every side effect (stats, hooks) of the insertion.
+	p.evictLocked(sh)
 	close(e.done)
-	return e.res, e.err
+	sh.mu.Unlock()
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// shard is back under its share of the byte budget.  In-flight entries
+// (bytes == 0) are skipped: their cost is unknown and waiters hold
+// their done channel.
+func (p *Pipeline) evictLocked(sh *shard) {
+	maxBytes := p.maxBytes.Load()
+	if maxBytes <= 0 {
+		return
+	}
+	budget := maxBytes / numShards
+	for sh.bytes > budget {
+		el := sh.lru.Back()
+		for el != nil && el.Value.(*entry).bytes == 0 {
+			el = el.Prev()
+		}
+		if el == nil {
+			return
+		}
+		e := el.Value.(*entry)
+		sh.lru.Remove(el)
+		delete(sh.entries, e.key)
+		sh.bytes -= e.bytes
+		p.evictions.Add(1)
+		if p.onEvict != nil {
+			p.onEvict(e.key, e.bytes)
+		}
+	}
+}
+
+// entryBytes estimates the resident memory of one completed cache
+// entry: map key, entry bookkeeping, the Result with its schedule
+// tables, and the graph the schedule retains.  The constants are struct
+// sizes rounded up for allocator slack; the point is a stable,
+// conservative accounting unit for the byte budget, not exactness.
+func entryBytes(key string, res *core.Result) int64 {
+	const entryOverhead = 192 // entry + list.Element + map slot
+	n := int64(len(key)) + entryOverhead
+	if res == nil {
+		return n // cached error: the error string is small
+	}
+	n += 128 // Result struct incl. Decision
+	n += int64(len(res.Decision.FailReason))
+	if res.Exact != nil {
+		n += 48
+	}
+	if s := res.Schedule; s != nil {
+		n += 192 // Schedule header + Cfg
+		n += int64(len(s.Placements)) * 32
+		n += int64(len(s.Transfers)) * 40
+		n += int64(len(s.Causes)) * 48
+		if g := s.Graph; g != nil {
+			n += int64(g.NumNodes())*88 + int64(g.NumEdges())*96
+		}
+	}
+	return n
 }
 
 // run performs the compilation and accounts for it.
@@ -234,6 +438,13 @@ func (p *Pipeline) run(req Request) (*core.Result, error) {
 // batch compile once; errors are reported per slot, never aborting the
 // rest of the batch.
 func (p *Pipeline) CompileBatch(reqs []Request) []Response {
+	return p.CompileBatchCtx(context.Background(), reqs)
+}
+
+// CompileBatchCtx is CompileBatch with a context: when it expires, the
+// in-flight slots return ctx.Err() as they unblock and the unstarted
+// slots are marked with ctx.Err() without compiling.
+func (p *Pipeline) CompileBatchCtx(ctx context.Context, reqs []Request) []Response {
 	start := time.Now()
 	out := make([]Response, len(reqs))
 
@@ -248,16 +459,29 @@ func (p *Pipeline) CompileBatch(reqs []Request) []Response {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				res, err := p.Compile(reqs[i])
+				res, err := p.CompileCtx(ctx, reqs[i])
 				out[i] = Response{Result: res, Err: err}
 			}
 		}()
 	}
+feed:
 	for i := range reqs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			if out[i].Result == nil && out[i].Err == nil {
+				out[i].Err = err
+			}
+		}
+	}
 
 	p.wallNS.Add(time.Since(start).Nanoseconds())
 	return out
@@ -265,14 +489,24 @@ func (p *Pipeline) CompileBatch(reqs []Request) []Response {
 
 // Stats snapshots the counters.
 func (p *Pipeline) Stats() Stats {
+	var bytes, entries int64
+	for i := range p.shards {
+		p.shards[i].mu.Lock()
+		bytes += p.shards[i].bytes
+		entries += int64(len(p.shards[i].entries))
+		p.shards[i].mu.Unlock()
+	}
 	return Stats{
-		Hits:         p.hits.Load(),
-		Misses:       p.misses.Load(),
-		DedupJoins:   p.joins.Load(),
-		Compilations: p.compilations.Load(),
-		Fallbacks:    p.fallbacks.Load(),
-		CompileTime:  time.Duration(p.compileNS.Load()),
-		WallTime:     time.Duration(p.wallNS.Load()),
+		Hits:          p.hits.Load(),
+		Misses:        p.misses.Load(),
+		DedupJoins:    p.joins.Load(),
+		Compilations:  p.compilations.Load(),
+		Fallbacks:     p.fallbacks.Load(),
+		Evictions:     p.evictions.Load(),
+		CachedBytes:   bytes,
+		CachedEntries: entries,
+		CompileTime:   time.Duration(p.compileNS.Load()),
+		WallTime:      time.Duration(p.wallNS.Load()),
 	}
 }
 

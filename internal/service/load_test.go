@@ -1,0 +1,184 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/machine"
+)
+
+// TestLoadExactlyOnceCompiles hammers /v1/compile from 64 concurrent
+// clients whose requests heavily overlap (8 distinct loop/machine
+// pairs, mixing loop_ref and structurally identical inline loops for
+// the same key) and asserts the singleflight + fingerprint cache
+// compiles each distinct request exactly once.
+func TestLoadExactlyOnceCompiles(t *testing.T) {
+	const (
+		clients = 64
+		perC    = 24
+		keys    = 8
+	)
+	var mu sync.Mutex
+	compiled := map[string]int{}
+	s, ts := newTestServer(t, Config{
+		Workers: 8,
+		Compile: func(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+			mu.Lock()
+			compiled[l.Graph.Name+"|"+cfg.Name]++
+			mu.Unlock()
+			time.Sleep(2 * time.Millisecond) // widen the in-flight window
+			return core.Compile(l.Graph, cfg, &opts)
+		},
+	})
+
+	refs := []string{"tomcatv.loop0", "swim.loop0", "mgrid.loop0", "hydro2d.loop0"}
+	machines := []string{"unified", "2-cluster/B1/L1"}
+	// bodies[k] is one distinct compilation; k = 8 combinations.
+	var bodies []string
+	for _, ref := range refs {
+		for _, m := range machines {
+			bodies = append(bodies,
+				fmt.Sprintf(`{"v":1,"loop_ref":"%s","machine_ref":"%s"}`, ref, m))
+		}
+	}
+	if len(bodies) != keys {
+		t.Fatalf("have %d bodies, want %d", len(bodies), keys)
+	}
+	// Inline twin of bodies[0]: the same tomcatv.loop0 graph shipped by
+	// value.  The content fingerprint must dedupe it onto the same cache
+	// entry as the ref version.
+	l0 := corpus.Index(corpus.SPECfp95())["tomcatv.loop0"]
+	inline, err := (&compileBody{Loop: l0, MachineRef: "unified"}).json()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perC; i++ {
+				body := bodies[(c+i)%keys]
+				if (c+i)%(2*keys) == 0 {
+					body = inline
+				}
+				resp, err := http.Post(ts.URL+"/v1/compile", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if n := errs.Load(); n > 0 {
+		t.Fatalf("%d of %d requests failed", n, clients*perC)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(compiled) != keys {
+		t.Errorf("compiled %d distinct keys, want %d (inline twin must dedupe): %v",
+			len(compiled), keys, compiled)
+	}
+	for key, n := range compiled {
+		if n != 1 {
+			t.Errorf("key %s compiled %d times, want exactly once", key, n)
+		}
+	}
+	st := s.Pipeline().Stats()
+	if st.Compilations != keys {
+		t.Errorf("Stats.Compilations = %d, want %d", st.Compilations, keys)
+	}
+	if got := st.Hits + st.Misses + st.DedupJoins; got != clients*perC {
+		t.Errorf("hits+misses+joins = %d, want %d requests", got, clients*perC)
+	}
+}
+
+// compileBody builds an inline-loop request body.
+type compileBody struct {
+	Loop       *corpus.Loop
+	MachineRef string
+}
+
+func (b *compileBody) json() (string, error) {
+	type req struct {
+		V          int          `json:"v"`
+		Loop       *corpus.Loop `json:"loop"`
+		MachineRef string       `json:"machine_ref"`
+	}
+	data, err := json.Marshal(req{V: 1, Loop: b.Loop, MachineRef: b.MachineRef})
+	return string(data), err
+}
+
+// TestLoadShutdownMidFlight drains the server while 64 clients are
+// mid-request: Shutdown must wait for admitted work, clients must see
+// either a clean response or a connection error, and the race detector
+// must stay quiet across the compile pipeline, admission gates and
+// metrics.
+func TestLoadShutdownMidFlight(t *testing.T) {
+	s := New(Config{
+		Workers: 4,
+		Compile: func(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+			time.Sleep(time.Millisecond)
+			return core.Compile(l.Graph, cfg, &opts)
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 64; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := fmt.Sprintf(`{"v":1,"loop_ref":"tomcatv.loop%d","machine_ref":"unified"}`, (c+i)%4)
+				resp, err := http.Post(ts.URL+"/v1/compile", "application/json", strings.NewReader(body))
+				if err != nil {
+					return // listener gone: expected once shutdown starts
+				}
+				resp.Body.Close()
+			}
+		}(c)
+	}
+
+	time.Sleep(20 * time.Millisecond) // let the load build
+	ts.Config.SetKeepAlivesEnabled(false)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ts.Config.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown did not drain: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	ts.Close()
+
+	if got := s.m.inflight.Load(); got != 0 {
+		t.Errorf("in-flight gauge = %d after drain, want 0", got)
+	}
+	if got := s.queued.Load(); got != 0 {
+		t.Errorf("queued gauge = %d after drain, want 0", got)
+	}
+}

@@ -1,0 +1,63 @@
+// Daemon-side metrics: lock-free counters and a fixed-bucket latency
+// histogram.  Deliberately per-Server rather than the process-global
+// expvar registry, so multiple Servers (tests, embedding) never fight
+// over names; /debug/vars renders them in expvar's flat-JSON style.
+
+package service
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// metrics is the counter block of one Server.
+type metrics struct {
+	requests struct {
+		compile atomic.Int64
+		batch   atomic.Int64
+		stats   atomic.Int64
+	}
+	rejected  atomic.Int64
+	deadlines atomic.Int64
+	inflight  atomic.Int64
+	latency   histogram
+}
+
+// latencyBucketsMS are the cumulative upper bounds (milliseconds) of
+// the request-latency histogram; the implicit final bucket is +Inf.
+var latencyBucketsMS = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// histogram counts observations per cumulative latency bucket.
+type histogram struct {
+	counts [len(latencyBucketsMS) + 1]atomic.Int64
+}
+
+// observe records one request duration.
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	for i, le := range latencyBucketsMS {
+		if ms <= le {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(latencyBucketsMS)].Add(1)
+}
+
+// buckets snapshots the histogram in the wire shape: cumulative "le"
+// semantics (bucket i counts every request that finished within its
+// bound, Prometheus style; le < 0 is +Inf and equals the total), built
+// by prefix-summing the per-bucket counters.
+func (h *histogram) buckets() []wire.HistogramBucket {
+	out := make([]wire.HistogramBucket, 0, len(h.counts))
+	var cum int64
+	for i, le := range latencyBucketsMS {
+		cum += h.counts[i].Load()
+		out = append(out, wire.HistogramBucket{Le: le, Count: cum})
+	}
+	cum += h.counts[len(latencyBucketsMS)].Load()
+	out = append(out, wire.HistogramBucket{Le: -1, Count: cum})
+	return out
+}

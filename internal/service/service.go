@@ -1,0 +1,510 @@
+// Package service is the compile-as-a-service layer: an HTTP daemon
+// fronting pipeline.Pipeline with the versioned JSON wire format of
+// internal/wire.  cmd/schedd is the thin binary around it.
+//
+// Endpoints:
+//
+//	POST /v1/compile   one compilation; wire.CompileRequest in,
+//	                   wire.CompileResponse out
+//	POST /v1/batch     many compilations; wire.BatchRequest in, NDJSON
+//	                   stream of wire.BatchItem out, one line per
+//	                   request in completion order
+//	GET  /v1/stats     pipeline + service counters (wire.StatsResponse)
+//	GET  /healthz      liveness probe
+//	GET  /debug/vars   expvar-style JSON metrics (requests, cache,
+//	                   fallbacks, latency histogram)
+//
+// The service adds what the batch pipeline lacks for long-running use:
+// a byte-bounded LRU over the compile cache (Config.CacheBytes), a
+// per-request deadline (Config.DefaultTimeout, clamped client override
+// via timeout_ms), admission control with bounded queueing — a request
+// beyond MaxInflight waits in a queue of QueueDepth and is turned away
+// with 429 once that overflows — and request-body size caps.  Graceful
+// drain is the daemon's job: http.Server.Shutdown lets in-flight
+// requests finish while the listener refuses new work.
+//
+// Error contract: every non-2xx response is a wire.ErrorResponse whose
+// code is one of the wire.Code* constants.  Status mapping: malformed
+// or invalid input 400, unknown loop_ref/machine_ref 404, oversized
+// body 413, unschedulable loop 422, admission rejection 429, deadline
+// 504.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+	"repro/internal/wire"
+)
+
+// Config tunes a Server.  The zero value serves with the defaults
+// below.
+type Config struct {
+	// Workers sizes the pipeline's batch pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// CacheBytes bounds the compile cache (pipeline.SetCacheBytes);
+	// <= 0 means unbounded.
+	CacheBytes int64
+	// MaxInflight caps concurrently admitted compilations; <= 0 means
+	// 2 x the pipeline's worker count.
+	MaxInflight int
+	// QueueDepth caps requests waiting for admission beyond MaxInflight;
+	// the QueueDepth+1st waiter gets 429.  < 0 means no queue (reject as
+	// soon as MaxInflight is busy); 0 means the default (64).
+	QueueDepth int
+	// DefaultTimeout bounds a request's wait on its compile when the
+	// client sends no timeout_ms; 0 means 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested timeouts; 0 means 2m.
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps request bodies; 0 means 8 MiB.
+	MaxBodyBytes int64
+	// Compile, when non-nil, replaces the pipeline's compile function
+	// (tests inject delays, failures and invocation counters here).
+	Compile pipeline.CompileFunc
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults(workers int) Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2 * workers
+	}
+	switch {
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	case c.QueueDepth == 0:
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the HTTP scheduling service.  Build one with New and mount
+// Handler on an http.Server.
+type Server struct {
+	cfg  Config
+	pipe *pipeline.Pipeline
+
+	// loops indexes the generated corpus by graph name for loop_ref;
+	// machines indexes the Table 1 configurations for machine_ref.  Both
+	// are built once: ref resolution is on the per-request hot path.
+	loops    map[string]*corpus.Loop
+	machines map[string]machine.Config
+
+	// sem holds one slot per admitted compilation; queued counts the
+	// waiters beyond it (bounded by cfg.QueueDepth).
+	sem    chan struct{}
+	queued atomic.Int64
+
+	m metrics
+}
+
+// New builds a Server: pipeline, bounded cache, corpus index and
+// admission gates.
+func New(cfg Config) *Server {
+	pipe := pipeline.New(cfg.Workers)
+	cfg = cfg.withDefaults(pipe.Workers())
+	if cfg.CacheBytes > 0 {
+		pipe.SetCacheBytes(cfg.CacheBytes)
+	}
+	if cfg.Compile != nil {
+		pipe.SetCompile(cfg.Compile)
+	}
+	// MaxInflight bounds running compiles even after their requesters'
+	// deadlines expire: a 504'd request may leave its compile finishing
+	// (it lands in the cache), but never an unbounded pile of them.
+	pipe.SetMaxConcurrentCompiles(cfg.MaxInflight)
+	machines := make(map[string]machine.Config)
+	for _, c := range machine.Table1Configs() {
+		machines[c.Name] = c
+	}
+	return &Server{
+		cfg:      cfg,
+		pipe:     pipe,
+		loops:    corpus.Index(corpus.SPECfp95()),
+		machines: machines,
+		sem:      make(chan struct{}, cfg.MaxInflight),
+	}
+}
+
+// Pipeline exposes the underlying pipeline (stats, tests).
+func (s *Server) Pipeline() *pipeline.Pipeline { return s.pipe }
+
+// Handler returns the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	return mux
+}
+
+// requestCtx derives the compile deadline: the client's timeout_ms
+// clamped to MaxTimeout, or the server default.
+func (s *Server) requestCtx(parent context.Context, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// errOverCapacity marks an admission rejection internally.
+var errOverCapacity = errors.New("service: over capacity")
+
+// admit claims a compile slot, queueing up to QueueDepth waiters; the
+// caller must invoke the returned release.  It fails fast with
+// errOverCapacity when the queue is full, or with the context error if
+// the deadline lapses while queued.
+func (s *Server) admit(ctx context.Context) (func(), error) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+			s.queued.Add(-1)
+			return nil, errOverCapacity
+		}
+		defer s.queued.Add(-1)
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s.m.inflight.Add(1)
+	return func() {
+		s.m.inflight.Add(-1)
+		<-s.sem
+	}, nil
+}
+
+// resolve maps a wire request onto a pipeline request: loop by ref or
+// inline, machine by ref or inline, options parsed and validated.
+func (s *Server) resolve(req *wire.CompileRequest) (pipeline.Request, *wire.Error) {
+	var out pipeline.Request
+
+	switch {
+	case req.LoopRef != "" && req.Loop != nil:
+		return out, wire.Errorf(wire.CodeBadRequest, "loop and loop_ref are mutually exclusive")
+	case req.LoopRef != "":
+		l, ok := s.loops[req.LoopRef]
+		if !ok {
+			return out, wire.Errorf(wire.CodeUnknownLoop, "unknown loop_ref %q (corpus loops are named bench.loopN)", req.LoopRef)
+		}
+		out.Loop = l
+	case req.Loop != nil:
+		if werr := wire.CheckLoop(req.Loop); werr != nil {
+			return out, werr
+		}
+		out.Loop = req.Loop
+	default:
+		return out, wire.Errorf(wire.CodeBadRequest, "one of loop or loop_ref required")
+	}
+
+	switch {
+	case req.MachineRef != "" && req.Machine != nil:
+		return out, wire.Errorf(wire.CodeBadRequest, "machine and machine_ref are mutually exclusive")
+	case req.MachineRef != "":
+		cfg, ok := s.machines[req.MachineRef]
+		if !ok {
+			return out, wire.Errorf(wire.CodeUnknownMachine, "unknown machine_ref %q (Table 1 names: unified, 2-cluster/B1/L1, ...)", req.MachineRef)
+		}
+		out.Cfg = cfg
+	case req.Machine != nil:
+		cfg, werr := req.Machine.Config()
+		if werr != nil {
+			return out, werr
+		}
+		out.Cfg = cfg
+	default:
+		return out, wire.Errorf(wire.CodeBadRequest, "one of machine or machine_ref required")
+	}
+
+	opts, werr := req.Options.Core()
+	if werr != nil {
+		return out, werr
+	}
+	out.Opts = opts
+
+	// The per-knob caps compose: bound the graph the scheduler actually
+	// sees (nodes x unroll factor) so a large-but-legal loop cannot be
+	// multiplied into an hours-long compile that pins a slot.
+	if opts.Strategy != core.NoUnroll {
+		f := opts.Factor
+		if f == 0 {
+			f = out.Cfg.NClusters
+		}
+		if n := out.Loop.Graph.NumNodes() * f; n > wire.MaxWireUnrolledNodes {
+			return out, wire.Errorf(wire.CodeInvalidOptions,
+				"unrolled size %d nodes (%d x factor %d) over the %d cap",
+				n, out.Loop.Graph.NumNodes(), f, wire.MaxWireUnrolledNodes)
+		}
+	}
+	return out, nil
+}
+
+// compileOne runs one request through the version gate, resolution,
+// admission, the deadline and the pipeline, mapping every failure to
+// its wire error.  Both /v1/compile and each /v1/batch item funnel
+// through here, so a batch item with a wrong version is rejected
+// exactly like the same body posted alone.
+func (s *Server) compileOne(ctx context.Context, req *wire.CompileRequest) (*wire.Result, *wire.Error) {
+	if werr := wire.CheckVersion(req.V); werr != nil {
+		return nil, werr
+	}
+	preq, werr := s.resolve(req)
+	if werr != nil {
+		return nil, werr
+	}
+	cctx, cancel := s.requestCtx(ctx, req.TimeoutMS)
+	defer cancel()
+
+	release, err := s.admit(cctx)
+	if err != nil {
+		if errors.Is(err, errOverCapacity) {
+			s.m.rejected.Add(1)
+			return nil, wire.Errorf(wire.CodeOverCapacity, "compile queue full (%d in flight, %d queued)", s.cfg.MaxInflight, s.cfg.QueueDepth)
+		}
+		return nil, s.ctxError(err)
+	}
+	defer release()
+
+	res, err := s.pipe.CompileCtx(cctx, preq)
+	if err != nil {
+		if cerr := cctx.Err(); cerr != nil {
+			return nil, s.ctxError(cerr)
+		}
+		return nil, wire.Errorf(wire.CodeUnschedulable, "%v", err)
+	}
+	return wire.FromResult(res), nil
+}
+
+// ctxError maps a context failure to its wire error.
+func (s *Server) ctxError(err error) *wire.Error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.m.deadlines.Add(1)
+		return wire.Errorf(wire.CodeDeadlineExceeded, "compile did not finish within the request deadline")
+	}
+	return wire.Errorf(wire.CodeBadRequest, "request canceled: %v", err)
+}
+
+// statusOf maps wire error codes to HTTP status.
+func statusOf(werr *wire.Error) int {
+	switch werr.Code {
+	case wire.CodeUnknownLoop, wire.CodeUnknownMachine:
+		return http.StatusNotFound
+	case wire.CodeBodyTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case wire.CodeUnschedulable:
+		return http.StatusUnprocessableEntity
+	case wire.CodeOverCapacity:
+		return http.StatusTooManyRequests
+	case wire.CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case wire.CodeInternal:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// writeJSON writes one JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// writeError writes the wire error shape.
+func writeError(w http.ResponseWriter, werr *wire.Error) {
+	writeJSON(w, statusOf(werr), wire.ErrorResponse{V: wire.Version, Error: werr})
+}
+
+// decodeBody strictly decodes a size-capped request body, mapping
+// overflow to the 413 wire error.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) *wire.Error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := wire.DecodeStrict(body, v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return wire.Errorf(wire.CodeBodyTooLarge, "request body over the %d byte limit", tooBig.Limit)
+		}
+		return wire.Errorf(wire.CodeBadRequest, "malformed request: %v", err)
+	}
+	return nil
+}
+
+// handleCompile serves POST /v1/compile.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.m.requests.compile.Add(1)
+	var req wire.CompileRequest
+	if werr := s.decodeBody(w, r, &req); werr != nil {
+		writeError(w, werr)
+		return
+	}
+	res, werr := s.compileOne(r.Context(), &req)
+	s.m.latency.observe(time.Since(start))
+	if werr != nil {
+		writeError(w, werr)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.CompileResponse{V: wire.Version, Result: res})
+}
+
+// handleBatch serves POST /v1/batch: the whole request decodes up
+// front, then one NDJSON line streams out per item as its compilation
+// completes, so a client can consume early results while late ones are
+// still scheduling.  Item failures (unknown refs, deadlines, admission
+// rejections) ride in their line's error field; the stream itself is
+// always 200 once the envelope parses.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.m.requests.batch.Add(1)
+	var req wire.BatchRequest
+	if werr := s.decodeBody(w, r, &req); werr != nil {
+		writeError(w, werr)
+		return
+	}
+	if werr := wire.CheckVersion(req.V); werr != nil {
+		writeError(w, werr)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, wire.Errorf(wire.CodeBadRequest, "empty batch"))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	// Fan the items across a bounded worker pool no wider than the
+	// admission gate, so one batch never trips its own items into
+	// over_capacity: at most MaxInflight admits race at once and the
+	// rest of the batch waits its turn in the workers, not the queue.
+	workers := min(s.pipe.Workers(), s.cfg.MaxInflight)
+	workers = max(1, min(workers, len(req.Requests)))
+	idx := make(chan int)
+	items := make(chan wire.BatchItem)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				item := wire.BatchItem{V: wire.Version, Index: i}
+				res, werr := s.compileOne(r.Context(), &req.Requests[i])
+				if werr != nil {
+					item.Error = werr
+				} else {
+					item.Result = res
+				}
+				items <- item
+			}
+		}()
+	}
+	go func() {
+		for i := range req.Requests {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+		close(items)
+	}()
+	// Per-line write deadline: a client that stops reading the stream
+	// must not pin this handler (and graceful drain) forever; a blanket
+	// server WriteTimeout would instead kill legitimate long batches.
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	for item := range items {
+		rc.SetWriteDeadline(time.Now().Add(streamWriteBudget))
+		enc.Encode(item)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	s.m.latency.observe(time.Since(start))
+}
+
+// streamWriteBudget bounds each NDJSON line's write+flush; generous for
+// any live client, finite for a dead one.
+const streamWriteBudget = 30 * time.Second
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.stats.Add(1)
+	writeJSON(w, http.StatusOK, wire.StatsResponse{
+		V:        wire.Version,
+		Pipeline: wire.FromPipelineStats(s.pipe.Stats()),
+		Service:  s.serviceStats(),
+	})
+}
+
+// serviceStats snapshots the daemon-side counters.
+func (s *Server) serviceStats() wire.ServiceStats {
+	return wire.ServiceStats{
+		Requests: map[string]int64{
+			"compile": s.m.requests.compile.Load(),
+			"batch":   s.m.requests.batch.Load(),
+			"stats":   s.m.requests.stats.Load(),
+		},
+		Rejected:  s.m.rejected.Load(),
+		Deadlines: s.m.deadlines.Load(),
+		InFlight:  s.m.inflight.Load(),
+		Queued:    s.queued.Load(),
+		LatencyMS: s.m.latency.buckets(),
+	}
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleVars serves GET /debug/vars in expvar's flat-JSON style.  The
+// vars are per-server (not the process-global expvar registry) so
+// several Servers — e.g. under test — never collide.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	ps := s.pipe.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schedd.requests":      s.serviceStats().Requests,
+		"schedd.rejected":      s.m.rejected.Load(),
+		"schedd.deadlines":     s.m.deadlines.Load(),
+		"schedd.inflight":      s.m.inflight.Load(),
+		"schedd.cache.hits":    ps.Hits,
+		"schedd.cache.misses":  ps.Misses,
+		"schedd.cache.joins":   ps.DedupJoins,
+		"schedd.cache.bytes":   ps.CachedBytes,
+		"schedd.cache.entries": ps.CachedEntries,
+		"schedd.evictions":     ps.Evictions,
+		"schedd.fallbacks":     ps.Fallbacks,
+		"schedd.compilations":  ps.Compilations,
+		"schedd.latency_ms":    s.m.latency.buckets(),
+	})
+}

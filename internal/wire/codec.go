@@ -1,0 +1,284 @@
+// Conversions between the wire DTOs and the in-process types.  Decoding
+// always validates: a Machine that fails machine.Config.Validate or an
+// Options with an unknown enum name never reaches the pipeline.
+
+package wire
+
+import (
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/exact"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/unroll"
+)
+
+// FromConfig converts a machine configuration to the wire shape.
+func FromConfig(c machine.Config) *Machine {
+	m := &Machine{
+		Name:       c.Name,
+		Clusters:   c.NClusters,
+		Regs:       c.RegsPerCluster,
+		Buses:      c.NBuses,
+		BusLatency: c.BusLatency,
+	}
+	if c.Hetero != nil {
+		for _, mix := range c.Hetero {
+			m.Hetero = append(m.Hetero, [3]int{
+				mix[machine.FUInteger], mix[machine.FUFloat], mix[machine.FUMemory],
+			})
+		}
+	} else {
+		fus := [3]int{
+			c.FUsPerCluster[machine.FUInteger],
+			c.FUsPerCluster[machine.FUFloat],
+			c.FUsPerCluster[machine.FUMemory],
+		}
+		m.FUs = &fus
+	}
+	return m
+}
+
+// Config converts the wire shape to a validated machine configuration.
+func (m *Machine) Config() (machine.Config, *Error) {
+	c := machine.Config{
+		Name:           m.Name,
+		NClusters:      m.Clusters,
+		RegsPerCluster: m.Regs,
+		NBuses:         m.Buses,
+		BusLatency:     m.BusLatency,
+	}
+	if c.Name == "" {
+		c.Name = "inline"
+	}
+	switch {
+	case m.Hetero != nil && m.FUs != nil:
+		return machine.Config{}, Errorf(CodeInvalidMachine,
+			"machine %q: fus and hetero are mutually exclusive", m.Name)
+	case m.Hetero != nil:
+		for _, mix := range m.Hetero {
+			c.Hetero = append(c.Hetero, [machine.NumFUClasses]int{
+				machine.FUInteger: mix[0], machine.FUFloat: mix[1], machine.FUMemory: mix[2],
+			})
+		}
+	case m.FUs != nil:
+		c.FUsPerCluster = [machine.NumFUClasses]int{
+			machine.FUInteger: m.FUs[0], machine.FUFloat: m.FUs[1], machine.FUMemory: m.FUs[2],
+		}
+	default:
+		return machine.Config{}, Errorf(CodeInvalidMachine, "machine %q: one of fus or hetero required", m.Name)
+	}
+	if err := c.Validate(); err != nil {
+		return machine.Config{}, Errorf(CodeInvalidMachine, "%v", err)
+	}
+	return c, nil
+}
+
+// policyNames maps the wire spellings of sched.Policy.
+var policyNames = map[string]sched.Policy{
+	"profit":      sched.PolicyProfit,
+	"round_robin": sched.PolicyRoundRobin,
+	"first_fit":   sched.PolicyFirstFit,
+}
+
+// policyName returns the wire spelling of a policy.
+func policyName(p sched.Policy) string {
+	for name, v := range policyNames {
+		if v == p {
+			return name
+		}
+	}
+	return "profit"
+}
+
+// FromOptions converts compile options to the wire shape, spelling only
+// the fields that differ from the defaults.
+func FromOptions(o core.Options) *Options {
+	w := &Options{Factor: o.Factor, MaxII: o.Sched.MaxII, ForceII: o.Sched.ForceII}
+	if o.Scheduler != core.BSA {
+		w.Scheduler = o.Scheduler.String()
+	}
+	if o.Strategy != core.NoUnroll {
+		w.Strategy = o.Strategy.String()
+	}
+	if o.Sched.Policy != sched.PolicyProfit {
+		w.Policy = policyName(o.Sched.Policy)
+	}
+	if o.Exact != (exact.Budget{}) {
+		w.Exact = &ExactBudget{
+			MaxNodes: o.Exact.MaxNodes,
+			MaxSteps: o.Exact.MaxSteps,
+			MaxII:    o.Exact.MaxII,
+		}
+	}
+	return w
+}
+
+// Wire-boundary caps on client-supplied knobs.  Values past these buy
+// no better schedule but scale the scheduler's tables (an II sizes the
+// reservation tables, a factor multiplies the graph), so an unbounded
+// request could exhaust the daemon's memory; the compile runs
+// uninterruptibly once started, beyond the reach of the request
+// deadline.  Negative values are rejected rather than given the
+// in-process "disable the cap" meaning.
+const (
+	// MaxWireII bounds max_ii / force_ii / exact.max_ii; far above any
+	// schedulable II for graphs that fit MaxWireFactor and the corpus.
+	MaxWireII = 4096
+	// MaxWireFactor bounds the unroll factor.
+	MaxWireFactor = 64
+	// MaxWireExactNodes and MaxWireExactSteps bound the oracle budget.
+	MaxWireExactNodes = 64
+	MaxWireExactSteps = int64(1_000_000_000)
+	// MaxWireLoopNodes and MaxWireLoopEdges bound an inline loop's
+	// graph; far above any corpus loop (<= 72 ops) but small enough that
+	// even the worst admissible compile stays seconds, not hours.
+	MaxWireLoopNodes = 1024
+	MaxWireLoopEdges = 8192
+	// MaxWireUnrolledNodes bounds nodes x unroll factor, the size of the
+	// graph the scheduler actually sees: the per-knob caps compose
+	// (1024-node loop x factor 64) into something a daemon must not
+	// schedule, so the product is capped where loop and options meet
+	// (service request resolution).
+	MaxWireUnrolledNodes = 8192
+)
+
+// CheckLoop validates an inline loop's size against the wire caps.
+func CheckLoop(l *corpus.Loop) *Error {
+	if l.Graph == nil || l.Graph.NumNodes() == 0 {
+		return Errorf(CodeInvalidLoop, "inline loop has no graph")
+	}
+	if n := l.Graph.NumNodes(); n > MaxWireLoopNodes {
+		return Errorf(CodeInvalidLoop, "inline loop has %d nodes, cap is %d", n, MaxWireLoopNodes)
+	}
+	if n := l.Graph.NumEdges(); n > MaxWireLoopEdges {
+		return Errorf(CodeInvalidLoop, "inline loop has %d edges, cap is %d", n, MaxWireLoopEdges)
+	}
+	return nil
+}
+
+// clampInt rejects values outside [0, max] with an invalid_options
+// error naming the field.
+func clampInt(name string, v, max int) *Error {
+	if v < 0 || v > max {
+		return Errorf(CodeInvalidOptions, "%s %d out of range [0, %d]", name, v, max)
+	}
+	return nil
+}
+
+// Core converts the wire shape to validated compile options.  A nil
+// receiver is the zero compilation: BSA, no unrolling.
+func (o *Options) Core() (core.Options, *Error) {
+	var out core.Options
+	if o == nil {
+		return out, nil
+	}
+	if o.Scheduler != "" {
+		s, err := core.ParseScheduler(o.Scheduler)
+		if err != nil {
+			return out, Errorf(CodeUnknownScheduler, "%v", err)
+		}
+		out.Scheduler = s
+	}
+	if o.Strategy != "" {
+		s, err := core.ParseStrategy(o.Strategy)
+		if err != nil {
+			return out, Errorf(CodeUnknownStrategy, "%v", err)
+		}
+		out.Strategy = s
+	}
+	if o.Policy != "" {
+		p, ok := policyNames[o.Policy]
+		if !ok {
+			return out, Errorf(CodeUnknownPolicy,
+				"unknown policy %q (want profit, round_robin or first_fit)", o.Policy)
+		}
+		out.Sched.Policy = p
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+		max  int
+	}{
+		{"factor", o.Factor, MaxWireFactor},
+		{"max_ii", o.MaxII, MaxWireII},
+		{"force_ii", o.ForceII, MaxWireII},
+	} {
+		if werr := clampInt(c.name, c.v, c.max); werr != nil {
+			return out, werr
+		}
+	}
+	out.Factor = o.Factor
+	out.Sched.MaxII = o.MaxII
+	out.Sched.ForceII = o.ForceII
+	if o.Exact != nil {
+		if werr := clampInt("exact.max_nodes", o.Exact.MaxNodes, MaxWireExactNodes); werr != nil {
+			return out, werr
+		}
+		if werr := clampInt("exact.max_ii", o.Exact.MaxII, MaxWireII); werr != nil {
+			return out, werr
+		}
+		if o.Exact.MaxSteps < 0 || o.Exact.MaxSteps > MaxWireExactSteps {
+			return out, Errorf(CodeInvalidOptions, "exact.max_steps %d out of range [0, %d]",
+				o.Exact.MaxSteps, MaxWireExactSteps)
+		}
+		out.Exact = exact.Budget{
+			MaxNodes: o.Exact.MaxNodes,
+			MaxSteps: o.Exact.MaxSteps,
+			MaxII:    o.Exact.MaxII,
+		}
+	}
+	return out, nil
+}
+
+// FromResult converts a finished compilation to the wire shape.
+func FromResult(r *core.Result) *Result {
+	s := r.Schedule
+	out := &Result{
+		Graph:       s.Graph.Name,
+		II:          s.II,
+		MinII:       s.MinII,
+		IterationII: r.IterationII(),
+		Factor:      r.Factor,
+		StageCount:  s.SC(),
+		BusLimited:  s.BusLimited,
+		FellBack:    r.FellBack,
+		MaxLive:     s.MaxLive(),
+		Placements:  make([]Placement, 0, len(s.Placements)),
+	}
+	for _, p := range s.Placements {
+		out.Placements = append(out.Placements, Placement{
+			Node: p.Node, Cluster: p.Cluster, FU: p.FU, Cycle: p.Cycle,
+		})
+	}
+	for _, t := range s.Transfers {
+		out.Transfers = append(out.Transfers, Transfer{
+			Producer: t.Producer, From: t.From, To: t.To, Bus: t.Bus, Start: t.Start,
+		})
+	}
+	if len(s.Causes) > 0 {
+		out.Causes = make(map[string]int, len(s.Causes))
+		for cause, n := range s.Causes {
+			out.Causes[cause.String()] = n
+		}
+	}
+	if r.Decision != (unroll.Decision{}) {
+		out.Decision = &Decision{
+			Unrolled:      r.Decision.Unrolled,
+			Factor:        r.Decision.Factor,
+			BusLimited:    r.Decision.BusLimited,
+			ComNeeded:     r.Decision.ComNeeded,
+			CycNeeded:     r.Decision.CycNeeded,
+			UnrolledMinII: r.Decision.UnrolledMinII,
+			FailReason:    r.Decision.FailReason,
+		}
+	}
+	if r.Exact != nil {
+		out.Exact = &Exact{
+			Proved:     r.Exact.Proved,
+			LowerBound: r.Exact.LowerBound,
+			Steps:      r.Exact.Steps,
+		}
+	}
+	return out
+}

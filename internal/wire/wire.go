@@ -1,0 +1,311 @@
+// Package wire defines the versioned JSON surface of the scheduling
+// service (internal/service, cmd/schedd): request and response
+// envelopes, the machine / options / result shapes, and the error
+// object every non-2xx response carries.
+//
+// Versioning: every top-level message carries "v", currently Version
+// (1).  Within a version the format only grows backward-compatibly —
+// new optional fields may appear, existing fields never change meaning
+// or type; decoding is strict (unknown fields are rejected) so drift
+// fails loudly on both sides.  Loops travel in the ddg JSON shape
+// (ddg.Graph's codec) wrapped in corpus.Loop's tagged fields; machine
+// configurations and compile options use the explicit DTOs here, which
+// exist so the wire spellings stay stable even if the Go structs move.
+//
+// The golden fixtures under testdata/ pin the byte-level format; a
+// change that alters them is a wire-format change and must bump
+// Version.
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/corpus"
+	"repro/internal/pipeline"
+)
+
+// Version is the current wire-format version.
+const Version = 1
+
+// Error codes carried in Error.Code.  Codes are wire-stable: clients
+// dispatch on them, so renaming one is a format break.
+const (
+	CodeBadRequest         = "bad_request"
+	CodeUnsupportedVersion = "unsupported_version"
+	CodeInvalidLoop        = "invalid_loop"
+	CodeUnknownLoop        = "unknown_loop"
+	CodeInvalidMachine     = "invalid_machine"
+	CodeUnknownMachine     = "unknown_machine"
+	CodeInvalidOptions     = "invalid_options"
+	CodeUnknownScheduler   = "unknown_scheduler"
+	CodeUnknownStrategy    = "unknown_strategy"
+	CodeUnknownPolicy      = "unknown_policy"
+	CodeBodyTooLarge       = "body_too_large"
+	CodeDeadlineExceeded   = "deadline_exceeded"
+	CodeOverCapacity       = "over_capacity"
+	CodeUnschedulable      = "unschedulable"
+	CodeInternal           = "internal"
+)
+
+// Error is the wire error shape: a stable code plus a human-readable
+// message.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface so handlers can pass one around
+// as an ordinary error.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// Errorf builds a wire error.
+func Errorf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	V     int    `json:"v"`
+	Error *Error `json:"error"`
+}
+
+// CompileRequest asks for one compilation.  The loop comes either by
+// reference into the server's corpus (loop_ref, e.g. "tomcatv.loop0")
+// or inline with its full dependence graph; the machine likewise by
+// Table 1 name (machine_ref, e.g. "4-cluster/B1/L1") or inline.
+// Options default to the zero compilation: BSA, no unrolling.
+type CompileRequest struct {
+	V          int          `json:"v"`
+	LoopRef    string       `json:"loop_ref,omitempty"`
+	Loop       *corpus.Loop `json:"loop,omitempty"`
+	MachineRef string       `json:"machine_ref,omitempty"`
+	Machine    *Machine     `json:"machine,omitempty"`
+	Options    *Options     `json:"options,omitempty"`
+	// TimeoutMS bounds this request's wait on the compile; 0 means the
+	// server default.  The server clamps it to its configured maximum.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// CompileResponse is the 200 body of /v1/compile.
+type CompileResponse struct {
+	V      int     `json:"v"`
+	Result *Result `json:"result"`
+}
+
+// BatchRequest asks for many compilations; the response is NDJSON, one
+// BatchItem per line in completion order.
+type BatchRequest struct {
+	V        int              `json:"v"`
+	Requests []CompileRequest `json:"requests"`
+}
+
+// BatchItem is one NDJSON line of a /v1/batch response: the index of
+// the request it answers plus either a result or an error.
+type BatchItem struct {
+	V      int     `json:"v"`
+	Index  int     `json:"index"`
+	Result *Result `json:"result,omitempty"`
+	Error  *Error  `json:"error,omitempty"`
+}
+
+// Machine is the wire shape of a machine configuration.
+type Machine struct {
+	Name string `json:"name,omitempty"`
+	// Clusters is the cluster count (1 = unified).
+	Clusters int `json:"clusters"`
+	// FUs is the per-cluster unit mix [integer, float, memory] of a
+	// homogeneous machine; ignored when Hetero is set.
+	FUs *[3]int `json:"fus,omitempty"`
+	// Hetero gives each cluster its own [integer, float, memory] mix.
+	Hetero [][3]int `json:"hetero,omitempty"`
+	// Regs is the per-cluster register-file capacity.
+	Regs int `json:"regs"`
+	// Buses and BusLatency describe the inter-cluster interconnect.
+	Buses      int `json:"buses,omitempty"`
+	BusLatency int `json:"bus_latency,omitempty"`
+}
+
+// Options is the wire shape of core.Options.
+type Options struct {
+	// Scheduler: "bsa" (default), "ne", "exact".
+	Scheduler string `json:"scheduler,omitempty"`
+	// Strategy: "no_unroll" (default), "unroll_all", "selective".
+	Strategy string `json:"strategy,omitempty"`
+	// Factor overrides the unroll_all factor; 0 means the cluster count.
+	Factor int `json:"factor,omitempty"`
+	// Policy: "profit" (default), "round_robin", "first_fit".
+	Policy string `json:"policy,omitempty"`
+	// MaxII caps the II search; ForceII pins it.
+	MaxII   int `json:"max_ii,omitempty"`
+	ForceII int `json:"force_ii,omitempty"`
+	// Exact budgets the optimality oracle (scheduler "exact" only).
+	Exact *ExactBudget `json:"exact,omitempty"`
+}
+
+// ExactBudget is the wire shape of exact.Budget.
+type ExactBudget struct {
+	MaxNodes int   `json:"max_nodes,omitempty"`
+	MaxSteps int64 `json:"max_steps,omitempty"`
+	MaxII    int   `json:"max_ii,omitempty"`
+}
+
+// Result is the wire shape of a finished compilation.
+type Result struct {
+	// Graph names the scheduled graph (the unrolled one when unrolling
+	// was applied).
+	Graph string `json:"graph,omitempty"`
+	// II is the achieved initiation interval; MinII the lower bound
+	// max(ResMII, RecMII); IterationII is II per original iteration
+	// (II / Factor), the number the paper's comparisons use.
+	II          int     `json:"ii"`
+	MinII       int     `json:"min_ii"`
+	IterationII float64 `json:"iteration_ii"`
+	// Factor is the unroll factor embodied in the schedule (>= 1).
+	Factor int `json:"factor"`
+	// StageCount is the number of overlapped kernel copies.
+	StageCount int `json:"stage_count"`
+	// BusLimited reports a lower II was abandoned for want of buses.
+	BusLimited bool `json:"bus_limited,omitempty"`
+	// FellBack reports the UnrollAll→NoUnroll fallback produced this
+	// result; decision.fail_reason records why.
+	FellBack bool `json:"fell_back,omitempty"`
+	// MaxLive is the per-cluster register requirement.
+	MaxLive []int `json:"max_live,omitempty"`
+	// Causes counts abandoned II attempts by failure cause.
+	Causes map[string]int `json:"causes,omitempty"`
+	// Placements and Transfers are the schedule itself.
+	Placements []Placement `json:"placements"`
+	Transfers  []Transfer  `json:"transfers,omitempty"`
+	// Decision is the unrolling audit trail (strategies that unroll).
+	Decision *Decision `json:"decision,omitempty"`
+	// Exact carries the oracle's proof metadata (scheduler "exact").
+	Exact *Exact `json:"exact,omitempty"`
+}
+
+// Placement is one operation's slot: node ID, cluster, FU index and
+// flat cycle (kernel slot = cycle mod II).
+type Placement struct {
+	Node    int `json:"node"`
+	Cluster int `json:"cluster"`
+	FU      int `json:"fu"`
+	Cycle   int `json:"cycle"`
+}
+
+// Transfer is one inter-cluster communication.
+type Transfer struct {
+	Producer int `json:"producer"`
+	From     int `json:"from"`
+	To       int `json:"to"`
+	Bus      int `json:"bus"`
+	Start    int `json:"start"`
+}
+
+// Decision is the wire shape of unroll.Decision.
+type Decision struct {
+	Unrolled      bool   `json:"unrolled"`
+	Factor        int    `json:"factor"`
+	BusLimited    bool   `json:"bus_limited,omitempty"`
+	ComNeeded     int    `json:"com_needed,omitempty"`
+	CycNeeded     int    `json:"cyc_needed,omitempty"`
+	UnrolledMinII int    `json:"unrolled_min_ii,omitempty"`
+	FailReason    string `json:"fail_reason,omitempty"`
+}
+
+// Exact is the wire shape of exact.Result's proof metadata.
+type Exact struct {
+	Proved     bool  `json:"proved"`
+	LowerBound int   `json:"lower_bound"`
+	Steps      int64 `json:"steps"`
+}
+
+// StatsResponse is the 200 body of /v1/stats.
+type StatsResponse struct {
+	V        int           `json:"v"`
+	Pipeline PipelineStats `json:"pipeline"`
+	Service  ServiceStats  `json:"service"`
+}
+
+// PipelineStats is the wire shape of pipeline.Stats.
+type PipelineStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	DedupJoins    int64 `json:"dedup_joins"`
+	Compilations  int64 `json:"compilations"`
+	Fallbacks     int64 `json:"fallbacks"`
+	Evictions     int64 `json:"evictions"`
+	CachedBytes   int64 `json:"cached_bytes"`
+	CachedEntries int64 `json:"cached_entries"`
+	CompileNS     int64 `json:"compile_ns"`
+	WallNS        int64 `json:"wall_ns"`
+}
+
+// FromPipelineStats converts a pipeline snapshot to the wire shape.
+func FromPipelineStats(s pipeline.Stats) PipelineStats {
+	return PipelineStats{
+		Hits:          s.Hits,
+		Misses:        s.Misses,
+		DedupJoins:    s.DedupJoins,
+		Compilations:  s.Compilations,
+		Fallbacks:     s.Fallbacks,
+		Evictions:     s.Evictions,
+		CachedBytes:   s.CachedBytes,
+		CachedEntries: s.CachedEntries,
+		CompileNS:     int64(s.CompileTime),
+		WallNS:        int64(s.WallTime),
+	}
+}
+
+// ServiceStats is the daemon-level side of /v1/stats.
+type ServiceStats struct {
+	// Requests counts handled requests per endpoint.
+	Requests map[string]int64 `json:"requests"`
+	// Rejected counts requests turned away by admission control (429).
+	Rejected int64 `json:"rejected"`
+	// Deadlines counts requests that hit their deadline (504).
+	Deadlines int64 `json:"deadlines"`
+	// InFlight and Queued are point-in-time admission gauges.
+	InFlight int64 `json:"in_flight"`
+	Queued   int64 `json:"queued"`
+	// LatencyMS is the request-latency histogram over /v1/compile and
+	// /v1/batch (a batch contributes one observation spanning decode
+	// through the last streamed line).  Buckets are cumulative,
+	// Prometheus style: bucket i counts every request that finished in
+	// <= Le milliseconds; the final bucket (Le < 0, +Inf) is the total.
+	LatencyMS []HistogramBucket `json:"latency_ms"`
+}
+
+// HistogramBucket is one cumulative latency bucket; Le < 0 means +Inf.
+type HistogramBucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// CheckVersion validates an envelope's version field.
+func CheckVersion(v int) *Error {
+	switch v {
+	case Version:
+		return nil
+	case 0:
+		return Errorf(CodeBadRequest, "missing wire version (want \"v\": %d)", Version)
+	default:
+		return Errorf(CodeUnsupportedVersion, "wire version %d not supported (want %d)", v, Version)
+	}
+}
+
+// DecodeStrict decodes exactly one JSON value from r into v, rejecting
+// unknown fields and trailing garbage, so format drift and typos fail
+// loudly instead of silently compiling the wrong thing.
+func DecodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON value")
+	}
+	return nil
+}
