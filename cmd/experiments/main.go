@@ -3,12 +3,17 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|table2|fig4|fig8|fig9|fig10|optgap|ablations] [-markdown] [-workers N] [-trim N]
+//	experiments [-run all|table1|table2|fig4|fig8|fig9|fig10|optgap|ablations] [-markdown] [-workers N] [-trim N] [-strategies a,b,c]
 //
 // With -markdown the tables are printed as GitHub Markdown (the format
 // EXPERIMENTS.md records).  Compilations run through the concurrent
 // pipeline (internal/pipeline); -workers sizes its pool (default
 // GOMAXPROCS) and the cache statistics are printed to stderr at exit.
+//
+// -strategies overrides the Figure 8 strategy groups with any
+// comma-separated registered unroll policies (e.g.
+// "no_unroll,portfolio,sweep:4"), so a newly registered policy drops
+// straight into the paper's headline comparison.
 //
 // -run optgap scores BSA against the exact branch-and-bound oracle
 // (internal/exact) on every Table 1 configuration; it is the slowest
@@ -22,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -36,7 +42,19 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit GitHub Markdown instead of ASCII")
 	workers := flag.Int("workers", 0, "pipeline worker count (0 = GOMAXPROCS)")
 	trim := flag.Int("trim", 0, "keep only the first N loops of every benchmark (0 = full corpus)")
+	strategies := flag.String("strategies", "no_unroll,unroll_all,selective",
+		"comma-separated registered unroll policies for the fig8 groups")
 	flag.Parse()
+
+	var fig8Strats []core.Strategy
+	for _, name := range strings.Split(*strategies, ",") {
+		s, err := core.ParseStrategy(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		fig8Strats = append(fig8Strats, s)
+	}
 
 	suite := experiments.NewSuiteWorkers(loadCorpus(*trim), *workers)
 	emit := func(t *report.Table, err error) {
@@ -63,7 +81,7 @@ func main() {
 	}
 	if want("fig8") {
 		for _, clusters := range []int{2, 4} {
-			for _, strat := range []core.Strategy{core.NoUnroll, core.UnrollAll, core.SelectiveUnroll} {
+			for _, strat := range fig8Strats {
 				emit(suite.Fig8(clusters, strat))
 			}
 		}

@@ -9,18 +9,26 @@
 //	-config unified|2cluster|4cluster   target machine (default 4cluster)
 //	-buses N                            bus count (default 1)
 //	-buslat N                           bus latency (default 1)
-//	-scheduler bsa|ne|exact             BSA, Nystrom-Eichenberger, or the
-//	                                    exact branch-and-bound oracle
-//	-unroll none|all|selective          unrolling strategy
+//	-scheduler NAME                     any registered scheduler: bsa (default),
+//	                                    ne (Nystrom-Eichenberger), exact, ...
+//	-strategy NAME                      any registered unroll policy: no_unroll
+//	                                    (default), unroll_all, selective,
+//	                                    portfolio, sweep:<k>, ...
+//	-unroll none|all|selective          legacy alias of -strategy
+//	-stages                             print the per-stage compile telemetry
 //	-dot                                print the DDG in Graphviz DOT and exit
 //	-batch                              compile every corpus loop on every
 //	                                    Table 1 configuration concurrently
 //	-workers N                          pipeline pool size (0 = GOMAXPROCS)
 //
+// Unknown -scheduler/-strategy names fail with the registered list
+// (the same registry GET /v1/capabilities serves).
+//
 // Examples:
 //
-//	vliwsched -config 4cluster -buses 1 -unroll selective examples/loops/stencil.ir
-//	vliwsched -batch -unroll selective -workers 8
+//	vliwsched -config 4cluster -buses 1 -strategy selective examples/loops/stencil.ir
+//	vliwsched -config 4cluster -strategy portfolio -stages examples/loops/stencil.ir
+//	vliwsched -batch -strategy sweep:4 -workers 8
 package main
 
 import (
@@ -36,7 +44,6 @@ import (
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/pipeline"
-	"repro/internal/sched"
 	"repro/internal/vliwsim"
 )
 
@@ -44,31 +51,34 @@ func main() {
 	configName := flag.String("config", "4cluster", "machine: unified, 2cluster or 4cluster")
 	buses := flag.Int("buses", 1, "number of inter-cluster buses")
 	busLat := flag.Int("buslat", 1, "bus latency in cycles")
-	scheduler := flag.String("scheduler", "bsa", "bsa, ne (Nystrom-Eichenberger) or exact (optimality oracle)")
-	unrollMode := flag.String("unroll", "none", "none, all or selective")
+	scheduler := flag.String("scheduler", "bsa", "registered scheduler name (bsa, ne, exact, ...)")
+	strategy := flag.String("strategy", "", "registered unroll policy name (no_unroll, unroll_all, selective, portfolio, sweep:<k>, ...)")
+	unrollMode := flag.String("unroll", "", "legacy alias of -strategy (none, all, selective)")
+	stages := flag.Bool("stages", false, "print the per-stage compile telemetry")
 	dot := flag.Bool("dot", false, "print the dependence graph in DOT and exit")
 	batch := flag.Bool("batch", false, "compile the whole corpus on every Table 1 config concurrently")
 	workers := flag.Int("workers", 0, "pipeline worker count in batch mode (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	opts := core.Options{}
-	switch *scheduler {
-	case "bsa":
-	case "ne":
-		opts.Scheduler = core.NystromEichenberger
-	case "exact":
-		opts.Scheduler = core.Exact
-	default:
-		fatal(fmt.Errorf("unknown scheduler %q", *scheduler))
+	sch, err := core.ParseScheduler(*scheduler)
+	if err != nil {
+		fatal(err)
 	}
-	switch *unrollMode {
-	case "none":
-	case "all":
-		opts.Strategy = core.UnrollAll
-	case "selective":
-		opts.Strategy = core.SelectiveUnroll
-	default:
-		fatal(fmt.Errorf("unknown unroll mode %q", *unrollMode))
+	opts.Scheduler = sch
+	stratName := *strategy
+	if *unrollMode != "" {
+		if stratName != "" {
+			fatal(fmt.Errorf("-strategy and -unroll are the same flag; drop -unroll"))
+		}
+		stratName = *unrollMode
+	}
+	if stratName != "" {
+		strat, err := core.ParseStrategy(stratName)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Strategy = strat
 	}
 
 	if *batch {
@@ -78,7 +88,7 @@ func main() {
 		var conflict []string
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "config", "buses", "buslat", "dot":
+			case "config", "buses", "buslat", "dot", "stages":
 				conflict = append(conflict, "-"+f.Name)
 			}
 		})
@@ -129,18 +139,20 @@ func main() {
 	fmt.Printf("ResMII=%d RecMII=%d MinII=%d\n\n",
 		loop.Graph.ResMII(&cfg), loop.Graph.RecMII(), loop.Graph.MinII(&cfg))
 
+	// The engine validates every schedule it returns (its validate
+	// stage), so no re-check is needed here.
 	res, err := core.Compile(loop.Graph, &cfg, &opts)
 	if err != nil {
 		fatal(err)
-	}
-	if err := sched.Validate(res.Schedule); err != nil {
-		fatal(fmt.Errorf("internal error: invalid schedule: %w", err))
 	}
 	if opts.Strategy == core.SelectiveUnroll {
 		fmt.Println("selective unrolling:", res.Decision)
 	}
 	if res.Exact != nil {
 		fmt.Println(res.Exact)
+	}
+	if *stages {
+		printStages(res)
 	}
 	fmt.Println(res.Schedule)
 	fmt.Println(emit.Emit(res.Schedule))
@@ -188,10 +200,6 @@ func runBatch(opts core.Options, workers int) {
 				failed++
 				continue
 			}
-			if err := sched.Validate(r.Result.Schedule); err != nil {
-				fatal(fmt.Errorf("invalid schedule for %s on %s: %w",
-					loops[li].Graph.Name, cfg.Name, err))
-			}
 			ok++
 			iiSum += float64(r.Result.Schedule.II)
 			perIterSum += r.Result.IterationII()
@@ -206,6 +214,35 @@ func runBatch(opts core.Options, workers int) {
 		fmt.Printf("%-18s %8d %10.2f %10.2f %8d %8d\n", cfg.Name, ok, meanII, meanIter, unrolled, failed)
 	}
 	fmt.Fprintf(os.Stderr, "\n%v, total %v\n", p.Stats(), time.Since(start).Round(time.Millisecond))
+}
+
+// printStages renders the per-stage compile telemetry: where the
+// compile spent its time, the II search it walked, and — for racing
+// policies — what each candidate did.
+func printStages(res *core.Result) {
+	t := res.Stages
+	if t == nil {
+		return
+	}
+	fmt.Printf("stages (scheduler %s, policy %s", t.Scheduler, t.Policy)
+	if t.Winner != "" {
+		fmt.Printf(", winner %s", t.Winner)
+	}
+	fmt.Printf("): total %v\n", t.Total.Round(time.Microsecond))
+	for _, s := range t.Stages {
+		fmt.Printf("  %-9s %10v  x%d\n", s.Name, s.Duration.Round(time.Microsecond), s.Calls)
+	}
+	fmt.Printf("  II search: %d attempts, trajectory %v\n", t.Attempts, t.Trajectory)
+	for _, c := range t.Candidates {
+		switch {
+		case c.Err != "":
+			fmt.Printf("  candidate %-12s failed: %s\n", c.Strategy, c.Err)
+		case c.Won:
+			fmt.Printf("  candidate %-12s iteration II %.3f (winner)\n", c.Strategy, c.IterationII)
+		default:
+			fmt.Printf("  candidate %-12s iteration II %.3f\n", c.Strategy, c.IterationII)
+		}
+	}
 }
 
 func pickConfig(name string, buses, busLat int) (machine.Config, error) {

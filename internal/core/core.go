@@ -1,230 +1,100 @@
-// Package core is the library's front door: it composes the paper's
-// contributions — the unified assign-and-schedule modulo scheduler
-// (internal/sched), the two-phase Nystrom & Eichenberger baseline
-// (internal/assign) and selective loop unrolling (internal/unroll) —
-// behind one Compile call, the way the evaluation drives them.
+// Package core is the library's front door: one Compile call over the
+// pluggable compilation engine (internal/engine), which composes the
+// paper's contributions — the unified assign-and-schedule modulo
+// scheduler (internal/sched), the two-phase Nystrom & Eichenberger
+// baseline (internal/assign), the exact optimality oracle
+// (internal/exact) and the unrolling policies (internal/unroll) —
+// behind an open, name-keyed registry.
 //
-// A typical use:
+// Schedulers and unroll strategies are selected by registered name;
+// the types here alias the engine's, so core.Compile accepts any name
+// a one-file engine registration adds (see the engine package doc for
+// the walkthrough).  A typical use:
 //
 //	cfg := machine.FourCluster(1, 1)
 //	res, err := core.Compile(loop.Graph, &cfg, &core.Options{
 //		Strategy: core.SelectiveUnroll,
 //	})
 //	fmt.Println(res.Schedule.II, res.Decision)
+//
+// and any registered spelling works the same way:
+//
+//	core.Compile(loop.Graph, &cfg, &core.Options{Strategy: "sweep:4"})
 package core
 
 import (
-	"fmt"
+	"context"
 
-	"repro/internal/assign"
 	"repro/internal/ddg"
-	"repro/internal/exact"
+	"repro/internal/engine"
 	"repro/internal/machine"
-	"repro/internal/sched"
-	"repro/internal/unroll"
 )
 
-// Scheduler selects the cluster-assignment strategy.
-type Scheduler int
+// Scheduler selects the scheduling engine by registered name; the zero
+// value is BSA.
+type Scheduler = engine.Scheduler
 
-// Available schedulers.
+// Built-in schedulers (see the engine package for semantics).
 const (
-	// BSA is the paper's basic scheduling algorithm: cluster assignment
-	// and instruction scheduling in a single pass (Figure 5).
-	BSA Scheduler = iota
-	// NystromEichenberger is the two-phase baseline: assign first,
-	// schedule second, restart on failure with II+1.
-	NystromEichenberger
-	// Exact is the branch-and-bound optimality oracle (internal/exact):
-	// it returns the minimum-II schedule within its search budget and,
-	// when the budget holds, a proof of minimality.  Strategies NoUnroll
-	// and UnrollAll are supported; SelectiveUnroll is not, because the
-	// Figure 6 test keys on heuristic bus-failure telemetry the
-	// exhaustive search does not produce.
-	Exact
+	BSA                 = engine.BSA
+	NystromEichenberger = engine.NystromEichenberger
+	Exact               = engine.Exact
 )
 
-// Strategy selects the unrolling policy applied before scheduling.
-type Strategy int
+// Strategy selects the unroll policy by registered name; the zero
+// value is NoUnroll.
+type Strategy = engine.Strategy
 
-// Unrolling strategies, matching the three bar groups of Figure 8.
+// Built-in strategies (see the engine package for semantics).
 const (
-	// NoUnroll schedules the loop as written.
-	NoUnroll Strategy = iota
-	// UnrollAll always unrolls by the cluster count (or Factor if set).
-	UnrollAll
-	// SelectiveUnroll applies Figure 6: unroll only bus-limited loops
-	// whose estimated communication demand fits the unrolled MinII.
-	SelectiveUnroll
+	NoUnroll        = engine.NoUnroll
+	UnrollAll       = engine.UnrollAll
+	SelectiveUnroll = engine.SelectiveUnroll
+	Portfolio       = engine.Portfolio
 )
 
-// Options configures Compile.  The zero value is BSA with no unrolling.
-type Options struct {
-	// Scheduler picks BSA (default) or the two-phase baseline.
-	Scheduler Scheduler
-	// Strategy picks the unrolling policy (default NoUnroll).
-	Strategy Strategy
-	// Factor overrides the UnrollAll factor; 0 means the cluster count.
-	Factor int
-	// Sched forwards low-level scheduling options (ablation hooks).
-	Sched sched.Options
-	// Exact budgets the optimality oracle (Scheduler == Exact only);
-	// the zero value means the exact package's defaults.
-	Exact exact.Budget
-}
+// Options configures Compile.  The zero value is BSA with no
+// unrolling.
+type Options = engine.Options
 
-// Result is a finished compilation.
-type Result struct {
-	// Schedule is the chosen modulo schedule; its Graph field is the
-	// unrolled graph when unrolling was applied.
-	Schedule *sched.Schedule
-	// Factor is the unroll factor embodied in Schedule (>= 1).
-	Factor int
-	// Decision is the selective-unrolling audit trail (zero value unless
-	// Strategy was SelectiveUnroll or UnrollAll).
-	Decision unroll.Decision
-	// Exact carries the oracle's proof metadata (Proved, LowerBound,
-	// Steps); nil unless Scheduler was Exact.
-	Exact *exact.Result
-	// FellBack reports that the compile pipeline's UnrollAll→NoUnroll
-	// fallback produced this result: Schedule is a non-unrolled schedule
-	// even though unrolling was requested.  Decision.FailReason records
-	// why.  Always false straight out of Compile.
-	FellBack bool
-}
+// Result is a finished compilation, stage telemetry included.
+type Result = engine.Result
 
-// IterationII returns the effective initiation interval per *original*
-// loop iteration: II divided by the unroll factor.  This is the number
-// the relative-IPC comparisons care about.
-func (r *Result) IterationII() float64 {
-	return float64(r.Schedule.II) / float64(r.Factor)
-}
+// OptionsError is the typed rejection of an invalid option at the
+// engine boundary.
+type OptionsError = engine.OptionsError
 
-// Compile schedules g for cfg under the requested strategy.
+// Compile schedules g for cfg under the requested scheduler and
+// strategy, resolved through the engine registry.
 func Compile(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Result, error) {
-	if opts == nil {
-		opts = &Options{}
-	}
-	schedOpts := opts.Sched
-
-	if opts.Scheduler == NystromEichenberger {
-		return compileNE(g, cfg, opts)
-	}
-	if opts.Scheduler == Exact {
-		return compileExact(g, cfg, opts)
-	}
-
-	switch opts.Strategy {
-	case NoUnroll:
-		s, err := sched.ScheduleGraph(g, cfg, &schedOpts)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Schedule: s, Factor: 1}, nil
-	case UnrollAll:
-		f := opts.Factor
-		if f == 0 {
-			f = cfg.NClusters
-		}
-		res, err := unroll.All(g, cfg, f, &schedOpts)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Schedule: res.Schedule, Factor: f, Decision: res.Decision}, nil
-	case SelectiveUnroll:
-		res, err := unroll.Selective(g, cfg, &schedOpts)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Schedule: res.Schedule, Factor: res.Decision.Factor, Decision: res.Decision}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown strategy %d", opts.Strategy)
-	}
+	return engine.Compile(g, cfg, opts)
 }
 
-// compileExact drives the optimality oracle.  The unrolled variant
-// searches the unrolled graph under the same budget; large unrolled
-// bodies fail fast with exact.ErrTooLarge rather than searching.
-func compileExact(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Result, error) {
-	budget := opts.Exact
-	switch opts.Strategy {
-	case NoUnroll:
-		er, err := exact.Schedule(g, cfg, &budget)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Schedule: er.Schedule, Factor: 1, Exact: er}, nil
-	case UnrollAll:
-		f := opts.Factor
-		if f == 0 {
-			f = cfg.NClusters
-		}
-		ug := g
-		if f > 1 {
-			ug = g.Unroll(f)
-		}
-		er, err := exact.Schedule(ug, cfg, &budget)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Schedule: er.Schedule, Factor: f, Exact: er,
-			Decision: unroll.Decision{Unrolled: f > 1, Factor: f}}, nil
-	case SelectiveUnroll:
-		return nil, fmt.Errorf("core: exact oracle does not support SelectiveUnroll (see Exact)")
-	default:
-		return nil, fmt.Errorf("core: unknown strategy %d", opts.Strategy)
-	}
+// CompileCtx is Compile with a cancellation context, observed at stage
+// boundaries.
+func CompileCtx(ctx context.Context, g *ddg.Graph, cfg *machine.Config, opts *Options) (*Result, error) {
+	return engine.CompileCtx(ctx, g, cfg, opts)
 }
 
-// compileNE drives the two-phase baseline.  Unrolling strategies apply
-// the same way; the selective estimate reuses the baseline's bus-limited
-// flag.
-func compileNE(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Result, error) {
-	switch opts.Strategy {
-	case NoUnroll:
-		s, err := assign.NystromEichenberger(g, cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Schedule: s, Factor: 1}, nil
-	case UnrollAll:
-		f := opts.Factor
-		if f == 0 {
-			f = cfg.NClusters
-		}
-		ug := g
-		if f > 1 {
-			ug = g.Unroll(f)
-		}
-		s, err := assign.NystromEichenberger(ug, cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Schedule: s, Factor: f}, nil
-	case SelectiveUnroll:
-		s, err := assign.NystromEichenberger(g, cfg, nil)
-		if err != nil {
-			return nil, err
-		}
-		dec := unroll.Decision{Factor: 1, BusLimited: s.BusLimited}
-		if !cfg.Clustered() || !s.BusLimited {
-			return &Result{Schedule: s, Factor: 1, Decision: dec}, nil
-		}
-		u := cfg.NClusters
-		dec.ComNeeded = g.DepsNotMultiple(u) * u
-		unrolled := g.Unroll(u)
-		dec.UnrolledMinII = unrolled.MinII(cfg)
-		dec.CycNeeded = (dec.ComNeeded + cfg.NBuses - 1) / cfg.NBuses * cfg.BusLatency
-		if dec.CycNeeded > dec.UnrolledMinII {
-			return &Result{Schedule: s, Factor: 1, Decision: dec}, nil
-		}
-		s2, err := assign.NystromEichenberger(unrolled, cfg, nil)
-		if err != nil {
-			return &Result{Schedule: s, Factor: 1, Decision: dec}, nil
-		}
-		dec.Unrolled, dec.Factor = true, u
-		return &Result{Schedule: s2, Factor: u, Decision: dec}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown strategy %d", opts.Strategy)
-	}
+// ParseScheduler resolves a wire name (or alias) to its canonical
+// Scheduler via the engine registry — the single name table; unknown
+// names error with the registered list.
+func ParseScheduler(name string) (Scheduler, error) { return engine.ParseScheduler(name) }
+
+// ParseStrategy resolves a wire name (or alias) to its canonical
+// Strategy via the engine registry.
+func ParseStrategy(name string) (Strategy, error) { return engine.ParseStrategy(name) }
+
+// SchedulerNames lists the registered scheduler names, sorted.
+func SchedulerNames() []string { return engine.SchedulerNames() }
+
+// StrategyNames lists the registered strategy names (families as
+// "prefix:<k>" placeholders), sorted.
+func StrategyNames() []string { return engine.StrategyNames() }
+
+// MaxUnrollFactor reports the largest unroll factor the requested
+// strategy may apply for these options on this machine; the service
+// sizes admission caps with it.
+func MaxUnrollFactor(opts *Options, cfg *machine.Config) int {
+	return engine.MaxFactorFor(opts, cfg)
 }

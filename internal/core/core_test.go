@@ -60,7 +60,7 @@ func TestCompileNESchedulers(t *testing.T) {
 	for _, strat := range []Strategy{NoUnroll, UnrollAll, SelectiveUnroll} {
 		res := compile(t, g, cfg, &Options{Scheduler: NystromEichenberger, Strategy: strat})
 		if res.Schedule.II < res.Schedule.MinII {
-			t.Errorf("NE strategy %d: II %d < MinII %d", strat, res.Schedule.II, res.Schedule.MinII)
+			t.Errorf("NE strategy %s: II %d < MinII %d", strat, res.Schedule.II, res.Schedule.MinII)
 		}
 	}
 }
@@ -93,12 +93,15 @@ func TestCompileBSANeverWorseThanNEPerIteration(t *testing.T) {
 
 func TestCompileUnknownStrategy(t *testing.T) {
 	uni := machine.Unified()
-	if _, err := Compile(ddg.SampleChain(2), &uni, &Options{Strategy: Strategy(99)}); err == nil {
+	if _, err := Compile(ddg.SampleChain(2), &uni, &Options{Strategy: "sometimes"}); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 	if _, err := Compile(ddg.SampleChain(2), &uni,
-		&Options{Scheduler: NystromEichenberger, Strategy: Strategy(99)}); err == nil {
+		&Options{Scheduler: NystromEichenberger, Strategy: "sometimes"}); err == nil {
 		t.Error("unknown NE strategy accepted")
+	}
+	if _, err := Compile(ddg.SampleChain(2), &uni, &Options{Scheduler: "psychic"}); err == nil {
+		t.Error("unknown scheduler accepted")
 	}
 }
 

@@ -1,0 +1,284 @@
+// Package engine is the pluggable compilation engine behind core:
+// an open, name-keyed registry of scheduler engines (BSA, the
+// Nystrom & Eichenberger baseline, the exact branch-and-bound oracle)
+// and unroll policies (no_unroll, unroll_all, selective, portfolio,
+// sweep:<k>), plus the staged CompileContext every compilation is
+// threaded through.
+//
+// The paper's evaluation is a comparison between policies; this
+// package makes "add a scheduler or unroll policy" a one-file change:
+// implement SchedulerEngine or UnrollPolicy, call RegisterScheduler /
+// RegisterStrategy (or RegisterStrategyFamily for parameterised
+// names like "sweep:<k>") from the file's init, and the name is
+// immediately selectable from core.Compile, the pipeline cache,
+// cmd/vliwsched -strategy, cmd/experiments and the service's
+// POST /v1/compile, and listed by GET /v1/capabilities.
+//
+// Every compilation runs in stages — analyze → unroll decision →
+// schedule (which subsumes the scheduler's internal ordering) →
+// validate — and the CompileContext records per-stage wall time, the
+// II-search trajectory and attempt counts into Result.Stages, so a
+// client can see where a compile spent its time no matter which
+// policy produced it.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/ddg"
+	"repro/internal/exact"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/unroll"
+)
+
+// Scheduler names a registered scheduler engine.  The zero value means
+// the default, BSA.  Values are wire-stable names ("bsa", "ne",
+// "exact"); any name accepted by ParseScheduler is valid.
+type Scheduler string
+
+// Built-in schedulers.
+const (
+	// BSA is the paper's basic scheduling algorithm: cluster assignment
+	// and instruction scheduling in a single pass (Figure 5).
+	BSA Scheduler = "bsa"
+	// NystromEichenberger is the two-phase baseline: assign first,
+	// schedule second, restart on failure with II+1.
+	NystromEichenberger Scheduler = "ne"
+	// Exact is the branch-and-bound optimality oracle (internal/exact).
+	Exact Scheduler = "exact"
+)
+
+// String returns the wire name, resolving the zero value to the
+// default scheduler.
+func (s Scheduler) String() string {
+	if s == "" {
+		return string(BSA)
+	}
+	return string(s)
+}
+
+// Strategy names a registered unroll policy.  The zero value means the
+// default, NoUnroll.  Parameterised policies spell their argument after
+// a colon ("sweep:4").
+type Strategy string
+
+// Built-in strategies.
+const (
+	// NoUnroll schedules the loop as written.
+	NoUnroll Strategy = "no_unroll"
+	// UnrollAll always unrolls by the cluster count (or Factor if set).
+	UnrollAll Strategy = "unroll_all"
+	// SelectiveUnroll applies Figure 6: unroll only bus-limited loops
+	// whose estimated communication demand fits the unrolled MinII.
+	SelectiveUnroll Strategy = "selective"
+	// Portfolio races NoUnroll, UnrollAll and SelectiveUnroll on a
+	// bounded worker group and returns the best per-iteration II,
+	// cancelling candidates that provably cannot win.
+	Portfolio Strategy = "portfolio"
+)
+
+// String returns the wire name, resolving the zero value to the
+// default strategy.
+func (s Strategy) String() string {
+	if s == "" {
+		return string(NoUnroll)
+	}
+	return string(s)
+}
+
+// MaxFactor caps Options.Factor at the engine boundary.  It is far
+// above anything useful (the wire layer caps much tighter) but small
+// enough that a typo cannot multiply a graph into an allocator
+// accident.
+const MaxFactor = 1024
+
+// Options configures Compile.  The zero value is BSA with no
+// unrolling.
+type Options struct {
+	// Scheduler picks the scheduling engine by registered name;
+	// "" means BSA.
+	Scheduler Scheduler
+	// Strategy picks the unroll policy by registered name;
+	// "" means NoUnroll.
+	Strategy Strategy
+	// Factor overrides the UnrollAll factor; 0 means the cluster count.
+	Factor int
+	// Sched forwards low-level scheduling options (ablation hooks).
+	Sched sched.Options
+	// Exact budgets the optimality oracle (Scheduler == Exact only);
+	// the zero value means the exact package's defaults.
+	Exact exact.Budget
+}
+
+// OptionsError is the typed rejection of an invalid Options field at
+// the engine boundary, before any scheduling work starts.  The wire
+// layer maps it to the invalid_options error code.
+type OptionsError struct {
+	// Field is the offending option in its wire spelling.
+	Field string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+func (e *OptionsError) Error() string {
+	return fmt.Sprintf("engine: invalid options: %s: %s", e.Field, e.Reason)
+}
+
+// validateOptions checks opts once at the boundary; every compile path
+// shares these rejections, so the wire layer's caps are a second fence,
+// not the only one.
+func validateOptions(opts *Options, eng SchedulerEngine) error {
+	switch {
+	case opts.Factor < 0:
+		return &OptionsError{"factor", fmt.Sprintf("negative (%d)", opts.Factor)}
+	case opts.Factor > MaxFactor:
+		return &OptionsError{"factor", fmt.Sprintf("%d over the engine cap %d", opts.Factor, MaxFactor)}
+	case opts.Sched.MaxII < 0:
+		return &OptionsError{"max_ii", fmt.Sprintf("negative (%d)", opts.Sched.MaxII)}
+	case opts.Sched.ForceII < 0:
+		return &OptionsError{"force_ii", fmt.Sprintf("negative (%d)", opts.Sched.ForceII)}
+	case opts.Exact != (exact.Budget{}) && eng.Name() != string(Exact):
+		return &OptionsError{"exact", fmt.Sprintf(
+			"oracle budget set but scheduler is %q (budgets apply to scheduler %q only)",
+			eng.Name(), Exact)}
+	}
+	return nil
+}
+
+// Result is a finished compilation.
+type Result struct {
+	// Schedule is the chosen modulo schedule; its Graph field is the
+	// unrolled graph when unrolling was applied.
+	Schedule *sched.Schedule
+	// Factor is the unroll factor embodied in Schedule (>= 1).
+	Factor int
+	// Decision is the unrolling audit trail (zero value unless the
+	// policy unrolls).
+	Decision unroll.Decision
+	// Exact carries the oracle's proof metadata (Proved, LowerBound,
+	// Steps); nil unless the scheduler was Exact.
+	Exact *exact.Result
+	// FellBack reports that the compile pipeline's UnrollAll→NoUnroll
+	// fallback produced this result: Schedule is a non-unrolled schedule
+	// even though unrolling was requested.  Decision.FailReason records
+	// why.  Always false straight out of Compile.
+	FellBack bool
+	// Policy is the registered name of the policy that produced the
+	// schedule.  For portfolio it is the winning candidate's name; the
+	// requested policy is in Stages.Policy.
+	Policy string
+	// Stages is the per-stage compile telemetry; always populated by
+	// Compile.
+	Stages *Telemetry
+}
+
+// IterationII returns the effective initiation interval per *original*
+// loop iteration: II divided by the unroll factor.  This is the number
+// the relative-IPC comparisons care about.
+func (r *Result) IterationII() float64 {
+	return float64(r.Schedule.II) / float64(r.Factor)
+}
+
+// iterRatio is the exact rational form of IterationII, used wherever
+// two results are compared (portfolio, sweep): integer cross
+// multiplication cannot tie-break wrongly the way float division can.
+func (r *Result) iterRatio() ratio { return ratio{r.Schedule.II, r.Factor} }
+
+// ratio is a non-negative rational num/den with den >= 1.
+type ratio struct{ num, den int }
+
+// less reports a < b by integer cross multiplication.
+func (a ratio) less(b ratio) bool { return a.num*b.den < b.num*a.den }
+
+// Compile schedules g for cfg under the requested scheduler and
+// strategy.  See CompileCtx.
+func Compile(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Result, error) {
+	return CompileCtx(context.Background(), g, cfg, opts)
+}
+
+// CompileCtx resolves the scheduler engine and unroll policy from the
+// registry, validates the options once, and runs the staged
+// compilation: analyze → (policy: unroll decision + schedule) →
+// validate.  The context cancels the compile at stage boundaries —
+// a scheduler run in flight is not interruptible, but no new stage
+// starts after ctx is done.  The result carries per-stage telemetry
+// in Result.Stages.
+func CompileCtx(ctx context.Context, g *ddg.Graph, cfg *machine.Config, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	eng, err := LookupScheduler(string(opts.Scheduler))
+	if err != nil {
+		return nil, err
+	}
+	pol, err := LookupStrategy(string(opts.Strategy))
+	if err != nil {
+		return nil, err
+	}
+	if err := validateOptions(opts, eng); err != nil {
+		return nil, err
+	}
+
+	cc := newContext(ctx, g, cfg, opts, eng)
+	start := time.Now()
+
+	// Analyze: input validation.  The MinII lower bound itself is
+	// computed where it is consumed (scheduler runs, portfolio floors)
+	// and timed under those stages, not recomputed here to be thrown
+	// away.
+	astart := time.Now()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("engine: %s: empty graph", g.Name)
+	}
+	cc.addStage(StageAnalyze, time.Since(astart), 1)
+
+	res, err := pol.Compile(cc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Validate: every schedule that leaves the engine is checked, no
+	// matter which policy produced it — a daemon must never serve a
+	// structurally invalid schedule.
+	vstart := time.Now()
+	if err := sched.Validate(res.Schedule); err != nil {
+		return nil, fmt.Errorf("engine: policy %s produced an invalid schedule: %w", pol.Name(), err)
+	}
+	cc.addStage(StageValidate, time.Since(vstart), 1)
+
+	if res.Policy == "" {
+		res.Policy = pol.Name()
+	}
+	res.Stages = cc.telemetry(eng.Name(), pol.Name(), time.Since(start))
+	return res, nil
+}
+
+// effectiveFactor resolves the unroll-all factor: Options.Factor, or
+// the cluster count when unset.
+func effectiveFactor(opts *Options, cfg *machine.Config) int {
+	if opts.Factor > 0 {
+		return opts.Factor
+	}
+	return cfg.NClusters
+}
+
+// MaxFactorFor returns the largest unroll factor the requested policy
+// may apply for these options on this machine — the number the service
+// uses to bound the graph the scheduler will actually see.  Unknown
+// strategy names resolve to 1 (they fail properly at compile time).
+func MaxFactorFor(opts *Options, cfg *machine.Config) int {
+	pol, err := LookupStrategy(string(opts.Strategy))
+	if err != nil {
+		return 1
+	}
+	return pol.MaxFactor(opts, cfg)
+}

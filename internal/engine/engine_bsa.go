@@ -1,0 +1,35 @@
+// Scheduler adapter: "bsa" — the paper's unified assign-and-schedule
+// algorithm (internal/sched).  This file is the whole integration: the
+// type, the adapter method and one Register call.
+
+package engine
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/sched"
+)
+
+type bsaEngine struct{}
+
+func (bsaEngine) Name() string    { return string(BSA) }
+func (bsaEngine) Heuristic() bool { return true }
+
+func (bsaEngine) Schedule(cc *Context, g *ddg.Graph) (*Run, error) {
+	opts := cc.Opts.Sched
+	s, err := sched.ScheduleGraph(g, cc.Cfg, &opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{Schedule: s, FirstII: heuristicFirstII(&cc.Opts.Sched, s)}, nil
+}
+
+// heuristicFirstII reports where a MinII-upward II search started:
+// ForceII pins it, otherwise the schedule's own lower bound.
+func heuristicFirstII(o *sched.Options, s *sched.Schedule) int {
+	if o.ForceII > 0 {
+		return o.ForceII
+	}
+	return s.MinII
+}
+
+func init() { RegisterScheduler(bsaEngine{}) }

@@ -1,0 +1,26 @@
+// Scheduler adapter: "exact" — the branch-and-bound optimality oracle
+// (internal/exact).  Not Heuristic: it produces proofs, not the
+// bus-failure telemetry the selective policy keys on.
+
+package engine
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/exact"
+)
+
+type exactEngine struct{}
+
+func (exactEngine) Name() string    { return string(Exact) }
+func (exactEngine) Heuristic() bool { return false }
+
+func (exactEngine) Schedule(cc *Context, g *ddg.Graph) (*Run, error) {
+	budget := cc.Opts.Exact
+	er, err := exact.Schedule(g, cc.Cfg, &budget)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{Schedule: er.Schedule, Exact: er, FirstII: er.Schedule.MinII}, nil
+}
+
+func init() { RegisterScheduler(exactEngine{}) }

@@ -1,0 +1,28 @@
+// Scheduler adapter: "ne" — the Nystrom & Eichenberger two-phase
+// baseline (internal/assign): assign clusters first, schedule second,
+// restart on failure with II+1.
+
+package engine
+
+import (
+	"repro/internal/assign"
+	"repro/internal/ddg"
+)
+
+type neEngine struct{}
+
+func (neEngine) Name() string    { return string(NystromEichenberger) }
+func (neEngine) Heuristic() bool { return true }
+
+func (neEngine) Schedule(cc *Context, g *ddg.Graph) (*Run, error) {
+	// The baseline drives its own assignment/restart loop; the
+	// low-level sched ablation hooks deliberately do not forward, same
+	// as the pre-registry core did.
+	s, err := assign.NystromEichenberger(g, cc.Cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{Schedule: s, FirstII: s.MinII}, nil
+}
+
+func init() { RegisterScheduler(neEngine{}, "nystrom-eichenberger") }

@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ddg"
+	"repro/internal/exact"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+func compile(t *testing.T, g *ddg.Graph, cfg machine.Config, opts *Options) *Result {
+	t.Helper()
+	res, err := Compile(g, &cfg, opts)
+	if err != nil {
+		t.Fatalf("Compile(%s, %s): %v", g.Name, cfg.Name, err)
+	}
+	if err := sched.Validate(res.Schedule); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return res
+}
+
+// TestCompilePaths drives every built-in scheduler × strategy pair that
+// is supported and checks the shared result invariants: a validated
+// schedule, a factor >= 1, and the canonical stage telemetry.
+func TestCompilePaths(t *testing.T) {
+	g := ddg.SampleFigure7()
+	cfg := machine.TwoCluster(2, 1)
+	cases := []Options{
+		{},
+		{Strategy: UnrollAll},
+		{Strategy: SelectiveUnroll},
+		{Strategy: Portfolio},
+		{Strategy: "sweep:3"},
+		{Scheduler: NystromEichenberger},
+		{Scheduler: NystromEichenberger, Strategy: UnrollAll},
+		{Scheduler: NystromEichenberger, Strategy: SelectiveUnroll},
+		{Scheduler: NystromEichenberger, Strategy: Portfolio},
+		{Scheduler: Exact},
+		{Scheduler: Exact, Strategy: UnrollAll},
+		{Scheduler: Exact, Strategy: Portfolio},
+		{Scheduler: Exact, Strategy: "sweep:2"},
+	}
+	for _, opts := range cases {
+		opts := opts
+		t.Run(opts.Scheduler.String()+"/"+opts.Strategy.String(), func(t *testing.T) {
+			res := compile(t, g, cfg, &opts)
+			if res.Factor < 1 {
+				t.Errorf("Factor = %d", res.Factor)
+			}
+			if res.Policy == "" {
+				t.Error("Result.Policy empty")
+			}
+			checkTelemetry(t, res)
+		})
+	}
+}
+
+// checkTelemetry enforces the stage invariants every compile path
+// shares: the canonical stage set in canonical order, non-negative
+// durations summing to at most the total, at least one schedule call,
+// and a trajectory that ends at the achieved II.
+func checkTelemetry(t *testing.T, res *Result) {
+	t.Helper()
+	tel := res.Stages
+	if tel == nil {
+		t.Fatal("Result.Stages is nil")
+	}
+	names := StageNames()
+	if len(tel.Stages) != len(names) {
+		t.Fatalf("stage count %d, want %d", len(tel.Stages), len(names))
+	}
+	var sum int64
+	for i, s := range tel.Stages {
+		if s.Name != names[i] {
+			t.Errorf("stage[%d] = %s, want %s", i, s.Name, names[i])
+		}
+		if s.Duration < 0 {
+			t.Errorf("stage %s duration negative: %v", s.Name, s.Duration)
+		}
+		if s.Calls < 0 {
+			t.Errorf("stage %s calls negative: %d", s.Name, s.Calls)
+		}
+		sum += int64(s.Duration)
+	}
+	if sum > int64(tel.Total) {
+		t.Errorf("stage durations sum %d over total %d", sum, int64(tel.Total))
+	}
+	if sc := tel.Stages[stageIndex(StageSchedule)]; sc.Calls < 1 {
+		t.Errorf("schedule stage ran %d times", sc.Calls)
+	}
+	if vc := tel.Stages[stageIndex(StageValidate)]; vc.Calls != 1 {
+		t.Errorf("validate stage ran %d times, want 1", vc.Calls)
+	}
+	if tel.Attempts < 1 {
+		t.Errorf("attempts = %d", tel.Attempts)
+	}
+	if len(tel.Trajectory) == 0 {
+		t.Fatal("empty II trajectory")
+	}
+	if tel.Attempts >= len(tel.Trajectory) {
+		// (Attempts can exceed the list only past the truncation cap.)
+		for _, ii := range tel.Trajectory {
+			if ii < 1 {
+				t.Errorf("trajectory contains II %d", ii)
+			}
+		}
+	} else {
+		t.Errorf("attempts %d below trajectory length %d", tel.Attempts, len(tel.Trajectory))
+	}
+}
+
+// TestCompileMatchesLegacySemantics pins the behaviours the closed
+// enum switch used to hardwire.
+func TestCompileMatchesLegacySemantics(t *testing.T) {
+	uni := machine.Unified()
+	res := compile(t, ddg.SampleDotProduct(), uni, nil)
+	if res.Schedule.II != 3 || res.Factor != 1 {
+		t.Errorf("default compile: II %d factor %d, want 3 and 1", res.Schedule.II, res.Factor)
+	}
+
+	cfg := machine.FourCluster(1, 1)
+	ua := compile(t, ddg.SampleStencil(), cfg, &Options{Strategy: UnrollAll})
+	if ua.Factor != 4 || !ua.Decision.Unrolled {
+		t.Errorf("unroll_all: factor %d unrolled %v", ua.Factor, ua.Decision.Unrolled)
+	}
+
+	custom := compile(t, ddg.SampleStencil(), machine.TwoCluster(2, 1),
+		&Options{Strategy: UnrollAll, Factor: 8})
+	if custom.Factor != 8 || custom.Schedule.Graph.UnrollFactor != 8 {
+		t.Errorf("factor override: %d (graph %d), want 8", custom.Factor, custom.Schedule.Graph.UnrollFactor)
+	}
+
+	ex := compile(t, ddg.SampleFigure7(), machine.TwoCluster(1, 1), &Options{Scheduler: Exact})
+	if ex.Exact == nil || !ex.Exact.Proved {
+		t.Fatalf("exact proof metadata missing: %+v", ex.Exact)
+	}
+
+	if _, err := Compile(ddg.SampleFigure7(), &cfg,
+		&Options{Scheduler: Exact, Strategy: SelectiveUnroll}); err == nil {
+		t.Error("exact+selective accepted")
+	}
+}
+
+// TestValidateOptionsTyped covers the boundary rejections and their
+// typed error.
+func TestValidateOptionsTyped(t *testing.T) {
+	uni := machine.Unified()
+	g := ddg.SampleChain(2)
+	cases := []struct {
+		name  string
+		opts  Options
+		field string
+	}{
+		{"negative factor", Options{Factor: -1}, "factor"},
+		{"oversize factor", Options{Factor: MaxFactor + 1}, "factor"},
+		{"negative max_ii", Options{Sched: sched.Options{MaxII: -3}}, "max_ii"},
+		{"negative force_ii", Options{Sched: sched.Options{ForceII: -1}}, "force_ii"},
+		{"exact budget on bsa", Options{Exact: exact.Budget{MaxNodes: 4}}, "exact"},
+		{"exact budget on ne", Options{Scheduler: NystromEichenberger, Exact: exact.Budget{MaxSteps: 10}}, "exact"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(g, &uni, &c.opts)
+			var oerr *OptionsError
+			if !errors.As(err, &oerr) {
+				t.Fatalf("err = %v, want *OptionsError", err)
+			}
+			if oerr.Field != c.field {
+				t.Errorf("field = %q, want %q", oerr.Field, c.field)
+			}
+		})
+	}
+	// The budget is legal where it applies.
+	if _, err := Compile(g, &uni, &Options{Scheduler: Exact, Exact: exact.Budget{MaxNodes: 8}}); err != nil {
+		t.Errorf("exact budget on exact rejected: %v", err)
+	}
+}
+
+// TestUnknownNamesListRegistered pins the error UX the deleted name
+// tables used to provide: an unknown name names the alternatives.
+func TestUnknownNamesListRegistered(t *testing.T) {
+	uni := machine.Unified()
+	g := ddg.SampleChain(2)
+	_, err := Compile(g, &uni, &Options{Scheduler: "magic"})
+	if err == nil || !strings.Contains(err.Error(), "bsa") || !strings.Contains(err.Error(), "exact") {
+		t.Errorf("scheduler error does not list registered names: %v", err)
+	}
+	_, err = Compile(g, &uni, &Options{Strategy: "sometimes"})
+	if err == nil || !strings.Contains(err.Error(), "portfolio") || !strings.Contains(err.Error(), "sweep:<k>") {
+		t.Errorf("strategy error does not list registered names: %v", err)
+	}
+	if _, err := ParseStrategy("sweep:99"); err == nil {
+		t.Error("sweep argument over the cap accepted")
+	}
+	if _, err := ParseStrategy("sweep:x"); err == nil {
+		t.Error("non-integer sweep argument accepted")
+	}
+}
+
+// TestAliasesCanonicalize pins the alias spellings the CLI has always
+// accepted.
+func TestAliasesCanonicalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"none", "no_unroll"}, {"all", "unroll_all"}, {"selective", "selective"},
+		{"", "no_unroll"}, {"sweep:04", "sweep:4"},
+	}
+	for _, c := range cases {
+		s, err := ParseStrategy(c.in)
+		if err != nil || string(s) != c.want {
+			t.Errorf("ParseStrategy(%q) = %q, %v; want %q", c.in, s, err, c.want)
+		}
+	}
+	s, err := ParseScheduler("nystrom-eichenberger")
+	if err != nil || s != NystromEichenberger {
+		t.Errorf("ParseScheduler alias = %q, %v", s, err)
+	}
+	if CanonicalStrategy("all") != "unroll_all" || CanonicalScheduler("") != "bsa" {
+		t.Error("canonicalization drifted")
+	}
+	if CanonicalStrategy("no-such-policy") != "no-such-policy" {
+		t.Error("unknown names must pass through canonicalization unchanged")
+	}
+}
+
+// TestMaxFactorFor pins the service's admission-sizing hook.
+func TestMaxFactorFor(t *testing.T) {
+	cfg := machine.FourCluster(1, 1)
+	cases := []struct {
+		opts Options
+		want int
+	}{
+		{Options{}, 1},
+		{Options{Strategy: UnrollAll}, 4},
+		{Options{Strategy: UnrollAll, Factor: 9}, 9},
+		{Options{Strategy: SelectiveUnroll}, 4},
+		{Options{Strategy: Portfolio}, 4},
+		{Options{Strategy: Portfolio, Factor: 2}, 4}, // selective still unrolls by clusters
+		{Options{Strategy: "sweep:7"}, 7},
+		{Options{Strategy: "no-such"}, 1},
+	}
+	for _, c := range cases {
+		if got := MaxFactorFor(&c.opts, &cfg); got != c.want {
+			t.Errorf("MaxFactorFor(%+v) = %d, want %d", c.opts, got, c.want)
+		}
+	}
+}

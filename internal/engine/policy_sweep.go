@@ -1,0 +1,90 @@
+// Unroll policy family: "sweep:<k>" — schedule the loop at every
+// unroll factor 1..k and keep the best per-iteration II.  The factor
+// sweep is the experiment the paper's Figure 10 runs by hand; as a
+// registered family it is one request away over HTTP.
+
+package engine
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/machine"
+	"repro/internal/unroll"
+)
+
+// MaxSweepFactor caps the family argument: factors beyond the largest
+// Table 1 cluster count times four buy quantization noise, not
+// schedules, and each factor multiplies the scheduled graph.
+const MaxSweepFactor = 16
+
+type sweepPolicy struct{ k int }
+
+func (p sweepPolicy) Name() string                            { return fmt.Sprintf("sweep:%d", p.k) }
+func (p sweepPolicy) MaxFactor(*Options, *machine.Config) int { return p.k }
+
+func (p sweepPolicy) Compile(cc *Context) (*Result, error) {
+	var best *Result
+	bestF := 0
+	var firstErr error
+	for f := 1; f <= p.k; f++ {
+		if err := cc.Err(); err != nil {
+			return nil, err
+		}
+		run, err := cc.Schedule(cc.Unroll(f))
+		c := Candidate{Strategy: fmt.Sprintf("factor:%d", f)}
+		if err != nil {
+			// A factor that does not schedule (register pressure on the
+			// unrolled body, oracle size budget) is an outcome, not a
+			// failure of the sweep.
+			if firstErr == nil {
+				firstErr = err
+			}
+			c.Err = err.Error()
+			cc.addCandidate(c)
+			continue
+		}
+		r := &Result{
+			Schedule: run.Schedule,
+			Factor:   f,
+			Exact:    run.Exact,
+			Decision: unroll.Decision{Unrolled: f > 1, Factor: f, BusLimited: run.Schedule.BusLimited},
+		}
+		c.IterationII = r.IterationII()
+		cc.addCandidate(c)
+		if best == nil || r.iterRatio().less(best.iterRatio()) {
+			best, bestF = r, f
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("engine: %s: no factor schedulable: %w", p.Name(), firstErr)
+	}
+	cc.setWinner(fmt.Sprintf("factor:%d", bestF))
+	for i := range cc.candidates {
+		if cc.candidates[i].Strategy == fmt.Sprintf("factor:%d", bestF) {
+			cc.candidates[i].Won = true
+		}
+	}
+	return best, nil
+}
+
+// newSweep parses the family argument.
+func newSweep(arg string) (UnrollPolicy, error) {
+	k, err := strconv.Atoi(arg)
+	if err != nil {
+		return nil, fmt.Errorf("factor bound %q is not an integer", arg)
+	}
+	if k < 1 || k > MaxSweepFactor {
+		return nil, fmt.Errorf("factor bound %d out of range [1, %d]", k, MaxSweepFactor)
+	}
+	return sweepPolicy{k: k}, nil
+}
+
+func init() {
+	RegisterStrategyFamily(StrategyFamily{
+		Prefix:      "sweep",
+		Placeholder: "sweep:<k>",
+		Doc:         "schedule at every unroll factor 1..k, keep the best per-iteration II",
+		New:         newSweep,
+	})
+}

@@ -1,0 +1,95 @@
+// Unroll policies: "no_unroll", "unroll_all" and "selective" — the
+// paper's three Figure 8 bar groups, expressed against the
+// SchedulerEngine interface so each works identically under BSA, the
+// NE baseline and (where supported) the exact oracle.
+
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/unroll"
+)
+
+// noUnrollPolicy schedules the loop as written.
+type noUnrollPolicy struct{}
+
+func (noUnrollPolicy) Name() string                           { return string(NoUnroll) }
+func (noUnrollPolicy) MaxFactor(*Options, *machine.Config) int { return 1 }
+
+func (noUnrollPolicy) Compile(cc *Context) (*Result, error) {
+	run, err := cc.Schedule(cc.Graph)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schedule: run.Schedule, Factor: 1, Exact: run.Exact}, nil
+}
+
+// unrollAllPolicy unconditionally unrolls by the cluster count (or
+// Options.Factor) and schedules the result.
+type unrollAllPolicy struct{}
+
+func (unrollAllPolicy) Name() string { return string(UnrollAll) }
+func (unrollAllPolicy) MaxFactor(opts *Options, cfg *machine.Config) int {
+	return effectiveFactor(opts, cfg)
+}
+
+func (unrollAllPolicy) Compile(cc *Context) (*Result, error) {
+	f := effectiveFactor(cc.Opts, cc.Cfg)
+	run, err := cc.Schedule(cc.Unroll(f))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Schedule: run.Schedule,
+		Factor:   f,
+		Exact:    run.Exact,
+		Decision: unroll.Decision{Unrolled: f > 1, Factor: f, BusLimited: run.Schedule.BusLimited},
+	}, nil
+}
+
+// selectivePolicy applies Figure 6: unroll only bus-limited loops
+// whose estimated communication demand fits the unrolled MinII.  The
+// decision logic lives in unroll.SelectiveFunc; this adapter supplies
+// the engine dispatch and splits the measured time between the unroll
+// and schedule stages.
+type selectivePolicy struct{}
+
+func (selectivePolicy) Name() string { return string(SelectiveUnroll) }
+func (selectivePolicy) MaxFactor(_ *Options, cfg *machine.Config) int { return cfg.NClusters }
+
+func (selectivePolicy) Compile(cc *Context) (*Result, error) {
+	if !cc.Engine.Heuristic() {
+		return nil, fmt.Errorf(
+			"engine: scheduler %q does not support the selective policy (no bus-failure telemetry; see the exact package doc)",
+			cc.Engine.Name())
+	}
+	start := time.Now()
+	schedBefore := cc.stageDuration(StageSchedule)
+	r, err := unroll.SelectiveFunc(cc.Graph, cc.Cfg, func(g *ddg.Graph) (*sched.Schedule, error) {
+		run, err := cc.Schedule(g)
+		if err != nil {
+			return nil, err
+		}
+		return run.Schedule, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Everything SelectiveFunc did outside the two schedule calls —
+	// the bus-limited check, the closed-form estimate, the unrolled
+	// graph — is unroll-decision work.
+	decision := time.Since(start) - (cc.stageDuration(StageSchedule) - schedBefore)
+	cc.addStage(StageUnroll, decision, 1)
+	return &Result{Schedule: r.Schedule, Factor: r.Decision.Factor, Decision: r.Decision}, nil
+}
+
+func init() {
+	RegisterStrategy(noUnrollPolicy{}, "none")
+	RegisterStrategy(unrollAllPolicy{}, "all")
+	RegisterStrategy(selectivePolicy{})
+}

@@ -1,0 +1,321 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// fuzzSeeds mirrors internal/sched's fuzz seed corpus: the same
+// ddg.Random parameters the scheduler fuzzer starts from.
+func fuzzSeeds() []*ddg.Graph {
+	gs := []*ddg.Graph{
+		ddg.SampleDotProduct(), ddg.SampleFigure7(), ddg.SampleStencil(),
+	}
+	for s := uint64(0); s < 8; s++ {
+		gs = append(gs, ddg.Random(s, 0, uint8(s%4)))
+	}
+	gs = append(gs,
+		ddg.Random(1, 6, 3), ddg.Random(42, 10, 5), ddg.Random(7, 14, 7), ddg.Random(123, 9, 6))
+	out := gs[:0]
+	for _, g := range gs {
+		if g != nil { // Random returns nil for graphs that fail Validate
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// TestPortfolioNeverWorseThanCandidates is the differential guarantee:
+// on every fuzz-seed graph and a spread of machines, portfolio's
+// per-iteration II is <= the best individual strategy's, compared in
+// exact rational arithmetic.
+func TestPortfolioNeverWorseThanCandidates(t *testing.T) {
+	cfgs := []machine.Config{
+		machine.Unified(),
+		machine.TwoCluster(1, 1),
+		machine.TwoCluster(2, 2),
+		machine.FourCluster(1, 1),
+		machine.FourCluster(2, 4),
+	}
+	for _, cfg := range cfgs {
+		for gi, g := range fuzzSeeds() {
+			pf, err := Compile(g, &cfg, &Options{Strategy: Portfolio})
+			if err != nil {
+				// The portfolio may only fail when every candidate does.
+				for _, strat := range portfolioCandidates {
+					if _, ierr := Compile(g, &cfg, &Options{Strategy: strat}); ierr == nil {
+						t.Errorf("graph %d (%s) on %s: portfolio failed (%v) but %s compiles",
+							gi, g.Name, cfg.Name, err, strat)
+					}
+				}
+				continue
+			}
+			for _, strat := range portfolioCandidates {
+				ind, err := Compile(g, &cfg, &Options{Strategy: strat})
+				if err != nil {
+					continue // a candidate that fails individually cannot beat anyone
+				}
+				// pf <= ind as rationals: pf.II * ind.F <= ind.II * pf.F.
+				if pf.Schedule.II*ind.Factor > ind.Schedule.II*pf.Factor {
+					t.Errorf("graph %d (%s) on %s: portfolio %d/%d worse than %s %d/%d",
+						gi, g.Name, cfg.Name, pf.Schedule.II, pf.Factor,
+						strat, ind.Schedule.II, ind.Factor)
+				}
+			}
+			if pf.Stages.Winner == "" {
+				t.Errorf("%s on %s: no winner recorded", g.Name, cfg.Name)
+			}
+		}
+	}
+}
+
+// TestPortfolioDeterministicWinner runs the race repeatedly on a
+// bus-limited loop and checks the winner, II and factor never change:
+// pruning only ever cancels candidates that provably cannot win, so
+// scheduling noise cannot leak into the result (the compile cache
+// depends on this).
+func TestPortfolioDeterministicWinner(t *testing.T) {
+	g := ddg.SampleFigure7()
+	cfg := machine.FourCluster(1, 2)
+	first, err := Compile(g, &cfg, &Options{Strategy: Portfolio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		res, err := Compile(g, &cfg, &Options{Strategy: Portfolio})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Schedule.II != first.Schedule.II || res.Factor != first.Factor ||
+			res.Policy != first.Policy || res.Stages.Winner != first.Stages.Winner {
+			t.Fatalf("run %d: II %d factor %d winner %s; first run II %d factor %d winner %s",
+				i, res.Schedule.II, res.Factor, res.Stages.Winner,
+				first.Schedule.II, first.Factor, first.Stages.Winner)
+		}
+	}
+}
+
+// blockingEngine is a registry-extension fake shaped like a candidate
+// that loses a race slowly: scheduling any unrolled graph signals
+// entry and then blocks until its context is cancelled; scheduling the
+// original graph first waits for that signal (so the race provably has
+// a blocked loser) and then compiles instantly via BSA.  Registration
+// is process-wide (the registry rejects duplicates), so the per-run
+// state swaps through an atomic pointer.
+type blockingEngine struct {
+	state atomic.Pointer[blockState]
+}
+
+type blockState struct {
+	orig    *ddg.Graph
+	blocked atomic.Int64 // blocked calls that observed cancellation
+	entered chan struct{}
+	once    sync.Once
+}
+
+var testblock = &blockingEngine{}
+var testblockOnce sync.Once
+
+func (e *blockingEngine) Name() string    { return "testblock" }
+func (e *blockingEngine) Heuristic() bool { return true }
+
+func (e *blockingEngine) Schedule(cc *Context, g *ddg.Graph) (*Run, error) {
+	st := e.state.Load()
+	if g == st.orig {
+		select {
+		case <-st.entered:
+		case <-time.After(30 * time.Second):
+			return nil, fmt.Errorf("testblock: no loser entered the engine")
+		}
+		return bsaEngine{}.Schedule(cc, g)
+	}
+	st.once.Do(func() { close(st.entered) })
+	select {
+	case <-cc.Context().Done():
+		st.blocked.Add(1)
+		return nil, cc.Context().Err()
+	case <-time.After(30 * time.Second):
+		return nil, fmt.Errorf("testblock: cancellation never arrived")
+	}
+}
+
+// TestPortfolioCancelsLosers proves the race actually cancels: with an
+// engine that blocks on unrolled graphs, the no_unroll candidate hits
+// its floor, the pruner cancels the unroll_all candidate mid-block,
+// and every goroutine drains (counter-based leak check, no external
+// deps).
+func TestPortfolioCancelsLosers(t *testing.T) {
+	// The race needs real parallelism for a loser to be mid-schedule
+	// when the winner finishes.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	if runtime.GOMAXPROCS(0) < 2 {
+		runtime.GOMAXPROCS(2)
+	}
+	// A chain's MinII scales exactly with the factor (ResMII doubles,
+	// RecMII is the whole chain), so no_unroll ties every floor and its
+	// index priority makes the tie a win: cancellation is guaranteed,
+	// not timing-dependent.
+	g := ddg.SampleChain(4)
+	cfg := machine.TwoCluster(1, 1)
+	st := &blockState{orig: g, entered: make(chan struct{})}
+	testblock.state.Store(st)
+	testblockOnce.Do(func() { RegisterScheduler(testblock) })
+
+	before := runtime.NumGoroutine()
+	res, err := Compile(g, &cfg, &Options{Scheduler: "testblock", Strategy: Portfolio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Factor != 1 || res.Policy != string(NoUnroll) {
+		t.Errorf("winner = %s factor %d, want no_unroll factor 1", res.Policy, res.Factor)
+	}
+	if n := st.blocked.Load(); n < 1 {
+		t.Errorf("no blocked candidate observed its context cancel (blocked = %d)", n)
+	}
+	// Losing candidates are recorded with their cancellation.
+	var cancelled int
+	for _, c := range res.Stages.Candidates {
+		if c.Err != "" {
+			cancelled++
+		}
+	}
+	if cancelled < 1 {
+		t.Errorf("no cancelled candidate in telemetry: %+v", res.Stages.Candidates)
+	}
+	// All race goroutines join before Compile returns; give the runtime
+	// a moment to retire them, then compare the counter.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPortfolioParentCancellation: a cancelled caller context aborts
+// the whole race with the context error and leaks nothing.
+func TestPortfolioParentCancellation(t *testing.T) {
+	g := ddg.SampleStencil()
+	cfg := machine.FourCluster(1, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompileCtx(ctx, g, &cfg, &Options{Strategy: Portfolio}); err == nil {
+		t.Fatal("cancelled compile succeeded")
+	} else if err != context.Canceled {
+		// The race may also surface the cancellation wrapped per
+		// candidate; context.Canceled must be in the chain.
+		if ctx.Err() == nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+}
+
+// TestPortfolioUnifiedDegenerates: on an unclustered machine every
+// candidate is no_unroll, so the race is skipped and the result still
+// carries winner telemetry.
+func TestPortfolioUnifiedDegenerates(t *testing.T) {
+	uni := machine.Unified()
+	res := compile(t, ddg.SampleDotProduct(), uni, &Options{Strategy: Portfolio})
+	if res.Policy != string(NoUnroll) || res.Stages.Winner != string(NoUnroll) {
+		t.Errorf("degenerate portfolio: policy %s winner %s", res.Policy, res.Stages.Winner)
+	}
+	if res.Schedule.II != 3 {
+		t.Errorf("II = %d, want 3", res.Schedule.II)
+	}
+}
+
+// TestSweepBeatsItsFactors: sweep:k is never worse than no_unroll or
+// a fixed unroll_all factor within its range, and records per-factor
+// candidates.
+func TestSweepBeatsItsFactors(t *testing.T) {
+	g := ddg.SampleFigure7()
+	cfg := machine.TwoCluster(2, 1)
+	sw := compile(t, g, cfg, &Options{Strategy: "sweep:4"})
+	for f := 1; f <= 4; f++ {
+		ind, err := Compile(g, &cfg, &Options{Strategy: UnrollAll, Factor: f})
+		if err != nil {
+			continue
+		}
+		if sw.Schedule.II*ind.Factor > ind.Schedule.II*sw.Factor {
+			t.Errorf("sweep %d/%d worse than factor %d (%d/%d)",
+				sw.Schedule.II, sw.Factor, f, ind.Schedule.II, ind.Factor)
+		}
+	}
+	if len(sw.Stages.Candidates) != 4 {
+		t.Errorf("sweep recorded %d candidates, want 4", len(sw.Stages.Candidates))
+	}
+	if sw.Stages.Winner == "" {
+		t.Error("sweep recorded no winner")
+	}
+	var won int
+	for _, c := range sw.Stages.Candidates {
+		if c.Won {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Errorf("%d candidates marked won, want exactly 1", won)
+	}
+}
+
+// countingPolicy is the README's "add a policy in one file"
+// walkthrough, as a test: a policy registered here — with no edits to
+// the engine, core, pipeline, wire or service — is immediately
+// compilable by name.
+type countingPolicy struct{ calls atomic.Int64 }
+
+func (p *countingPolicy) Name() string                            { return "test-count" }
+func (p *countingPolicy) MaxFactor(*Options, *machine.Config) int { return 1 }
+func (p *countingPolicy) Compile(cc *Context) (*Result, error) {
+	p.calls.Add(1)
+	run, err := cc.Schedule(cc.Graph)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schedule: run.Schedule, Factor: 1, Exact: run.Exact}, nil
+}
+
+var testCountPolicy = &countingPolicy{}
+var testCountOnce sync.Once
+
+func TestRegisterPolicyOneFile(t *testing.T) {
+	pol := testCountPolicy
+	pol.calls.Store(0)
+	testCountOnce.Do(func() { RegisterStrategy(pol, "test-count-alias") })
+	uni := machine.Unified()
+	res := compile(t, ddg.SampleDotProduct(), uni, &Options{Strategy: "test-count"})
+	if res.Policy != "test-count" || res.Stages.Policy != "test-count" {
+		t.Errorf("policy telemetry: %s / %s", res.Policy, res.Stages.Policy)
+	}
+	if _, err := Compile(ddg.SampleDotProduct(), &uni, &Options{Strategy: "test-count-alias"}); err != nil {
+		t.Fatal(err)
+	}
+	if pol.calls.Load() != 2 {
+		t.Errorf("policy ran %d times, want 2", pol.calls.Load())
+	}
+	found := false
+	for _, n := range StrategyNames() {
+		if n == "test-count" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered policy missing from StrategyNames")
+	}
+	if err := sched.Validate(res.Schedule); err != nil {
+		t.Error(err)
+	}
+}

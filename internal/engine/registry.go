@@ -1,0 +1,247 @@
+// The name-keyed registry: the single source of truth for which
+// schedulers and unroll policies exist, what the wire format and the
+// CLIs call them, and how unknown names are reported.
+
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// SchedulerEngine produces a modulo schedule for one (possibly
+// unrolled) graph.  Implementations are adapters over a scheduling
+// package (internal/sched, internal/assign, internal/exact) that
+// self-register from their file's init.
+type SchedulerEngine interface {
+	// Name is the canonical registered name ("bsa").
+	Name() string
+	// Heuristic reports whether the engine emits the bus-failure
+	// telemetry (Schedule.BusLimited and friends) the selective unroll
+	// policy keys on; the exhaustive oracle does not.
+	Heuristic() bool
+	// Schedule schedules g — already unrolled however the policy wanted
+	// — on cc.Cfg under cc.Opts.  Call it through Context.Schedule,
+	// which handles timing, cancellation and trajectory capture.
+	Schedule(cc *Context, g *ddg.Graph) (*Run, error)
+}
+
+// UnrollPolicy decides the unroll factor(s) and drives the scheduler
+// engine, producing the final Result.
+type UnrollPolicy interface {
+	// Name is the canonical registered name ("selective", "sweep:4").
+	Name() string
+	// MaxFactor is the largest unroll factor the policy may apply for
+	// these options on this machine; the service bounds admissible
+	// request sizes with it.
+	MaxFactor(opts *Options, cfg *machine.Config) int
+	// Compile runs the policy.
+	Compile(cc *Context) (*Result, error)
+}
+
+// StrategyFamily is a parameterised policy constructor: names spelled
+// "<prefix>:<arg>" resolve through its factory ("sweep:4").
+type StrategyFamily struct {
+	// Prefix is the name before the colon.
+	Prefix string
+	// Placeholder is the listed spelling ("sweep:<k>").
+	Placeholder string
+	// Doc is a one-line description for capability listings.
+	Doc string
+	// New builds the policy for one argument spelling.
+	New func(arg string) (UnrollPolicy, error)
+}
+
+// registry holds both name spaces.  Registration happens in inits and
+// tests; lookups are on the compile hot path, hence the RWMutex.
+var registry = struct {
+	sync.RWMutex
+	schedulers map[string]SchedulerEngine // canonical and alias names
+	schedCanon []string                   // canonical names, registration order
+	strategies map[string]UnrollPolicy
+	stratCanon []string
+	families   []StrategyFamily
+}{
+	schedulers: map[string]SchedulerEngine{},
+	strategies: map[string]UnrollPolicy{},
+}
+
+// checkName validates a registered name: lowercase identifiers,
+// optionally with one ":<arg>" suffix, and none of the separator bytes
+// the pipeline cache key uses.
+func checkName(name string) {
+	if name == "" {
+		panic("engine: empty registration name")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-', r == ':':
+		default:
+			panic(fmt.Sprintf("engine: invalid registration name %q (want [a-z0-9_:-])", name))
+		}
+	}
+}
+
+// RegisterScheduler adds a scheduler engine under its canonical name
+// plus any aliases.  Duplicate names panic: registration is an
+// init-time programming act, not a runtime input.
+func RegisterScheduler(e SchedulerEngine, aliases ...string) {
+	registry.Lock()
+	defer registry.Unlock()
+	for _, name := range append([]string{e.Name()}, aliases...) {
+		checkName(name)
+		if _, dup := registry.schedulers[name]; dup {
+			panic(fmt.Sprintf("engine: scheduler %q registered twice", name))
+		}
+		registry.schedulers[name] = e
+	}
+	registry.schedCanon = append(registry.schedCanon, e.Name())
+}
+
+// RegisterStrategy adds an unroll policy under its canonical name plus
+// any aliases.
+func RegisterStrategy(p UnrollPolicy, aliases ...string) {
+	registry.Lock()
+	defer registry.Unlock()
+	for _, name := range append([]string{p.Name()}, aliases...) {
+		checkName(name)
+		if _, dup := registry.strategies[name]; dup {
+			panic(fmt.Sprintf("engine: strategy %q registered twice", name))
+		}
+		registry.strategies[name] = p
+	}
+	registry.stratCanon = append(registry.stratCanon, p.Name())
+}
+
+// RegisterStrategyFamily adds a parameterised policy family.
+func RegisterStrategyFamily(f StrategyFamily) {
+	checkName(f.Prefix)
+	registry.Lock()
+	defer registry.Unlock()
+	for _, have := range registry.families {
+		if have.Prefix == f.Prefix {
+			panic(fmt.Sprintf("engine: strategy family %q registered twice", f.Prefix))
+		}
+	}
+	registry.families = append(registry.families, f)
+}
+
+// LookupScheduler resolves a scheduler name ("" means the default,
+// bsa).  Unknown names error with the registered list.
+func LookupScheduler(name string) (SchedulerEngine, error) {
+	if name == "" {
+		name = string(BSA)
+	}
+	registry.RLock()
+	e, ok := registry.schedulers[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown scheduler %q (registered: %s)",
+			name, strings.Join(SchedulerNames(), ", "))
+	}
+	return e, nil
+}
+
+// LookupStrategy resolves an unroll-policy name ("" means the default,
+// no_unroll), consulting the registered families for "prefix:arg"
+// spellings.  Unknown names error with the registered list.
+func LookupStrategy(name string) (UnrollPolicy, error) {
+	if name == "" {
+		name = string(NoUnroll)
+	}
+	registry.RLock()
+	p, ok := registry.strategies[name]
+	families := registry.families
+	registry.RUnlock()
+	if ok {
+		return p, nil
+	}
+	if prefix, arg, found := strings.Cut(name, ":"); found {
+		for _, f := range families {
+			if f.Prefix == prefix {
+				p, err := f.New(arg)
+				if err != nil {
+					return nil, fmt.Errorf("engine: strategy %q: %w", name, err)
+				}
+				return p, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("engine: unknown strategy %q (registered: %s)",
+		name, strings.Join(StrategyNames(), ", "))
+}
+
+// ParseScheduler resolves a name (or alias) to its canonical
+// Scheduler.  This is the single name table behind core.ParseScheduler
+// and the wire codec.
+func ParseScheduler(name string) (Scheduler, error) {
+	e, err := LookupScheduler(name)
+	if err != nil {
+		return "", err
+	}
+	return Scheduler(e.Name()), nil
+}
+
+// ParseStrategy resolves a name (or alias) to its canonical Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	p, err := LookupStrategy(name)
+	if err != nil {
+		return "", err
+	}
+	return Strategy(p.Name()), nil
+}
+
+// CanonicalScheduler maps any accepted spelling to the canonical
+// registered name; unknown names pass through unchanged (they fail at
+// compile time, and callers like the cache key just need stability).
+func CanonicalScheduler(name string) string {
+	s, err := ParseScheduler(name)
+	if err != nil {
+		return name
+	}
+	return string(s)
+}
+
+// CanonicalStrategy maps any accepted spelling to the canonical
+// registered name; unknown names pass through unchanged.
+func CanonicalStrategy(name string) string {
+	s, err := ParseStrategy(name)
+	if err != nil {
+		return name
+	}
+	return string(s)
+}
+
+// SchedulerNames lists the canonical scheduler names, sorted.
+func SchedulerNames() []string {
+	registry.RLock()
+	names := append([]string(nil), registry.schedCanon...)
+	registry.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// StrategyNames lists the canonical strategy names plus each family's
+// placeholder spelling, sorted.
+func StrategyNames() []string {
+	registry.RLock()
+	names := append([]string(nil), registry.stratCanon...)
+	for _, f := range registry.families {
+		names = append(names, f.Placeholder)
+	}
+	registry.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// StrategyFamilies lists the registered families.
+func StrategyFamilies() []StrategyFamily {
+	registry.RLock()
+	defer registry.RUnlock()
+	return append([]StrategyFamily(nil), registry.families...)
+}

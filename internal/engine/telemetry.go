@@ -1,0 +1,85 @@
+// Per-compile stage telemetry: what Result.Stages carries and what the
+// wire format serialises as the optional "stages" block.
+
+package engine
+
+import "time"
+
+// StageName identifies one canonical compilation stage.
+type StageName string
+
+// The canonical stage set.  Every compile path — BSA, NE, exact, the
+// pipeline's fallback — emits exactly these four stages in this order;
+// a stage a policy never enters is present with zero duration and zero
+// calls, so clients can index the block positionally.
+const (
+	// StageAnalyze covers input validation and the MinII lower bound.
+	StageAnalyze StageName = "analyze"
+	// StageUnroll covers unrolled-graph construction and the unroll
+	// decision estimates (Figure 6's closed form, portfolio floors).
+	StageUnroll StageName = "unroll"
+	// StageSchedule covers the scheduler-engine runs, including their
+	// internal SMS ordering and the whole II search.
+	StageSchedule StageName = "schedule"
+	// StageValidate covers the structural check of the final schedule.
+	StageValidate StageName = "validate"
+)
+
+// StageNames returns the canonical stage set in canonical order.
+func StageNames() []StageName {
+	return []StageName{StageAnalyze, StageUnroll, StageSchedule, StageValidate}
+}
+
+// Stage is one stage's accumulated cost within a compile.
+type Stage struct {
+	// Name is the canonical stage name.
+	Name StageName
+	// Duration is total wall time spent in the stage.
+	Duration time.Duration
+	// Calls counts how many times the stage ran (selective unrolling
+	// schedules twice; a sweep schedules once per factor).
+	Calls int
+}
+
+// Candidate is one alternative a multi-way policy (portfolio, sweep)
+// evaluated.
+type Candidate struct {
+	// Strategy names the candidate ("unroll_all", "factor:3").
+	Strategy string
+	// IterationII is the candidate's per-iteration II; 0 when it failed.
+	IterationII float64
+	// Err records why the candidate produced no schedule, including
+	// "context canceled" for candidates pruned mid-race.
+	Err string
+	// Won marks the candidate whose schedule the policy returned.
+	Won bool
+}
+
+// Telemetry is the per-compile stage record attached to every Result.
+//
+// Invariants (enforced by tests): Stages is always the canonical set in
+// canonical order, and the stage durations sum to at most Total — for
+// sequential policies the two are nearly equal; for portfolio the
+// stages record the critical path that produced the winning schedule
+// (analyze + the winner's stages), while Candidates records what the
+// rest of the race did.
+type Telemetry struct {
+	// Scheduler and Policy are the resolved registered names of the
+	// engine and the requested policy.
+	Scheduler string
+	Policy    string
+	// Winner names the candidate that produced the schedule when the
+	// policy raced alternatives; empty otherwise.
+	Winner string
+	// Total is the wall time of the whole Compile call.
+	Total time.Duration
+	// Stages is the canonical stage breakdown.
+	Stages []Stage
+	// Attempts counts II-search attempts across every scheduler run on
+	// the winning path.
+	Attempts int
+	// Trajectory lists the IIs those attempts tried, in order.
+	Trajectory []int
+	// Candidates lists the alternatives a multi-way policy evaluated.
+	Candidates []Candidate
+}

@@ -38,7 +38,9 @@ var fig8Strategies = []struct {
 // bodies greedily).  Selective unrolling never triggers on the unified
 // machine (it is never bus-limited).
 func (s *Suite) Fig8(clusters int, strategy core.Strategy) (*report.Table, error) {
-	stratName := "?"
+	// The paper's three groups keep their short labels; any other
+	// registered policy (portfolio, sweep:<k>) labels with its name.
+	stratName := strategy.String()
 	for _, st := range fig8Strategies {
 		if st.strat == strategy {
 			stratName = st.name

@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/machine"
 )
 
@@ -72,13 +73,17 @@ func (r Request) cacheable() bool {
 // alias.  Every Config field that can change a schedule (including the
 // FU mix and any heterogeneous layout) and every keyable option is
 // included alongside the config Name, so two distinct configurations
-// sharing a label never collide either.
+// sharing a label never collide either.  Scheduler and strategy are
+// keyed by their canonical registered names, so the zero value, the
+// canonical spelling and every alias ("ne", "nystrom-eichenberger")
+// share one entry.
 func (r Request) key() string {
-	return fmt.Sprintf("%s:%s|%s|%d|%v|%v|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d",
+	return fmt.Sprintf("%s:%s|%s|%d|%v|%v|%d|%d|%d|%s|%s|%d|%d|%d|%d|%d|%d|%d",
 		r.Loop.Graph.Fingerprint(), r.Loop.Bench,
 		r.Cfg.Name, r.Cfg.NClusters, r.Cfg.FUsPerCluster, r.Cfg.Hetero,
 		r.Cfg.NBuses, r.Cfg.BusLatency, r.Cfg.RegsPerCluster,
-		r.Opts.Scheduler, r.Opts.Strategy, r.Opts.Factor,
+		engine.CanonicalScheduler(r.Opts.Scheduler.String()),
+		engine.CanonicalStrategy(r.Opts.Strategy.String()), r.Opts.Factor,
 		r.Opts.Sched.Policy, r.Opts.Sched.MaxII, r.Opts.Sched.ForceII,
 		r.Opts.Exact.MaxNodes, r.Opts.Exact.MaxSteps, r.Opts.Exact.MaxII)
 }
@@ -243,7 +248,10 @@ func (p *Pipeline) SetMaxConcurrentCompiles(n int) {
 // 8/10 "Unrolling" row could quietly report non-unrolled schedules.
 func compileOne(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
 	res, err := core.Compile(l.Graph, cfg, &opts)
-	if err != nil && opts.Strategy == core.UnrollAll {
+	// Compare canonically: the cache keys "all" and "unroll_all" to one
+	// entry, so the fallback must engage for every spelling or the
+	// cached outcome would depend on which alias asked first.
+	if err != nil && engine.CanonicalStrategy(opts.Strategy.String()) == string(core.UnrollAll) {
 		unrollErr := err
 		fallback := opts
 		fallback.Strategy = core.NoUnroll
@@ -408,6 +416,11 @@ func entryBytes(key string, res *core.Result) int64 {
 	n += int64(len(res.Decision.FailReason))
 	if res.Exact != nil {
 		n += 48
+	}
+	if t := res.Stages; t != nil {
+		n += 192 // Telemetry header + the four canonical stages
+		n += int64(len(t.Trajectory)) * 8
+		n += int64(len(t.Candidates)) * 64
 	}
 	if s := res.Schedule; s != nil {
 		n += 192 // Schedule header + Cfg

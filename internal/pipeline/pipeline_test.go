@@ -356,3 +356,122 @@ func TestKeySeparatesDistinctGraphsWithSameName(t *testing.T) {
 		t.Error("results wired to the wrong graphs")
 	}
 }
+
+// TestKeyCanonicalizesRegisteredNames checks the cache is keyed on
+// canonical registered names: the zero value, the canonical spelling
+// and every alias share one entry, so the same compilation is never
+// paid for twice because two callers spelled the strategy differently.
+func TestKeyCanonicalizesRegisteredNames(t *testing.T) {
+	l := testLoops(1)[0]
+	cfg := machine.TwoCluster(1, 1)
+	aliases := [][2]core.Options{
+		{{}, {Scheduler: core.BSA, Strategy: core.NoUnroll}},
+		{{Strategy: "none"}, {Strategy: core.NoUnroll}},
+		{{Strategy: "all"}, {Strategy: core.UnrollAll}},
+		{{Scheduler: "nystrom-eichenberger"}, {Scheduler: core.NystromEichenberger}},
+	}
+	for _, pair := range aliases {
+		a := Request{Loop: l, Cfg: cfg, Opts: pair[0]}
+		b := Request{Loop: l, Cfg: cfg, Opts: pair[1]}
+		if a.key() != b.key() {
+			t.Errorf("alias %+v and canonical %+v key differently:\n%s\n%s",
+				pair[0], pair[1], a.key(), b.key())
+		}
+	}
+	// And genuinely different strategies still separate.
+	a := Request{Loop: l, Cfg: cfg, Opts: core.Options{Strategy: "sweep:2"}}
+	b := Request{Loop: l, Cfg: cfg, Opts: core.Options{Strategy: "sweep:3"}}
+	if a.key() == b.key() {
+		t.Error("sweep:2 and sweep:3 share a cache key")
+	}
+}
+
+// TestFallbackEmitsStageTelemetry pins the satellite invariant on the
+// fourth compile path: a result produced by the UnrollAll→NoUnroll
+// fallback still carries the canonical stage set (from the fallback's
+// own Compile) alongside FellBack.
+func TestFallbackEmitsStageTelemetry(t *testing.T) {
+	l := &corpus.Loop{Graph: ddg.SampleFigure7(), Iters: 16, Weight: 1, Bench: "test"}
+	p := New(1)
+	cfg := machine.FourCluster(1, 4)
+	res, err := p.Compile(Request{Loop: l, Cfg: cfg,
+		Opts: core.Options{Strategy: core.UnrollAll, Factor: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FellBack {
+		t.Fatal("fixture compilation no longer falls back")
+	}
+	tel := res.Stages
+	if tel == nil {
+		t.Fatal("fallback result has no stage telemetry")
+	}
+	want := []string{"analyze", "unroll", "schedule", "validate"}
+	if len(tel.Stages) != len(want) {
+		t.Fatalf("stage count %d, want %d", len(tel.Stages), len(want))
+	}
+	var sum int64
+	for i, s := range tel.Stages {
+		if string(s.Name) != want[i] {
+			t.Errorf("stage[%d] = %s, want %s", i, s.Name, want[i])
+		}
+		sum += int64(s.Duration)
+	}
+	if sum > int64(tel.Total) {
+		t.Errorf("stage sum %d over total %d", sum, int64(tel.Total))
+	}
+	if res.Policy != string(core.NoUnroll) {
+		t.Errorf("fallback policy = %q, want no_unroll", res.Policy)
+	}
+}
+
+// TestPortfolioThroughPipeline compiles the portfolio policy through
+// the cache and checks dedup: two requests, one compilation, shared
+// result with telemetry.
+func TestPortfolioThroughPipeline(t *testing.T) {
+	l := &corpus.Loop{Graph: ddg.SampleStencil(), Iters: 16, Weight: 1, Bench: "test"}
+	p := New(2)
+	cfg := machine.FourCluster(1, 1)
+	req := Request{Loop: l, Cfg: cfg, Opts: core.Options{Strategy: core.Portfolio}}
+	r1, err := p.Compile(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Compile(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("portfolio result not cached")
+	}
+	if s := p.Stats(); s.Compilations != 1 {
+		t.Errorf("compilations = %d, want 1", s.Compilations)
+	}
+	if r1.Stages == nil || r1.Stages.Policy != "portfolio" || r1.Stages.Winner == "" {
+		t.Errorf("portfolio telemetry missing: %+v", r1.Stages)
+	}
+}
+
+// TestFallbackEngagesForAliasSpelling: "all" and "unroll_all" share a
+// canonical cache key, so the fallback must engage for the alias too —
+// otherwise the cached outcome would depend on which spelling compiled
+// first.
+func TestFallbackEngagesForAliasSpelling(t *testing.T) {
+	l := &corpus.Loop{Graph: ddg.SampleFigure7(), Iters: 16, Weight: 1, Bench: "test"}
+	p := New(1)
+	cfg := machine.FourCluster(1, 4)
+	res, err := p.Compile(Request{Loop: l, Cfg: cfg,
+		Opts: core.Options{Strategy: "all", Factor: 16}})
+	if err != nil {
+		t.Fatalf("alias spelling did not fall back: %v", err)
+	}
+	if !res.FellBack {
+		t.Fatal("alias spelling compiled without the fallback engaging")
+	}
+	// The canonical spelling joins the same entry.
+	res2, err := p.Compile(Request{Loop: l, Cfg: cfg,
+		Opts: core.Options{Strategy: core.UnrollAll, Factor: 16}})
+	if err != nil || res2 != res {
+		t.Errorf("canonical spelling did not hit the alias's cache entry (err %v)", err)
+	}
+}

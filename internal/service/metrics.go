@@ -15,9 +15,10 @@ import (
 // metrics is the counter block of one Server.
 type metrics struct {
 	requests struct {
-		compile atomic.Int64
-		batch   atomic.Int64
-		stats   atomic.Int64
+		compile      atomic.Int64
+		batch        atomic.Int64
+		stats        atomic.Int64
+		capabilities atomic.Int64
 	}
 	rejected  atomic.Int64
 	deadlines atomic.Int64

@@ -10,6 +10,8 @@
 //	                   stream of wire.BatchItem out, one line per
 //	                   request in completion order
 //	GET  /v1/stats     pipeline + service counters (wire.StatsResponse)
+//	GET  /v1/capabilities  registered schedulers, unroll policies and
+//	                   machine_ref names (wire.CapabilitiesResponse)
 //	GET  /healthz      liveness probe
 //	GET  /debug/vars   expvar-style JSON metrics (requests, cache,
 //	                   fallbacks, latency histogram)
@@ -36,12 +38,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/pipeline"
 	"repro/internal/wire"
@@ -154,6 +158,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
 	return mux
@@ -251,12 +256,10 @@ func (s *Server) resolve(req *wire.CompileRequest) (pipeline.Request, *wire.Erro
 
 	// The per-knob caps compose: bound the graph the scheduler actually
 	// sees (nodes x unroll factor) so a large-but-legal loop cannot be
-	// multiplied into an hours-long compile that pins a slot.
-	if opts.Strategy != core.NoUnroll {
-		f := opts.Factor
-		if f == 0 {
-			f = out.Cfg.NClusters
-		}
+	// multiplied into an hours-long compile that pins a slot.  The
+	// registered policy itself reports its worst-case factor, so a
+	// "sweep:16" request is bounded by 16 no matter what Factor says.
+	if f := core.MaxUnrollFactor(&opts, &out.Cfg); f > 1 {
 		if n := out.Loop.Graph.NumNodes() * f; n > wire.MaxWireUnrolledNodes {
 			return out, wire.Errorf(wire.CodeInvalidOptions,
 				"unrolled size %d nodes (%d x factor %d) over the %d cap",
@@ -297,6 +300,13 @@ func (s *Server) compileOne(ctx context.Context, req *wire.CompileRequest) (*wir
 		if cerr := cctx.Err(); cerr != nil {
 			return nil, s.ctxError(cerr)
 		}
+		// Typed engine rejections (an option the wire caps let through
+		// but the engine boundary refuses) are client errors, not
+		// unschedulable loops.
+		var oerr *core.OptionsError
+		if errors.As(err, &oerr) {
+			return nil, wire.Errorf(wire.CodeInvalidOptions, "%v", err)
+		}
 		return nil, wire.Errorf(wire.CodeUnschedulable, "%v", err)
 	}
 	return wire.FromResult(res), nil
@@ -331,11 +341,14 @@ func statusOf(werr *wire.Error) int {
 	}
 }
 
-// writeJSON writes one JSON body with the given status.
+// writeJSON writes one JSON body with the given status.  HTML escaping
+// is off: this is an API, and names like "sweep:<k>" must round-trip
+// as spelled.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
 	enc.Encode(v)
 }
 
@@ -441,6 +454,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// server WriteTimeout would instead kill legitimate long batches.
 	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
 	for item := range items {
 		rc.SetWriteDeadline(time.Now().Add(streamWriteBudget))
 		enc.Encode(item)
@@ -465,13 +479,41 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleCapabilities serves GET /v1/capabilities: what this daemon can
+// compile — the engine registry's schedulers and unroll policies and
+// the machine_ref names — so clients discover a newly registered
+// policy without a wire-version bump.
+func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.capabilities.Add(1)
+	machines := make([]string, 0, len(s.machines))
+	for name := range s.machines {
+		machines = append(machines, name)
+	}
+	sort.Strings(machines)
+	var families []wire.StrategyFamily
+	for _, f := range engine.StrategyFamilies() {
+		families = append(families, wire.StrategyFamily{
+			Prefix: f.Prefix, Placeholder: f.Placeholder, Doc: f.Doc,
+		})
+	}
+	writeJSON(w, http.StatusOK, wire.CapabilitiesResponse{
+		V:                wire.Version,
+		Schedulers:       core.SchedulerNames(),
+		Strategies:       core.StrategyNames(),
+		StrategyFamilies: families,
+		Machines:         machines,
+		Loops:            len(s.loops),
+	})
+}
+
 // serviceStats snapshots the daemon-side counters.
 func (s *Server) serviceStats() wire.ServiceStats {
 	return wire.ServiceStats{
 		Requests: map[string]int64{
-			"compile": s.m.requests.compile.Load(),
-			"batch":   s.m.requests.batch.Load(),
-			"stats":   s.m.requests.stats.Load(),
+			"compile":      s.m.requests.compile.Load(),
+			"batch":        s.m.requests.batch.Load(),
+			"stats":        s.m.requests.stats.Load(),
+			"capabilities": s.m.requests.capabilities.Load(),
 		},
 		Rejected:  s.m.rejected.Load(),
 		Deadlines: s.m.deadlines.Load(),

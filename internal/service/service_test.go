@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -538,5 +539,122 @@ func TestCacheBoundedByConfig(t *testing.T) {
 	}
 	if st.Evictions == 0 {
 		t.Error("no evictions despite the tiny budget")
+	}
+}
+
+// TestCapabilities pins GET /v1/capabilities: the engine registry's
+// schedulers and strategies (families as placeholders) and the
+// machine_ref names, so a client can discover a newly registered
+// policy without a version bump.
+func TestCapabilities(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/capabilities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var caps wire.CapabilitiesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&caps); err != nil {
+		t.Fatal(err)
+	}
+	if caps.V != wire.Version {
+		t.Errorf("v = %d, want %d", caps.V, wire.Version)
+	}
+	has := func(list []string, want string) bool {
+		for _, s := range list {
+			if s == want {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []string{"bsa", "ne", "exact"} {
+		if !has(caps.Schedulers, want) {
+			t.Errorf("schedulers %v missing %q", caps.Schedulers, want)
+		}
+	}
+	for _, want := range []string{"no_unroll", "unroll_all", "selective", "portfolio", "sweep:<k>"} {
+		if !has(caps.Strategies, want) {
+			t.Errorf("strategies %v missing %q", caps.Strategies, want)
+		}
+	}
+	if !has(caps.Machines, "4-cluster/B1/L1") || !has(caps.Machines, "unified") {
+		t.Errorf("machines %v missing Table 1 names", caps.Machines)
+	}
+	if len(caps.StrategyFamilies) == 0 || caps.StrategyFamilies[0].Prefix != "sweep" {
+		t.Errorf("strategy families = %+v", caps.StrategyFamilies)
+	}
+	if caps.Loops < 1 {
+		t.Errorf("loops = %d", caps.Loops)
+	}
+	if !sort.StringsAreSorted(caps.Schedulers) || !sort.StringsAreSorted(caps.Machines) {
+		t.Error("capability lists are not sorted")
+	}
+}
+
+// TestCompilePortfolioOverHTTP is the acceptance check for the
+// pluggable engine: a registry policy (portfolio) selected purely by
+// wire name, served with winner and stage telemetry.
+func TestCompilePortfolioOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := post(t, ts.URL+"/v1/compile",
+		`{"v":1,"loop_ref":"tomcatv.loop0","machine_ref":"4-cluster/B1/L1","options":{"strategy":"portfolio"}}`)
+	res := wantResult(t, resp)
+	if res.Policy == "" {
+		t.Error("result has no policy")
+	}
+	if res.Stages == nil {
+		t.Fatal("result has no stages block")
+	}
+	if res.Stages.Policy != "portfolio" || res.Stages.Winner == "" {
+		t.Errorf("stages = policy %q winner %q", res.Stages.Policy, res.Stages.Winner)
+	}
+	if len(res.Stages.Stages) != 4 {
+		t.Errorf("stage set has %d entries, want 4", len(res.Stages.Stages))
+	}
+	if len(res.Stages.Candidates) == 0 {
+		t.Error("portfolio served no candidate outcomes")
+	}
+
+	// And a parameterised family member by name.
+	resp = post(t, ts.URL+"/v1/compile",
+		`{"v":1,"loop_ref":"swim.loop0","machine_ref":"2-cluster/B1/L1","options":{"strategy":"sweep:2"}}`)
+	res = wantResult(t, resp)
+	if res.Stages == nil || res.Stages.Policy != "sweep:2" {
+		t.Fatalf("sweep stages = %+v", res.Stages)
+	}
+}
+
+// TestCompileEngineOptionsError: an option combination the wire caps
+// allow but the engine boundary rejects (exact budget on a heuristic
+// scheduler) maps to invalid_options, not unschedulable.
+func TestCompileEngineOptionsError(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := post(t, ts.URL+"/v1/compile",
+		`{"v":1,"loop_ref":"tomcatv.loop0","machine_ref":"unified","options":{"exact":{"max_nodes":8}}}`)
+	wantError(t, resp, http.StatusBadRequest, wire.CodeInvalidOptions)
+}
+
+// TestSweepBoundedByPolicyFactor: the unrolled-size admission cap uses
+// the registered policy's own worst-case factor, so a sweep over a
+// large inline loop is rejected up front rather than compiled for
+// hours.
+func TestSweepBoundedByPolicyFactor(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// A legal inline loop big enough that nodes x 16 passes the wire's
+	// per-knob caps but breaks the composed unrolled-size cap.
+	g := ddg.SampleChain(600)
+	loop, err := json.Marshal(&corpus.Loop{Graph: g, Bench: "big"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"v":1,"loop":%s,"machine_ref":"2-cluster/B1/L1","options":{"strategy":"sweep:16"}}`, loop)
+	resp := post(t, ts.URL+"/v1/compile", body)
+	werr := wantError(t, resp, http.StatusBadRequest, wire.CodeInvalidOptions)
+	if !strings.Contains(werr.Message, "unrolled size") {
+		t.Errorf("unexpected message: %s", werr.Message)
 	}
 }

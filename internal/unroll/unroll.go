@@ -78,12 +78,27 @@ type Result struct {
 // failures into the unrolled-reschedule path.
 var scheduleFn = sched.ScheduleGraph
 
-// Selective runs Figure 6 of the paper: ScheduleGraph, LimitedByBus
-// check, closed-form estimate, and the conditional unrolled reschedule.
-// The unroll factor is the cluster count (the scheduler spreads one
-// iteration copy per cluster).
+// ScheduleFunc schedules one graph; SelectiveFunc is parameterised
+// over it so any scheduler engine (BSA, the two-phase baseline, an
+// engine-registry adapter) can drive the same Figure 6 decision logic.
+type ScheduleFunc func(*ddg.Graph) (*sched.Schedule, error)
+
+// Selective runs Figure 6 of the paper with the unified scheduler
+// (sched.ScheduleGraph): LimitedByBus check, closed-form estimate, and
+// the conditional unrolled reschedule.  The unroll factor is the
+// cluster count (the scheduler spreads one iteration copy per
+// cluster).
 func Selective(g *ddg.Graph, cfg *machine.Config, opts *sched.Options) (*Result, error) {
-	s, err := scheduleFn(g, cfg, opts)
+	return SelectiveFunc(g, cfg, func(gg *ddg.Graph) (*sched.Schedule, error) {
+		return scheduleFn(gg, cfg, opts)
+	})
+}
+
+// SelectiveFunc is Selective over an arbitrary scheduler: the single
+// home of the Figure 6 decision logic, shared by the direct library
+// entry point above and by the engine registry's "selective" policy.
+func SelectiveFunc(g *ddg.Graph, cfg *machine.Config, schedule ScheduleFunc) (*Result, error) {
+	s, err := schedule(g)
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +116,7 @@ func Selective(g *ddg.Graph, cfg *machine.Config, opts *sched.Options) (*Result,
 		return &Result{Schedule: s, Decision: dec}, nil
 	}
 
-	s2, err := scheduleFn(unrolled, cfg, opts)
+	s2, err := schedule(unrolled)
 	if err != nil {
 		// The estimate said yes but the full schedule failed (rare: e.g.
 		// register pressure).  Keep the original schedule, and keep the

@@ -7,6 +7,7 @@ package wire
 import (
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/machine"
 	"repro/internal/sched"
@@ -92,14 +93,17 @@ func policyName(p sched.Policy) string {
 }
 
 // FromOptions converts compile options to the wire shape, spelling only
-// the fields that differ from the defaults.
+// the fields that differ from the defaults.  Scheduler and strategy
+// names are canonicalized first, so defaults are omitted — and
+// non-defaults spelled canonically — however the caller spelled them
+// ("", "none" and "no_unroll" all omit; "all" emits "unroll_all").
 func FromOptions(o core.Options) *Options {
 	w := &Options{Factor: o.Factor, MaxII: o.Sched.MaxII, ForceII: o.Sched.ForceII}
-	if o.Scheduler != core.BSA {
-		w.Scheduler = o.Scheduler.String()
+	if s := engine.CanonicalScheduler(o.Scheduler.String()); s != string(core.BSA) {
+		w.Scheduler = s
 	}
-	if o.Strategy != core.NoUnroll {
-		w.Strategy = o.Strategy.String()
+	if s := engine.CanonicalStrategy(o.Strategy.String()); s != string(core.NoUnroll) {
+		w.Strategy = s
 	}
 	if o.Sched.Policy != sched.PolicyProfit {
 		w.Policy = policyName(o.Sched.Policy)
@@ -279,6 +283,36 @@ func FromResult(r *core.Result) *Result {
 			LowerBound: r.Exact.LowerBound,
 			Steps:      r.Exact.Steps,
 		}
+	}
+	out.Policy = r.Policy
+	out.Stages = FromTelemetry(r.Stages)
+	return out
+}
+
+// FromTelemetry converts the engine's stage telemetry to the wire
+// shape; nil in, nil out.
+func FromTelemetry(t *engine.Telemetry) *Stages {
+	if t == nil {
+		return nil
+	}
+	out := &Stages{
+		Scheduler:    t.Scheduler,
+		Policy:       t.Policy,
+		Winner:       t.Winner,
+		TotalNS:      int64(t.Total),
+		Stages:       make([]StageTiming, 0, len(t.Stages)),
+		Attempts:     t.Attempts,
+		IITrajectory: t.Trajectory,
+	}
+	for _, s := range t.Stages {
+		out.Stages = append(out.Stages, StageTiming{
+			Name: string(s.Name), NS: int64(s.Duration), Calls: s.Calls,
+		})
+	}
+	for _, c := range t.Candidates {
+		out.Candidates = append(out.Candidates, CandidateOutcome{
+			Strategy: c.Strategy, IterationII: c.IterationII, Error: c.Err, Won: c.Won,
+		})
 	}
 	return out
 }

@@ -130,9 +130,13 @@ type Machine struct {
 
 // Options is the wire shape of core.Options.
 type Options struct {
-	// Scheduler: "bsa" (default), "ne", "exact".
+	// Scheduler is any registered scheduler name: "bsa" (default),
+	// "ne", "exact", plus whatever the engine registry has gained
+	// since; GET /v1/capabilities lists them.
 	Scheduler string `json:"scheduler,omitempty"`
-	// Strategy: "no_unroll" (default), "unroll_all", "selective".
+	// Strategy is any registered unroll policy name: "no_unroll"
+	// (default), "unroll_all", "selective", "portfolio", "sweep:<k>",
+	// plus whatever the engine registry has gained since.
 	Strategy string `json:"strategy,omitempty"`
 	// Factor overrides the unroll_all factor; 0 means the cluster count.
 	Factor int `json:"factor,omitempty"`
@@ -183,6 +187,52 @@ type Result struct {
 	Decision *Decision `json:"decision,omitempty"`
 	// Exact carries the oracle's proof metadata (scheduler "exact").
 	Exact *Exact `json:"exact,omitempty"`
+	// Policy names the registered policy that produced the schedule;
+	// for "portfolio" it is the winning candidate.  Optional (v1
+	// growth): absent from results recorded before stage telemetry.
+	Policy string `json:"policy,omitempty"`
+	// Stages is the per-stage compile telemetry.  Optional (v1 growth).
+	Stages *Stages `json:"stages,omitempty"`
+}
+
+// Stages is the wire shape of the engine's per-compile telemetry.
+type Stages struct {
+	// Scheduler and Policy are the resolved registered names of the
+	// engine and the requested policy.
+	Scheduler string `json:"scheduler"`
+	Policy    string `json:"policy"`
+	// Winner names the candidate that produced the schedule when the
+	// policy raced alternatives ("portfolio", "sweep:<k>").
+	Winner string `json:"winner,omitempty"`
+	// TotalNS is the wall time of the whole compile.
+	TotalNS int64 `json:"total_ns"`
+	// Stages is the canonical stage breakdown, always the same four
+	// names in the same order: analyze, unroll, schedule, validate.
+	Stages []StageTiming `json:"stages"`
+	// Attempts counts II-search attempts across the winning path's
+	// scheduler runs; IITrajectory lists the IIs tried, in order.
+	Attempts     int   `json:"attempts,omitempty"`
+	IITrajectory []int `json:"ii_trajectory,omitempty"`
+	// Candidates lists the alternatives a multi-way policy evaluated.
+	Candidates []CandidateOutcome `json:"candidates,omitempty"`
+}
+
+// StageTiming is one canonical stage's cost.
+type StageTiming struct {
+	Name string `json:"name"`
+	NS   int64  `json:"ns"`
+	// Calls counts how many times the stage ran (selective schedules
+	// twice, a sweep once per factor).
+	Calls int `json:"calls,omitempty"`
+}
+
+// CandidateOutcome is one alternative a racing or sweeping policy
+// evaluated.
+type CandidateOutcome struct {
+	Strategy    string  `json:"strategy"`
+	IterationII float64 `json:"iteration_ii,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	Won         bool    `json:"won,omitempty"`
 }
 
 // Placement is one operation's slot: node ID, cluster, FU index and
@@ -219,6 +269,30 @@ type Exact struct {
 	Proved     bool  `json:"proved"`
 	LowerBound int   `json:"lower_bound"`
 	Steps      int64 `json:"steps"`
+}
+
+// CapabilitiesResponse is the 200 body of GET /v1/capabilities: what
+// the engine registry and the machine table can serve, so a client can
+// discover new schedulers and policies without a format bump.
+type CapabilitiesResponse struct {
+	V int `json:"v"`
+	// Schedulers and Strategies are the registered canonical names
+	// (families as "prefix:<k>" placeholders), sorted.
+	Schedulers []string `json:"schedulers"`
+	Strategies []string `json:"strategies"`
+	// StrategyFamilies documents each parameterised policy family.
+	StrategyFamilies []StrategyFamily `json:"strategy_families,omitempty"`
+	// Machines are the machine_ref names (Table 1), sorted.
+	Machines []string `json:"machines"`
+	// Loops counts the loops loop_ref can name.
+	Loops int `json:"loops"`
+}
+
+// StrategyFamily documents one parameterised policy family.
+type StrategyFamily struct {
+	Prefix      string `json:"prefix"`
+	Placeholder string `json:"placeholder"`
+	Doc         string `json:"doc,omitempty"`
 }
 
 // StatsResponse is the 200 body of /v1/stats.

@@ -10,10 +10,12 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/ddg"
+	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/machine"
 	"repro/internal/pipeline"
@@ -187,6 +189,13 @@ func TestGoldenResultFellBack(t *testing.T) {
 	if !res.FellBack {
 		t.Fatal("fixture compilation no longer falls back")
 	}
+	if res.Stages == nil {
+		t.Fatal("fallback result carries no stage telemetry")
+	}
+	// Stage durations are wall-clock and cannot be pinned byte-level;
+	// the stages shape has its own hand-built fixture
+	// (result_stages.json).  Policy is deterministic and stays.
+	res = cloneWithoutStages(res)
 	w := FromResult(res)
 	data := golden(t, "result_fellback.json", w)
 
@@ -214,6 +223,7 @@ func TestGoldenResultExact(t *testing.T) {
 	if res.Exact == nil {
 		t.Fatal("exact compile returned no proof metadata")
 	}
+	res = cloneWithoutStages(res)
 	w := FromResult(res)
 	data := golden(t, "result_exact.json", w)
 
@@ -223,6 +233,81 @@ func TestGoldenResultExact(t *testing.T) {
 	}
 	if back.Exact == nil || back.Exact.LowerBound != res.Exact.LowerBound {
 		t.Error("exact proof metadata lost on the wire")
+	}
+}
+
+// cloneWithoutStages strips the wall-clock stage telemetry so a
+// compiled result can be pinned byte-level.
+func cloneWithoutStages(res *core.Result) *core.Result {
+	c := *res
+	c.Stages = nil
+	return &c
+}
+
+// TestGoldenResultStages pins the stages/policy wire shape with a
+// hand-built telemetry block (real stage durations are wall-clock and
+// nondeterministic; the schedule itself is compiled and deterministic).
+// This is the fixture that locks the v1 "stages" growth: the canonical
+// four-stage set, the II trajectory, and a portfolio candidate list.
+func TestGoldenResultStages(t *testing.T) {
+	l := &corpus.Loop{Graph: ddg.SampleFigure7(), Iters: 16, Weight: 1, Bench: "fixture"}
+	cfg := machine.FourCluster(1, 1)
+	res, err := core.Compile(l.Graph, &cfg, &core.Options{Strategy: core.Portfolio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Stages
+	if got == nil {
+		t.Fatal("portfolio result carries no stage telemetry")
+	}
+	if got.Policy != "portfolio" || got.Winner == "" || len(got.Candidates) == 0 {
+		t.Fatalf("unexpected portfolio telemetry: %+v", got)
+	}
+	res = cloneWithoutStages(res)
+	res.Stages = &engine.Telemetry{
+		Scheduler: got.Scheduler,
+		Policy:    got.Policy,
+		Winner:    "unroll_all",
+		Total:     10 * time.Millisecond,
+		Stages: []engine.Stage{
+			{Name: engine.StageAnalyze, Duration: 1 * time.Millisecond, Calls: 1},
+			{Name: engine.StageUnroll, Duration: 2 * time.Millisecond, Calls: 2},
+			{Name: engine.StageSchedule, Duration: 6 * time.Millisecond, Calls: got.Stages[2].Calls},
+			{Name: engine.StageValidate, Duration: 1 * time.Millisecond, Calls: 1},
+		},
+		Attempts:   got.Attempts,
+		Trajectory: got.Trajectory,
+		// Which losing candidates completed before the winner pruned
+		// them is timing-dependent, so the winner and candidate list are
+		// a representative hand-built race outcome, not the live one.
+		Candidates: []engine.Candidate{
+			{Strategy: "no_unroll", IterationII: 4},
+			{Strategy: "unroll_all", IterationII: 2.5, Won: true},
+			{Strategy: "selective", Err: "context canceled"},
+		},
+	}
+	data := golden(t, "result_stages.json", FromResult(res))
+
+	var back Result
+	if err := DecodeStrict(bytes.NewReader(data), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Policy == "" || back.Stages == nil {
+		t.Fatal("policy/stages lost on the wire")
+	}
+	if len(back.Stages.Stages) != 4 || back.Stages.Stages[0].Name != "analyze" {
+		t.Errorf("canonical stage set drifted: %+v", back.Stages.Stages)
+	}
+	// v1 growth contract: a pre-stages client payload — the same result
+	// without the new optional fields — must still decode strictly.
+	old := FromResult(cloneWithoutStages(res))
+	oldData, err := json.Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oldBack Result
+	if err := DecodeStrict(bytes.NewReader(oldData), &oldBack); err != nil {
+		t.Fatalf("stages-free result no longer decodes: %v", err)
 	}
 }
 
