@@ -58,10 +58,15 @@ type Doc struct {
 
 func main() {
 	baseline := flag.String("baseline", "", "previous `go test -bench` output to compare against")
+	require := flag.String("require", "", "comma-separated benchmark `names` that must be present with non-zero iterations")
 	flag.Parse()
 
 	cur, err := parse(os.Stdin)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := checkRequired(cur, *require); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -111,6 +116,41 @@ func main() {
 }
 
 func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+// checkRequired fails loudly when a benchmark the artefact is supposed
+// to track is missing from the input or never actually ran (zero
+// iterations, zero ns/op) — the silent-truncation failure mode where a
+// renamed or skipped benchmark lets CI publish an empty artefact as
+// success.
+func checkRequired(entries []*Entry, require string) error {
+	if require == "" {
+		return nil
+	}
+	byName := make(map[string]*Entry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	var missing []string
+	for _, name := range strings.Split(require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		e, ok := byName[name]
+		switch {
+		case !ok:
+			missing = append(missing, name+" (absent)")
+		case e.Iters == 0:
+			missing = append(missing, name+" (zero iterations)")
+		case e.NsPerOp == 0:
+			missing = append(missing, name+" (zero ns/op)")
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("required benchmarks did not run: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
 
 // parse aggregates benchmark lines, averaging repeated -count runs.
 func parse(r io.Reader) ([]*Entry, error) {

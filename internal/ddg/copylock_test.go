@@ -1,0 +1,125 @@
+package ddg
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestVetRejectsGraphCopy pins the copy-safety fix: Graph embeds its
+// cache lock, so `go vet`'s copylocks analysis must reject any
+// by-value copy of a Graph at build time.  The bug this guards against
+// was real — a Graph copied after its fingerprint was taken kept the
+// stale fingerprint and memo table, silently serving another graph's
+// cached SMS order.  The test compiles a tiny throwaway module that
+// dereference-copies a Graph and expects vet to fail with a copylocks
+// diagnostic.
+func TestVetRejectsGraphCopy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	// The repo root is two levels above this package.
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	repoRoot, err := filepath.Abs(filepath.Join(filepath.Dir(thisFile), "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	// The probe module's path sits under repro/ so the internal-package
+	// visibility rule lets it import repro/internal/ddg.
+	gomod := "module repro/copylockprobe\n\ngo 1.24\n\nrequire repro v0.0.0\n\nreplace repro => " + repoRoot + "\n"
+	src := `package main
+
+import "repro/internal/ddg"
+
+func main() {
+	g := ddg.New("probe")
+	h := *g // must trip copylocks
+	_ = h
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(goTool, "vet", "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet accepted a by-value Graph copy; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "copies lock") && !strings.Contains(string(out), "copylocks") {
+		t.Fatalf("go vet failed for an unexpected reason:\n%s", out)
+	}
+}
+
+// TestDecodeReplacesIdentity pins the UnmarshalJSON half of the fix:
+// decoding into a Graph whose fingerprint was already taken must
+// replace the cached identity, not keep serving the old hash.
+func TestDecodeReplacesIdentity(t *testing.T) {
+	a := New("a")
+	a.AddNode("x", 0)
+	blob, err := a.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := New("b")
+	b.AddNode("y", 0)
+	b.AddNode("z", 0)
+	oldFP := b.Fingerprint()
+
+	if err := b.UnmarshalJSON(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Fingerprint(); got == oldFP {
+		t.Fatalf("fingerprint survived UnmarshalJSON: %s", got)
+	}
+	if want := a.Fingerprint(); b.Fingerprint() != want {
+		t.Fatalf("decoded fingerprint %s, want the encoded graph's %s", b.Fingerprint(), want)
+	}
+}
+
+// TestCloneIndependence pins Clone: the copy starts with fresh caches,
+// so mutating it never disturbs the original's fingerprint or memos.
+func TestCloneIndependence(t *testing.T) {
+	g := New("orig")
+	n0 := g.AddNode("x", 0)
+	n1 := g.AddNode("y", 0)
+	g.AddTrueDep(n0.ID, n1.ID, 0)
+	fp := g.Fingerprint()
+	memo := g.Memoize("probe", func() any { return 42 })
+
+	c := g.Clone()
+	if c.Fingerprint() != fp {
+		t.Fatalf("clone fingerprint %s, want %s", c.Fingerprint(), fp)
+	}
+	c.AddNode("extra", 0)
+	if c.Fingerprint() == fp {
+		t.Fatal("mutated clone kept the original fingerprint")
+	}
+	if g.Fingerprint() != fp {
+		t.Fatal("mutating the clone disturbed the original's fingerprint")
+	}
+	if got := g.Memoize("probe", func() any { return -1 }); got != memo {
+		t.Fatalf("original memo lost after clone mutation: got %v", got)
+	}
+	if got := c.Memoize("probe", func() any { return 7 }); got != 7 {
+		t.Fatalf("clone shared the original's memo table: got %v", got)
+	}
+}

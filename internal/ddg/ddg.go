@@ -87,10 +87,49 @@ type Graph struct {
 	out   [][]*Edge
 	in    [][]*Edge
 
-	// fp caches the content hash of Fingerprint (json.go); computed at
-	// most once, after which the graph must not be mutated.
-	fpOnce sync.Once
-	fp     string
+	// mu guards the derived-data caches below.  Embedding a lock also
+	// makes `go vet`'s copylocks check reject wholesale copies of a Graph
+	// — use Clone (which starts with fresh caches) to duplicate one.
+	mu sync.Mutex
+	// fp caches the content hash of Fingerprint (json.go); "" = not yet
+	// computed.  Mutators (AddNode, AddEdge, UnmarshalJSON) reset it.
+	fp string
+	// memo caches expensive graph-only analyses (SMS order, flattened
+	// edge arrays, RecMII, validation) keyed by the consumer's choice of
+	// string.  Mutators reset it alongside fp.
+	memo map[string]any
+}
+
+// Memoize returns the cached value for key, computing it with build on
+// the first call.  The result is shared: callers must treat it as
+// immutable.  build runs without the cache lock held, so concurrent
+// first calls may compute redundantly (both results are identical on an
+// immutable graph, and the last one wins); build must not mutate the
+// graph.  Mutating the graph through AddNode/AddEdge/UnmarshalJSON
+// empties the cache.
+func (g *Graph) Memoize(key string, build func() any) any {
+	g.mu.Lock()
+	if v, ok := g.memo[key]; ok {
+		g.mu.Unlock()
+		return v
+	}
+	g.mu.Unlock()
+	v := build()
+	g.mu.Lock()
+	if g.memo == nil {
+		g.memo = make(map[string]any)
+	}
+	g.memo[key] = v
+	g.mu.Unlock()
+	return v
+}
+
+// invalidate empties every derived-data cache; called by each mutator.
+func (g *Graph) invalidate() {
+	g.mu.Lock()
+	g.fp = ""
+	g.memo = nil
+	g.mu.Unlock()
 }
 
 // New returns an empty graph with the given name.
@@ -100,6 +139,7 @@ func New(name string) *Graph {
 
 // AddNode appends an operation and returns it.
 func (g *Graph) AddNode(name string, class machine.OpClass) *Node {
+	g.invalidate()
 	n := &Node{ID: len(g.nodes), Name: name, Class: class, Orig: len(g.nodes)}
 	g.nodes = append(g.nodes, n)
 	g.out = append(g.out, nil)
@@ -115,6 +155,7 @@ func (g *Graph) AddEdge(from, to, latency, distance int, kind EdgeKind) *Edge {
 	if distance < 0 {
 		panic(fmt.Sprintf("ddg: edge %d->%d has negative distance %d", from, to, distance))
 	}
+	g.invalidate()
 	e := &Edge{From: from, To: to, Latency: latency, Distance: distance, Kind: kind}
 	g.edges = append(g.edges, e)
 	g.out[from] = append(g.out[from], e)
@@ -189,8 +230,23 @@ func (g *Graph) OpCount() [machine.NumFUClasses]int {
 
 // Validate checks structural invariants: dense IDs, in-range edges, a
 // DAG over distance-0 edges (a same-iteration cycle is unschedulable),
-// and no true dependence out of a store.
+// and no true dependence out of a store.  The verdict is memoized: a
+// pipeline that schedules the same graph on many machines validates it
+// once.
 func (g *Graph) Validate() error {
+	v := g.Memoize("ddg.validate", func() any {
+		if err := g.validate(); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err, ok := v.(error); ok {
+		return err
+	}
+	return nil
+}
+
+func (g *Graph) validate() error {
 	for i, n := range g.nodes {
 		if n.ID != i {
 			return fmt.Errorf("ddg %s: node %d has ID %d", g.Name, i, n.ID)
@@ -255,7 +311,13 @@ func (g *Graph) zeroDistanceCycle() []int {
 	return nil
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph with fresh (empty) caches.
+// This is the supported way to duplicate a Graph: the struct embeds a
+// lock guarding its fingerprint/analysis caches, so a plain struct copy
+// is rejected by `go vet` (copylocks) and would alias cache state even
+// if it compiled silently.  Every duplicating path in this codebase
+// (Unroll, wire decode, schedulers racing a shared loop) goes through
+// Clone or builds a fresh graph node by node.
 func (g *Graph) Clone() *Graph {
 	c := New(g.Name)
 	c.UnrollFactor = g.UnrollFactor

@@ -140,15 +140,18 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	if err := dec.Validate(); err != nil {
 		return err
 	}
-	// Field-wise copy: Graph embeds a sync.Once (the fingerprint cache),
-	// so the struct must not be copied wholesale.  Decoding into a graph
-	// whose Fingerprint was already taken is not supported.
+	// Field-wise copy: Graph embeds a lock guarding its caches, so the
+	// struct must not be copied wholesale.  The receiver's fingerprint
+	// and memoized analyses are reset — decoding into a graph whose
+	// Fingerprint was already taken replaces its identity rather than
+	// leaking the stale hash.
 	g.Name = dec.Name
 	g.UnrollFactor = dec.UnrollFactor
 	g.nodes = dec.nodes
 	g.edges = dec.edges
 	g.out = dec.out
 	g.in = dec.in
+	g.invalidate()
 	return nil
 }
 
@@ -160,11 +163,14 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 // identical loops deduplicate even when they arrive as distinct decoded
 // objects, e.g. from separate service requests.
 //
-// The hash is computed once and cached; graphs must not be mutated after
-// the first Fingerprint call (they are immutable once built everywhere
-// in this codebase).
+// The hash is cached after the first call; mutating the graph
+// (AddNode/AddEdge/UnmarshalJSON) resets the cache, so the fingerprint
+// always reflects current contents.  Use Clone to duplicate a graph —
+// a plain struct copy would alias the cache and is rejected by go vet.
 func (g *Graph) Fingerprint() string {
-	g.fpOnce.Do(func() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.fp == "" {
 		h := sha256.New()
 		var buf [8]byte
 		writeInt := func(v int) {
@@ -193,6 +199,6 @@ func (g *Graph) Fingerprint() string {
 			writeInt(int(e.Kind))
 		}
 		g.fp = hex.EncodeToString(h.Sum(nil)[:16])
-	})
+	}
 	return g.fp
 }

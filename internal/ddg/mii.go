@@ -33,11 +33,16 @@ func (g *Graph) ResMII(cfg *machine.Config) int {
 // Rather than enumerating cycles (exponential), RecMII binary-searches
 // the smallest II for which no cycle has positive weight when each edge
 // weighs latency - II*distance; feasibility is monotone in II.
+// The result depends only on the graph (latencies and distances, not
+// the machine), so it is memoized: an II search or a multi-machine
+// sweep computes it once.
 func (g *Graph) RecMII() int {
-	if !g.hasCycle() {
-		return 0
-	}
-	return g.recMIIOfSubgraph(allIDs(len(g.nodes)))
+	return g.Memoize("ddg.recmii", func() any {
+		if !g.hasCycle() {
+			return 0
+		}
+		return g.recMIIOfSubgraph(allIDs(len(g.nodes)))
+	}).(int)
 }
 
 // MinII returns max(ResMII, RecMII, BusMII), the scheduler's starting

@@ -140,6 +140,8 @@ func validateOptions(opts *Options, eng SchedulerEngine) error {
 		return &OptionsError{"max_ii", fmt.Sprintf("negative (%d)", opts.Sched.MaxII)}
 	case opts.Sched.ForceII < 0:
 		return &OptionsError{"force_ii", fmt.Sprintf("negative (%d)", opts.Sched.ForceII)}
+	case opts.Sched.Parallel < 0:
+		return &OptionsError{"parallel_ii", fmt.Sprintf("negative (%d)", opts.Sched.Parallel)}
 	case opts.Exact != (exact.Budget{}) && eng.Name() != string(Exact):
 		return &OptionsError{"exact", fmt.Sprintf(
 			"oracle budget set but scheduler is %q (budgets apply to scheduler %q only)",

@@ -18,7 +18,7 @@ import (
 // noUnrollPolicy schedules the loop as written.
 type noUnrollPolicy struct{}
 
-func (noUnrollPolicy) Name() string                           { return string(NoUnroll) }
+func (noUnrollPolicy) Name() string                            { return string(NoUnroll) }
 func (noUnrollPolicy) MaxFactor(*Options, *machine.Config) int { return 1 }
 
 func (noUnrollPolicy) Compile(cc *Context) (*Result, error) {
@@ -59,7 +59,7 @@ func (unrollAllPolicy) Compile(cc *Context) (*Result, error) {
 // and schedule stages.
 type selectivePolicy struct{}
 
-func (selectivePolicy) Name() string { return string(SelectiveUnroll) }
+func (selectivePolicy) Name() string                                  { return string(SelectiveUnroll) }
 func (selectivePolicy) MaxFactor(_ *Options, cfg *machine.Config) int { return cfg.NClusters }
 
 func (selectivePolicy) Compile(cc *Context) (*Result, error) {

@@ -1,0 +1,78 @@
+package regpress
+
+// Shadow is a scratch copy of a Table used for speculative pressure
+// checks: the scheduler snapshots the cluster's live table, applies the
+// candidate placement's lifetime additions to the copy, and reads the
+// verdict — no undo log, no Sub pass, and the live table is never
+// touched.  Abandoning a speculation costs nothing; the next Snapshot
+// simply overwrites the scratch.  One Shadow per cluster is reused for
+// the whole scheduling run, so the steady state allocates nothing.
+type Shadow struct {
+	ii    int
+	limit int
+	slots []int
+	over  int
+}
+
+// Snapshot copies t's current state into the shadow, reusing the
+// shadow's backing array when capacity allows.
+func (s *Shadow) Snapshot(t *Table) {
+	s.ii = t.ii
+	s.limit = t.limit
+	if cap(s.slots) < t.ii {
+		s.slots = make([]int, t.ii, t.ii+t.ii/2+4)
+	}
+	s.slots = s.slots[:t.ii]
+	copy(s.slots, t.slots)
+	s.over = t.over
+}
+
+// Add adds one live-range instance over the flat-cycle interval
+// [lo, hi) to the shadow, exactly like Table.Add.
+func (s *Shadow) Add(lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	n := hi - lo
+	full := n / s.ii
+	rem := n % s.ii
+	if full > 0 {
+		for i := range s.slots {
+			s.bump(i, full)
+		}
+	}
+	if rem > 0 {
+		i := mod(lo, s.ii)
+		for k := 0; k < rem; k++ {
+			s.bump(i, 1)
+			i++
+			if i == s.ii {
+				i = 0
+			}
+		}
+	}
+}
+
+func (s *Shadow) bump(i, delta int) {
+	old := s.slots[i]
+	now := old + delta
+	s.slots[i] = now
+	if old <= s.limit && now > s.limit {
+		s.over++
+	}
+}
+
+// Fits reports whether every slot of the speculated state is within
+// capacity.
+func (s *Shadow) Fits() bool { return s.over == 0 }
+
+// Max returns the speculated MaxLive.
+func (s *Shadow) Max() int {
+	max := 0
+	for _, p := range s.slots {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}

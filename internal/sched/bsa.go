@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/ddg"
 	"repro/internal/machine"
@@ -45,6 +46,12 @@ type Options struct {
 	// incrementing.  Two-phase schemes use it so the restart (with a fresh
 	// cluster assignment) happens in their own driver loop.
 	ForceII int
+	// Parallel, when > 1, races up to that many II candidates on separate
+	// goroutines, capped at GOMAXPROCS.  The result is deterministic — the
+	// lowest feasible II of the same sequence the serial search scans, with
+	// identical placements and failure telemetry (see parallel.go).  0 or 1
+	// keeps the serial search.
+	Parallel int
 }
 
 // ScheduleGraph runs the basic scheduling algorithm (BSA) of the paper on g
@@ -75,9 +82,12 @@ func ScheduleGraph(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Schedule,
 
 	ord := opts.Order
 	if ord == nil {
-		ord = order.SMS(g)
-	}
-	if err := order.CheckPermutation(g, ord); err != nil {
+		// The SMS order depends only on the graph: memoize it there, so II
+		// retries, repeated runs and parallel II workers share one
+		// computation.  It is a permutation by construction — only
+		// user-supplied orders need checking.
+		ord = g.Memoize("sched.sms", func() any { return order.SMS(g) }).([]int)
+	} else if err := order.CheckPermutation(g, ord); err != nil {
 		return nil, err
 	}
 
@@ -99,10 +109,15 @@ func ScheduleGraph(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Schedule,
 		minII, maxII = opts.ForceII, opts.ForceII
 	}
 
-	var causes map[FailCause]int // lazily: the first attempt often succeeds
+	if workers := raceWorkers(opts); workers > 1 {
+		return scheduleParallel(g, cfg, opts, ord, minII, maxII, busFloored, workers)
+	}
+
+	var causes [4]int // indexed by FailCause; built into a map only at the end
 	lastFail := -1
 	fails := 0
-	st := newSchedState(g, cfg)
+	st := getPooledState(g, cfg)
+	defer putPooledState(st)
 	for ii := minII; ii <= maxII; {
 		st.reset(ii)
 		cause, failNode := runAttempt(st, ord, opts)
@@ -110,27 +125,63 @@ func ScheduleGraph(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Schedule,
 			s := buildSchedule(st, *cfg)
 			s.MinII = minII
 			s.BusLimited = causes[CauseComm] > 0 || busFloored
-			s.Causes = causes
+			s.Causes = causesMap(causes)
 			return s, nil
-		}
-		if causes == nil {
-			causes = make(map[FailCause]int, 4)
 		}
 		causes[cause]++
 		lastFail = failNode
 		fails++
-		// Dense stepping near MinII preserves schedule quality; after many
-		// consecutive failures the II grows geometrically so graphs that
-		// can never fit (e.g. register-impossible at any II) fail in
-		// O(log MaxII) attempts instead of sweeping the whole range.
-		if fails <= 16 {
-			ii++
-		} else {
-			ii += 1 + ii/4
-		}
+		ii = nextII(ii, fails)
 	}
 	return nil, &Error{Graph: g.Name, Machine: cfg.Name, MaxII: maxII, MinII: minII,
-		Causes: causes, LastNode: lastFail}
+		Causes: causesMap(causes), LastNode: lastFail}
+}
+
+// nextII advances the II search: dense stepping near MinII preserves
+// schedule quality; after many consecutive failures the II grows
+// geometrically so graphs that can never fit (e.g. register-impossible
+// at any II) fail in O(log MaxII) attempts instead of sweeping the
+// whole range.  fails is the number of attempts already made.
+func nextII(ii, fails int) int {
+	if fails <= 16 {
+		return ii + 1
+	}
+	return ii + 1 + ii/4
+}
+
+// causesMap converts the search loop's flat failure counters into the
+// public map representation (nil when no attempt failed, matching the
+// first-II-succeeds fast path).
+func causesMap(c [4]int) map[FailCause]int {
+	var m map[FailCause]int
+	for k, v := range c {
+		if v != 0 {
+			if m == nil {
+				m = make(map[FailCause]int, 4)
+			}
+			m[FailCause(k)] = v
+		}
+	}
+	return m
+}
+
+// statePool recycles attempt states across ScheduleGraph runs: every
+// arena (reservation bitsets, pressure tables, flat scratch) survives
+// between runs, so a steady-state compile services each request without
+// rebuilding its working set.
+var statePool = sync.Pool{New: func() any { return new(state) }}
+
+func getPooledState(g *ddg.Graph, cfg *machine.Config) *state {
+	st := statePool.Get().(*state)
+	st.rebind(g, cfg)
+	return st
+}
+
+func putPooledState(st *state) {
+	// Drop the graph/config references so pooled idle states don't pin
+	// caller object graphs; the arenas themselves stay warm.
+	st.g, st.fg, st.cancel = nil, nil, nil
+	statePool.Put(st)
 }
 
 // sequentialBound returns an II safely large enough to schedule any loop:
@@ -151,9 +202,12 @@ func sequentialBound(g *ddg.Graph, cfg *machine.Config) int {
 var debugSched = false
 
 // candidate is one feasible (cluster, cycle, comm-plan) choice for a node.
+// candidate is one feasible (cluster → placement) option for the node
+// currently being scheduled.  The placement itself lives in the state's
+// per-cluster tryRes slot — keeping the struct two words makes the
+// filter and selection copies in the hot loop cheap.
 type candidate struct {
 	cluster int
-	res     tryResult
 	profit  int
 }
 
@@ -163,23 +217,31 @@ func runAttempt(st *state, ord []int, opts *Options) (FailCause, int) {
 	defCluster := -1
 	rrCluster := -1
 	for _, n := range ord {
+		if st.cancel != nil && st.cancel() {
+			return CauseCancelled, n
+		}
 		if !st.anyNeighborScheduled(n) {
 			defCluster = (defCluster + 1) % st.cfg.NClusters
 		}
 
 		// The candidate window depends only on the node, so the cycle
-		// scan is computed once and shared across the cluster candidates.
-		st.cycleBuf = st.candidateCycles(st.windowOf(n), st.cycleBuf[:0])
+		// scan (and the parallel kernel-slot buffer) is computed once and
+		// shared across the cluster candidates.
+		st.fillCycles(n)
 
 		// cands stays sorted by ascending cluster: candidateClusters
 		// yields clusters in ascending order and try returns at most one
 		// candidate per cluster.
 		cands := st.candBuf[:0]
 		worst := CauseFU
+		var profits []int // all clusters in one edge walk, on first success
 		for _, c := range candidateClusters(st, n, opts) {
-			res, cause := st.tryCycles(n, c, st.cycleBuf)
+			cause := st.tryCycles(n, c)
 			if cause == CauseNone {
-				cands = append(cands, candidate{cluster: c, res: res, profit: st.profit(n, c)})
+				if profits == nil {
+					profits = st.profits(n)
+				}
+				cands = append(cands, candidate{cluster: c, profit: profits[c]})
 				continue
 			}
 			if cause > worst {
@@ -223,13 +285,14 @@ func runAttempt(st *state, ord []int, opts *Options) (FailCause, int) {
 		default:
 			chosen = chooseByProfit(st, n, preferHeadroom(st, cands), defCluster)
 		}
+		res := &st.tryRes[chosen.cluster]
 		if debugSched {
 			w := st.windowOf(n)
 			fmt.Printf("DBG place node %d II=%d: E=%d(%v,a%v) L=%d(%v,a%v) -> c%d t=%d plan=%d\n",
 				n, st.ii, w.early, w.hasEarly, w.anchoredEarly, w.late, w.hasLate, w.anchoredLate,
-				chosen.cluster, chosen.res.cycle, len(chosen.res.plan))
+				chosen.cluster, res.cycle, len(res.plan))
 		}
-		st.commit(n, chosen.cluster, chosen.res)
+		st.commit(n, chosen.cluster, *res)
 	}
 	return CauseNone, -1
 }
@@ -259,7 +322,7 @@ func preferHeadroom(st *state, cands []candidate) []candidate {
 	}
 	roomy := st.roomyBuf[:0]
 	for _, c := range cands {
-		if c.res.maxLive <= st.cfg.RegsPerCluster-margin {
+		if st.tryRes[c.cluster].maxLive <= st.cfg.RegsPerCluster-margin {
 			roomy = append(roomy, c)
 		}
 	}
@@ -293,9 +356,10 @@ func chooseByProfit(st *state, n int, cands []candidate, defCluster int) candida
 	}
 	// Prefer the candidate with the most scheduled neighbours.
 	bestNb, nbCount := -1, 0
+	nb := st.neighborsInAll(n)
 	for i, c := range short {
-		if nb := st.neighborsIn(n, c.cluster); nb > nbCount {
-			bestNb, nbCount = i, nb
+		if v := nb[c.cluster]; v > nbCount {
+			bestNb, nbCount = i, v
 		}
 	}
 	if bestNb >= 0 {
@@ -308,8 +372,8 @@ func chooseByProfit(st *state, n int, cands []candidate, defCluster int) candida
 	}
 	min := short[0]
 	for _, c := range short[1:] {
-		if c.res.maxLive < min.res.maxLive ||
-			(c.res.maxLive == min.res.maxLive && c.cluster < min.cluster) {
+		if cl, ml := st.tryRes[c.cluster].maxLive, st.tryRes[min.cluster].maxLive; cl < ml ||
+			(cl == ml && c.cluster < min.cluster) {
 			min = c
 		}
 	}
@@ -357,16 +421,31 @@ func buildSchedule(st *state, cfg machine.Config) *Schedule {
 
 	// Deterministic FU assignment inside each (cluster, class, slot):
 	// sort the node IDs by group then by (cycle, id) and walk the runs.
-	sortBack := make([]int, 2*n)
+	// The permutation scratch lives on the state so a pooled run's only
+	// allocations are the Schedule itself.
+	if cap(st.sortBuf) < 2*n {
+		st.sortBuf = make([]int, 2*n)
+	}
+	sortBack := st.sortBuf[:2*n]
 	fs := &fuSorter{ids: sortBack[:n:n], key: sortBack[n:]}
 	for id := 0; id < n; id++ {
 		fs.ids[id] = id
-		slot := ((s.Placements[id].Cycle % st.ii) + st.ii) % st.ii
+		slot := s.Placements[id].Cycle % st.ii // cycles are >= 0 after the shift
 		fs.key[id] = (s.Placements[id].Cluster*int(machine.NumFUClasses)+
-			int(st.g.Node(id).Class.FU()))*st.ii + slot
+			int(st.fg.class[id]))*st.ii + slot
 	}
 	fs.cycles = s.Placements
-	sort.Sort(fs)
+	if n <= 48 {
+		// Insertion sort: typical loop bodies are small and the IDs come
+		// nearly ordered, which beats sort.Sort's interface dispatch.
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && fs.Less(j, j-1); j-- {
+				fs.Swap(j, j-1)
+			}
+		}
+	} else {
+		sort.Sort(fs)
+	}
 	for i := 0; i < n; {
 		j := i
 		for j < n && fs.key[fs.ids[j]] == fs.key[fs.ids[i]] {

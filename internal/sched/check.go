@@ -20,6 +20,51 @@ var pressureChecks = false
 // differential and fuzz tests rely on it).
 func DebugPressureChecks(on bool) { pressureChecks = on }
 
+// checkActNeeds asserts that the communication template (buildNodeTpl,
+// with its satisfied-threshold skip rule) instantiates to exactly the
+// direct per-cycle commNeeds output — order included.
+func (st *state) checkActNeeds(n, c, t int) {
+	want := st.commNeeds(n, c, t, nil)
+	var got []commNeed
+	nc := st.cfg.NClusters
+	for i := range st.tplInBuf {
+		tp := &st.tplInBuf[i]
+		if tp.pc == c || t >= st.satInBuf[i*nc+c] {
+			continue
+		}
+		got = append(got, commNeed{producer: tp.p, from: tp.pc, to: c,
+			release: tp.rel, deadline: tp.dl + t})
+	}
+	for j := range st.tplOutBuf {
+		tp := &st.tplOutBuf[j]
+		if tp.mc == c || t <= st.satOutBuf[j] {
+			continue
+		}
+		got = append(got, commNeed{producer: n, from: c, to: tp.mc,
+			release: tp.rel + t, deadline: tp.dl})
+	}
+	if len(want) != len(got) {
+		panic(fmt.Sprintf("sched: comm template divergence: node %d c=%d t=%d: %+v vs %+v",
+			n, c, t, got, want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			panic(fmt.Sprintf("sched: comm template divergence: node %d c=%d t=%d need %d: %+v vs %+v",
+				n, c, t, i, got[i], want[i]))
+		}
+	}
+}
+
+// checkWindowSkip asserts that a cycle rejected by the template's
+// feasibility interval really has no routable communication plan.
+func (st *state) checkWindowSkip(n, c, t int) {
+	needs := st.commNeeds(n, c, t, nil)
+	if plan, ok := st.planComms(needs, nil); ok {
+		st.releasePlan(plan)
+		panic(fmt.Sprintf("sched: template window wrongly rejected node %d c=%d t=%d", n, c, t))
+	}
+}
+
 // checkPressure asserts the invariant the incremental tables maintain:
 // for every cluster, the table's slots equal regpress.Pressure of the
 // lifetimes rebuilt from scratch, and the O(1) fits verdict matches the

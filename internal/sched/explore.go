@@ -70,28 +70,42 @@ type Choice struct {
 // infeasible candidates are filtered through reused scratch buffers.
 func (a *Attempt) Choices(n int) []Choice {
 	st := a.st
-	st.cycleBuf = st.candidateCycles(st.windowOf(n), st.cycleBuf[:0])
-	class := st.g.Node(n).Class.FU()
+	st.fillCycles(n)
+	class := st.fg.class[n]
 	var out []Choice
 	for c := 0; c < st.cfg.NClusters; c++ {
-		for _, t := range st.cycleBuf {
-			if !st.res.fuFree(c, class, t) {
+		r, s, ii := st.run, st.runSlot, st.ii
+		for i, t := 0, r.start; i < r.count; i, t = i+1, t+r.step {
+			if i > 0 {
+				s += r.step
+				if s == ii {
+					s = 0
+				} else if s < 0 {
+					s = ii - 1
+				}
+			}
+			if !st.res.fuFreeSlot(c, class, s) {
 				continue
 			}
 			st.needBuf = st.commNeeds(n, c, t, st.needBuf[:0])
-			plan, ok := st.planComms(st.needBuf)
+			plan, ok := st.planComms(st.needBuf, st.planBuf[:0])
+			st.planBuf = plan[:0]
 			if !ok {
 				continue
 			}
-			st.place(n, c, t, plan)
-			fits := st.fits()
-			st.unplace(n, plan)
+			// Register check against shadow tables — the live state is
+			// untouched either way.
+			fits, live := st.speculate(n, c, t, plan)
+			if pressureChecks {
+				st.crossCheckSpeculate(n, c, t, plan, fits, live)
+			}
+			st.releasePlan(plan)
 			if fits {
 				// The plan lives in the shared scratch buffer: copy it so
 				// the choice survives later enumerations and placements.
 				kept := append([]plannedComm(nil), plan...)
 				out = append(out, Choice{Cluster: c, Cycle: t,
-					res: tryResult{cycle: t, plan: kept}})
+					res: tryResult{cycle: t, slot: s, plan: kept, maxLive: live}})
 			}
 		}
 	}

@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// flatGraph is the scheduler's view of a dependence graph, flattened
+// into value-typed arenas: per-node edge lists become contiguous
+// []fedge runs addressed by offset arrays, so the inner loops (window
+// computation, communication needs, lifetime extensions, profit) walk
+// cache-dense 12-byte records instead of chasing []*Edge pointers.
+// The arrays are built once per graph and memoized on it (ddg.Memoize),
+// shared read-only by every scheduling run — including parallel II
+// workers racing the same loop.
+type flatGraph struct {
+	n int
+	// class[n] / produces[n] cache the node's FU class and whether it
+	// defines a register value.
+	class    []machine.FUClass
+	produces []bool
+
+	// inAll/outAll mirror InEdges/OutEdges (every dependence kind, in
+	// encounter order); inTrue/outTrue keep only true dependences,
+	// self-edges included — call sites filter on fe.n where the
+	// reference implementation skipped them.  Node i's run of xs is
+	// xs[xsOff[i]:xsOff[i+1]].
+	inAll, outAll   []fedge
+	inTrue, outTrue []fedge
+	inAllOff        []int32
+	outAllOff       []int32
+	inTrueOff       []int32
+	outTrueOff      []int32
+}
+
+// fedge is one half-edge: the far endpoint plus the latency and
+// iteration distance of the dependence.
+type fedge struct {
+	n    int32
+	lat  int16
+	dist int16
+}
+
+func (f *flatGraph) trueIn(n int) []fedge  { return f.inTrue[f.inTrueOff[n]:f.inTrueOff[n+1]] }
+func (f *flatGraph) trueOut(n int) []fedge { return f.outTrue[f.outTrueOff[n]:f.outTrueOff[n+1]] }
+func (f *flatGraph) allIn(n int) []fedge   { return f.inAll[f.inAllOff[n]:f.inAllOff[n+1]] }
+func (f *flatGraph) allOut(n int) []fedge  { return f.outAll[f.outAllOff[n]:f.outAllOff[n+1]] }
+
+// flatOf returns the memoized flattened view of g.
+func flatOf(g *ddg.Graph) *flatGraph {
+	return g.Memoize("sched.flat", func() any { return buildFlat(g) }).(*flatGraph)
+}
+
+func buildFlat(g *ddg.Graph) *flatGraph {
+	n := g.NumNodes()
+	f := &flatGraph{
+		n:          n,
+		class:      make([]machine.FUClass, n),
+		produces:   make([]bool, n),
+		inAllOff:   make([]int32, n+1),
+		outAllOff:  make([]int32, n+1),
+		inTrueOff:  make([]int32, n+1),
+		outTrueOff: make([]int32, n+1),
+	}
+	for i := 0; i < n; i++ {
+		node := g.Node(i)
+		f.class[i] = node.Class.FU()
+		f.produces[i] = node.Class.ProducesValue()
+	}
+	toFedge := func(far, lat, dist int) fedge {
+		// Latencies and distances in this codebase are tiny (op
+		// latencies and unroll distances); the int16 narrowing is guarded
+		// so a hostile graph fails loudly instead of mis-scheduling.
+		if lat != int(int16(lat)) || dist != int(int16(dist)) {
+			panic("sched: edge latency/distance overflows flat representation")
+		}
+		return fedge{n: int32(far), lat: int16(lat), dist: int16(dist)}
+	}
+	for i := 0; i < n; i++ {
+		for _, e := range g.InEdges(i) {
+			f.inAll = append(f.inAll, toFedge(e.From, e.Latency, e.Distance))
+			if e.Kind == ddg.DepTrue {
+				f.inTrue = append(f.inTrue, toFedge(e.From, e.Latency, e.Distance))
+			}
+		}
+		f.inAllOff[i+1] = int32(len(f.inAll))
+		f.inTrueOff[i+1] = int32(len(f.inTrue))
+		for _, e := range g.OutEdges(i) {
+			f.outAll = append(f.outAll, toFedge(e.To, e.Latency, e.Distance))
+			if e.Kind == ddg.DepTrue {
+				f.outTrue = append(f.outTrue, toFedge(e.To, e.Latency, e.Distance))
+			}
+		}
+		f.outAllOff[i+1] = int32(len(f.outAll))
+		f.outTrueOff[i+1] = int32(len(f.outTrue))
+	}
+	return f
+}

@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// mrtRes is one live reservation of the differential driver.
+type mrtRes struct {
+	bus      bool
+	c        int
+	class    machine.FUClass
+	b, cycle int
+}
+
+// TestMRTDifferential drives the packed-bitset reservation table and
+// the per-slot scalar oracle with the same pseudo-random
+// reserve/release sequence and asserts they agree on every free-slot
+// query after every step.  The II sweep crosses the one-word/two-word
+// boundary (64) and the BusLatency == II wrap boundary, the two places
+// the bit arithmetic can go wrong silently.
+func TestMRTDifferential(t *testing.T) {
+	type combo struct {
+		name string
+		cfg  machine.Config
+		iis  []int
+	}
+	combos := []combo{
+		{"four_1bus_lat1", machine.FourCluster(1, 1), []int{1, 2, 3, 5, 8}},
+		{"four_2bus_lat3", machine.FourCluster(2, 3), []int{3, 4, 7}},
+		{"two_2bus_lat3", machine.TwoCluster(2, 3), []int{3, 6}},
+		{"two_1bus_latEqII", machine.TwoCluster(1, 5), []int{5}},
+		{"four_2bus_wide", machine.FourCluster(2, 5), []int{63, 64, 65, 70}},
+	}
+	for _, cb := range combos {
+		for _, ii := range cb.iis {
+			for seed := int64(0); seed < 4; seed++ {
+				t.Run(fmt.Sprintf("%s/ii%d/seed%d", cb.name, ii, seed), func(t *testing.T) {
+					runMRTDifferential(t, &cb.cfg, ii, seed)
+				})
+			}
+		}
+	}
+}
+
+func runMRTDifferential(t *testing.T, cfg *machine.Config, ii int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	m := newMRT(cfg)
+	m.reset(ii)
+	oracle := newScalarMRT(cfg)
+	oracle.reset(ii)
+
+	var live []mrtRes
+	for step := 0; step < 400; step++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			// Release a random live reservation.
+			i := rng.Intn(len(live))
+			r := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if r.bus {
+				m.releaseBus(r.b, r.cycle)
+				oracle.releaseBus(r.b, r.cycle)
+			} else {
+				m.releaseFU(r.c, r.class, r.cycle)
+				oracle.releaseFU(r.c, r.class, r.cycle)
+			}
+		} else if cfg.NBuses > 0 && rng.Intn(2) == 0 {
+			b := rng.Intn(cfg.NBuses)
+			cycle := rng.Intn(3*ii) - ii // exercise negative cycles too
+			got, want := m.busFree(b, cycle), oracle.busFree(b, cycle)
+			if got != want {
+				t.Fatalf("step %d: busFree(%d, %d) = %v, oracle %v", step, b, cycle, got, want)
+			}
+			if got {
+				m.reserveBus(b, cycle)
+				oracle.reserveBus(b, cycle)
+				live = append(live, mrtRes{bus: true, b: b, cycle: cycle})
+			}
+		} else {
+			c := rng.Intn(cfg.NClusters)
+			class := machine.FUClass(rng.Intn(int(machine.NumFUClasses)))
+			cycle := rng.Intn(3*ii) - ii
+			got, want := m.fuFree(c, class, cycle), oracle.fuFree(c, class, cycle)
+			if got != want {
+				t.Fatalf("step %d: fuFree(%d, %v, %d) = %v, oracle %v", step, c, class, cycle, got, want)
+			}
+			if got {
+				m.reserveFU(c, class, cycle)
+				oracle.reserveFU(c, class, cycle)
+				live = append(live, mrtRes{c: c, class: class, cycle: cycle})
+			}
+		}
+
+		// Full-table agreement after every mutation, plus the bus scan
+		// against a slot-by-slot reference.
+		for b := 0; b < cfg.NBuses; b++ {
+			for s := 0; s < ii; s++ {
+				if got, want := m.busFreeSlot(b, s), oracle.busFree(b, s); got != want {
+					t.Fatalf("step %d: busFreeSlot(%d, %d) = %v, oracle %v", step, b, s, got, want)
+				}
+			}
+			for s := 0; s < ii; s++ {
+				n := 1 + rng.Intn(ii)
+				got := m.busScan(b, s, n)
+				want := -1
+				for k := 0; k < n; k++ {
+					if oracle.busFree(b, (s+k)%ii) {
+						want = k
+						break
+					}
+				}
+				if got != want {
+					t.Fatalf("step %d: busScan(%d, %d, %d) = %d, oracle %d", step, b, s, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBusScanWrapAtLatencyEqualsII pins busScan on the full-wrap
+// boundary: with BusLatency == II every start occupies the whole
+// kernel, so exactly one transfer fits and the scan must report the
+// first start while the bus is empty and none afterwards.
+func TestBusScanWrapAtLatencyEqualsII(t *testing.T) {
+	cfg := machine.TwoCluster(1, 4)
+	m := newMRT(&cfg)
+	m.reset(4)
+	for s := 0; s < 4; s++ {
+		if got := m.busScan(0, s, 4); got != 0 {
+			t.Fatalf("empty bus: busScan(0, %d, 4) = %d, want 0", s, got)
+		}
+	}
+	m.reserveBus(0, 2)
+	for s := 0; s < 4; s++ {
+		if got := m.busScan(0, s, 4); got != -1 {
+			t.Fatalf("full bus: busScan(0, %d, 4) = %d, want -1", s, got)
+		}
+	}
+	m.releaseBus(0, 2)
+	if got := m.busScan(0, 3, 4); got != 0 {
+		t.Fatalf("released bus: busScan(0, 3, 4) = %d, want 0", got)
+	}
+}
+
+// TestBusScanPartialWrap pins the wrap search path: the only feasible
+// start lies before the query slot, so the scan has to wrap past II-1
+// and count the offset correctly.
+func TestBusScanPartialWrap(t *testing.T) {
+	cfg := machine.TwoCluster(1, 2)
+	m := newMRT(&cfg)
+	m.reset(6)
+	// Busy slots 2..5 -> the only latency-2 window is [0,1].
+	m.reserveBusSlot(0, 2) // occupies 2 and 3
+	m.reserveBusSlot(0, 4) // occupies 4 and 5
+	if got := m.busScan(0, 3, 6); got != 3 {
+		t.Fatalf("busScan(0, 3, 6) = %d, want 3 (wrap to slot 0)", got)
+	}
+	if got := m.busScan(0, 3, 3); got != -1 {
+		t.Fatalf("busScan(0, 3, 3) = %d, want -1 (window excludes the wrap)", got)
+	}
+}

@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// Parallel II race: instead of attempting II candidates one after
+// another, the candidates of the exact sequence the serial search would
+// scan (dense near MinII, then geometric — nextII) are raced on worker
+// goroutines.  Every worker owns a full attempt state drawn from the
+// pool; the immutable graph, its memoized analyses (SMS order, flat
+// edge arrays) and the machine config are shared read-only.
+//
+// The race is deterministic.  Feasibility at one II is independent of
+// the other attempts, so the winner is defined as the lowest-index
+// feasible II — exactly what the serial loop returns.  Workers claim
+// sequence indices from an atomic counter in ascending order and
+// publish successes with a CAS-min on the best index; an attempt is
+// cancelled mid-flight (polled once per node) only when a *lower* index
+// has already succeeded, so every index below the winner always runs to
+// completion.  The failure telemetry (Causes, BusLimited) is then
+// summed over exactly those indices — identical to the serial run,
+// which attempts precisely the IIs below the winner and then stops.
+type raceResult struct {
+	sched    *Schedule // non-nil iff the attempt succeeded
+	cause    FailCause
+	failNode int
+}
+
+// raceWorkers decides how many II attempts may run concurrently: 1
+// (serial) unless the caller asked for more, capped at GOMAXPROCS so
+// the race degrades to the serial search on a single-processor run.
+func raceWorkers(opts *Options) int {
+	w := opts.Parallel
+	if p := runtime.GOMAXPROCS(0); w > p {
+		w = p
+	}
+	if w < 2 {
+		return 1
+	}
+	return w
+}
+
+// iiSequence materialises the II values the serial search would
+// attempt, in order.
+func iiSequence(minII, maxII int) []int {
+	var seq []int
+	fails := 0
+	for ii := minII; ii <= maxII; {
+		seq = append(seq, ii)
+		fails++
+		ii = nextII(ii, fails)
+	}
+	return seq
+}
+
+func scheduleParallel(g *ddg.Graph, cfg *machine.Config, opts *Options, ord []int,
+	minII, maxII int, busFloored bool, workers int) (*Schedule, error) {
+	// Force the shared memoized analyses into existence before the
+	// workers start: Memoize tolerates concurrent builds, but computing
+	// the flat graph once is cheaper than once per early worker.
+	flatOf(g)
+
+	seq := iiSequence(minII, maxII)
+	n := len(seq)
+	if workers > n {
+		workers = n
+	}
+	results := make([]raceResult, n)
+
+	var next, best atomic.Int64
+	best.Store(int64(n)) // no winner yet
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := getPooledState(g, cfg)
+			defer putPooledState(st)
+			for {
+				idx := int(next.Add(1) - 1)
+				if idx >= n || int64(idx) > best.Load() {
+					return
+				}
+				st.cancel = func() bool { return best.Load() < int64(idx) }
+				st.reset(seq[idx])
+				cause, failNode := runAttempt(st, ord, opts)
+				if cause == CauseNone {
+					// Build the schedule before publishing: the state is
+					// reused for the next claim.
+					s := buildSchedule(st, *cfg)
+					results[idx].sched = s
+					for {
+						b := best.Load()
+						if int64(idx) >= b || best.CompareAndSwap(b, int64(idx)) {
+							break
+						}
+					}
+				} else {
+					results[idx].cause, results[idx].failNode = cause, failNode
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var causes [4]int
+	if win := int(best.Load()); win < n {
+		// Indices below the winner can never have been cancelled (the
+		// cancel predicate needs a success below them, and the winner is
+		// the minimum), so these are the same completed failures the
+		// serial search would have recorded before reaching the winner.
+		for i := 0; i < win; i++ {
+			causes[results[i].cause]++
+		}
+		s := results[win].sched
+		s.MinII = minII
+		s.BusLimited = causes[CauseComm] > 0 || busFloored
+		s.Causes = causesMap(causes)
+		return s, nil
+	}
+	// Total failure: without a success no attempt was ever cancelled, so
+	// every index completed with a real cause.
+	lastFail := -1
+	for i := 0; i < n; i++ {
+		causes[results[i].cause]++
+		lastFail = results[i].failNode
+	}
+	return nil, &Error{Graph: g.Name, Machine: cfg.Name, MaxII: maxII, MinII: minII,
+		Causes: causesMap(causes), LastNode: lastFail}
+}

@@ -1,0 +1,260 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// raceGraph is a deterministic 16-node body whose II search on
+// FourCluster(1,1) fails twice (one register, one comm cause) before
+// settling at II 4 — so a race has indices to cancel and telemetry to
+// get wrong.
+func raceGraph() *ddg.Graph {
+	g := ddg.Random(8, 16, 8)
+	if g == nil {
+		panic("race graph generation failed")
+	}
+	return g
+}
+
+// withProcs raises GOMAXPROCS for the duration of a test so the II race
+// actually runs multi-worker even on a single-CPU CI box (raceWorkers
+// caps at GOMAXPROCS, by design), restoring the old value afterwards.
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// assertSameSchedule fails unless the two results are bit-identical in
+// every observable dimension: II, MinII, the bus-limited flag, the
+// failure telemetry, and each node's (cluster, FU, cycle) placement with
+// its transfers.
+func assertSameSchedule(t *testing.T, label string, serial, par *Schedule) {
+	t.Helper()
+	if serial.II != par.II || serial.MinII != par.MinII || serial.BusLimited != par.BusLimited {
+		t.Fatalf("%s: II/MinII/BusLimited diverge: serial (%d, %d, %v), parallel (%d, %d, %v)",
+			label, serial.II, serial.MinII, serial.BusLimited, par.II, par.MinII, par.BusLimited)
+	}
+	if !reflect.DeepEqual(serial.Causes, par.Causes) {
+		t.Fatalf("%s: failure telemetry diverges: serial %v, parallel %v", label, serial.Causes, par.Causes)
+	}
+	if !reflect.DeepEqual(serial.Placements, par.Placements) {
+		t.Fatalf("%s: placements diverge", label)
+	}
+	if !reflect.DeepEqual(serial.Transfers, par.Transfers) {
+		t.Fatalf("%s: transfers diverge", label)
+	}
+}
+
+// TestParallelIIDeterministicWinner races the race graph (fails at II
+// 2 and 3, succeeds at 4) many times and demands
+// the exact serial result every time — including the Causes map, which
+// only matches if every index below the winner ran to completion and
+// nothing above it was counted.
+func TestParallelIIDeterministicWinner(t *testing.T) {
+	withProcs(t, 4)
+	g := raceGraph()
+	cfg := machine.FourCluster(1, 1)
+	serial, err := ScheduleGraph(g, &cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Causes) == 0 {
+		t.Fatalf("want a graph whose II search fails at least once; got clean II=%d", serial.II)
+	}
+	for run := 0; run < 20; run++ {
+		par, err := ScheduleGraph(g, &cfg, &Options{Parallel: 4})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		assertSameSchedule(t, fmt.Sprintf("run %d", run), serial, par)
+	}
+}
+
+// TestParallelIIErrorMatchesSerial pins the total-failure path: when no
+// II up to MaxII is feasible, the parallel search must report the same
+// aggregated Error (causes per II, last failing node) as the serial
+// scan, because no attempt is ever cancelled without a winner.
+func TestParallelIIErrorMatchesSerial(t *testing.T) {
+	withProcs(t, 4)
+	g := raceGraph()
+	cfg := machine.FourCluster(1, 1)
+	base := &Options{MaxII: 3} // the race graph needs II 4 on this machine
+	_, serialErr := ScheduleGraph(g, &cfg, base)
+	var serial *Error
+	if !errors.As(serialErr, &serial) {
+		t.Fatalf("serial: want *Error, got %v", serialErr)
+	}
+	for run := 0; run < 10; run++ {
+		_, parErr := ScheduleGraph(g, &cfg, &Options{MaxII: 3, Parallel: 4})
+		var par *Error
+		if !errors.As(parErr, &par) {
+			t.Fatalf("run %d: want *Error, got %v", run, parErr)
+		}
+		if !reflect.DeepEqual(serial.Causes, par.Causes) || serial.LastNode != par.LastNode ||
+			serial.MinII != par.MinII || serial.MaxII != par.MaxII {
+			t.Fatalf("run %d: error diverges: serial %+v, parallel %+v", run, serial, par)
+		}
+	}
+}
+
+// TestParallelIIMatchesSerialCorpus sweeps real workload shapes — the
+// trimmed synthetic SPECfp95 loops — across every Table 1 machine and
+// checks schedule equality serial vs raced.  This is the PR's
+// whole-corpus determinism gate.
+func TestParallelIIMatchesSerialCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus x Table1 sweep is not short")
+	}
+	withProcs(t, 4)
+	benches := corpus.Trimmed([]string{"swim", "hydro2d", "wave5"}, 3)
+	cfgs := machine.Table1Configs()
+	checked := 0
+	for _, b := range benches {
+		for _, l := range b.Loops {
+			if l.Ops() > 48 {
+				continue
+			}
+			for i := range cfgs {
+				cfg := cfgs[i]
+				label := fmt.Sprintf("%s/%s on %s", b.Name, l.Graph.Name, cfg.Name)
+				serial, serr := ScheduleGraph(l.Graph, &cfg, nil)
+				par, perr := ScheduleGraph(l.Graph, &cfg, &Options{Parallel: 4})
+				if (serr == nil) != (perr == nil) {
+					t.Fatalf("%s: feasibility diverges: serial err %v, parallel err %v", label, serr, perr)
+				}
+				if serr != nil {
+					continue
+				}
+				assertSameSchedule(t, label, serial, par)
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("corpus sweep compared zero schedules — trim filter broken?")
+	}
+	t.Logf("corpus sweep: %d schedules bit-identical serial vs parallel", checked)
+}
+
+// TestParallelIINoGoroutineLeak runs races that cancel in-flight
+// attempts (the winner at index 2 cancels claimed higher indices) and
+// checks the worker goroutines all exit.
+func TestParallelIINoGoroutineLeak(t *testing.T) {
+	withProcs(t, 4)
+	g := raceGraph()
+	cfg := machine.FourCluster(1, 1)
+	before := runtime.NumGoroutine()
+	for run := 0; run < 50; run++ {
+		if _, err := ScheduleGraph(g, &cfg, &Options{Parallel: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after 50 races", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestParallelIISharedGraphStress hammers one shared graph from many
+// concurrent racing schedulers.  Run under -race (CI does) this is the
+// data-race proof for the shared memoized analyses (SMS order, flat
+// edge arrays) and the state pool.
+func TestParallelIISharedGraphStress(t *testing.T) {
+	withProcs(t, 4)
+	g := raceGraph()
+	cfg := machine.FourCluster(1, 1)
+	serial, err := ScheduleGraph(g, &cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for run := 0; run < 10; run++ {
+				par, err := ScheduleGraph(g, &cfg, &Options{Parallel: 2 + w%3})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if par.II != serial.II || !reflect.DeepEqual(par.Placements, serial.Placements) {
+					errs <- fmt.Errorf("worker %d run %d: schedule diverged", w, run)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestRaceWorkersDegradation pins the worker-count policy: 0 and 1 mean
+// serial, GOMAXPROCS caps the request, and on a single-processor run
+// every request degrades to the serial search.
+func TestRaceWorkersDegradation(t *testing.T) {
+	withProcs(t, 4)
+	for _, tc := range []struct{ req, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {4, 4}, {64, 4},
+	} {
+		if got := raceWorkers(&Options{Parallel: tc.req}); got != tc.want {
+			t.Errorf("GOMAXPROCS=4: raceWorkers(%d) = %d, want %d", tc.req, got, tc.want)
+		}
+	}
+	runtime.GOMAXPROCS(1)
+	if got := raceWorkers(&Options{Parallel: 8}); got != 1 {
+		t.Errorf("GOMAXPROCS=1: raceWorkers(8) = %d, want 1 (serial degradation)", got)
+	}
+	// And the degraded path still schedules correctly.
+	g := raceGraph()
+	cfg := machine.FourCluster(1, 1)
+	s, err := ScheduleGraph(g, &cfg, &Options{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.II != 4 {
+		t.Errorf("degraded run II = %d, want 4", s.II)
+	}
+}
+
+// TestIISequenceMatchesSerialScan pins iiSequence to the serial loop's
+// actual scan: dense early, geometric later, never past MaxII.
+func TestIISequenceMatchesSerialScan(t *testing.T) {
+	for _, tc := range []struct{ minII, maxII int }{
+		{3, 5}, {3, 40}, {1, 1}, {7, 100}, {10, 9},
+	} {
+		var want []int
+		fails := 0
+		for ii := tc.minII; ii <= tc.maxII; {
+			want = append(want, ii)
+			fails++
+			ii = nextII(ii, fails)
+		}
+		got := iiSequence(tc.minII, tc.maxII)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("iiSequence(%d, %d) = %v, want %v", tc.minII, tc.maxII, got, want)
+		}
+	}
+}

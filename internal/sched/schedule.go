@@ -1,14 +1,3 @@
-// Package sched implements the paper's core contribution: modulo
-// scheduling for clustered VLIW machines with a *unified
-// assign-and-schedule* strategy (BSA, Figure 5).  Cluster selection and
-// cycle/FU placement happen in one pass over the SMS node order; cluster
-// candidates are ranked by the out-edge profit; inter-cluster
-// communications are placed on shared buses modelled as reservation-table
-// resources that stay busy for the whole bus latency.
-//
-// The same machinery schedules the unified machine (one cluster, no
-// buses) and, via FixedAssignment, the two-phase Nystrom & Eichenberger
-// baseline in package assign.
 package sched
 
 import (
@@ -64,6 +53,10 @@ const (
 	// CauseComm: a placement existed but its communications could not be
 	// routed over the buses — the signal the selective unroller keys on.
 	CauseComm
+	// CauseCancelled: the attempt was abandoned mid-flight because a
+	// lower II already succeeded (parallel II race).  Never recorded in
+	// failure telemetry — a cancelled attempt proves nothing about its II.
+	CauseCancelled
 )
 
 // String names the cause.
@@ -77,6 +70,8 @@ func (c FailCause) String() string {
 		return "reg"
 	case CauseComm:
 		return "comm"
+	case CauseCancelled:
+		return "cancelled"
 	default:
 		return fmt.Sprintf("FailCause(%d)", int(c))
 	}

@@ -8,22 +8,29 @@ import (
 
 // state is one in-progress scheduling attempt at a fixed II.
 //
-// It is built for reuse: ScheduleGraph allocates one state per run and
-// reset() rewinds it for every II of the search (epoch-based placement
-// flags, modulo tables resized in place, scratch buffers recycled), so
-// the II sweep and the try/place/unplace inner loop are allocation-free
-// in the steady state.
+// It is built for reuse: ScheduleGraph draws one state per run from a
+// pool and reset() rewinds it for every II of the search (epoch-based
+// placement flags, modulo tables resized in place, scratch buffers
+// recycled), so the II sweep and the try/place/unplace inner loop are
+// allocation-free in the steady state.  rebind() points a recycled
+// state at a new graph/machine, growing the per-node arenas in place.
+//
+// The graph is consumed through its flattened view (flat.go): the inner
+// loops walk contiguous value-typed half-edge arrays instead of []*Edge
+// pointer chains.
 //
 // Register pressure is maintained incrementally: press holds one
 // regpress.Table per cluster, updated in place/unplace with exactly the
 // lifetime segments a placement creates — the node's own value, the
 // extensions of already-placed same-cluster producers, and the
-// producer/consumer holds of its bus transfers.  Every pressure mutation
-// is recorded in an undo log so a speculative place/check/unplace (the
-// inner loop of try and of the exact oracle's expansions) costs
-// O(lifetime length) rather than a full O(V+E) recompute.
+// producer/consumer holds of its bus transfers.  Candidate placements
+// are checked without touching the live tables at all: speculate()
+// applies the would-be segments to per-cluster Shadow copies (snapshot
+// + additive apply, nothing to undo), so only the chosen candidate pays
+// for a real place.
 type state struct {
 	g   *ddg.Graph
+	fg  *flatGraph
 	cfg *machine.Config
 	ii  int
 	res *mrt
@@ -61,24 +68,58 @@ type state struct {
 	press []regpress.Table
 	// undo records every pressure mutation so unplace can rewind to
 	// mark[n], the undo-stack depth saved when n was placed.  place and
-	// unplace are strictly LIFO (try's speculate/rollback, the exact
-	// oracle's DFS), which is what makes a single stack sufficient.
+	// unplace are strictly LIFO (the exact oracle's DFS), which is what
+	// makes a single stack sufficient.
 	undo []undoRec
 	mark []int
+
+	// Speculation scratch (speculate): per-cluster shadow tables plus
+	// stamped temporaries emulating the lifetime/transfer-bound updates
+	// a real place would make.  specEpoch advances per speculation so
+	// the stamps never need clearing.
+	shadow      []regpress.Shadow
+	shadowDirty []bool
+	dirtyList   []int
+	specEpoch   int32
+	lifeTmp     []int
+	lifeStamp   []int32
+	transTmp    []int
+	transStamp  []int32
 
 	// seen/seenEpoch stamp visited neighbours for the allocation-free
 	// distinct-neighbour counts (neighborsIn).
 	seen      []int32
 	seenEpoch int32
 
+	// cancel, when non-nil, is polled once per node by runAttempt; a
+	// true return abandons the attempt (parallel II race losers).
+	cancel func() bool
+
+	// Per-node scan state (fillCycles): the candidate-cycle run and the
+	// kernel slot of its first cycle, shared by the per-cluster tries.
+	run     scanRun
+	runSlot int
+
 	// Scratch buffers reused across try/Choices calls.
-	cycleBuf    []int
 	needBuf     []commNeed
+	tplInBuf    []tplIn
+	tplOutBuf   []tplOut
+	tplMin      []int // per-cluster feasibility interval of the template
+	tplMax      []int
+	satInBuf    []int // per (in-entry, cluster) satisfied-below threshold
+	satOutBuf   []int // per out-entry satisfied-at-or-below threshold
+	prodBuf     []prodRead
+	endFix      []int // per-cluster fixed consumer end of the node's value
+	selfMax     int   // max self-edge distance of the current node, -1 if none
+	profitBuf   []int
+	nbBuf       []int
 	planBuf     []plannedComm
 	keepBuf     [][]plannedComm // per-cluster: survives until the candidate is committed
+	tryRes      []tryResult     // per-cluster: result slot filled by tryCycles
 	candBuf     []candidate
 	roomyBuf    []candidate
 	shortBuf    []candidate
+	sortBuf     []int
 	allClusters []int
 	oneCluster  [1]int
 }
@@ -98,42 +139,123 @@ const (
 // newSchedState allocates a reusable attempt state; call reset(ii)
 // before each II.
 func newSchedState(g *ddg.Graph, cfg *machine.Config) *state {
-	n := g.NumNodes()
-	// One backing array per element type keeps the fixed per-run
-	// allocation count flat regardless of how many per-node tables the
-	// state carries.
-	ints := make([]int, 4*n+cfg.NClusters)
-	int32s := make([]int32, 2*n)
-	st := &state{
-		g: g, cfg: cfg,
-		res:         newMRT(cfg),
-		placedEpoch: int32s[:n:n],
-		seen:        int32s[n : 2*n : 2*n],
-		time:        ints[0*n : 1*n : 1*n],
-		cluster:     ints[1*n : 2*n : 2*n],
-		lifeEnd:     ints[2*n : 3*n : 3*n],
-		mark:        ints[3*n : 4*n : 4*n],
-		allClusters: ints[4*n:],
-		byProd:      make([][]int32, n),
-		press:       make([]regpress.Table, cfg.NClusters),
-		keepBuf:     make([][]plannedComm, cfg.NClusters),
-		undo:        make([]undoRec, 0, 4*n+8),
-	}
-	cands := make([]candidate, 3*cfg.NClusters)
-	st.candBuf = cands[0*cfg.NClusters : 0 : cfg.NClusters]
-	st.roomyBuf = cands[1*cfg.NClusters : cfg.NClusters : 2*cfg.NClusters]
-	st.shortBuf = cands[2*cfg.NClusters : 2*cfg.NClusters : 3*cfg.NClusters]
-	for i := range st.cluster {
-		st.cluster[i] = -1
-	}
-	for i := range st.allClusters {
-		st.allClusters[i] = i
-	}
+	st := new(state)
+	st.rebind(g, cfg)
 	return st
 }
 
+// growInts returns s resized to n entries, reusing the backing array
+// when capacity allows.  Contents are unspecified.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n, n+n/2+8)
+	}
+	return s[:n]
+}
+
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n, n+n/2+8)
+	}
+	return s[:n]
+}
+
+// rebind points the state at a graph/machine pair, growing every
+// per-node and per-cluster arena in place.  Epoch counters keep
+// running: stale placement or speculation stamps from a previous run
+// can never equal a future epoch, so the arenas need no clearing.
+func (st *state) rebind(g *ddg.Graph, cfg *machine.Config) {
+	// Drop references into the previous run's transfers before the
+	// per-node arenas are resized for the new graph.
+	for i := range st.transfers {
+		p := st.transfers[i].Producer
+		st.byProd[p] = st.byProd[p][:0]
+	}
+	st.transfers = st.transfers[:0]
+	st.transLast = st.transLast[:0]
+	st.undo = st.undo[:0]
+
+	st.g, st.cfg = g, cfg
+	st.fg = flatOf(g)
+	n := g.NumNodes()
+	nc := cfg.NClusters
+
+	st.placedEpoch = growInt32s(st.placedEpoch, n)
+	st.seen = growInt32s(st.seen, n)
+	st.lifeStamp = growInt32s(st.lifeStamp, n)
+	st.time = growInts(st.time, n)
+	st.cluster = growInts(st.cluster, n)
+	st.lifeEnd = growInts(st.lifeEnd, n)
+	st.mark = growInts(st.mark, n)
+	st.lifeTmp = growInts(st.lifeTmp, n)
+	for i := range st.cluster {
+		st.cluster[i] = -1
+	}
+
+	if cap(st.byProd) < n {
+		byProd := make([][]int32, n, n+n/2+8)
+		copy(byProd, st.byProd)
+		st.byProd = byProd
+	} else {
+		st.byProd = st.byProd[:n]
+	}
+
+	if cap(st.press) < nc {
+		st.press = make([]regpress.Table, nc)
+		st.shadow = make([]regpress.Shadow, nc)
+	}
+	st.press = st.press[:nc]
+	st.shadow = st.shadow[:nc]
+	if cap(st.shadowDirty) < nc {
+		st.shadowDirty = make([]bool, nc)
+		st.dirtyList = make([]int, 0, nc)
+	}
+	st.shadowDirty = st.shadowDirty[:nc]
+	for i := range st.shadowDirty {
+		st.shadowDirty[i] = false
+	}
+	st.dirtyList = st.dirtyList[:0]
+
+	if cap(st.keepBuf) < nc {
+		keep := make([][]plannedComm, nc)
+		copy(keep, st.keepBuf)
+		st.keepBuf = keep
+	} else {
+		st.keepBuf = st.keepBuf[:nc]
+	}
+
+	if cap(st.candBuf) < nc {
+		cands := make([]candidate, 3*nc)
+		st.candBuf = cands[0*nc : 0 : nc]
+		st.roomyBuf = cands[1*nc : nc : 2*nc]
+		st.shortBuf = cands[2*nc : 2*nc : 3*nc]
+	}
+	if cap(st.tryRes) < nc {
+		st.tryRes = make([]tryResult, nc)
+	} else {
+		st.tryRes = st.tryRes[:nc]
+	}
+
+	st.allClusters = growInts(st.allClusters, nc)
+	for i := range st.allClusters {
+		st.allClusters[i] = i
+	}
+	st.profitBuf = growInts(st.profitBuf, nc)
+	st.nbBuf = growInts(st.nbBuf, nc)
+	st.tplMin = growInts(st.tplMin, nc)
+	st.tplMax = growInts(st.tplMax, nc)
+	st.endFix = growInts(st.endFix, nc)
+
+	if st.res == nil {
+		st.res = newMRT(cfg)
+	} else {
+		st.res.rebind(cfg)
+	}
+	st.cancel = nil
+}
+
 // newState returns a state ready at the given II (tests and one-shot
-// callers; ScheduleGraph uses newSchedState + reset directly).
+// callers; ScheduleGraph uses a pooled state + reset directly).
 func newState(g *ddg.Graph, cfg *machine.Config, ii int) *state {
 	st := newSchedState(g, cfg)
 	st.reset(ii)
@@ -158,15 +280,6 @@ func (st *state) reset(ii int) {
 	for c := range st.press {
 		st.press[c].Init(ii, st.cfg.RegsPerCluster)
 	}
-	// The widest cycle scan is bounded by the candidate span; one
-	// up-front grow keeps candidateCycles allocation-free.
-	span := ii
-	if st.cfg.Clustered() {
-		span += ii + st.cfg.BusLatency
-	}
-	if cap(st.cycleBuf) < span {
-		st.cycleBuf = make([]int, 0, span+span/2+4)
-	}
 }
 
 // placed reports whether node n is placed in the current attempt.
@@ -187,39 +300,48 @@ type window struct {
 
 func (st *state) windowOf(n int) window {
 	var w window
-	for _, e := range st.g.InEdges(n) {
-		if !st.placed(e.From) || e.From == n {
+	for _, e := range st.fg.allIn(n) {
+		p := int(e.n)
+		if p == n || !st.placed(p) {
 			continue
 		}
-		t := st.time[e.From] + e.Latency - st.ii*e.Distance
+		t := st.time[p] + int(e.lat) - st.ii*int(e.dist)
 		if !w.hasEarly || t > w.early {
 			w.early, w.hasEarly = t, true
 		}
-		if e.Distance == 0 {
+		if e.dist == 0 {
 			w.anchoredEarly = true
 		}
 	}
-	for _, e := range st.g.OutEdges(n) {
-		if !st.placed(e.To) || e.To == n {
+	for _, e := range st.fg.allOut(n) {
+		m := int(e.n)
+		if m == n || !st.placed(m) {
 			continue
 		}
-		t := st.time[e.To] - e.Latency + st.ii*e.Distance
+		t := st.time[m] - int(e.lat) + st.ii*int(e.dist)
 		if !w.hasLate || t < w.late {
 			w.late, w.hasLate = t, true
 		}
-		if e.Distance == 0 {
+		if e.dist == 0 {
 			w.anchoredLate = true
 		}
 	}
 	return w
 }
 
-// candidateCycles appends to out the cycles to try for a node, in
-// preference order, following SMS: forward from the earliest start when
-// predecessors dominate, backward from the latest when successors do,
-// the intersection when both exist, and a fresh [0, II) scan otherwise.
-// Callers pass a scratch slice (typically buf[:0]) so the scan is
-// allocation-free once the buffer has grown.
+// scanRun is a node's candidate-cycle scan as an arithmetic sequence:
+// count cycles from start, stepping by +1 or -1.  Every case of the SMS
+// cycle-preference policy produces one monotone run, so the scan never
+// needs materialising — the try loop walks the run and keeps the kernel
+// slot incrementally (one division per node, zero buffer traffic).
+type scanRun struct {
+	start, count, step int
+}
+
+// runOf computes the cycles to try for a node, in preference order,
+// following SMS: forward from the earliest start when predecessors
+// dominate, backward from the latest when successors do, the
+// intersection when both exist, and a fresh [0, II) scan otherwise.
 //
 // On clustered machines the one-sided scans extend beyond one II window:
 // moving an operation a whole II later (or earlier) revisits the same
@@ -228,7 +350,7 @@ func (st *state) windowOf(n int) window {
 // "communication operations may increase the length of the schedule, and
 // therefore the SC may be increased".  Bus patterns repeat with period
 // II, so II+BusLatency extra cycles exhaust every distinct possibility.
-func (st *state) candidateCycles(w window, out []int) []int {
+func (st *state) runOf(w window) scanRun {
 	span := st.ii
 	if st.cfg.Clustered() {
 		span += st.ii + st.cfg.BusLatency
@@ -239,17 +361,13 @@ func (st *state) candidateCycles(w window, out []int) []int {
 		if !w.anchoredEarly && start < 0 {
 			start = 0 // loop-carried-only bound: stay near the base
 		}
-		for t := start; t < start+span; t++ {
-			out = append(out, t)
-		}
+		return scanRun{start: start, count: span, step: 1}
 	case !w.hasEarly && w.hasLate:
 		start := w.late
 		if !w.anchoredLate && start > st.ii-1 {
 			start = st.ii - 1
 		}
-		for t := start; t > start-span; t-- {
-			out = append(out, t)
-		}
+		return scanRun{start: start, count: span, step: -1}
 	case w.hasEarly && w.hasLate:
 		if !w.anchoredEarly && w.anchoredLate {
 			// The node's only same-iteration tie is to its successors:
@@ -259,10 +377,7 @@ func (st *state) candidateCycles(w window, out []int) []int {
 			if m := w.late - st.ii + 1; m > lo {
 				lo = m
 			}
-			for t := w.late; t >= lo; t-- {
-				out = append(out, t)
-			}
-			break
+			return scanRun{start: w.late, count: w.late - lo + 1, step: -1}
 		}
 		lo := w.early
 		if !w.anchoredEarly && !w.anchoredLate && lo < 0 && w.late >= 0 {
@@ -272,21 +387,39 @@ func (st *state) candidateCycles(w window, out []int) []int {
 		if m := lo + st.ii - 1; m < hi {
 			hi = m
 		}
-		for t := lo; t <= hi; t++ {
-			out = append(out, t)
-		}
+		return scanRun{start: lo, count: hi - lo + 1, step: 1}
 	default:
-		for t := 0; t < st.ii; t++ {
-			out = append(out, t)
-		}
+		return scanRun{start: 0, count: st.ii, step: 1}
+	}
+}
+
+// candidateCycles materialises runOf into a slice (tests, diagnostics
+// and the exact-search enumeration; the BSA hot path walks the run
+// directly).  Callers pass a scratch slice, typically buf[:0].
+func (st *state) candidateCycles(w window, out []int) []int {
+	r := st.runOf(w)
+	for i, t := 0, r.start; i < r.count; i, t = i+1, t+r.step {
+		out = append(out, t)
 	}
 	return out
 }
 
+// fillCycles computes everything about node n the per-cluster tries
+// share: the candidate-cycle run, the kernel slot of its first cycle,
+// and the node's communication template.
+func (st *state) fillCycles(n int) {
+	st.run = st.runOf(st.windowOf(n))
+	if st.run.count > 0 {
+		st.runSlot = st.res.slot(st.run.start)
+	}
+	st.buildNodeTpl(n)
+}
+
 // plannedComm is one bus reservation made while trying a placement.
+// slot caches start mod II so release/re-reserve skip the division.
 type plannedComm struct {
 	producer, from, to int
-	bus, start         int
+	bus, start, slot   int
 }
 
 // commNeed describes one transfer that a tentative placement requires:
@@ -305,32 +438,34 @@ type commNeed struct {
 // a scratch slice (typically buf[:0]).
 func (st *state) commNeeds(n, c, t int, out []commNeed) []commNeed {
 	// Incoming values: scheduled producers in other clusters.
-	for _, e := range st.g.InEdges(n) {
-		if e.Kind != ddg.DepTrue || !st.placed(e.From) || e.From == n {
+	for _, e := range st.fg.trueIn(n) {
+		p := int(e.n)
+		if p == n || !st.placed(p) {
 			continue
 		}
-		pc := st.cluster[e.From]
+		pc := st.cluster[p]
 		if pc == c {
 			continue
 		}
 		out = mergeNeed(out, commNeed{
-			producer: e.From, from: pc, to: c,
-			release: st.time[e.From] + e.Latency, deadline: t + st.ii*e.Distance,
+			producer: p, from: pc, to: c,
+			release: st.time[p] + int(e.lat), deadline: t + st.ii*int(e.dist),
 		})
 	}
 	// Outgoing values: scheduled consumers in other clusters.
-	if st.g.Node(n).Class.ProducesValue() {
-		for _, e := range st.g.OutEdges(n) {
-			if e.Kind != ddg.DepTrue || !st.placed(e.To) || e.To == n {
+	if st.fg.produces[n] {
+		for _, e := range st.fg.trueOut(n) {
+			m := int(e.n)
+			if m == n || !st.placed(m) {
 				continue
 			}
-			mc := st.cluster[e.To]
+			mc := st.cluster[m]
 			if mc == c {
 				continue
 			}
 			out = mergeNeed(out, commNeed{
 				producer: n, from: c, to: mc,
-				release: t + e.Latency, deadline: st.time[e.To] + st.ii*e.Distance,
+				release: t + int(e.lat), deadline: st.time[m] + st.ii*int(e.dist),
 			})
 		}
 	}
@@ -375,54 +510,295 @@ func (st *state) satisfiedByExisting(need *commNeed) bool {
 	return false
 }
 
+// The communication needs of a tentative placement are affine in the
+// candidate cycle t — an incoming value's release is fixed by its
+// producer and the deadline slides with t (deadline = dl + t); an
+// outgoing value's release slides (release = rel + t) and the deadline
+// is fixed by the consumer.  The cluster only decides *which* entries
+// apply (a counterpart on the candidate cluster needs no transfer), and
+// merging for the same (value, destination) always combines entries of
+// one slope pattern, where min/max of the bases is min/max of the
+// instantiated bounds at every t.  So the template is built once per
+// node (tplIn/tplOut, buildNodeTpl) together with the per-cluster
+// feasibility intervals (tplMin/tplMax) and satisfied-by-existing
+// thresholds (satInBuf/satOutBuf), and each cycle probe is two compares
+// per need plus the actual bus scan — no edge walking, no need
+// materialisation, no per-cluster activation pass.
+
+// tplIn is a templated incoming need: producer p on cluster pc, release
+// fixed at rel, deadline = dl + t.
+type tplIn struct{ p, pc, rel, dl int }
+
+// tplOut is a templated outgoing need: consumer cluster mc, release =
+// rel + t, deadline fixed at dl.
+type tplOut struct{ mc, rel, dl int }
+
+// prodRead is one placed true-dependence producer of the node being
+// tried, with the edge's iteration distance — the per-node list lets
+// speculate skip the unplaced/self-edge filtering on every cluster.
+type prodRead struct{ p, dist int }
+
+// buildNodeTpl rebuilds the node's communication template (one walk of
+// its true edges, merged per producer resp. consumer cluster, in
+// commNeeds encounter order), then projects it onto every cluster at
+// once: tplMin/tplMax hold each cluster's feasibility interval — a
+// candidate cycle outside it is guaranteed to fail its bus planning —
+// and satInBuf/satOutBuf fold satisfiedByExisting into thresholds on t.
+// A committed transfer covers an incoming need exactly for
+// t >= satInBuf[i*nc+c] (its arrival precedes the sliding deadline) and
+// an outgoing need for t <= satOutBuf[j] (its start trails the sliding
+// release; which transfers qualify does not depend on the candidate
+// cluster) — at those cycles the entry is skipped, everywhere else it
+// is planned.  Valid until the placement state changes.
+func (st *state) buildNodeTpl(n int) {
+	in := st.tplInBuf[:0]
+	prods := st.prodBuf[:0]
+	for _, e := range st.fg.trueIn(n) {
+		p := int(e.n)
+		if p == n || !st.placed(p) {
+			continue
+		}
+		prods = append(prods, prodRead{p: p, dist: int(e.dist)})
+		rel, dl := st.time[p]+int(e.lat), st.ii*int(e.dist)
+		merged := false
+		for i := range in {
+			if in[i].p == p {
+				if rel > in[i].rel {
+					in[i].rel = rel
+				}
+				if dl < in[i].dl {
+					in[i].dl = dl
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			in = append(in, tplIn{p: p, pc: st.cluster[p], rel: rel, dl: dl})
+		}
+	}
+	st.tplInBuf = in
+	st.prodBuf = prods
+
+	st.selfMax = -1
+	out := st.tplOutBuf[:0]
+	if st.fg.produces[n] {
+		for c := range st.endFix {
+			st.endFix[c] = -tplIntMax - 1 // ends can be negative: no 0 sentinel
+		}
+		for _, e := range st.fg.trueOut(n) {
+			m := int(e.n)
+			if m == n {
+				if d := int(e.dist); d > st.selfMax {
+					st.selfMax = d
+				}
+				continue
+			}
+			if !st.placed(m) {
+				continue
+			}
+			mc := st.cluster[m]
+			if r := st.time[m] + st.ii*int(e.dist) + 1; r > st.endFix[mc] {
+				st.endFix[mc] = r
+			}
+			rel, dl := int(e.lat), st.time[m]+st.ii*int(e.dist)
+			merged := false
+			for i := range out {
+				if out[i].mc == mc {
+					if rel > out[i].rel {
+						out[i].rel = rel
+					}
+					if dl < out[i].dl {
+						out[i].dl = dl
+					}
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				out = append(out, tplOut{mc: mc, rel: rel, dl: dl})
+			}
+		}
+	}
+	st.tplOutBuf = out
+
+	nc := st.cfg.NClusters
+	lat := st.cfg.BusLatency
+	for c := 0; c < nc; c++ {
+		st.tplMin[c] = -tplIntMax - 1
+		st.tplMax[c] = tplIntMax
+	}
+	if len(in)+len(out) == 0 {
+		return
+	}
+	st.satInBuf = growInts(st.satInBuf, len(in)*nc)
+	for i := range in {
+		tp := &in[i]
+		row := st.satInBuf[i*nc : (i+1)*nc]
+		for c := range row {
+			row[c] = tplIntMax
+		}
+		for _, idx := range st.byProd[tp.p] {
+			tr := &st.transfers[idx]
+			if tr.Start >= tp.rel {
+				if v := tr.Start + lat - tp.dl; v < row[tr.To] {
+					row[tr.To] = v
+				}
+			}
+		}
+		m := tp.rel + lat - tp.dl
+		for c := 0; c < nc; c++ {
+			if c != tp.pc && m > st.tplMin[c] {
+				st.tplMin[c] = m
+			}
+		}
+	}
+	st.satOutBuf = growInts(st.satOutBuf, len(out))
+	for j := range out {
+		tp := &out[j]
+		satT := -tplIntMax - 1
+		for _, idx := range st.byProd[n] {
+			tr := &st.transfers[idx]
+			if tr.To == tp.mc && tr.Start+lat <= tp.dl {
+				if v := tr.Start - tp.rel; v > satT {
+					satT = v
+				}
+			}
+		}
+		st.satOutBuf[j] = satT
+		m := tp.dl - lat - tp.rel
+		for c := 0; c < nc; c++ {
+			if c != tp.mc && m < st.tplMax[c] {
+				st.tplMax[c] = m
+			}
+		}
+	}
+	if lat > st.ii && len(in)+len(out) > 0 {
+		// No transfer can ever fit at this II (and none was ever
+		// committed, so no entry is satisfied): any cluster with an
+		// applicable entry gets an empty feasibility interval.
+		for c := 0; c < nc; c++ {
+			has := false
+			for i := range in {
+				if in[i].pc != c {
+					has = true
+					break
+				}
+			}
+			for j := 0; !has && j < len(out); j++ {
+				if out[j].mc != c {
+					has = true
+				}
+			}
+			if has {
+				st.tplMin[c], st.tplMax[c] = 0, -1
+			}
+		}
+	}
+}
+
+const tplIntMax = int(^uint(0) >> 1)
+
+// planActs reserves buses for every template entry applicable to
+// placing node n on cluster c at cycle t, first-fit earliest-start,
+// appending to dst.  Entries whose counterpart lives on c, and entries
+// covered by a committed transfer (the satisfied thresholds from
+// buildNodeTpl), are skipped.  The cluster's feasibility interval
+// [tplMin[c], tplMax[c]] marks the cycles outside which some entry's
+// transfer window is empty (release > deadline - BusLatency); an
+// empty-window entry can neither be planned nor be covered by a
+// committed transfer (coverage needs the same non-empty window), so the
+// caller rejects those cycles with zero planning work.  On failure
+// planActs releases everything it reserved and returns dst[:0], false.
+func (st *state) planActs(n, c, t int, dst []plannedComm) ([]plannedComm, bool) {
+	plan := dst[:0]
+	nc := st.cfg.NClusters
+	for i := range st.tplInBuf {
+		tp := &st.tplInBuf[i]
+		if tp.pc == c || t >= st.satInBuf[i*nc+c] {
+			continue
+		}
+		pc, ok := st.planTransfer(tp.p, tp.pc, c, tp.rel, tp.dl+t)
+		if !ok {
+			st.releasePlan(plan)
+			return plan[:0], false
+		}
+		plan = append(plan, pc)
+	}
+	for j := range st.tplOutBuf {
+		tp := &st.tplOutBuf[j]
+		if tp.mc == c || t <= st.satOutBuf[j] {
+			continue
+		}
+		pc, ok := st.planTransfer(n, c, tp.mc, tp.rel+t, tp.dl)
+		if !ok {
+			st.releasePlan(plan)
+			return plan[:0], false
+		}
+		plan = append(plan, pc)
+	}
+	return plan, true
+}
+
 // planComms reserves buses for every need, first-fit earliest-start,
-// into the state's plan scratch buffer (valid until the next planComms
-// call).  On failure it releases everything it reserved and returns
+// appending to dst (a reused scratch or per-cluster keep buffer).  On
+// failure it releases everything it reserved and returns dst[:0],
 // false.
-func (st *state) planComms(needs []commNeed) ([]plannedComm, bool) {
-	plan := st.planBuf[:0]
+func (st *state) planComms(needs []commNeed, dst []plannedComm) ([]plannedComm, bool) {
+	plan := dst[:0]
 	for _, need := range needs {
 		pc, ok := st.planOne(need)
 		if !ok {
 			st.releasePlan(plan)
-			st.planBuf = plan[:0]
-			return nil, false
+			return plan[:0], false
 		}
 		plan = append(plan, pc)
 	}
-	st.planBuf = plan
 	return plan, true
 }
 
 func (st *state) planOne(need commNeed) (plannedComm, bool) {
-	lastStart := need.deadline - st.cfg.BusLatency
-	if lastStart < need.release {
+	return st.planTransfer(need.producer, need.from, need.to, need.release, need.deadline)
+}
+
+// planTransfer finds the earliest feasible bus start in
+// [release, deadline-BusLatency] — lowest bus on ties, the first-fit
+// order the cycle-by-cycle scan used — and reserves it.  Bus occupancy
+// repeats modulo II, so at most II distinct starts exist and each bus
+// is asked for its first feasible start with one bitset scan
+// (mrt.busScan) instead of a per-slot probing loop.
+func (st *state) planTransfer(producer, from, to, release, deadline int) (plannedComm, bool) {
+	lat := st.cfg.BusLatency
+	lastStart := deadline - lat
+	if lastStart < release {
 		return plannedComm{}, false
 	}
-	// Bus occupancy repeats modulo II: scanning II distinct starts covers
-	// every pattern; the earliest feasible start minimises the producer-
-	// side register hold.
-	hi := lastStart
-	if m := need.release + st.ii - 1; m < hi {
-		hi = m
+	n := lastStart - release + 1
+	if n > st.ii {
+		n = st.ii
 	}
-	for s := need.release; s <= hi; s++ {
-		for b := 0; b < st.cfg.NBuses; b++ {
-			if st.res.busFree(b, s) {
-				st.res.reserveBus(b, s)
-				return plannedComm{
-					producer: need.producer, from: need.from, to: need.to,
-					bus: b, start: s,
-				}, true
-			}
+	s0 := st.res.slot(release)
+	bestK, bestB := -1, -1
+	for b := 0; b < st.cfg.NBuses; b++ {
+		if k := st.res.busScan(b, s0, n); k >= 0 && (bestK < 0 || k < bestK) {
+			bestK, bestB = k, b
 		}
 	}
-	return plannedComm{}, false
+	if bestK < 0 {
+		return plannedComm{}, false
+	}
+	s := s0 + bestK
+	if s >= st.ii {
+		s -= st.ii
+	}
+	st.res.reserveBusSlot(bestB, s)
+	return plannedComm{producer: producer, from: from, to: to,
+		bus: bestB, start: release + bestK, slot: s}, true
 }
 
 func (st *state) releasePlan(plan []plannedComm) {
 	for _, pc := range plan {
-		st.res.releaseBus(pc.bus, pc.start)
+		st.res.releaseBusSlot(pc.bus, pc.slot)
 	}
 }
 
@@ -442,7 +818,13 @@ func effEnd(arrival, last int) int {
 // lifetime segments the placement creates.  The bus slots in plan are
 // already reserved by planComms.
 func (st *state) place(n, c, t int, plan []plannedComm) {
-	st.res.reserveFU(c, st.g.Node(n).Class.FU(), t)
+	st.placeAt(n, c, t, st.res.slot(t), plan)
+}
+
+// placeAt is place with the kernel slot precomputed (the try path
+// already knows it).
+func (st *state) placeAt(n, c, t, slot int, plan []plannedComm) {
+	st.res.reserveFUSlot(c, st.fg.class[n], slot)
 	st.mark[n] = len(st.undo)
 	st.placedEpoch[n] = st.epoch
 	st.time[n] = t
@@ -453,12 +835,12 @@ func (st *state) place(n, c, t int, plan []plannedComm) {
 	// that cover the new read.  (Self-edges are n's own lifetime,
 	// handled below; plan transfers are appended afterwards so this loop
 	// only sees committed ones.)
-	for _, e := range st.g.InEdges(n) {
-		if e.Kind != ddg.DepTrue || e.From == n || !st.placed(e.From) {
+	for _, e := range st.fg.trueIn(n) {
+		p := int(e.n)
+		if p == n || !st.placed(p) {
 			continue
 		}
-		p := e.From
-		read := t + st.ii*e.Distance
+		read := t + st.ii*int(e.dist)
 		if st.cluster[p] == c {
 			if read+1 > st.lifeEnd[p] {
 				st.undo = append(st.undo, undoRec{kind: uLifeEnd, x: p, y: st.lifeEnd[p]})
@@ -485,13 +867,14 @@ func (st *state) place(n, c, t int, plan []plannedComm) {
 	// n's own value: live from issue to its last already-placed
 	// same-cluster read (self-edges included); bus writes extend it in
 	// the transfer loop below.
-	if st.g.Node(n).Class.ProducesValue() {
+	if st.fg.produces[n] {
 		end := t + 1
-		for _, e := range st.g.OutEdges(n) {
-			if e.Kind != ddg.DepTrue || !st.placed(e.To) || st.cluster[e.To] != c {
+		for _, e := range st.fg.trueOut(n) {
+			m := int(e.n)
+			if !st.placed(m) || st.cluster[m] != c {
 				continue
 			}
-			if r := st.time[e.To] + st.ii*e.Distance + 1; r > end {
+			if r := st.time[m] + st.ii*int(e.dist) + 1; r > end {
 				end = r
 			}
 		}
@@ -517,11 +900,12 @@ func (st *state) place(n, c, t int, plan []plannedComm) {
 
 		arrival := pc.start + st.cfg.BusLatency
 		last := arrival
-		for _, e := range st.g.OutEdges(pc.producer) {
-			if e.Kind != ddg.DepTrue || !st.placed(e.To) || st.cluster[e.To] != pc.to {
+		for _, e := range st.fg.trueOut(pc.producer) {
+			m := int(e.n)
+			if !st.placed(m) || st.cluster[m] != pc.to {
 				continue
 			}
-			read := st.time[e.To] + st.ii*e.Distance
+			read := st.time[m] + st.ii*int(e.dist)
 			if read >= arrival && read+1 > last {
 				last = read + 1
 			}
@@ -542,7 +926,7 @@ func (st *state) place(n, c, t int, plan []plannedComm) {
 // the tail and the pressure mutations are rewound from the undo log
 // down to the mark saved at placement.
 func (st *state) unplace(n int, plan []plannedComm) {
-	st.res.releaseFU(st.cluster[n], st.g.Node(n).Class.FU(), st.time[n])
+	st.res.releaseFU(st.cluster[n], st.fg.class[n], st.time[n])
 	for range plan {
 		idx := len(st.transfers) - 1
 		tr := st.transfers[idx]
@@ -596,9 +980,186 @@ func (st *state) maxLiveAll() []int {
 	return out
 }
 
+// shadowOf returns cluster x's speculation shadow, snapshotting the
+// live table on the cluster's first touch in this speculation.
+func (st *state) shadowOf(x int) *regpress.Shadow {
+	if !st.shadowDirty[x] {
+		st.shadowDirty[x] = true
+		st.dirtyList = append(st.dirtyList, x)
+		st.shadow[x].Snapshot(&st.press[x])
+	}
+	return &st.shadow[x]
+}
+
+// lifeCur reads producer p's lifetime end as of the current
+// speculation, lazily seeding the stamped temporary from the live
+// value.
+func (st *state) lifeCur(p int) int {
+	if st.lifeStamp[p] != st.specEpoch {
+		st.lifeStamp[p] = st.specEpoch
+		st.lifeTmp[p] = st.lifeEnd[p]
+	}
+	return st.lifeTmp[p]
+}
+
+// transCur is lifeCur for a committed transfer's consumer-side bound.
+func (st *state) transCur(idx int) int {
+	if st.transStamp[idx] != st.specEpoch {
+		st.transStamp[idx] = st.specEpoch
+		st.transTmp[idx] = st.transLast[idx]
+	}
+	return st.transTmp[idx]
+}
+
+// speculate reports whether placing node n at (cluster c, cycle t) with
+// the given communication plan would keep every register file within
+// capacity, and the candidate cluster's resulting MaxLive.  It mirrors
+// place's pressure bookkeeping exactly, but applies the would-be
+// lifetime segments to per-cluster shadow snapshots: the live tables,
+// reservation rows, transfer logs and undo stack are untouched, and an
+// abandoned speculation costs nothing to roll back.  The bus slots in
+// plan are reserved (planComms ran) but buses carry no pressure, so the
+// plan is consumed purely as timing data.
+func (st *state) speculate(n, c, t int, plan []plannedComm) (bool, int) {
+	// A placement only ever adds pressure, so nothing can start fitting
+	// by placing more; mirroring the place-then-check contract exactly.
+	if !st.fits() {
+		return false, 0
+	}
+	st.specEpoch++
+	for _, dc := range st.dirtyList {
+		st.shadowDirty[dc] = false
+	}
+	st.dirtyList = st.dirtyList[:0]
+	if len(st.transStamp) < len(st.transfers) {
+		st.transStamp = growInt32s(st.transStamp[:0], len(st.transfers))
+		for i := range st.transStamp {
+			st.transStamp[i] = 0
+		}
+		st.transTmp = growInts(st.transTmp, len(st.transfers))
+		st.specEpoch++ // stale stamps were dropped; never match them
+	}
+	ii := st.ii
+
+	// n as consumer: extensions of same-cluster producers and of
+	// committed transfers covering the new read.  The placed producers
+	// were collected once per node by buildNodeTpl.
+	for _, pr := range st.prodBuf {
+		p := pr.p
+		read := t + ii*pr.dist
+		if st.cluster[p] == c {
+			cur := st.lifeCur(p)
+			if read+1 > cur {
+				st.shadowOf(c).Add(cur, read+1)
+				st.lifeTmp[p] = read + 1
+			}
+		} else {
+			for _, idx := range st.byProd[p] {
+				tr := &st.transfers[idx]
+				if tr.To != c {
+					continue
+				}
+				arrival := tr.Start + st.cfg.BusLatency
+				cur := st.transCur(int(idx))
+				if read >= arrival && read+1 > cur {
+					st.shadowOf(c).Add(effEnd(arrival, cur), read+1)
+					st.transTmp[idx] = read + 1
+				}
+			}
+		}
+	}
+
+	// n's own value, reads by already-placed same-cluster consumers and
+	// self-edges included (n acts as its own placed consumer at (c, t));
+	// both were folded per cluster by buildNodeTpl.
+	if st.fg.produces[n] {
+		end := t + 1
+		if st.selfMax >= 0 {
+			if r := t + ii*st.selfMax + 1; r > end {
+				end = r
+			}
+		}
+		if r := st.endFix[c]; r > end {
+			end = r
+		}
+		st.shadowOf(c).Add(t, end)
+		st.lifeStamp[n] = st.specEpoch
+		st.lifeTmp[n] = end
+	}
+
+	// Plan transfers: producer-side hold until the bus write, and a
+	// fresh consumer-side lifetime over every read the arrival covers —
+	// with n itself counting as placed at (c, t).
+	for _, pc := range plan {
+		cur := st.lifeCur(pc.producer)
+		if end := pc.start + 1; end > cur {
+			st.shadowOf(pc.from).Add(cur, end)
+			st.lifeTmp[pc.producer] = end
+		}
+
+		arrival := pc.start + st.cfg.BusLatency
+		last := arrival
+		for _, e := range st.fg.trueOut(pc.producer) {
+			m := int(e.n)
+			var mc, mt int
+			if m == n {
+				mc, mt = c, t
+			} else if st.placed(m) {
+				mc, mt = st.cluster[m], st.time[m]
+			} else {
+				continue
+			}
+			if mc != pc.to {
+				continue
+			}
+			read := mt + ii*int(e.dist)
+			if read >= arrival && read+1 > last {
+				last = read + 1
+			}
+		}
+		if last > arrival+1 {
+			st.shadowOf(pc.to).Add(arrival, last)
+		}
+	}
+
+	for _, dc := range st.dirtyList {
+		if !st.shadow[dc].Fits() {
+			return false, 0
+		}
+	}
+	if st.shadowDirty[c] {
+		return true, st.shadow[c].Max()
+	}
+	return true, st.press[c].Max()
+}
+
+// crossCheckSpeculate replays a speculation through the mutating
+// place/fits/unplace path and panics on any verdict divergence — the
+// differential that keeps the shadow bookkeeping honest.  Enabled with
+// pressureChecks; the plan's bus slots must still be reserved, and are
+// left exactly as found.
+func (st *state) crossCheckSpeculate(n, c, t int, plan []plannedComm, ok bool, live int) {
+	st.place(n, c, t, plan)
+	wantOK := st.fits()
+	wantLive := 0
+	if wantOK {
+		wantLive = st.press[c].Max()
+	}
+	st.unplace(n, plan)
+	// unplace released the plan's bus reservations; restore them so the
+	// caller's view is unchanged.
+	for _, pc := range plan {
+		st.res.reserveBus(pc.bus, pc.start)
+	}
+	if ok != wantOK || (ok && live != wantLive) {
+		panic("sched: speculate diverged from place/fits/unplace")
+	}
+}
+
 // tryResult is a feasible placement found by try.
 type tryResult struct {
 	cycle   int
+	slot    int // cycle mod II, cached for commit
 	plan    []plannedComm
 	maxLive int // resulting MaxLive of the candidate cluster
 }
@@ -609,58 +1170,94 @@ type tryResult struct {
 // CauseComm if communications never fit, CauseReg if only the register
 // check failed.
 func (st *state) try(n, c int) (tryResult, FailCause) {
-	st.cycleBuf = st.candidateCycles(st.windowOf(n), st.cycleBuf[:0])
-	return st.tryCycles(n, c, st.cycleBuf)
+	st.fillCycles(n)
+	if cause := st.tryCycles(n, c); cause != CauseNone {
+		return tryResult{}, cause
+	}
+	return st.tryRes[c], CauseNone
 }
 
-// tryCycles is try with the candidate cycles precomputed, so the BSA
-// driver scans each node's window once and shares it across the cluster
-// candidates (the window does not depend on the cluster).  On success
-// the returned plan lives in the per-cluster keep buffer: valid until
+// tryCycles is try with the node's scan state (cycle run, first slot,
+// comm template — fillCycles) precomputed, so the BSA driver computes
+// each node's window once and shares it across the cluster candidates
+// (the window does not depend on the cluster).  On success the result
+// is written to the per-cluster slot st.tryRes[c] — not returned by
+// value, keeping the hot selection loop free of 64-byte struct copies —
+// and its plan lives in the per-cluster keep buffer: both valid until
 // the next try of the same cluster, which is exactly the candidate
 // lifetime of the BSA selection loop.
-func (st *state) tryCycles(n, c int, cycles []int) (tryResult, FailCause) {
-	class := st.g.Node(n).Class.FU()
+func (st *state) tryCycles(n, c int) FailCause {
+	class := st.fg.class[n]
 	reached := CauseFU
-	for _, t := range cycles {
-		if !st.res.fuFree(c, class, t) {
+	// The node's communication template (fillCycles) is already
+	// projected onto every cluster: the feasibility interval rejects
+	// most cycles of a failing scan with two compares, and surviving
+	// cycles go straight to the bus scan — no edge walks or need
+	// materialisation per probe.
+	tMin, tMax := st.tplMin[c], st.tplMax[c]
+	r, s, ii := st.run, st.runSlot, st.ii
+	for i, t := 0, r.start; i < r.count; i, t = i+1, t+r.step {
+		if i > 0 {
+			// The run is monotone: the kernel slot steps with the cycle.
+			s += r.step
+			if s == ii {
+				s = 0
+			} else if s < 0 {
+				s = ii - 1
+			}
+		}
+		if !st.res.fuFreeSlot(c, class, s) {
 			continue
 		}
-		st.needBuf = st.commNeeds(n, c, t, st.needBuf[:0])
-		plan, ok := st.planComms(st.needBuf)
+		if t < tMin || t > tMax {
+			// Some transfer's start window is empty at this cycle.
+			if pressureChecks {
+				st.checkWindowSkip(n, c, t)
+			}
+			if reached == CauseFU {
+				reached = CauseComm
+			}
+			continue
+		}
+		if pressureChecks {
+			st.checkActNeeds(n, c, t)
+		}
+		plan, ok := st.planActs(n, c, t, st.keepBuf[c][:0])
+		st.keepBuf[c] = plan
 		if !ok {
 			if reached == CauseFU {
 				reached = CauseComm
 			}
 			continue
 		}
-		// Register check on the hypothetical state.
-		st.place(n, c, t, plan)
-		if st.fits() {
-			live := st.press[c].Max()
-			st.unplace(n, plan)
-			// Bus slots were released by unplace; the caller re-applies the
-			// plan on commit.  Copy the plan out of the scratch buffer so it
-			// survives the sibling clusters' tries.
-			st.keepBuf[c] = append(st.keepBuf[c][:0], plan...)
-			return tryResult{cycle: t, plan: st.keepBuf[c], maxLive: live}, CauseNone
+		// Register check on the hypothetical state, against shadow
+		// tables: nothing to roll back either way.
+		fits, live := st.speculate(n, c, t, plan)
+		if pressureChecks {
+			st.crossCheckSpeculate(n, c, t, plan, fits, live)
 		}
-		st.unplace(n, plan)
+		// The plan's bus slots are released either way: the caller
+		// re-applies the plan on commit.
+		st.releasePlan(plan)
+		if fits {
+			st.tryRes[c] = tryResult{cycle: t, slot: s, plan: plan, maxLive: live}
+			return CauseNone
+		}
 		reached = CauseReg
 	}
-	return tryResult{}, reached
+	return reached
 }
 
 // commit re-applies a placement previously found by try.  Nothing
 // changed in between, so the identical reservations must succeed.
 func (st *state) commit(n, c int, r tryResult) {
 	for _, pc := range r.plan {
-		if !st.res.busFree(pc.bus, pc.start) {
+		if !st.res.busFreeSlot(pc.bus, pc.slot) {
 			panic("sched: committed transfer no longer fits")
 		}
-		st.res.reserveBus(pc.bus, pc.start)
+		st.res.reserveBusSlot(pc.bus, pc.slot)
 	}
-	st.place(n, c, r.cycle, r.plan)
+	st.placeAt(n, c, r.cycle, r.slot, r.plan)
 }
 
 // referenceLifetimes rebuilds every cluster's lifetime list from
@@ -728,20 +1325,55 @@ func (st *state) referenceLifetimes() [][]regpress.Lifetime {
 // nodes").
 func (st *state) profit(n, c int) int {
 	p := 0
-	for _, e := range st.g.InEdges(n) {
-		if e.Kind == ddg.DepTrue && e.From != n && st.placed(e.From) && st.cluster[e.From] == c {
+	for _, e := range st.fg.trueIn(n) {
+		v := int(e.n)
+		if v != n && st.placed(v) && st.cluster[v] == c {
 			p++
 		}
 	}
-	for _, e := range st.g.OutEdges(n) {
-		if e.Kind != ddg.DepTrue || e.To == n {
+	for _, e := range st.fg.trueOut(n) {
+		v := int(e.n)
+		if v == n {
 			continue
 		}
-		if !(st.placed(e.To) && st.cluster[e.To] == c) {
+		if !(st.placed(v) && st.cluster[v] == c) {
 			p--
 		}
 	}
 	return p
+}
+
+// profits computes profit(n, c) for every cluster in one edge walk
+// (valid until the placement state changes): profit = (placed
+// in-producers on c) - (out-consumers not placed on c), so accumulating
+// per-cluster in/out counts and subtracting the total out-degree gives
+// all clusters at once.
+func (st *state) profits(n int) []int {
+	buf := st.profitBuf
+	for c := range buf {
+		buf[c] = 0
+	}
+	for _, e := range st.fg.trueIn(n) {
+		v := int(e.n)
+		if v != n && st.placed(v) {
+			buf[st.cluster[v]]++
+		}
+	}
+	totalOut := 0
+	for _, e := range st.fg.trueOut(n) {
+		v := int(e.n)
+		if v == n {
+			continue
+		}
+		totalOut++
+		if st.placed(v) {
+			buf[st.cluster[v]]++
+		}
+	}
+	for c := range buf {
+		buf[c] -= totalOut
+	}
+	return buf
 }
 
 // neighborsIn counts n's scheduled predecessors and successors living in
@@ -750,37 +1382,47 @@ func (st *state) profit(n, c int) int {
 // predecessor and successor counts twice, matching ddg.Preds + Succs);
 // the seen-stamp scratch keeps the dedup allocation-free.
 func (st *state) neighborsIn(n, c int) int {
-	count := 0
+	return st.neighborsInAll(n)[c]
+}
+
+// neighborsInAll is neighborsIn for every cluster in one pair of edge
+// walks: each placed neighbour is stamped once per direction and
+// bucketed by its cluster.
+func (st *state) neighborsInAll(n int) []int {
+	buf := st.nbBuf
+	for c := range buf {
+		buf[c] = 0
+	}
 	st.seenEpoch++
-	for _, e := range st.g.InEdges(n) {
-		v := e.From
-		if v != n && st.seen[v] != st.seenEpoch && st.placed(v) && st.cluster[v] == c {
+	for _, e := range st.fg.allIn(n) {
+		v := int(e.n)
+		if v != n && st.seen[v] != st.seenEpoch && st.placed(v) {
 			st.seen[v] = st.seenEpoch
-			count++
+			buf[st.cluster[v]]++
 		}
 	}
 	st.seenEpoch++
-	for _, e := range st.g.OutEdges(n) {
-		v := e.To
-		if v != n && st.seen[v] != st.seenEpoch && st.placed(v) && st.cluster[v] == c {
+	for _, e := range st.fg.allOut(n) {
+		v := int(e.n)
+		if v != n && st.seen[v] != st.seenEpoch && st.placed(v) {
 			st.seen[v] = st.seenEpoch
-			count++
+			buf[st.cluster[v]]++
 		}
 	}
-	return count
+	return buf
 }
 
 // anyNeighborScheduled reports whether any predecessor or successor of n
 // is already placed — when none is, n starts a new subgraph and the
 // default cluster advances (Figure 5, step 2).
 func (st *state) anyNeighborScheduled(n int) bool {
-	for _, e := range st.g.InEdges(n) {
-		if e.From != n && st.placed(e.From) {
+	for _, e := range st.fg.allIn(n) {
+		if int(e.n) != n && st.placed(int(e.n)) {
 			return true
 		}
 	}
-	for _, e := range st.g.OutEdges(n) {
-		if e.To != n && st.placed(e.To) {
+	for _, e := range st.fg.allOut(n) {
+		if int(e.n) != n && st.placed(int(e.n)) {
 			return true
 		}
 	}

@@ -158,7 +158,7 @@ func TestCommNeedsSkipsSatisfied(t *testing.T) {
 	st.place(p.ID, 0, 0, nil)
 	// Place n1 on cluster 1 with its transfer.
 	needs := st.commNeeds(n1.ID, 1, 5, nil)
-	plan, ok := st.planComms(needs)
+	plan, ok := st.planComms(needs, nil)
 	if !ok {
 		t.Fatal("planComms failed")
 	}
@@ -215,7 +215,7 @@ func TestUnplaceRestoresState(t *testing.T) {
 	// The bus must be free again at the transfer's old slot.
 	for b := 0; b < cfg.NBuses; b++ {
 		for s := 0; s < 3; s++ {
-			if st.res.bus[b][s] {
+			if !st.res.busBitFree(b, s) {
 				t.Errorf("bus %d slot %d still reserved after unplace", b, s)
 			}
 		}

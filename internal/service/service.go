@@ -501,6 +501,7 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 		Schedulers:       core.SchedulerNames(),
 		Strategies:       core.StrategyNames(),
 		StrategyFamilies: families,
+		Features:         []string{"parallel_ii"},
 		Machines:         machines,
 		Loops:            len(s.loops),
 	})

@@ -587,6 +587,9 @@ func TestCapabilities(t *testing.T) {
 	if len(caps.StrategyFamilies) == 0 || caps.StrategyFamilies[0].Prefix != "sweep" {
 		t.Errorf("strategy families = %+v", caps.StrategyFamilies)
 	}
+	if !has(caps.Features, "parallel_ii") {
+		t.Errorf("features %v missing \"parallel_ii\" — clients discover the knob here", caps.Features)
+	}
 	if caps.Loops < 1 {
 		t.Errorf("loops = %d", caps.Loops)
 	}

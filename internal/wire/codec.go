@@ -98,7 +98,8 @@ func policyName(p sched.Policy) string {
 // non-defaults spelled canonically — however the caller spelled them
 // ("", "none" and "no_unroll" all omit; "all" emits "unroll_all").
 func FromOptions(o core.Options) *Options {
-	w := &Options{Factor: o.Factor, MaxII: o.Sched.MaxII, ForceII: o.Sched.ForceII}
+	w := &Options{Factor: o.Factor, MaxII: o.Sched.MaxII, ForceII: o.Sched.ForceII,
+		ParallelII: o.Sched.Parallel}
 	if s := engine.CanonicalScheduler(o.Scheduler.String()); s != string(core.BSA) {
 		w.Scheduler = s
 	}
@@ -131,6 +132,9 @@ const (
 	MaxWireII = 4096
 	// MaxWireFactor bounds the unroll factor.
 	MaxWireFactor = 64
+	// MaxWireParallelII bounds parallel_ii; the scheduler additionally
+	// clamps to GOMAXPROCS at run time.
+	MaxWireParallelII = 64
 	// MaxWireExactNodes and MaxWireExactSteps bound the oracle budget.
 	MaxWireExactNodes = 64
 	MaxWireExactSteps = int64(1_000_000_000)
@@ -207,6 +211,7 @@ func (o *Options) Core() (core.Options, *Error) {
 		{"factor", o.Factor, MaxWireFactor},
 		{"max_ii", o.MaxII, MaxWireII},
 		{"force_ii", o.ForceII, MaxWireII},
+		{"parallel_ii", o.ParallelII, MaxWireParallelII},
 	} {
 		if werr := clampInt(c.name, c.v, c.max); werr != nil {
 			return out, werr
@@ -215,6 +220,7 @@ func (o *Options) Core() (core.Options, *Error) {
 	out.Factor = o.Factor
 	out.Sched.MaxII = o.MaxII
 	out.Sched.ForceII = o.ForceII
+	out.Sched.Parallel = o.ParallelII
 	if o.Exact != nil {
 		if werr := clampInt("exact.max_nodes", o.Exact.MaxNodes, MaxWireExactNodes); werr != nil {
 			return out, werr

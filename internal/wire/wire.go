@@ -145,6 +145,10 @@ type Options struct {
 	// MaxII caps the II search; ForceII pins it.
 	MaxII   int `json:"max_ii,omitempty"`
 	ForceII int `json:"force_ii,omitempty"`
+	// ParallelII, when > 1, races up to that many II candidates on
+	// separate cores (BSA only; the result is bit-identical to the
+	// serial search).  0 and 1 mean serial.
+	ParallelII int `json:"parallel_ii,omitempty"`
 	// Exact budgets the optimality oracle (scheduler "exact" only).
 	Exact *ExactBudget `json:"exact,omitempty"`
 }
@@ -282,6 +286,9 @@ type CapabilitiesResponse struct {
 	Strategies []string `json:"strategies"`
 	// StrategyFamilies documents each parameterised policy family.
 	StrategyFamilies []StrategyFamily `json:"strategy_families,omitempty"`
+	// Features lists optional request capabilities this daemon honours
+	// (e.g. "parallel_ii"), so clients can probe before setting them.
+	Features []string `json:"features,omitempty"`
 	// Machines are the machine_ref names (Table 1), sorted.
 	Machines []string `json:"machines"`
 	// Loops counts the loops loop_ref can name.

@@ -156,7 +156,7 @@ func TestGoldenOptions(t *testing.T) {
 		Scheduler: core.Exact,
 		Strategy:  core.UnrollAll,
 		Factor:    2,
-		Sched:     sched.Options{Policy: sched.PolicyFirstFit, MaxII: 40},
+		Sched:     sched.Options{Policy: sched.PolicyFirstFit, MaxII: 40, Parallel: 4},
 		Exact:     exact.Budget{MaxNodes: 12, MaxSteps: 500000, MaxII: 30},
 	}
 	data := golden(t, "options_full.json", FromOptions(opts))
@@ -401,6 +401,8 @@ func TestOptionsRejectUnknownNames(t *testing.T) {
 		{Options{Exact: &ExactBudget{MaxNodes: MaxWireExactNodes + 1}}, CodeInvalidOptions},
 		{Options{Exact: &ExactBudget{MaxSteps: -1}}, CodeInvalidOptions},
 		{Options{Exact: &ExactBudget{MaxII: MaxWireII + 1}}, CodeInvalidOptions},
+		{Options{ParallelII: MaxWireParallelII + 1}, CodeInvalidOptions},
+		{Options{ParallelII: -1}, CodeInvalidOptions},
 	}
 	for _, c := range cases {
 		if _, werr := c.opts.Core(); werr == nil || werr.Code != c.code {

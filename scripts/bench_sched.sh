@@ -7,8 +7,9 @@
 #   COUNT      repetitions per benchmark (default 3; CI smoke uses 1)
 #   BENCHTIME  passed to -benchtime when set (e.g. 100x for a smoke run)
 #
-# The checked-in scripts/bench_baseline_pr3.txt is the pre-incremental-
-# pressure baseline of BenchmarkSchedule*; benchjson joins it so the
+# The checked-in scripts/bench_baseline_pr5.txt is the pre-bitset-MRT
+# baseline of BenchmarkSchedule* (scripts/bench_baseline_pr3.txt keeps
+# the older pre-incremental-pressure one); benchjson joins it so the
 # JSON records the speedup ratios the PR is judged by.
 set -e
 cd "$(dirname "$0")/.."
@@ -25,5 +26,8 @@ go test -run '^$' -bench 'BenchmarkSchedule' -benchmem -count "${COUNT}" ${BENCH
 go test -run '^$' -bench '.' -benchmem -count 1 ${BENCHTIME_FLAG} ./internal/sched ./internal/exact ./internal/regpress >> BENCH_sched.txt
 cat BENCH_sched.txt
 
-go run ./cmd/benchjson -baseline scripts/bench_baseline_pr3.txt < BENCH_sched.txt > BENCH_sched.json
+# -require makes a renamed or silently skipped benchmark a hard failure
+# instead of an artefact that quietly stops tracking it.
+REQUIRED="BenchmarkScheduleBSA4Cluster,BenchmarkScheduleBSAUnified,BenchmarkTryCommitAttempt/4-cluster/B1/L1,BenchmarkPlaceUnplace"
+go run ./cmd/benchjson -baseline scripts/bench_baseline_pr5.txt -require "${REQUIRED}" < BENCH_sched.txt > BENCH_sched.json
 echo "wrote BENCH_sched.json ($(wc -c < BENCH_sched.json) bytes)" >&2
