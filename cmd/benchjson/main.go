@@ -59,7 +59,16 @@ type Doc struct {
 func main() {
 	baseline := flag.String("baseline", "", "previous `go test -bench` output to compare against")
 	require := flag.String("require", "", "comma-separated benchmark `names` that must be present with non-zero iterations")
+	check := flag.String("check", "", "validate an existing benchjson `document` instead of converting bench output")
 	flag.Parse()
+
+	if *check != "" {
+		if err := checkDoc(*check, *require); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cur, err := parse(os.Stdin)
 	if err != nil {
@@ -116,6 +125,66 @@ func main() {
 }
 
 func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+// checkDoc validates a previously emitted document: it must decode
+// strictly against the Doc schema (unknown fields are drift), carry
+// the metadata CI dashboards key on, and hold at least one benchmark
+// that actually ran.  This is the artefact-side half of the
+// -require guard: -require fails the producing run, -check fails a
+// pipeline that published a stale, truncated, or hand-edited file.
+func checkDoc(path, require string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var doc Doc
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if err := validateDoc(&doc); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if err := checkRequired(doc.Benchmarks, require); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	return nil
+}
+
+// validateDoc enforces the output schema benchjson promises its
+// consumers.
+func validateDoc(doc *Doc) error {
+	if _, err := time.Parse(time.RFC3339, doc.Generated); err != nil {
+		return fmt.Errorf("bad generated timestamp %q: %v", doc.Generated, err)
+	}
+	if doc.GoVersion == "" || doc.GOOS == "" || doc.GOARCH == "" {
+		return fmt.Errorf("missing toolchain metadata (go_version/goos/goarch)")
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmarks in document")
+	}
+	names := make(map[string]bool, len(doc.Benchmarks))
+	for _, e := range doc.Benchmarks {
+		if e.Name == "" {
+			return fmt.Errorf("benchmark entry with empty name")
+		}
+		if names[e.Name] {
+			return fmt.Errorf("duplicate benchmark entry %q", e.Name)
+		}
+		names[e.Name] = true
+		if e.Runs <= 0 || e.Iters <= 0 || e.NsPerOp <= 0 {
+			return fmt.Errorf("benchmark %q never ran (runs=%d iters=%d ns/op=%v)", e.Name, e.Runs, e.Iters, e.NsPerOp)
+		}
+	}
+	for _, r := range doc.Ratios {
+		if !names[r.Name] {
+			return fmt.Errorf("ratio for %q has no matching benchmark entry", r.Name)
+		}
+	}
+	return nil
+}
 
 // checkRequired fails loudly when a benchmark the artefact is supposed
 // to track is missing from the input or never actually ran (zero

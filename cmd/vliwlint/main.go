@@ -1,0 +1,24 @@
+// Command vliwlint runs the repo's static-analysis suite
+// (internal/analysis): noalloc, mapdeterminism, undopair, registry,
+// graphcopy, and wiretags.
+//
+// Standalone:
+//
+//	go run ./cmd/vliwlint ./...
+//
+// As a vet tool (per-package results cached by the go command):
+//
+//	go build -o /tmp/vliwlint ./cmd/vliwlint
+//	go vet -vettool=/tmp/vliwlint ./...
+//
+// Exit status: 0 clean, 1 internal error, 2 diagnostics reported.
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/lint"
+)
+
+func main() {
+	lint.Main("vliwlint", analysis.All())
+}

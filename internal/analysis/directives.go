@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/lint"
+)
+
+// hasDirective reports whether a comment group contains a line whose
+// comment text starts with the given directive (e.g. "vliw:allocfree").
+// Directive comments follow the Go convention: no space after //, so
+// "//vliw:allocfree" matches but "// vliw:allocfree" does not.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// waivedLines collects the lines covered by a waiver directive such as
+// "//vliw:alloc-ok reason".  A trailing waiver covers its own line; a
+// waiver written on a line of its own also covers the next line, so it
+// can sit above the statement it excuses.
+func waivedLines(pass *lint.Pass, directive string) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, file := range pass.Files {
+		// Record, per line, the leftmost column holding a non-comment
+		// token, to distinguish trailing waivers from standalone ones.
+		minCol := map[int]int{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if _, ok := n.(*ast.Comment); ok {
+				return false
+			}
+			if _, ok := n.(*ast.CommentGroup); ok {
+				return false
+			}
+			pos := pass.Fset.Position(n.Pos())
+			if c, ok := minCol[pos.Line]; !ok || pos.Column < c {
+				minCol[pos.Line] = pos.Column
+			}
+			return true
+		})
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if text != directive && !strings.HasPrefix(text, directive+" ") {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = map[int]bool{}
+					out[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+				if col, ok := minCol[pos.Line]; !ok || col >= pos.Column {
+					// Standalone comment line: waive the following line.
+					lines[pos.Line+1] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func lineWaived(waived map[string]map[int]bool, pos token.Position) bool {
+	return waived[pos.Filename][pos.Line]
+}
+
+// funcKey renders a stable, package-qualified key for a function or
+// method, identical whether the object was typechecked from source or
+// loaded from gc export data.  Examples:
+//
+//	repro/internal/regpress.mod
+//	(*repro/internal/regpress.Table).Add
+//	(repro/internal/machine.Config).Clustered
+func funcKey(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		return "(" + types.TypeString(sig.Recv().Type(), nil) + ")." + f.Name()
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Path() + "." + f.Name()
+	}
+	return f.Name()
+}

@@ -1,0 +1,75 @@
+// Package analysis holds vliwlint, the repo's static-analysis suite.
+// It encodes the invariants the scheduler's performance and
+// determinism work depends on as compile-time rules, so refactors
+// cannot silently regress properties that are otherwise only caught by
+// runtime tests (ReportAllocs benchmarks, fuzz invariants, ×20
+// determinism reruns).
+//
+// The analyzers:
+//
+//   - noalloc: functions annotated //vliw:allocfree must not heap
+//     allocate — no make/new/closures/boxing, append only in the
+//     self-append form, calls only to other allocfree functions or
+//     math/bits.  The sched try/commit/place/unplace/busScan path and
+//     the regpress undo-log methods carry the annotation; it
+//     propagates across packages as facts.
+//   - mapdeterminism: a `range` over a map must not feed ordered
+//     output (escaping slice appends, writers/encoders) without an
+//     intervening sort; map iteration order would otherwise poison
+//     the content-fingerprint compile cache.
+//   - undopair: in the scheduler and the exact oracle, every
+//     speculative place/placeAt is matched by an unplace or commit on
+//     all paths out of the function — the undo-log discipline.
+//   - registry: a file declaring a SchedulerEngine/UnrollPolicy must
+//     self-register it in init with a canonical lowercase name not
+//     already taken in the package.
+//   - graphcopy: ddg.Graph (which embeds its fingerprint-cache lock)
+//     must never be passed or copied by value; composite-literal
+//     construction and the Clone/UnmarshalJSON identity-replacement
+//     pattern remain allowed.
+//   - wiretags: every exported field of an internal/wire DTO carries
+//     an explicit, unique, snake_case json tag.
+//
+// # The //vliw:allocfree contract
+//
+// Writing //vliw:allocfree in a function's doc comment promises the
+// function performs zero heap allocations in steady state.  The
+// analyzer verifies the promise structurally and the ReportAllocs
+// benchmarks verify it empirically; both must hold.  Two escape
+// hatches exist, each requiring a reason string:
+//
+//	//vliw:alloc-ok <reason>  — waives one line (amortized, cap-checked
+//	                            growth or debug-gated oracles)
+//	//vliw:unordered <reason> — waives a map range for mapdeterminism
+//	//vliw:nopair             — exempts a function from undopair
+//
+// # Running vliwlint
+//
+// Standalone over the whole repo (what CI runs):
+//
+//	go run ./cmd/vliwlint ./...
+//
+// As a vet tool, which caches per-package results in the build cache:
+//
+//	go build -o /tmp/vliwlint ./cmd/vliwlint
+//	go vet -vettool=/tmp/vliwlint ./...
+//
+// The analyzers run on a stdlib-only go/analysis-compatible framework
+// (internal/analysis/lint) because the repo deliberately carries no
+// third-party dependencies; see that package for the driver and the
+// analysistest-style fixture harness.
+package analysis
+
+import "repro/internal/analysis/lint"
+
+// All returns the full vliwlint suite in deterministic order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		Graphcopy,
+		Mapdeterminism,
+		Noalloc,
+		Registry,
+		Undopair,
+		Wiretags,
+	}
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/lint"
+)
+
+// Graphcopy forbids moving a ddg.Graph by value.  Graph embeds the
+// mutex guarding its lazily cached fingerprint and memo table, so a
+// wholesale copy aliases cache state: the copy keeps serving the
+// original's fingerprint — and with it another graph's cached schedule
+// — even after it diverges.  `go vet`'s copylocks already rejects most
+// copies; this analyzer generalizes the ad-hoc vet-probe module the
+// repo used to carry, covers positions vet does not (struct fields,
+// composite-literal elements, channel sends), and keeps the rule
+// self-contained in vliwlint.
+//
+// Flagged: parameters, results, and receivers of type Graph (or any
+// struct/array embedding one by value); assignments and declarations
+// whose right-hand side copies an existing Graph (`h := *g`); range
+// copies; passing `*g` as a call argument; Graph-valued struct fields;
+// and channel sends.  Allowed: composite-literal construction,
+// including the Clone/UnmarshalJSON identity-replacement pattern
+// `*g = Graph{...}` — writing a fresh literal through a pointer
+// replaces the graph's identity rather than aliasing another one.
+var Graphcopy = &lint.Analyzer{
+	Name: "graphcopy",
+	Doc:  "forbid passing or copying ddg.Graph by value",
+	Run:  runGraphcopy,
+}
+
+func runGraphcopy(pass *lint.Pass) error {
+	g := &gcChecker{pass: pass, memo: map[types.Type]bool{}}
+	for _, file := range pass.Files {
+		ast.Inspect(file, g.visit)
+	}
+	return nil
+}
+
+type gcChecker struct {
+	pass *lint.Pass
+	memo map[types.Type]bool
+}
+
+// isGraph reports whether t is the ddg.Graph named type (from the real
+// internal/ddg or any package whose import path ends with it, which
+// lets fixtures carry a mimic).
+func (g *gcChecker) isGraph(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != "Graph" || obj.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), "internal/ddg")
+}
+
+// containsGraph reports whether a value of type t holds a Graph by
+// value (directly, or inside a struct field or array element).
+func (g *gcChecker) containsGraph(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := g.memo[t]; ok {
+		return v
+	}
+	g.memo[t] = false // cut recursion
+	v := false
+	if g.isGraph(t) {
+		v = true
+	} else {
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if g.containsGraph(u.Field(i).Type()) {
+					v = true
+					break
+				}
+			}
+		case *types.Array:
+			v = g.containsGraph(u.Elem())
+		}
+	}
+	g.memo[t] = v
+	return v
+}
+
+func (g *gcChecker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := g.pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	// Range-statement value variables are definitions, not uses, and
+	// appear only in Defs.
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := g.pass.TypesInfo.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := g.pass.TypesInfo.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// copiesGraph reports whether evaluating e into a new location copies
+// an existing Graph: its type contains a Graph and it is not a fresh
+// composite literal (construction is how graphs are born).
+func (g *gcChecker) copiesGraph(e ast.Expr) bool {
+	if e == nil || !g.containsGraph(g.typeOf(e)) {
+		return false
+	}
+	if _, ok := ast.Unparen(e).(*ast.CompositeLit); ok {
+		return false
+	}
+	return true
+}
+
+func (g *gcChecker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		g.checkFieldList(n.Recv, "receiver")
+		g.checkSignature(n.Type)
+	case *ast.FuncLit:
+		g.checkSignature(n.Type)
+	case *ast.StructType:
+		if n.Fields != nil {
+			for _, f := range n.Fields.List {
+				if g.containsGraph(g.typeOf(f.Type)) {
+					g.pass.Reportf(f.Pos(), "struct field holds ddg.Graph by value; use *ddg.Graph")
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		if len(n.Lhs) != len(n.Rhs) {
+			return true
+		}
+		for _, rhs := range n.Rhs {
+			if g.copiesGraph(rhs) {
+				g.pass.Reportf(rhs.Pos(), "copies ddg.Graph by value; use Clone or keep a *ddg.Graph")
+			}
+		}
+	case *ast.ValueSpec:
+		for _, v := range n.Values {
+			if g.copiesGraph(v) {
+				g.pass.Reportf(v.Pos(), "copies ddg.Graph by value; use Clone or keep a *ddg.Graph")
+			}
+		}
+	case *ast.RangeStmt:
+		if g.copiesGraph(n.Value) {
+			g.pass.Reportf(n.Value.Pos(), "range copies ddg.Graph values; range over pointers instead")
+		}
+	case *ast.CallExpr:
+		if tv, ok := g.pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+			return true // conversions are not calls
+		}
+		for _, arg := range n.Args {
+			if g.copiesGraph(arg) {
+				g.pass.Reportf(arg.Pos(), "passes ddg.Graph by value; pass *ddg.Graph")
+			}
+		}
+	case *ast.SendStmt:
+		if g.copiesGraph(n.Value) {
+			g.pass.Reportf(n.Value.Pos(), "sends ddg.Graph by value over a channel; send *ddg.Graph")
+		}
+	case *ast.CompositeLit:
+		for _, elt := range n.Elts {
+			e := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				e = kv.Value
+			}
+			if g.copiesGraph(e) {
+				g.pass.Reportf(e.Pos(), "copies ddg.Graph by value into a composite literal")
+			}
+		}
+	}
+	return true
+}
+
+func (g *gcChecker) checkSignature(ft *ast.FuncType) {
+	g.checkFieldList(ft.Params, "parameter")
+	g.checkFieldList(ft.Results, "result")
+}
+
+func (g *gcChecker) checkFieldList(fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		if g.containsGraph(g.typeOf(f.Type)) {
+			g.pass.Reportf(f.Pos(), "%s passes ddg.Graph by value; use *ddg.Graph", kind)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package lint is a small, dependency-free reimplementation of the
+// go/analysis vocabulary: an Analyzer inspects one typechecked package
+// at a time through a Pass and reports position-tagged diagnostics.
+//
+// The repo pins zero third-party modules, so golang.org/x/tools (the
+// canonical framework) is not available; this package provides the
+// same working surface — Analyzer, Pass, Reportf, package facts — on
+// top of the standard library only.  Three drivers share it:
+//
+//   - Load + Run: the standalone multichecker used by cmd/vliwlint,
+//     which resolves packages with `go list -deps -export -json` and
+//     typechecks them against gc export data from the build cache.
+//   - Main (unitchecker.go): the `go vet -vettool` protocol, where
+//     cmd/go hands the tool one package per invocation via a JSON
+//     config file and facts travel through .vetx files.
+//   - linttest: an analysistest-style harness that runs analyzers
+//     over fixture packages and matches `// want` comments.
+//
+// Facts are deliberately simpler than go/analysis object facts: an
+// analyzer exports a set of strings per package (for example the
+// fully-qualified names of //vliw:allocfree functions), and every
+// downstream package sees the union of the strings exported by the
+// packages it (transitively) depends on.  String keys survive the
+// source-types/export-data split: a *types.Func loaded from export
+// data renders to the same key as the one typechecked from source.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and fact files.
+	// It must be a valid identifier (the vet driver uses it as a
+	// JSON key).
+	Name string
+	// Doc is a one-paragraph description; the first line is shown
+	// by `vliwlint -help`.
+	Doc string
+	// Run inspects a single package and reports diagnostics via
+	// pass.Reportf.  A non-nil error aborts the whole run (reserve
+	// it for internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Package is one typechecked package as seen by the analyzers.
+type Package struct {
+	Path    string // import path
+	Dir     string // directory holding the source files
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	Imports []string // import paths of direct dependencies
+	// FactsOnly marks a dependency loaded only so its facts flow to
+	// the packages under analysis; its diagnostics are discarded.
+	FactsOnly bool
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// depFacts is the union of fact strings exported (for this
+	// analyzer) by the packages this one transitively depends on.
+	depFacts map[string]bool
+	// exported collects the fact strings this pass exports.
+	exported map[string]bool
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportFact publishes a fact string to downstream packages.
+func (p *Pass) ExportFact(fact string) { p.exported[fact] = true }
+
+// HasFact reports whether a dependency package exported fact, or this
+// pass already exported it itself.
+func (p *Pass) HasFact(fact string) bool {
+	return p.depFacts[fact] || p.exported[fact]
+}
+
+// Facts is the per-package fact store: analyzer name -> sorted fact
+// strings.  It is the JSON payload of .vetx files in vettool mode.
+type Facts map[string][]string
+
+func (f Facts) merge(other Facts) {
+	names := make([]string, 0, len(other))
+	for a := range other {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	for _, a := range names {
+		list := other[a]
+		seen := map[string]bool{}
+		for _, s := range f[a] {
+			seen[s] = true
+		}
+		for _, s := range list {
+			if !seen[s] {
+				f[a] = append(f[a], s)
+				seen[s] = true
+			}
+		}
+	}
+}
+
+// RunPackage applies every analyzer to one package.  depFacts is the
+// merged fact store of the package's transitive dependencies; the
+// returned Facts holds what this package exports (its own new facts
+// merged with depFacts, so fact files are transitive closures and
+// drivers only need direct-dependency files).
+func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, depFacts Facts, diags *[]Diagnostic) (Facts, error) {
+	// The standalone loader only reads GoFiles, but the vet driver hands
+	// the tool test files too.  Test files probe the invariants
+	// deliberately — unbalanced place calls, fake engines, throwaway
+	// copies — so vliwlint guards production files only, identically
+	// under both drivers.
+	var files []*ast.File
+	for _, f := range pkg.Files {
+		if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			files = append(files, f)
+		}
+	}
+
+	out := Facts{}
+	out.merge(depFacts)
+	for _, a := range analyzers {
+		dep := map[string]bool{}
+		for _, s := range depFacts[a.Name] {
+			dep[s] = true
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			depFacts:  dep,
+			exported:  map[string]bool{},
+			diags:     diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		var facts []string
+		for s := range pass.exported {
+			facts = append(facts, s)
+		}
+		sort.Strings(facts)
+		out.merge(Facts{a.Name: facts})
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to every package, in dependency order, and
+// returns all diagnostics sorted by position.  pkgs must already be
+// topologically sorted (Load guarantees this).
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	factsByPath := map[string]Facts{}
+	for _, pkg := range pkgs {
+		dep := Facts{}
+		for _, imp := range pkg.Imports {
+			if f, ok := factsByPath[imp]; ok {
+				dep.merge(f)
+			}
+		}
+		sink := &diags
+		if pkg.FactsOnly {
+			sink = &[]Diagnostic{}
+		}
+		facts, err := RunPackage(fset, pkg, analyzers, dep, sink)
+		if err != nil {
+			return nil, err
+		}
+		factsByPath[pkg.Path] = facts
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,143 @@
+// Package linttest is an analysistest-style harness for lint
+// analyzers: it loads fixture packages, runs analyzers over them, and
+// checks reported diagnostics against `// want "regexp"` comments in
+// the fixture source.
+//
+// A want comment expects one diagnostic on its own line per quoted
+// regexp:
+//
+//	x := make([]int, 4) // want `make allocates`
+//	y := *g             // want "copies" "second diagnostic"
+//
+// Both double-quoted and backquoted forms are accepted.  Lines without
+// a want comment must produce no diagnostics.
+package linttest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/lint"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads patterns relative to dir (typically a fixture module
+// root), applies the analyzers, and reports mismatches between actual
+// diagnostics and // want expectations on t.
+func Run(t *testing.T, dir string, analyzers []*lint.Analyzer, patterns ...string) {
+	t.Helper()
+	fset, pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := lint.Run(fset, pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	// Collect expectations keyed by file:line.
+	expects := map[string][]*expectation{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					key := keyOf(pos.Filename, pos.Line)
+					for _, raw := range splitQuoted(t, pos, m[1]) {
+						rx, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+						}
+						expects[key] = append(expects[key], &expectation{rx: rx, raw: raw})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := keyOf(d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, e := range expects[key] {
+			if !e.matched && e.rx.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for key, list := range expects {
+		for _, e := range list {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.raw)
+			}
+		}
+	}
+}
+
+func keyOf(filename string, line int) string {
+	return filename + ":" + strconv.Itoa(line)
+}
+
+// splitQuoted parses a sequence of Go string literals ("..." or
+// `...`) from the tail of a want comment.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			var err error
+			lit, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %s: %v", pos, s[:end+1], err)
+			}
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			lit = s[1 : end+1]
+			s = s[end+2:]
+		default:
+			t.Fatalf("%s: want patterns must be quoted: %s", pos, s)
+		}
+		out = append(out, lit)
+		s = strings.TrimSpace(s)
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Load resolves patterns (e.g. "./...") in dir with the go tool and
+// typechecks every matched package from source.  Dependencies resolve
+// through gc export data produced by `go list -export`, so loading
+// works offline and without golang.org/x/tools.  The returned packages
+// are topologically sorted: every package appears after the packages
+// it imports, which is the order fact propagation needs.
+//
+// Non-standard dependency packages that were not named by the patterns
+// are loaded too, marked FactsOnly: analyzers run over them so their
+// facts (e.g. //vliw:allocfree annotations) reach the named packages,
+// but their diagnostics are suppressed — linting ./internal/sched
+// must not also lint (or falsely accuse) everything it imports.
+func Load(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Imports,DepOnly,Standard",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	byPath := map[string]*listPackage{}
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		q := p
+		byPath[q.ImportPath] = &q
+		if q.Export != "" {
+			exports[q.ImportPath] = q.Export
+		}
+		if !q.Standard {
+			targets = append(targets, &q)
+		}
+	}
+
+	// Topologically sort the targets by their in-target import edges.
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	index := map[string]*listPackage{}
+	for _, t := range targets {
+		index[t.ImportPath] = t
+	}
+	var order []*listPackage
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *listPackage)
+	visit = func(p *listPackage) {
+		if state[p.ImportPath] != 0 {
+			return
+		}
+		state[p.ImportPath] = 1
+		imps := append([]string(nil), p.Imports...)
+		sort.Strings(imps)
+		for _, imp := range imps {
+			if dep, ok := index[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p.ImportPath] = 2
+		order = append(order, p)
+	}
+	for _, t := range targets {
+		visit(t)
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	var pkgs []*Package
+	for _, t := range order {
+		pkg, err := typecheckFiles(fset, conf, t)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkg.FactsOnly = t.DepOnly
+		pkgs = append(pkgs, pkg)
+	}
+	return fset, pkgs, nil
+}
+
+func typecheckFiles(fset *token.FileSet, conf types.Config, t *listPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(t.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %w", t.ImportPath, err)
+	}
+	return &Package{
+		Path:    t.ImportPath,
+		Dir:     t.Dir,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Imports: t.Imports,
+	}, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

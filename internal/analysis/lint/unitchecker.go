@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// vetConfig mirrors the JSON configuration file cmd/go hands a
+// -vettool for each package (see cmd/go/internal/work and
+// x/tools/go/analysis/unitchecker for the contract).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the shared entry point for a vliwlint-style binary.  It
+// speaks the `go vet -vettool` protocol when invoked by cmd/go
+// (-V=full, -flags, or a *.cfg argument) and otherwise runs as a
+// standalone multichecker over the given package patterns (defaulting
+// to ./...).  It never returns.
+func Main(name string, analyzers []*Analyzer) {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch args[0] {
+		case "-V=full", "--V=full":
+			// cmd/go derives the build-cache key for vet results
+			// from this line; the executable hash makes edits to
+			// the tool invalidate stale results.
+			fmt.Printf("%s version %s\n", name, toolVersion())
+			os.Exit(0)
+		case "-V", "--V":
+			fmt.Printf("%s version %s\n", name, toolVersion())
+			os.Exit(0)
+		case "-flags", "--flags":
+			// No analyzer flags; cmd/go probes this before parsing
+			// the vet command line.
+			fmt.Println("[]")
+			os.Exit(0)
+		}
+	}
+	if len(args) >= 1 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		runUnit(args[len(args)-1], analyzers)
+		os.Exit(0)
+	}
+
+	// Standalone multichecker.
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if patterns[0] == "-help" || patterns[0] == "--help" || patterns[0] == "-h" {
+		fmt.Fprintf(os.Stderr, "usage: %s [packages]\n\nAnalyzers:\n", name)
+		for _, a := range analyzers {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, doc)
+		}
+		os.Exit(0)
+	}
+	fset, pkgs, err := Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+	diags, err := Run(fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// runUnit analyzes the single package described by a cmd/go vet
+// config file, reading dependency facts from .vetx files and writing
+// this package's facts to cfg.VetxOutput.
+func runUnit(cfgFile string, analyzers []*Analyzer) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", cfgFile, err))
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	lp := &listPackage{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		GoFiles:    cfg.GoFiles,
+	}
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	if version.IsValid(cfg.GoVersion) {
+		conf.GoVersion = cfg.GoVersion
+	}
+	pkg, err := typecheckFiles(fset, conf, lp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg.VetxOutput, Facts{})
+			return
+		}
+		fatal(err)
+	}
+
+	depFacts := Facts{}
+	for _, vetxFile := range cfg.PackageVetx {
+		blob, err := os.ReadFile(vetxFile)
+		if err != nil || len(blob) == 0 {
+			continue // missing facts degrade to "not annotated", never crash
+		}
+		var f Facts
+		if err := json.Unmarshal(blob, &f); err != nil {
+			continue
+		}
+		depFacts.merge(f)
+	}
+
+	var diags []Diagnostic
+	facts, err := RunPackage(fset, pkg, analyzers, depFacts, &diags)
+	if err != nil {
+		fatal(err)
+	}
+	writeVetx(cfg.VetxOutput, facts)
+	if cfg.VetxOnly {
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+func writeVetx(path string, facts Facts) {
+	if path == "" {
+		return
+	}
+	blob, err := json.Marshal(facts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o666); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vliwlint:", err)
+	os.Exit(1)
+}
+
+// toolVersion fingerprints the running executable so cached vet
+// results are invalidated whenever the tool is rebuilt.
+func toolVersion() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("v1-%x", h.Sum(nil)[:8])
+}

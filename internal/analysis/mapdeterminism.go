@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/lint"
+)
+
+// Mapdeterminism flags `range` over a map whose iteration order can
+// leak into ordered output.  Schedules are cached by content
+// fingerprint and diffed across runs, so anything order-dependent —
+// wire/JSON payloads, Result/Stages fields, report tables — must not
+// be built in map order.  A range over a map is reported when its body
+//
+//   - appends to a slice declared outside the loop and no later
+//     statement in the same function sorts that slice
+//     (sort.* / slices.Sort*), or
+//   - writes directly to an encoder, writer, or printer.
+//
+// Map-to-map copies and counter merges are order-independent and never
+// flagged.  A genuinely order-free loop can be waived with a trailing
+// "//vliw:unordered <reason>" comment.
+var Mapdeterminism = &lint.Analyzer{
+	Name: "mapdeterminism",
+	Doc:  "flag map iteration feeding ordered output without a sort",
+	Run:  runMapdeterminism,
+}
+
+// emitNames are method names that emit bytes in call order.
+var emitNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+}
+
+func runMapdeterminism(pass *lint.Pass) error {
+	waived := waivedLines(pass, "vliw:unordered")
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fd.Body, waived)
+		}
+	}
+	return nil
+}
+
+func checkMapRanges(pass *lint.Pass, body *ast.BlockStmt, waived map[string]map[int]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if lineWaived(waived, pass.Fset.Position(rng.Pos())) {
+			return true
+		}
+
+		// Ordered sinks inside the loop body.
+		var appendTargets []types.Object
+		emitted := false
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range m.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok || i >= len(m.Lhs) {
+						continue
+					}
+					id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+						continue
+					}
+					if obj := rootObject(pass, m.Lhs[i]); obj != nil && obj.Pos() < rng.Pos() {
+						appendTargets = append(appendTargets, obj)
+					}
+				}
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok && emitNames[sel.Sel.Name] {
+					emitted = true
+				}
+			}
+			return true
+		})
+
+		if emitted {
+			pass.Reportf(rng.Pos(), "range over map emits output in iteration order; collect and sort keys first")
+			return true
+		}
+		for _, obj := range appendTargets {
+			if !sortedAfter(pass, body, obj, rng.End()) {
+				pass.Reportf(rng.Pos(),
+					"range over map appends to %s in nondeterministic order; sort it before use or waive with //vliw:unordered", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// rootObject resolves the base identifier of an lvalue expression
+// (x, x.f, x[i]) to its object.
+func rootObject(pass *lint.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[v]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.*
+// call positioned after pos within body.
+func sortedAfter(pass *lint.Pass, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesObject(pass, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func usesObject(pass *lint.Pass, e ast.Expr, obj types.Object) bool {
+	used := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHotPathAnnotated pins the annotation set to the benchmark suite:
+// every function the 0 allocs/op benchmarks exercise
+// (BenchmarkTryCommitAttempt, BenchmarkPlaceUnplace, the regpress
+// table benchmarks) must carry //vliw:allocfree, so the noalloc
+// analyzer — not just the empirical ReportAllocs run — guards the
+// property.  If a hot-path function is renamed, this test names the
+// annotation that must move with it.
+func TestHotPathAnnotated(t *testing.T) {
+	required := map[string][]string{
+		"../../internal/sched": {
+			"try", "tryCycles", "commit", "place", "placeAt", "unplace",
+			"fits", "speculate", "busScan", "reserveBus", "releaseBus",
+			"reserveFU", "releaseFU",
+		},
+		"../../internal/regpress": {
+			"Add", "Sub", "Fits", "Max", "Snapshot", "Init", "Reset",
+		},
+	}
+	for dir, names := range required {
+		annotated := annotatedFuncs(t, dir)
+		for _, name := range names {
+			if !annotated[name] {
+				t.Errorf("%s: %s is exercised by the 0 allocs/op benchmarks but does not carry //vliw:allocfree", dir, name)
+			}
+		}
+	}
+}
+
+// annotatedFuncs parses every non-test file in dir and returns the set
+// of function names whose doc comment carries //vliw:allocfree.
+func annotatedFuncs(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && hasDirective(fd.Doc, "vliw:allocfree") {
+				out[fd.Name.Name] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,372 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/lint"
+)
+
+// Noalloc checks that functions annotated //vliw:allocfree cannot heap
+// allocate.  The scheduler's try/commit/place/unplace inner loop and
+// the register-pressure undo log earn their 0 allocs/op benchmarks by
+// construction; this analyzer keeps that property under refactoring by
+// rejecting, inside any annotated function:
+//
+//   - make, new, and slice/map composite literals (and &T{} literals)
+//   - append that is not reassigned to its own first operand
+//     (self-append reuses capacity; anything else may grow)
+//   - function literals (closure allocation)
+//   - non-constant string concatenation and allocating string
+//     conversions (string<->[]byte/[]rune, string(rune))
+//   - boxing a non-pointer value into an interface
+//   - go statements and map writes
+//   - calls to anything that is not itself //vliw:allocfree, a
+//     non-allocating builtin, or math/bits (dynamic calls and
+//     interface dispatch are always rejected)
+//
+// panic(...) arguments are exempt: they only run on the cold path.
+// A line can be waived with a trailing "//vliw:alloc-ok <reason>"
+// comment — used for cap-checked amortized growth (grow on first use,
+// reuse forever after) and debug-gated oracles.  Annotations propagate
+// across packages as facts, so sched's hot path may call into
+// regpress's annotated methods.
+var Noalloc = &lint.Analyzer{
+	Name: "noalloc",
+	Doc:  "reject heap allocations in //vliw:allocfree functions",
+	Run:  runNoalloc,
+}
+
+func runNoalloc(pass *lint.Pass) error {
+	annotated := map[*types.Func]bool{}
+	var decls []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !hasDirective(fd.Doc, "vliw:allocfree") {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			annotated[fn] = true
+			pass.ExportFact(funcKey(fn))
+			decls = append(decls, fd)
+		}
+	}
+	if len(decls) == 0 {
+		return nil
+	}
+	waived := waivedLines(pass, "vliw:alloc-ok")
+	for _, fd := range decls {
+		if fd.Body == nil {
+			continue
+		}
+		c := &naChecker{pass: pass, annotated: annotated, waived: waived}
+		c.checkFunc(fd)
+	}
+	return nil
+}
+
+type naChecker struct {
+	pass      *lint.Pass
+	annotated map[*types.Func]bool
+	waived    map[string]map[int]bool
+	// approved holds append calls of the self-append form
+	// `x = append(x, ...)` (or `x = append(buf[:0], ...)`), which
+	// reuse the destination's capacity in steady state.
+	approved map[*ast.CallExpr]bool
+	results  *types.Tuple
+}
+
+func (c *naChecker) report(pos token.Pos, format string, args ...any) {
+	if lineWaived(c.waived, c.pass.Fset.Position(pos)) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+func (c *naChecker) checkFunc(fd *ast.FuncDecl) {
+	fn := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	c.results = fn.Type().(*types.Signature).Results()
+	c.approved = map[*ast.CallExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !c.isBuiltin(call, "append") || len(call.Args) == 0 {
+				continue
+			}
+			base := ast.Unparen(call.Args[0])
+			if sl, ok := base.(*ast.SliceExpr); ok {
+				base = ast.Unparen(sl.X)
+			}
+			if types.ExprString(as.Lhs[i]) == types.ExprString(base) {
+				c.approved[call] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, c.visit)
+}
+
+func (c *naChecker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		return c.call(n)
+	case *ast.CompositeLit:
+		switch c.typeOf(n).Underlying().(type) {
+		case *types.Slice:
+			c.report(n.Pos(), "slice composite literal allocates")
+		case *types.Map:
+			c.report(n.Pos(), "map composite literal allocates")
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				c.report(n.Pos(), "&composite literal escapes to the heap")
+			}
+		}
+	case *ast.FuncLit:
+		c.report(n.Pos(), "function literal allocates a closure")
+		return false
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if tv, ok := c.pass.TypesInfo.Types[n]; ok && tv.Value == nil {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					c.report(n.Pos(), "string concatenation allocates")
+				}
+			}
+		}
+	case *ast.GoStmt:
+		c.report(n.Pos(), "go statement allocates a goroutine")
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, rhs := range n.Rhs {
+				lhs := n.Lhs[i]
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if _, ok := c.typeOf(idx.X).Underlying().(*types.Map); ok {
+						c.report(lhs.Pos(), "map assignment may grow the map")
+					}
+				}
+				c.checkConvert(rhs, c.typeOf(lhs))
+			}
+		}
+	case *ast.ValueSpec:
+		if n.Type != nil {
+			dst := c.typeOf(n.Type)
+			for _, v := range n.Values {
+				c.checkConvert(v, dst)
+			}
+		}
+	case *ast.ReturnStmt:
+		if c.results != nil && len(n.Results) == c.results.Len() {
+			for i, r := range n.Results {
+				c.checkConvert(r, c.results.At(i).Type())
+			}
+		}
+	case *ast.SendStmt:
+		if ch, ok := c.typeOf(n.Chan).Underlying().(*types.Chan); ok {
+			c.checkConvert(n.Value, ch.Elem())
+		}
+	}
+	return true
+}
+
+// call checks one call expression and reports whether the walk should
+// descend into its children.
+func (c *naChecker) call(n *ast.CallExpr) bool {
+	fun := ast.Unparen(n.Fun)
+
+	// Conversion T(x).
+	if tv, ok := c.pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() && len(n.Args) == 1 {
+		c.conversion(n, tv.Type)
+		return true
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if !c.approved[n] {
+					c.report(n.Pos(), "append result is not reassigned to its first operand; growth allocates")
+				}
+			case "make":
+				c.report(n.Pos(), "make allocates")
+			case "new":
+				c.report(n.Pos(), "new allocates")
+			case "panic":
+				// Cold path: a panicking hot loop has bigger problems
+				// than one allocation, and exempting the argument lets
+				// invariant checks build useful messages.
+				return false
+			case "print", "println":
+				c.report(n.Pos(), "%s may allocate; use a debug-gated helper", b.Name())
+			}
+			return true
+		}
+	}
+
+	// Resolve a static callee if there is one.
+	var callee *types.Func
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[fun]
+		switch obj := obj.(type) {
+		case *types.Func:
+			callee = obj
+		case *types.Var:
+			c.report(n.Pos(), "dynamic call through %s may allocate", fun.Name)
+			return true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[fun]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				callee = sel.Obj().(*types.Func)
+			case types.FieldVal:
+				c.report(n.Pos(), "dynamic call through field %s may allocate", fun.Sel.Name)
+				return true
+			}
+		} else if f, ok := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			callee = f // package-qualified function
+		}
+	case *ast.FuncLit:
+		// The FuncLit case reports the closure itself.
+		return true
+	}
+	if callee == nil {
+		c.report(n.Pos(), "dynamic call may allocate")
+		return true
+	}
+
+	sig, _ := callee.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		c.report(n.Pos(), "interface method call %s dispatches dynamically and may allocate", callee.Name())
+		return true
+	}
+	if !c.calleeAllowed(callee) {
+		c.report(n.Pos(), "call to %s, which is not //vliw:allocfree", funcKey(callee))
+	}
+	// Interface parameters box their arguments.
+	if sig != nil && !n.Ellipsis.IsValid() {
+		params := sig.Params()
+		for i, arg := range n.Args {
+			var pt types.Type
+			if sig.Variadic() && i >= params.Len()-1 {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			} else if i < params.Len() {
+				pt = params.At(i).Type()
+			}
+			if pt != nil {
+				c.checkConvert(arg, pt)
+			}
+		}
+		if sig.Variadic() && len(n.Args) > params.Len()-1 {
+			// Passing anything to a variadic parameter builds the
+			// backing slice.
+			c.report(n.Pos(), "variadic call to %s allocates the argument slice", callee.Name())
+		}
+	}
+	return true
+}
+
+func (c *naChecker) calleeAllowed(f *types.Func) bool {
+	if c.annotated[f] || c.pass.HasFact(funcKey(f)) {
+		return true
+	}
+	if pkg := f.Pkg(); pkg != nil && pkg.Path() == "math/bits" {
+		return true
+	}
+	return false
+}
+
+func (c *naChecker) conversion(n *ast.CallExpr, dst types.Type) {
+	src := c.typeOf(n.Args[0])
+	if src == nil {
+		return
+	}
+	if tv, ok := c.pass.TypesInfo.Types[n.Args[0]]; ok && tv.Value != nil {
+		return // constant conversions fold at compile time
+	}
+	under := dst.Underlying()
+	if types.IsInterface(under) {
+		c.checkConvert(n.Args[0], dst)
+		return
+	}
+	if b, ok := under.(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		switch src.Underlying().(type) {
+		case *types.Slice:
+			c.report(n.Pos(), "string conversion from slice allocates")
+		case *types.Basic:
+			if sb := src.Underlying().(*types.Basic); sb.Info()&types.IsInteger != 0 {
+				c.report(n.Pos(), "string(rune) conversion allocates")
+			}
+		}
+		return
+	}
+	if sl, ok := under.(*types.Slice); ok {
+		_ = sl
+		if sb, ok := src.Underlying().(*types.Basic); ok && sb.Info()&types.IsString != 0 {
+			c.report(n.Pos(), "byte/rune slice conversion from string allocates")
+		}
+	}
+}
+
+// checkConvert flags the implicit boxing of a non-pointer concrete
+// value into an interface-typed destination.
+func (c *naChecker) checkConvert(expr ast.Expr, dst types.Type) {
+	if dst == nil || !types.IsInterface(dst.Underlying()) {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.Value != nil || tv.IsNil() {
+		return // constants and nil are boxed statically
+	}
+	src := tv.Type
+	if types.IsInterface(src.Underlying()) {
+		return // interface-to-interface carries the existing box
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: fits the interface word
+	}
+	if b, ok := src.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return
+	}
+	c.report(expr.Pos(), "boxing %s into interface allocates", types.TypeString(src, types.RelativeTo(c.pass.Pkg)))
+}
+
+func (c *naChecker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return types.Typ[types.Invalid]
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func (c *naChecker) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

@@ -1,0 +1,326 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/lint"
+)
+
+// Registry enforces the engine registry discipline introduced in PR 5:
+// every file that declares a type implementing SchedulerEngine or
+// UnrollPolicy must self-register it from an init function in the same
+// file (directly, or through a helper the init hands to
+// RegisterStrategyFamily), and every registered literal name must be
+// canonical — lowercase [a-z0-9_:-], starting with a letter or digit —
+// and not already taken inside the package.  A declared-but-never-
+// registered engine compiles fine and then silently doesn't exist at
+// runtime; this turns that into a compile-time error.
+var Registry = &lint.Analyzer{
+	Name: "registry",
+	Doc:  "engine/policy types must self-register in init with a canonical name",
+	Run:  runRegistry,
+}
+
+var registerFuncs = map[string]bool{
+	"RegisterScheduler":      true,
+	"RegisterStrategy":       true,
+	"RegisterStrategyFamily": true,
+}
+
+var canonicalName = regexp.MustCompile(`^[a-z0-9][a-z0-9_:-]*$`)
+
+func runRegistry(pass *lint.Pass) error {
+	ifaces := registryInterfaces(pass)
+	if len(ifaces) == 0 {
+		return nil
+	}
+
+	type implInfo struct {
+		spec  *ast.TypeSpec
+		obj   *types.TypeName
+		iface string
+	}
+
+	// First pass per file: implementing type declarations, init
+	// functions, and helper functions referenced from register calls.
+	for _, file := range pass.Files {
+		var impls []implInfo
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if obj == nil {
+					continue
+				}
+				if types.IsInterface(obj.Type().Underlying()) {
+					continue
+				}
+				for _, name := range []string{"SchedulerEngine", "UnrollPolicy"} {
+					iface, ok := ifaces[name]
+					if !ok {
+						continue
+					}
+					if types.Implements(obj.Type(), iface) ||
+						types.Implements(types.NewPointer(obj.Type()), iface) {
+						impls = append(impls, implInfo{ts, obj, name})
+						break
+					}
+				}
+			}
+		}
+		if len(impls) == 0 {
+			continue
+		}
+
+		// Objects referenced inside register calls in this file's init
+		// functions, plus the bodies of same-file helper functions
+		// those calls reference (e.g. a StrategyFamily's New hook).
+		registered := map[types.Object]bool{}
+		var helperFuncs []types.Object
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "init" || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !registerFuncs[calleeName(call)] {
+					return true
+				}
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(m ast.Node) bool {
+						id, ok := m.(*ast.Ident)
+						if !ok {
+							return true
+						}
+						obj := pass.TypesInfo.Uses[id]
+						switch obj := obj.(type) {
+						case *types.TypeName:
+							registered[obj] = true
+						case *types.Func:
+							if obj.Pkg() == pass.Pkg {
+								helperFuncs = append(helperFuncs, obj)
+							}
+						}
+						return true
+					})
+				}
+				return true
+			})
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			isHelper := false
+			for _, h := range helperFuncs {
+				if obj == h {
+					isHelper = true
+				}
+			}
+			if !isHelper {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if tn, ok := pass.TypesInfo.Uses[id].(*types.TypeName); ok {
+						registered[tn] = true
+					}
+				}
+				return true
+			})
+		}
+
+		for _, impl := range impls {
+			if !registered[impl.obj] {
+				pass.Reportf(impl.spec.Pos(),
+					"%s implements %s but no init in this file registers it (RegisterScheduler/RegisterStrategy/RegisterStrategyFamily)",
+					impl.obj.Name(), impl.iface)
+			}
+		}
+	}
+
+	checkRegistryNames(pass)
+	return nil
+}
+
+// registryInterfaces finds the SchedulerEngine and UnrollPolicy
+// interfaces, either declared in this package or imported from a
+// package whose path ends in internal/engine.
+func registryInterfaces(pass *lint.Pass) map[string]*types.Interface {
+	out := map[string]*types.Interface{}
+	scopes := []*types.Scope{}
+	if pass.Pkg.Name() == "engine" && strings.HasSuffix(pass.Pkg.Path(), "internal/engine") {
+		scopes = append(scopes, pass.Pkg.Scope())
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if strings.HasSuffix(imp.Path(), "internal/engine") {
+			scopes = append(scopes, imp.Scope())
+		}
+	}
+	for _, scope := range scopes {
+		for _, name := range []string{"SchedulerEngine", "UnrollPolicy"} {
+			obj, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+				out[name] = iface
+			}
+		}
+	}
+	return out
+}
+
+// checkRegistryNames validates every name the package registers or
+// returns from a constant Name method: canonical form and package-wide
+// uniqueness.  Names are attributed to the type they belong to, so a
+// type whose alias repeats its own canonical name is not a conflict —
+// only two different types claiming one name are.
+func checkRegistryNames(pass *lint.Pass) {
+	type nameUse struct {
+		node ast.Node
+		name string
+		typ  types.Object // nil for family prefixes
+	}
+	var uses []nameUse
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			switch {
+			case fd.Name.Name == "init" && fd.Recv == nil:
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					switch calleeName(call) {
+					case "RegisterScheduler", "RegisterStrategy":
+						if len(call.Args) == 0 {
+							return true
+						}
+						typ := registeredType(pass, call.Args[0])
+						for _, arg := range call.Args[1:] {
+							if v, ok := constString(pass, arg); ok {
+								uses = append(uses, nameUse{arg, v, typ})
+							}
+						}
+					case "RegisterStrategyFamily":
+						for _, arg := range call.Args {
+							cl, ok := ast.Unparen(arg).(*ast.CompositeLit)
+							if !ok {
+								continue
+							}
+							for _, elt := range cl.Elts {
+								kv, ok := elt.(*ast.KeyValueExpr)
+								if !ok {
+									continue
+								}
+								if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Prefix" {
+									if v, ok := constString(pass, kv.Value); ok {
+										// The registry namespaces family names
+										// as "prefix:arg"; record the prefix
+										// with its separator so it cannot
+										// collide with a plain name.
+										uses = append(uses, nameUse{kv.Value, v + ":", nil})
+									}
+								}
+							}
+						}
+					}
+					return true
+				})
+			case fd.Name.Name == "Name" && fd.Recv != nil:
+				// A Name method returning a single constant defines the
+				// type's canonical name.  (Computed names, like a sweep
+				// family's "sweep:<k>", are validated at runtime by the
+				// registry itself.)
+				if len(fd.Body.List) != 1 {
+					continue
+				}
+				ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+				if !ok || len(ret.Results) != 1 {
+					continue
+				}
+				v, ok := constString(pass, ret.Results[0])
+				if !ok {
+					continue
+				}
+				var typ types.Object
+				if len(fd.Recv.List) == 1 {
+					t := pass.TypesInfo.Types[fd.Recv.List[0].Type].Type
+					typ = namedObj(t)
+				}
+				uses = append(uses, nameUse{ret.Results[0], v, typ})
+			}
+		}
+	}
+
+	sort.Slice(uses, func(i, j int) bool { return uses[i].node.Pos() < uses[j].node.Pos() })
+	type owner struct {
+		typ types.Object
+		set bool
+	}
+	seen := map[string]owner{}
+	for _, u := range uses {
+		bare := strings.TrimSuffix(u.name, ":")
+		if !canonicalName.MatchString(bare) || bare == "" {
+			pass.Reportf(u.node.Pos(), "registry name %q is not canonical (want lowercase [a-z0-9_:-])", u.name)
+			continue
+		}
+		if prev, ok := seen[u.name]; ok {
+			if u.typ == nil || prev.typ == nil || prev.typ != u.typ {
+				pass.Reportf(u.node.Pos(), "registry name %q is already taken in this package", u.name)
+			}
+			continue
+		}
+		seen[u.name] = owner{typ: u.typ, set: true}
+	}
+}
+
+// registeredType resolves the named type of a register call's first
+// argument (the engine/policy value being registered).
+func registeredType(pass *lint.Pass, arg ast.Expr) types.Object {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	return namedObj(tv.Type)
+}
+
+func namedObj(t types.Type) types.Object {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// constString evaluates e as a compile-time string constant.
+func constString(pass *lint.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

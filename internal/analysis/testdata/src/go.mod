@@ -1,0 +1,7 @@
+module repro/vliwlintfixtures
+
+go 1.24
+
+require repro v0.0.0
+
+replace repro => ../../../..

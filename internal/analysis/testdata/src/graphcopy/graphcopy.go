@@ -1,0 +1,67 @@
+// Package graphcopy exercises the graphcopy analyzer: every position
+// that moves a Graph by value, plus the construction and
+// identity-replacement shapes that stay legal.
+package graphcopy
+
+import (
+	"repro/vliwlintfixtures/graphcopy/internal/ddg"
+)
+
+func byValueParam(g ddg.Graph) {} // want `parameter passes ddg\.Graph by value`
+
+func byValueReturn() ddg.Graph { // want `result passes ddg\.Graph by value`
+	return ddg.Graph{}
+}
+
+type holder struct {
+	G ddg.Graph // want `struct field holds ddg\.Graph by value`
+}
+
+type wrapped struct {
+	inner [2]ddg.Graph // want `struct field holds ddg\.Graph by value`
+}
+
+func localCopy(p *ddg.Graph) *ddg.Graph {
+	g := *p // want `copies ddg\.Graph by value`
+	return &g
+}
+
+func rangeCopy(list []ddg.Graph) int {
+	n := 0
+	for _, g := range list { // want `range copies ddg\.Graph values`
+		n += len(g.Nodes)
+	}
+	return n
+}
+
+func callArg(p *ddg.Graph) {
+	use(*p) // want `passes ddg\.Graph by value`
+}
+
+func use(g ddg.Graph) {} // want `parameter passes ddg\.Graph by value`
+
+func send(ch chan ddg.Graph, p *ddg.Graph) {
+	ch <- *p // want `sends ddg\.Graph by value over a channel`
+}
+
+func intoLiteral(p *ddg.Graph) []ddg.Graph {
+	return []ddg.Graph{*p} // want `copies ddg\.Graph by value into a composite literal`
+}
+
+// --- allowed forms: no diagnostics below this line ---
+
+// replaceIdentity is the Clone/UnmarshalJSON pattern: a fresh literal
+// written through the pointer replaces identity without aliasing.
+func replaceIdentity(dst *ddg.Graph, nodes []int) {
+	*dst = ddg.Graph{Nodes: nodes}
+}
+
+func pointers(list []*ddg.Graph) int {
+	n := 0
+	for _, g := range list {
+		n += len(g.Nodes)
+	}
+	return n
+}
+
+func usePtr(g *ddg.Graph) *ddg.Graph { return g }

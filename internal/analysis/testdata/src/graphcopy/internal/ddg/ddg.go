@@ -1,0 +1,25 @@
+// Package ddg mimics the real dependence-graph package.  The
+// graphcopy analyzer keys on the import-path suffix internal/ddg, so
+// this fixture copy exercises it without coupling the tests to the
+// real type's full shape.
+package ddg
+
+import "sync"
+
+// Graph mirrors the real Graph: value state plus an embedded cache
+// guard, so a by-value copy aliases the cached identity.
+type Graph struct {
+	mu    sync.Mutex
+	Nodes []int
+	fp    uint64
+}
+
+// Reset shows the allowed identity-replacement pattern: writing a
+// fresh composite literal through the pointer replaces the graph's
+// identity instead of aliasing another one.
+func (g *Graph) Reset() {
+	g.mu.Lock()
+	g.fp = 0
+	g.mu.Unlock()
+	*g = Graph{}
+}

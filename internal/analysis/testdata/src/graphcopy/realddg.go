@@ -1,0 +1,16 @@
+package graphcopy
+
+import realddg "repro/internal/ddg"
+
+// The analyzer must fire on the real repro/internal/ddg type too, not
+// just the fixture mimic, and must keep allowing the identity
+// replacement its Clone/UnmarshalJSON rely on.
+
+func copyReal(p *realddg.Graph) { // replaces the old copylock vet-probe module
+	g := *p // want `copies ddg\.Graph by value`
+	g.Fingerprint()
+}
+
+func resetReal(dst *realddg.Graph) {
+	*dst = realddg.Graph{} // identity replacement: allowed
+}

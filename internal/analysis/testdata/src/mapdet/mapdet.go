@@ -1,0 +1,72 @@
+// Package mapdet exercises the mapdeterminism analyzer: map ranges
+// feeding ordered output, the sorted and waived escapes, and the
+// order-independent shapes that must stay silent.
+package mapdet
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+)
+
+func keysUnsorted(m map[string]int) []string {
+	out := []string{}
+	for k := range m { // want `appends to out in nondeterministic order`
+		out = append(out, k)
+	}
+	return out
+}
+
+func emits(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `emits output in iteration order`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// --- allowed forms: no diagnostics below this line ---
+
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func keysSlicesSorted(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// mapCopy is order-independent: map writes commute.
+func mapCopy(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// localAccum appends to a slice born inside the loop body, so no
+// cross-iteration order can leak out.
+func localAccum(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		tmp := []int{}
+		tmp = append(tmp, vs...)
+		total += len(tmp)
+	}
+	return total
+}
+
+func waived(m map[string]int) []string {
+	var out []string
+	for k := range m { //vliw:unordered feeds a counter merge, order-free
+		out = append(out, k)
+	}
+	return out
+}

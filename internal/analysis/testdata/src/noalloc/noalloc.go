@@ -1,0 +1,186 @@
+// Package noalloc exercises the noalloc analyzer: every construct the
+// //vliw:allocfree contract forbids, every form it allows, and the two
+// waiver spellings.
+package noalloc
+
+import (
+	"math/bits"
+
+	"repro/internal/regpress"
+)
+
+//vliw:allocfree
+func makeSlice(n int) []int {
+	s := make([]int, n) // want `make allocates`
+	return s
+}
+
+//vliw:allocfree
+func newInt() *int {
+	return new(int) // want `new allocates`
+}
+
+//vliw:allocfree
+func sliceLit() []int {
+	return []int{1, 2, 3} // want `slice composite literal allocates`
+}
+
+//vliw:allocfree
+func mapLit() map[int]int {
+	return map[int]int{} // want `map composite literal allocates`
+}
+
+type pair struct{ a, b int }
+
+//vliw:allocfree
+func escape() *pair {
+	return &pair{1, 2} // want `&composite literal escapes to the heap`
+}
+
+//vliw:allocfree
+func closure(n int) func() int {
+	f := func() int { return n } // want `function literal allocates a closure`
+	return f
+}
+
+//vliw:allocfree
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//vliw:allocfree
+func box(v int) any {
+	return v // want `boxing int into interface allocates`
+}
+
+//vliw:allocfree
+func mapWrite(m map[int]int, k int) {
+	m[k] = 1 // want `map assignment may grow the map`
+}
+
+//vliw:allocfree
+func goStmt() {
+	go concat("a", "b") // want `go statement allocates a goroutine`
+}
+
+//vliw:allocfree
+func sliceToString(b []byte) string {
+	return string(b) // want `string conversion from slice allocates`
+}
+
+func helper() int { return 0 }
+
+//vliw:allocfree
+func callsUnannotated() int {
+	return helper() // want `call to repro/vliwlintfixtures/noalloc\.helper, which is not //vliw:allocfree`
+}
+
+//vliw:allocfree
+func dynamic(f func() int) int {
+	return f() // want `dynamic call through f may allocate`
+}
+
+type adder interface{ add(int) int }
+
+//vliw:allocfree
+func dispatch(a adder, v int) int {
+	return a.add(v) // want `interface method call add dispatches dynamically and may allocate`
+}
+
+//vliw:allocfree
+func badAppend(dst, src []int) []int {
+	dst = append(src, 1) // want `append result is not reassigned to its first operand`
+	return dst
+}
+
+//vliw:allocfree
+func variadic(xs []int) int {
+	return sum(xs[0], xs[1]) // want `variadic call to sum allocates the argument slice`
+}
+
+// --- allowed forms: no diagnostics below this line ---
+
+//vliw:allocfree
+func sum(vs ...int) int {
+	total := 0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}
+
+//vliw:allocfree
+func spread(xs []int) int {
+	return sum(xs...) // spreading reuses the existing backing slice
+}
+
+//vliw:allocfree
+func selfAppend(buf []int, v int) []int {
+	buf = append(buf, v)
+	buf = append(buf[:0], v)
+	return buf
+}
+
+//vliw:allocfree
+func onesWrap(x uint64) int {
+	return bits.OnesCount64(x) // math/bits is allocation-free by charter
+}
+
+//vliw:allocfree
+func callsAnnotated(x uint64) int {
+	return onesWrap(x)
+}
+
+//vliw:allocfree
+func guard(ok bool, name string) {
+	if !ok {
+		panic("invariant broken: " + name) // cold path: panic args are exempt
+	}
+}
+
+//vliw:allocfree
+func trailingWaiver(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n) //vliw:alloc-ok amortized: grows once per size class, reused after
+	}
+	return buf[:n]
+}
+
+//vliw:allocfree
+func standaloneWaiver(n int) []int {
+	//vliw:alloc-ok amortized scratch buffer, reused across calls
+	scratch := make([]int, n)
+	return scratch
+}
+
+// usesPressureTable calls into the real repro/internal/regpress, whose
+// Add/Fits/Sub carry //vliw:allocfree in their own package.  The facts
+// must flow across the module boundary even when the dependency is
+// loaded facts-only, or this reports false positives.
+//
+//vliw:allocfree
+func usesPressureTable(t *regpress.Table, lo, hi int) bool {
+	t.Add(lo, hi)
+	ok := t.Fits()
+	t.Sub(lo, hi)
+	return ok
+}
+
+// wrapScan mirrors mrt.busScan's wrap-around window: when BusLatency
+// equals II the reservation window covers the whole table, so the scan
+// wraps every slot back to the table head — all index arithmetic over
+// a caller-owned bitset, nothing may allocate.
+//
+//vliw:allocfree
+func wrapScan(words []uint64, start, ii, lat int) int {
+	for off := 0; off < lat; off++ {
+		slot := start + off
+		if slot >= ii {
+			slot -= ii // BusLatency == II wraps to the table head
+		}
+		if words[slot>>6]&(1<<uint(slot&63)) != 0 {
+			return -1
+		}
+	}
+	return start
+}

@@ -1,0 +1,18 @@
+package registryfix
+
+import (
+	"repro/internal/engine"
+	"repro/internal/machine"
+)
+
+type loudPolicy struct{}
+
+func (loudPolicy) Name() string { return "loudfix" }
+
+func (loudPolicy) MaxFactor(opts *engine.Options, cfg *machine.Config) int { return 1 }
+
+func (loudPolicy) Compile(cc *engine.Context) (*engine.Result, error) { return nil, nil }
+
+func init() {
+	engine.RegisterStrategy(loudPolicy{}, "LOUD") // want `registry name "LOUD" is not canonical`
+}

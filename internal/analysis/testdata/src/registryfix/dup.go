@@ -1,0 +1,27 @@
+package registryfix
+
+import (
+	"repro/internal/engine"
+	"repro/internal/machine"
+)
+
+type firstDup struct{}
+
+func (firstDup) Name() string { return "dupfix" }
+
+func (firstDup) MaxFactor(opts *engine.Options, cfg *machine.Config) int { return 1 }
+
+func (firstDup) Compile(cc *engine.Context) (*engine.Result, error) { return nil, nil }
+
+type secondDup struct{}
+
+func (secondDup) Name() string { return "dupfix" } // want `registry name "dupfix" is already taken`
+
+func (secondDup) MaxFactor(opts *engine.Options, cfg *machine.Config) int { return 1 }
+
+func (secondDup) Compile(cc *engine.Context) (*engine.Result, error) { return nil, nil }
+
+func init() {
+	engine.RegisterStrategy(firstDup{})
+	engine.RegisterStrategy(secondDup{})
+}

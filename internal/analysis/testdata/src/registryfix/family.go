@@ -1,0 +1,31 @@
+package registryfix
+
+import (
+	"repro/internal/engine"
+	"repro/internal/machine"
+)
+
+// famPolicy is only ever built by newFam, the family's New hook: the
+// analyzer must follow that one level of helper indirection and treat
+// the type as registered.  Its Name is computed, so the canonical-name
+// check leaves it to the runtime registry.
+type famPolicy struct{ name string }
+
+func (f famPolicy) Name() string { return f.name }
+
+func (famPolicy) MaxFactor(opts *engine.Options, cfg *machine.Config) int { return 1 }
+
+func (famPolicy) Compile(cc *engine.Context) (*engine.Result, error) { return nil, nil }
+
+func newFam(arg string) (engine.UnrollPolicy, error) {
+	return famPolicy{name: "famfix:" + arg}, nil
+}
+
+func init() {
+	engine.RegisterStrategyFamily(engine.StrategyFamily{
+		Prefix:      "famfix",
+		Placeholder: "famfix:<k>",
+		Doc:         "Doc strings are prose, NOT registry names — must not be flagged",
+		New:         newFam,
+	})
+}

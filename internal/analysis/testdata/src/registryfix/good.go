@@ -1,0 +1,23 @@
+// Package registryfix exercises the registry analyzer against the
+// real engine interfaces: registered and orphaned implementations,
+// name canonicality, duplicates, and family helper indirection.
+package registryfix
+
+import (
+	"repro/internal/engine"
+	"repro/internal/machine"
+)
+
+// goodPolicy self-registers with an alias; both names are canonical
+// and attributed to the same type, so nothing is reported.
+type goodPolicy struct{}
+
+func (goodPolicy) Name() string { return "goodfix" }
+
+func (goodPolicy) MaxFactor(opts *engine.Options, cfg *machine.Config) int { return 1 }
+
+func (goodPolicy) Compile(cc *engine.Context) (*engine.Result, error) { return nil, nil }
+
+func init() {
+	engine.RegisterStrategy(goodPolicy{}, "goodfix_alias")
+}

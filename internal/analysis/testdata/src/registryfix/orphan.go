@@ -1,0 +1,14 @@
+package registryfix
+
+import (
+	"repro/internal/engine"
+	"repro/internal/machine"
+)
+
+type orphanPolicy struct{} // want `orphanPolicy implements UnrollPolicy but no init in this file registers it`
+
+func (orphanPolicy) Name() string { return "orphanfix" }
+
+func (orphanPolicy) MaxFactor(opts *engine.Options, cfg *machine.Config) int { return 1 }
+
+func (orphanPolicy) Compile(cc *engine.Context) (*engine.Result, error) { return nil, nil }

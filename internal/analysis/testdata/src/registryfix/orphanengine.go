@@ -1,0 +1,16 @@
+package registryfix
+
+import (
+	"repro/internal/ddg"
+	"repro/internal/engine"
+)
+
+type orphanEngine struct{} // want `orphanEngine implements SchedulerEngine but no init in this file registers it`
+
+func (orphanEngine) Name() string { return "orphanenginefix" }
+
+func (orphanEngine) Heuristic() bool { return false }
+
+func (orphanEngine) Schedule(cc *engine.Context, g *ddg.Graph) (*engine.Run, error) {
+	return nil, nil
+}

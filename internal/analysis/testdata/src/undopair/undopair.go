@@ -1,0 +1,97 @@
+// Package undopair exercises the undopair analyzer: leaked
+// placements, branch divergence, loop imbalance, and the matched,
+// committed, deferred, and exempted shapes that must stay silent.
+package undopair
+
+type sched struct{ n int }
+
+// The primitives themselves are exempt by name.
+func (s *sched) place(i int) { s.n++ }
+
+func (s *sched) placeAt(i, c int) { s.n++ }
+
+func (s *sched) unplace(i int) { s.n-- }
+
+func (s *sched) commit() { s.n = 0 }
+
+func leak(s *sched) {
+	s.place(1)
+} // want `function exits with 1 speculative placement`
+
+func earlyReturnLeak(s *sched, ok bool) {
+	s.place(1)
+	if ok {
+		return // want `exits with 1 speculative placement`
+	}
+	s.unplace(1)
+}
+
+func diverge(s *sched, ok bool) {
+	s.place(1)
+	if ok { // want `speculative placements diverge across branches`
+		s.unplace(1)
+	}
+	s.commit()
+}
+
+func loopLeak(s *sched, n int) {
+	for i := 0; i < n; i++ { // want `loop body accumulates 1 speculative placement`
+		s.place(i)
+	}
+	s.commit()
+}
+
+func breakLeak(s *sched, xs []int) {
+	for _, x := range xs {
+		s.place(x)
+		if x > 0 {
+			break // want `break exits the loop iteration with 1 unmatched speculative placement`
+		}
+		s.unplace(x)
+	}
+}
+
+// --- allowed forms: no diagnostics below this line ---
+
+func balanced(s *sched, ok bool) {
+	s.place(1)
+	if ok {
+		s.unplace(1)
+		return
+	}
+	s.unplace(1)
+}
+
+func committed(s *sched) {
+	s.placeAt(1, 0)
+	s.place(2)
+	s.commit()
+}
+
+func loopBalanced(s *sched, xs []int) {
+	for _, x := range xs {
+		s.place(x)
+		s.unplace(x)
+	}
+}
+
+func deferred(s *sched) {
+	s.place(1)
+	defer s.unplace(1)
+}
+
+// transfer moves a placement across helpers; pairing is enforced by
+// the callee's own discipline, not visible to the per-function check.
+//
+//vliw:nopair
+func transfer(s *sched) {
+	s.place(1)
+}
+
+func panicPath(s *sched, ok bool) {
+	s.place(1)
+	if !ok {
+		panic("unplaceable") // dead path: no exit check
+	}
+	s.unplace(1)
+}

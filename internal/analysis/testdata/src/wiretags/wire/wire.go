@@ -1,0 +1,29 @@
+// Package wire exercises the wiretags analyzer: its package name (and
+// path suffix) puts every exported struct here under DTO rules.
+package wire
+
+// Good carries a compliant tag set: explicit snake_case names, an
+// option suffix, an explicit exclusion, and an untagged unexported
+// field the analyzer must ignore.
+type Good struct {
+	ID     int    `json:"id"`
+	Name   string `json:"name,omitempty"`
+	Skip   string `json:"-"`
+	hidden int
+}
+
+type Bad struct {
+	Missing int // want `Bad\.Missing has no json tag`
+	Shout   int `json:"Shout"` // want `json tag "Shout" is not lowercase snake_case`
+	A       int `json:"dup"`
+	B       int `json:"dup"` // want `Bad\.B reuses json tag "dup"`
+}
+
+type Embedded struct {
+	Good // want `Embedded embeds a field; wire DTOs must declare every field explicitly`
+}
+
+// unexported structs are not part of the wire surface.
+type scratch struct {
+	Untagged int
+}

@@ -1,0 +1,361 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis/lint"
+)
+
+// Undopair enforces the scheduler's undo-log discipline: every
+// speculative place/placeAt must be matched by an unplace or resolved
+// by a commit on every path out of the enclosing function.  PR 3's
+// incremental pressure tables depend on this pairing — a leaked
+// placement silently corrupts every later fit test at the same II.
+//
+// The check is a conservative abstract interpretation over the
+// structured statement tree: each call whose terminal name is
+// place/placeAt (any case) raises the pending count, unplace lowers
+// it, commit resolves it to zero.  Branches must agree on the pending
+// count where they merge, loop bodies must be balanced, and exits
+// (returns, fall-through, break/continue) must leave zero pending.  A
+// defer that unplaces or commits resolves all exits.  Functions whose
+// own name is place/unplace/commit-like are exempt (they are the
+// primitives), as are functions annotated //vliw:nopair and any
+// function using goto or labels (the analysis bails out silently).
+var Undopair = &lint.Analyzer{
+	Name: "undopair",
+	Doc:  "speculative place must be matched by unplace or commit on all paths",
+	Run:  runUndopair,
+}
+
+var (
+	upPlaceNames  = map[string]bool{"place": true, "placeAt": true, "Place": true, "PlaceAt": true}
+	upUndoNames   = map[string]bool{"unplace": true, "Unplace": true}
+	upCommitNames = map[string]bool{"commit": true, "Commit": true}
+)
+
+func runUndopair(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if upPlaceNames[name] || upUndoNames[name] || upCommitNames[name] {
+				continue // the primitives themselves
+			}
+			if hasDirective(fd.Doc, "vliw:nopair") {
+				continue
+			}
+			places, _, _ := countPairCalls(fd.Body)
+			if places == 0 {
+				continue
+			}
+			w := &upWalker{pass: pass}
+			w.deferResolves = deferResolvesPending(fd.Body)
+			end := w.stmtList(fd.Body.List, upState{})
+			if !end.dead {
+				w.checkExit(fd.Body.Rbrace, end)
+			}
+			if !w.bailed {
+				for _, r := range w.reports {
+					pass.Reportf(r.pos, "%s", r.msg)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type upState struct {
+	pending int
+	dead    bool // all paths through here terminated
+}
+
+type upReport struct {
+	pos token.Pos
+	msg string
+}
+
+type upWalker struct {
+	pass          *lint.Pass
+	deferResolves bool
+	bailed        bool
+	loopEntry     []int
+	reports       []upReport
+}
+
+func (w *upWalker) reportf(pos token.Pos, format string, args ...any) {
+	w.reports = append(w.reports, upReport{pos, fmt.Sprintf(format, args...)})
+}
+
+func (w *upWalker) checkExit(pos token.Pos, s upState) {
+	if w.deferResolves || s.pending == 0 {
+		return
+	}
+	w.reportf(pos, "function exits with %d speculative placement(s) not matched by unplace or commit", s.pending)
+}
+
+// apply folds the place/unplace/commit calls syntactically contained
+// in n (excluding nested function literals) into the state.
+func (w *upWalker) apply(n ast.Node, s upState) upState {
+	if n == nil {
+		return s
+	}
+	places, undos, commits := countPairCalls(n)
+	if commits {
+		s.pending = 0
+		// Calls after the commit in the same statement are rare
+		// enough to ignore; place+commit in one statement resolves.
+		places, undos = 0, 0
+	}
+	s.pending += places - undos
+	if s.pending < 0 {
+		s.pending = 0 // extra unplaces are the primitives' problem
+	}
+	return s
+}
+
+func (w *upWalker) stmtList(list []ast.Stmt, s upState) upState {
+	for _, st := range list {
+		if s.dead {
+			// Unreachable code: analyze for its own reports but keep
+			// the dead marker.
+			w.stmt(st, upState{})
+			continue
+		}
+		s = w.stmt(st, s)
+	}
+	return s
+}
+
+func (w *upWalker) stmt(stmt ast.Stmt, s upState) upState {
+	switch stmt := stmt.(type) {
+	case *ast.ExprStmt:
+		s = w.apply(stmt.X, s)
+		if isPanicCall(stmt.X) {
+			s.dead = true
+		}
+		return s
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		return w.apply(stmt, s)
+	case *ast.ReturnStmt:
+		s = w.apply(stmt, s)
+		w.checkExit(stmt.Pos(), s)
+		s.dead = true
+		return s
+	case *ast.DeferStmt:
+		return s // resolution handled by deferResolvesPending
+	case *ast.GoStmt:
+		return s
+	case *ast.BlockStmt:
+		return w.stmtList(stmt.List, s)
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			s = w.apply(stmt.Init, s)
+		}
+		s = w.apply(stmt.Cond, s)
+		thenOut := w.stmtList(stmt.Body.List, s)
+		elseOut := s
+		if stmt.Else != nil {
+			elseOut = w.stmt(stmt.Else, s)
+		}
+		switch {
+		case thenOut.dead && elseOut.dead:
+			return upState{pending: s.pending, dead: true}
+		case thenOut.dead:
+			return elseOut
+		case elseOut.dead:
+			return thenOut
+		case thenOut.pending != elseOut.pending:
+			w.reportf(stmt.Pos(), "speculative placements diverge across branches (%d vs %d); every path must unplace or commit", thenOut.pending, elseOut.pending)
+			return thenOut
+		default:
+			return thenOut
+		}
+	case *ast.ForStmt:
+		if stmt.Init != nil {
+			s = w.apply(stmt.Init, s)
+		}
+		s = w.apply(stmt.Cond, s)
+		w.loopEntry = append(w.loopEntry, s.pending)
+		body := w.stmtList(stmt.Body.List, s)
+		if stmt.Post != nil {
+			body = w.apply(stmt.Post, body)
+		}
+		w.loopEntry = w.loopEntry[:len(w.loopEntry)-1]
+		if !body.dead && body.pending != s.pending {
+			w.reportf(stmt.Pos(), "loop body accumulates %d speculative placement(s) per iteration", body.pending-s.pending)
+		}
+		return s
+	case *ast.RangeStmt:
+		s = w.apply(stmt.X, s)
+		w.loopEntry = append(w.loopEntry, s.pending)
+		body := w.stmtList(stmt.Body.List, s)
+		w.loopEntry = w.loopEntry[:len(w.loopEntry)-1]
+		if !body.dead && body.pending != s.pending {
+			w.reportf(stmt.Pos(), "loop body accumulates %d speculative placement(s) per iteration", body.pending-s.pending)
+		}
+		return s
+	case *ast.BranchStmt:
+		switch stmt.Tok {
+		case token.BREAK, token.CONTINUE:
+			if n := len(w.loopEntry); n > 0 && s.pending != w.loopEntry[n-1] {
+				w.reportf(stmt.Pos(), "%s exits the loop iteration with %d unmatched speculative placement(s)", stmt.Tok, s.pending-w.loopEntry[n-1])
+			}
+			s.dead = true
+			return s
+		case token.GOTO:
+			w.bailed = true
+			s.dead = true
+			return s
+		default: // fallthrough
+			return s
+		}
+	case *ast.LabeledStmt:
+		w.bailed = true
+		return w.stmt(stmt.Stmt, s)
+	case *ast.SwitchStmt:
+		if stmt.Init != nil {
+			s = w.apply(stmt.Init, s)
+		}
+		s = w.apply(stmt.Tag, s)
+		return w.clauses(stmt.Pos(), stmt.Body.List, s, hasDefaultClause(stmt.Body.List))
+	case *ast.TypeSwitchStmt:
+		if stmt.Init != nil {
+			s = w.apply(stmt.Init, s)
+		}
+		s = w.apply(stmt.Assign, s)
+		return w.clauses(stmt.Pos(), stmt.Body.List, s, hasDefaultClause(stmt.Body.List))
+	case *ast.SelectStmt:
+		return w.clauses(stmt.Pos(), stmt.Body.List, s, true)
+	case *ast.EmptyStmt:
+		return s
+	default:
+		return s
+	}
+}
+
+// clauses merges the outgoing states of switch/select case bodies.
+func (w *upWalker) clauses(pos token.Pos, list []ast.Stmt, s upState, exhaustive bool) upState {
+	outs := []upState{}
+	for _, cl := range list {
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			s2 := s
+			for _, e := range cl.List {
+				s2 = w.apply(e, s2)
+			}
+			body = cl.Body
+			outs = append(outs, w.stmtList(body, s2))
+			continue
+		case *ast.CommClause:
+			s2 := s
+			if cl.Comm != nil {
+				s2 = w.apply(cl.Comm, s2)
+			}
+			outs = append(outs, w.stmtList(cl.Body, s2))
+			continue
+		}
+	}
+	if !exhaustive {
+		outs = append(outs, s) // no default: the switch may fall through
+	}
+	var live []upState
+	for _, o := range outs {
+		if !o.dead {
+			live = append(live, o)
+		}
+	}
+	if len(live) == 0 {
+		return upState{pending: s.pending, dead: true}
+	}
+	for _, o := range live[1:] {
+		if o.pending != live[0].pending {
+			w.reportf(pos, "speculative placements diverge across branches (%d vs %d); every path must unplace or commit", live[0].pending, o.pending)
+			break
+		}
+	}
+	return live[0]
+}
+
+// countPairCalls counts place-like and unplace-like calls and reports
+// whether a commit-like call appears, skipping nested function
+// literals.
+func countPairCalls(n ast.Node) (places, undos int, commits bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		switch {
+		case upPlaceNames[name]:
+			places++
+		case upUndoNames[name]:
+			undos++
+		case upCommitNames[name]:
+			commits = true
+		}
+		return true
+	})
+	return places, undos, commits
+}
+
+// deferResolvesPending reports whether any defer in the body contains
+// an unplace- or commit-like call (directly or in a deferred closure).
+func deferResolvesPending(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		ast.Inspect(d.Call, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				name := calleeName(call)
+				if upUndoNames[name] || upCommitNames[name] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func hasDefaultClause(list []ast.Stmt) bool {
+	for _, cl := range list {
+		if c, ok := cl.(*ast.CaseClause); ok && c.List == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis/lint"
+)
+
+// Wiretags guards the versioned wire format: in any package whose
+// import path ends in "/wire", every exported field of an exported
+// struct must carry an explicit json tag whose name is lowercase
+// snake_case and unique within the struct.  A DTO field without a tag
+// silently marshals under its Go name, so renaming the field — an
+// invisible refactor anywhere else — would break every client; the
+// explicit tag pins the wire name and the schema-lock golden test
+// (internal/wire) pins the full shape.
+var Wiretags = &lint.Analyzer{
+	Name: "wiretags",
+	Doc:  "wire DTO fields need explicit, unique, snake_case json tags",
+	Run:  runWiretags,
+}
+
+var wireTagName = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func runWiretags(pass *lint.Pass) error {
+	if !strings.HasSuffix(pass.Pkg.Path(), "/wire") && pass.Pkg.Name() != "wire" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					continue
+				}
+				checkWireStruct(pass, ts.Name.Name, st)
+			}
+		}
+	}
+	return nil
+}
+
+func checkWireStruct(pass *lint.Pass, typeName string, st *ast.StructType) {
+	seen := map[string]bool{}
+	for _, f := range st.Fields.List {
+		names := f.Names
+		if len(names) == 0 {
+			// Embedded field: the wire format must not inherit fields
+			// implicitly.
+			pass.Reportf(f.Pos(), "%s embeds a field; wire DTOs must declare every field explicitly", typeName)
+			continue
+		}
+		for _, name := range names {
+			if !name.IsExported() {
+				continue
+			}
+			if f.Tag == nil {
+				pass.Reportf(name.Pos(), "%s.%s has no json tag; wire DTO fields must pin their wire name", typeName, name.Name)
+				continue
+			}
+			raw, err := strconv.Unquote(f.Tag.Value)
+			if err != nil {
+				pass.Reportf(f.Tag.Pos(), "%s.%s has an unparseable struct tag", typeName, name.Name)
+				continue
+			}
+			tag, ok := reflect.StructTag(raw).Lookup("json")
+			if !ok || tag == "" {
+				pass.Reportf(name.Pos(), "%s.%s has no json tag; wire DTO fields must pin their wire name", typeName, name.Name)
+				continue
+			}
+			wireName := strings.Split(tag, ",")[0]
+			if wireName == "-" {
+				continue // explicitly excluded from the wire format
+			}
+			if !wireTagName.MatchString(wireName) {
+				pass.Reportf(f.Tag.Pos(), "%s.%s json tag %q is not lowercase snake_case", typeName, name.Name, wireName)
+				continue
+			}
+			if seen[wireName] {
+				pass.Reportf(f.Tag.Pos(), "%s.%s reuses json tag %q", typeName, name.Name, wireName)
+				continue
+			}
+			seen[wireName] = true
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/analysis/lint"
+	"repro/internal/analysis/lint/linttest"
+)
+
+func TestWiretags(t *testing.T) {
+	linttest.Run(t, "testdata/src", []*lint.Analyzer{Wiretags}, "./wiretags/wire")
+}

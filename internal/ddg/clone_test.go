@@ -1,0 +1,65 @@
+package ddg
+
+import "testing"
+
+// Copy safety is enforced statically by vliwlint's graphcopy analyzer
+// (internal/analysis), which replaced the throwaway vet-probe module
+// this file used to spawn; the tests here pin the runtime halves of
+// the same fix: Clone and UnmarshalJSON must replace the graph's
+// cached identity, never alias it.
+
+// TestDecodeReplacesIdentity pins the UnmarshalJSON half: decoding
+// into a Graph whose fingerprint was already taken must replace the
+// cached identity, not keep serving the old hash.
+func TestDecodeReplacesIdentity(t *testing.T) {
+	a := New("a")
+	a.AddNode("x", 0)
+	blob, err := a.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := New("b")
+	b.AddNode("y", 0)
+	b.AddNode("z", 0)
+	oldFP := b.Fingerprint()
+
+	if err := b.UnmarshalJSON(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Fingerprint(); got == oldFP {
+		t.Fatalf("fingerprint survived UnmarshalJSON: %s", got)
+	}
+	if want := a.Fingerprint(); b.Fingerprint() != want {
+		t.Fatalf("decoded fingerprint %s, want the encoded graph's %s", b.Fingerprint(), want)
+	}
+}
+
+// TestCloneIndependence pins Clone: the copy starts with fresh caches,
+// so mutating it never disturbs the original's fingerprint or memos.
+func TestCloneIndependence(t *testing.T) {
+	g := New("orig")
+	n0 := g.AddNode("x", 0)
+	n1 := g.AddNode("y", 0)
+	g.AddTrueDep(n0.ID, n1.ID, 0)
+	fp := g.Fingerprint()
+	memo := g.Memoize("probe", func() any { return 42 })
+
+	c := g.Clone()
+	if c.Fingerprint() != fp {
+		t.Fatalf("clone fingerprint %s, want %s", c.Fingerprint(), fp)
+	}
+	c.AddNode("extra", 0)
+	if c.Fingerprint() == fp {
+		t.Fatal("mutated clone kept the original fingerprint")
+	}
+	if g.Fingerprint() != fp {
+		t.Fatal("mutating the clone disturbed the original's fingerprint")
+	}
+	if got := g.Memoize("probe", func() any { return -1 }); got != memo {
+		t.Fatalf("original memo lost after clone mutation: got %v", got)
+	}
+	if got := c.Memoize("probe", func() any { return 7 }); got != 7 {
+		t.Fatalf("clone shared the original's memo table: got %v", got)
+	}
+}

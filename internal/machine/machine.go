@@ -177,6 +177,8 @@ func (c Config) SlotsPerInstruction() int {
 }
 
 // Clustered reports whether the machine has more than one cluster.
+//
+//vliw:allocfree
 func (c Config) Clustered() bool { return c.NClusters > 1 }
 
 // WithBuses returns a copy of the configuration with a different number

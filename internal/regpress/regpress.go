@@ -63,6 +63,7 @@ func Pressure(lifetimes []Lifetime, ii int) []int {
 	return slots
 }
 
+//vliw:allocfree
 func mod(x, m int) int {
 	r := x % m
 	if r < 0 {

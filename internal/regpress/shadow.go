@@ -16,11 +16,13 @@ type Shadow struct {
 
 // Snapshot copies t's current state into the shadow, reusing the
 // shadow's backing array when capacity allows.
+//
+//vliw:allocfree
 func (s *Shadow) Snapshot(t *Table) {
 	s.ii = t.ii
 	s.limit = t.limit
 	if cap(s.slots) < t.ii {
-		s.slots = make([]int, t.ii, t.ii+t.ii/2+4)
+		s.slots = make([]int, t.ii, t.ii+t.ii/2+4) //vliw:alloc-ok amortized: cap-checked growth, reused across snapshots
 	}
 	s.slots = s.slots[:t.ii]
 	copy(s.slots, t.slots)
@@ -29,6 +31,8 @@ func (s *Shadow) Snapshot(t *Table) {
 
 // Add adds one live-range instance over the flat-cycle interval
 // [lo, hi) to the shadow, exactly like Table.Add.
+//
+//vliw:allocfree
 func (s *Shadow) Add(lo, hi int) {
 	if hi <= lo {
 		return
@@ -53,6 +57,7 @@ func (s *Shadow) Add(lo, hi int) {
 	}
 }
 
+//vliw:allocfree
 func (s *Shadow) bump(i, delta int) {
 	old := s.slots[i]
 	now := old + delta
@@ -64,9 +69,13 @@ func (s *Shadow) bump(i, delta int) {
 
 // Fits reports whether every slot of the speculated state is within
 // capacity.
+//
+//vliw:allocfree
 func (s *Shadow) Fits() bool { return s.over == 0 }
 
 // Max returns the speculated MaxLive.
+//
+//vliw:allocfree
 func (s *Shadow) Max() int {
 	max := 0
 	for _, p := range s.slots {

@@ -32,6 +32,8 @@ func NewTable(ii, capacity int) *Table {
 // Init (re)initialises a table in place — the value-type counterpart of
 // NewTable, so callers can embed Tables in slices without per-element
 // pointer allocations.
+//
+//vliw:allocfree
 func (t *Table) Init(ii, capacity int) {
 	t.limit = capacity
 	t.Reset(ii)
@@ -40,13 +42,15 @@ func (t *Table) Init(ii, capacity int) {
 // Reset clears the table and resizes it to ii slots, reusing the backing
 // array when capacity allows (no allocation in the steady state of an II
 // search, which grows ii one step at a time).
+//
+//vliw:allocfree
 func (t *Table) Reset(ii int) {
 	if ii < 1 {
 		panic("regpress: II must be >= 1")
 	}
 	t.ii = ii
 	if cap(t.slots) < ii {
-		t.slots = make([]int, ii, ii+ii/2+4)
+		t.slots = make([]int, ii, ii+ii/2+4) //vliw:alloc-ok amortized: cap-checked growth, reused across resets
 	} else {
 		t.slots = t.slots[:ii]
 		for i := range t.slots {
@@ -57,20 +61,29 @@ func (t *Table) Reset(ii int) {
 }
 
 // II returns the current number of modulo slots.
+//
+//vliw:allocfree
 func (t *Table) II() int { return t.ii }
 
 // Capacity returns the register capacity the over-count checks against.
+//
+//vliw:allocfree
 func (t *Table) Capacity() int { return t.limit }
 
 // Add adds one live-range instance over the flat-cycle interval
 // [lo, hi): every cycle in the interval contributes 1 to its modulo
 // slot.  Negative cycles are allowed (wraparound).  Empty intervals are
 // no-ops.
+//
+//vliw:allocfree
 func (t *Table) Add(lo, hi int) { t.addRange(lo, hi, 1) }
 
 // Sub removes a live-range instance previously added over [lo, hi).
+//
+//vliw:allocfree
 func (t *Table) Sub(lo, hi int) { t.addRange(lo, hi, -1) }
 
+//vliw:allocfree
 func (t *Table) addRange(lo, hi, delta int) {
 	if hi <= lo {
 		return
@@ -96,6 +109,7 @@ func (t *Table) addRange(lo, hi, delta int) {
 	}
 }
 
+//vliw:allocfree
 func (t *Table) bump(s, delta int) {
 	old := t.slots[s]
 	now := old + delta
@@ -114,9 +128,13 @@ func (t *Table) bump(s, delta int) {
 
 // Fits reports whether every slot is within capacity — equivalent to
 // Max() <= Capacity(), but O(1).
+//
+//vliw:allocfree
 func (t *Table) Fits() bool { return t.over == 0 }
 
 // Max returns the current MaxLive: the peak pressure over all slots.
+//
+//vliw:allocfree
 func (t *Table) Max() int {
 	max := 0
 	for _, p := range t.slots {
@@ -128,6 +146,8 @@ func (t *Table) Max() int {
 }
 
 // Slot returns the pressure at modulo slot s.
+//
+//vliw:allocfree
 func (t *Table) Slot(s int) int { return t.slots[s] }
 
 // Slots returns the live per-slot pressure array.  It aliases the

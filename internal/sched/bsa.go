@@ -300,6 +300,8 @@ func runAttempt(st *state, ord []int, opts *Options) (FailCause, int) {
 // candidateClusters returns the clusters to try for node n, always in
 // ascending cluster order, without allocating (the state's prebuilt
 // lists are reused).
+//
+//vliw:allocfree
 func candidateClusters(st *state, n int, opts *Options) []int {
 	if opts.Assignment != nil {
 		st.oneCluster[0] = opts.Assignment[n]
@@ -315,6 +317,8 @@ func candidateClusters(st *state, n int, opts *Options) []int {
 // through the bus-transfer hold — so a loop larger than one register
 // file would jam at every II.  This is BSA's analogue of Nystrom &
 // Eichenberger's warning about aggressively filled clusters.
+//
+//vliw:allocfree
 func preferHeadroom(st *state, cands []candidate) []candidate {
 	margin := st.cfg.RegsPerCluster / 8
 	if margin < 1 {
@@ -337,6 +341,8 @@ func preferHeadroom(st *state, cands []candidate) []candidate {
 // steps 4-9): best profit; then the only candidate; then a cluster
 // holding a predecessor or successor of n; then the default cluster;
 // finally the candidate minimising register requirements.
+//
+//vliw:allocfree
 func chooseByProfit(st *state, n int, cands []candidate, defCluster int) candidate {
 	best := cands[0].profit
 	for _, c := range cands[1:] {

@@ -38,18 +38,26 @@ func NewAttempt(g *ddg.Graph, cfg *machine.Config, ii int) *Attempt {
 // internal buffer (reservation tables, pressure tables, transfer and
 // undo logs).  An II sweep should allocate one Attempt and Reset it per
 // II rather than constructing a fresh one.
+//
+//vliw:allocfree
 func (a *Attempt) Reset(ii int) { a.st.reset(ii) }
 
 // II returns the attempt's initiation interval.
+//
+//vliw:allocfree
 func (a *Attempt) II() int { return a.st.ii }
 
 // MaxLive returns cluster c's current peak register pressure, read from
 // the incrementally maintained table (O(II) scan, no recompute).
+//
+//vliw:allocfree
 func (a *Attempt) MaxLive(c int) int { return a.st.press[c].Max() }
 
 // Fits reports whether every cluster's register file currently holds
 // its MaxLive — O(NClusters), the same check Choices applies to every
 // enumerated placement.
+//
+//vliw:allocfree
 func (a *Attempt) Fits() bool { return a.st.fits() }
 
 // Choice is one feasible (cluster, cycle, communication-plan) placement
@@ -116,11 +124,15 @@ func (a *Attempt) Choices(n int) []Choice {
 // The attempt state must be identical to what it was at enumeration
 // time (the depth-first discipline guarantees it), or Place panics on a
 // no-longer-free bus slot.
+//
+//vliw:allocfree
 func (a *Attempt) Place(n int, ch Choice) {
 	a.st.commit(n, ch.Cluster, ch.res)
 }
 
 // Unplace exactly reverses Place.
+//
+//vliw:allocfree
 func (a *Attempt) Unplace(n int, ch Choice) {
 	a.st.unplace(n, ch.res.plan)
 }

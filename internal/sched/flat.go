@@ -41,10 +41,17 @@ type fedge struct {
 	dist int16
 }
 
-func (f *flatGraph) trueIn(n int) []fedge  { return f.inTrue[f.inTrueOff[n]:f.inTrueOff[n+1]] }
+//vliw:allocfree
+func (f *flatGraph) trueIn(n int) []fedge { return f.inTrue[f.inTrueOff[n]:f.inTrueOff[n+1]] }
+
+//vliw:allocfree
 func (f *flatGraph) trueOut(n int) []fedge { return f.outTrue[f.outTrueOff[n]:f.outTrueOff[n+1]] }
-func (f *flatGraph) allIn(n int) []fedge   { return f.inAll[f.inAllOff[n]:f.inAllOff[n+1]] }
-func (f *flatGraph) allOut(n int) []fedge  { return f.outAll[f.outAllOff[n]:f.outAllOff[n+1]] }
+
+//vliw:allocfree
+func (f *flatGraph) allIn(n int) []fedge { return f.inAll[f.inAllOff[n]:f.inAllOff[n+1]] }
+
+//vliw:allocfree
+func (f *flatGraph) allOut(n int) []fedge { return f.outAll[f.outAllOff[n]:f.outAllOff[n+1]] }
 
 // flatOf returns the memoized flattened view of g.
 func flatOf(g *ddg.Graph) *flatGraph {

@@ -68,6 +68,8 @@ func (m *mrt) rebind(cfg *machine.Config) {
 }
 
 // reset clears the table and resizes every row to ii slots.
+//
+//vliw:allocfree
 func (m *mrt) reset(ii int) {
 	m.ii = ii
 	m.words = (ii + 63) >> 6
@@ -75,7 +77,7 @@ func (m *mrt) reset(ii int) {
 
 	need := rows * ii
 	if cap(m.fuCnt) < need {
-		m.fuCnt = make([]int32, need, need+need/2+8)
+		m.fuCnt = make([]int32, need, need+need/2+8) //vliw:alloc-ok amortized: cap-checked growth, reused across resets
 	}
 	m.fuCnt = m.fuCnt[:need]
 	for i := range m.fuCnt {
@@ -84,7 +86,7 @@ func (m *mrt) reset(ii int) {
 
 	need = rows * m.words
 	if cap(m.fuFull) < need {
-		m.fuFull = make([]uint64, need, need+need/2+8)
+		m.fuFull = make([]uint64, need, need+need/2+8) //vliw:alloc-ok amortized: cap-checked growth, reused across resets
 	}
 	m.fuFull = m.fuFull[:need]
 	for i := range m.fuFull {
@@ -100,7 +102,7 @@ func (m *mrt) reset(ii int) {
 
 	need = m.cfg.NBuses * m.words
 	if cap(m.busBusy) < need {
-		m.busBusy = make([]uint64, need, need+need/2+8)
+		m.busBusy = make([]uint64, need, need+need/2+8) //vliw:alloc-ok amortized: cap-checked growth, reused across resets
 	}
 	m.busBusy = m.busBusy[:need]
 	for i := range m.busBusy {
@@ -108,6 +110,7 @@ func (m *mrt) reset(ii int) {
 	}
 }
 
+//vliw:allocfree
 func (m *mrt) slot(cycle int) int {
 	s := cycle % m.ii
 	if s < 0 {
@@ -118,16 +121,21 @@ func (m *mrt) slot(cycle int) int {
 
 // fuFreeSlot reports whether cluster c has a free unit of the class at
 // the given kernel slot — one word load, AND, compare.
+//
+//vliw:allocfree
 func (m *mrt) fuFreeSlot(c int, class machine.FUClass, s int) bool {
 	r := c*int(machine.NumFUClasses) + int(class)
 	return m.fuFull[r*m.words+s>>6]&(1<<uint(s&63)) == 0
 }
 
 // fuFree is fuFreeSlot for a flat cycle.
+//
+//vliw:allocfree
 func (m *mrt) fuFree(c int, class machine.FUClass, cycle int) bool {
 	return m.fuFreeSlot(c, class, m.slot(cycle))
 }
 
+//vliw:allocfree
 func (m *mrt) reserveFUSlot(c int, class machine.FUClass, s int) {
 	r := c*int(machine.NumFUClasses) + int(class)
 	cnt := &m.fuCnt[r*m.ii+s]
@@ -140,10 +148,12 @@ func (m *mrt) reserveFUSlot(c int, class machine.FUClass, s int) {
 	}
 }
 
+//vliw:allocfree
 func (m *mrt) reserveFU(c int, class machine.FUClass, cycle int) {
 	m.reserveFUSlot(c, class, m.slot(cycle))
 }
 
+//vliw:allocfree
 func (m *mrt) releaseFUSlot(c int, class machine.FUClass, s int) {
 	r := c*int(machine.NumFUClasses) + int(class)
 	cnt := &m.fuCnt[r*m.ii+s]
@@ -156,6 +166,7 @@ func (m *mrt) releaseFUSlot(c int, class machine.FUClass, s int) {
 	*cnt--
 }
 
+//vliw:allocfree
 func (m *mrt) releaseFU(c int, class machine.FUClass, cycle int) {
 	m.releaseFUSlot(c, class, m.slot(cycle))
 }
@@ -166,6 +177,8 @@ func (m *mrt) releaseFU(c int, class machine.FUClass, cycle int) {
 // iteration issues its own instance and they would overlap on the wire.
 // The window [s, s+BusLatency) may wrap past II-1; both pieces are
 // masked word tests.
+//
+//vliw:allocfree
 func (m *mrt) busFreeSlot(b, s int) bool {
 	lat := m.cfg.BusLatency
 	if lat > m.ii {
@@ -195,6 +208,8 @@ func (m *mrt) busFreeSlot(b, s int) bool {
 // times to build a "start here and the next BusLatency-1 slots are free
 // too" bitmap, and TrailingZeros finds the first feasible start — the
 // per-slot probing loop the bitset rows were built to replace.
+//
+//vliw:allocfree
 func (m *mrt) busScan(b, s, n int) int {
 	lat := m.cfg.BusLatency
 	if lat > m.ii || n <= 0 {
@@ -243,11 +258,15 @@ func (m *mrt) busScan(b, s, n int) int {
 
 // busBitFree reports whether the single kernel slot s on bus b is idle
 // (tests and diagnostics; the scheduler always probes whole windows).
+//
+//vliw:allocfree
 func (m *mrt) busBitFree(b, s int) bool {
 	return m.busBusy[b*m.words+s>>6]&(1<<uint(s&63)) == 0
 }
 
 // busFree is busFreeSlot for a flat start cycle.
+//
+//vliw:allocfree
 func (m *mrt) busFree(b, start int) bool {
 	if m.cfg.BusLatency > m.ii {
 		return false
@@ -257,6 +276,8 @@ func (m *mrt) busFree(b, start int) bool {
 
 // busWindow returns the bit window [s, s+BusLatency) mod ii as a single
 // word.  Only valid when the table fits one word and BusLatency <= II.
+//
+//vliw:allocfree
 func (m *mrt) busWindow(s int) uint64 {
 	lat := m.cfg.BusLatency
 	n1 := m.ii - s
@@ -270,6 +291,7 @@ func (m *mrt) busWindow(s int) uint64 {
 	return w
 }
 
+//vliw:allocfree
 func (m *mrt) reserveBusSlot(b, s int) {
 	lat := m.cfg.BusLatency
 	if m.words == 1 && lat <= m.ii {
@@ -294,10 +316,12 @@ func (m *mrt) reserveBusSlot(b, s int) {
 	}
 }
 
+//vliw:allocfree
 func (m *mrt) reserveBus(b, start int) {
 	m.reserveBusSlot(b, m.slot(start))
 }
 
+//vliw:allocfree
 func (m *mrt) releaseBusSlot(b, s int) {
 	lat := m.cfg.BusLatency
 	if m.words == 1 && lat <= m.ii {
@@ -322,16 +346,21 @@ func (m *mrt) releaseBusSlot(b, s int) {
 	}
 }
 
+//vliw:allocfree
 func (m *mrt) releaseBus(b, start int) {
 	m.releaseBusSlot(b, m.slot(start))
 }
 
 // maskBits returns the word mask with bits [lo, hi) set; 0 <= lo < hi <= 64.
+//
+//vliw:allocfree
 func maskBits(lo, hi int) uint64 {
 	return ^uint64(0) >> uint(64-(hi-lo)) << uint(lo)
 }
 
 // rangeFree reports whether bits [lo, lo+n) of the row are all zero.
+//
+//vliw:allocfree
 func rangeFree(w []uint64, lo, n int) bool {
 	if n <= 0 {
 		return true
@@ -353,6 +382,8 @@ func rangeFree(w []uint64, lo, n int) bool {
 }
 
 // rangeSet reports whether bits [lo, lo+n) of the row are all one.
+//
+//vliw:allocfree
 func rangeSet(w []uint64, lo, n int) bool {
 	if n <= 0 {
 		return true
@@ -376,6 +407,8 @@ func rangeSet(w []uint64, lo, n int) bool {
 }
 
 // setRange sets bits [lo, lo+n) of the row.
+//
+//vliw:allocfree
 func setRange(w []uint64, lo, n int) {
 	if n <= 0 {
 		return
@@ -394,6 +427,8 @@ func setRange(w []uint64, lo, n int) {
 }
 
 // clearRange clears bits [lo, lo+n) of the row.
+//
+//vliw:allocfree
 func clearRange(w []uint64, lo, n int) {
 	if n <= 0 {
 		return

@@ -146,16 +146,19 @@ func newSchedState(g *ddg.Graph, cfg *machine.Config) *state {
 
 // growInts returns s resized to n entries, reusing the backing array
 // when capacity allows.  Contents are unspecified.
+//
+//vliw:allocfree
 func growInts(s []int, n int) []int {
 	if cap(s) < n {
-		return make([]int, n, n+n/2+8)
+		return make([]int, n, n+n/2+8) //vliw:alloc-ok amortized: grows once per size class, reused for the whole run
 	}
 	return s[:n]
 }
 
+//vliw:allocfree
 func growInt32s(s []int32, n int) []int32 {
 	if cap(s) < n {
-		return make([]int32, n, n+n/2+8)
+		return make([]int32, n, n+n/2+8) //vliw:alloc-ok amortized: grows once per size class, reused for the whole run
 	}
 	return s[:n]
 }
@@ -266,6 +269,8 @@ func newState(g *ddg.Graph, cfg *machine.Config, ii int) *state {
 // allocating: the placement epoch advances (O(1) clear), the modulo
 // tables are resized in place, and the transfer/undo logs are truncated
 // with their capacity kept.
+//
+//vliw:allocfree
 func (st *state) reset(ii int) {
 	st.ii = ii
 	st.res.reset(ii)
@@ -283,6 +288,8 @@ func (st *state) reset(ii int) {
 }
 
 // placed reports whether node n is placed in the current attempt.
+//
+//vliw:allocfree
 func (st *state) placed(n int) bool { return st.placedEpoch[n] == st.epoch }
 
 // window is the legal cycle range for a node derived from its already
@@ -298,6 +305,7 @@ type window struct {
 	anchoredEarly, anchoredLate bool
 }
 
+//vliw:allocfree
 func (st *state) windowOf(n int) window {
 	var w window
 	for _, e := range st.fg.allIn(n) {
@@ -350,6 +358,8 @@ type scanRun struct {
 // "communication operations may increase the length of the schedule, and
 // therefore the SC may be increased".  Bus patterns repeat with period
 // II, so II+BusLatency extra cycles exhaust every distinct possibility.
+//
+//vliw:allocfree
 func (st *state) runOf(w window) scanRun {
 	span := st.ii
 	if st.cfg.Clustered() {
@@ -396,6 +406,8 @@ func (st *state) runOf(w window) scanRun {
 // candidateCycles materialises runOf into a slice (tests, diagnostics
 // and the exact-search enumeration; the BSA hot path walks the run
 // directly).  Callers pass a scratch slice, typically buf[:0].
+//
+//vliw:allocfree
 func (st *state) candidateCycles(w window, out []int) []int {
 	r := st.runOf(w)
 	for i, t := 0, r.start; i < r.count; i, t = i+1, t+r.step {
@@ -407,6 +419,8 @@ func (st *state) candidateCycles(w window, out []int) []int {
 // fillCycles computes everything about node n the per-cluster tries
 // share: the candidate-cycle run, the kernel slot of its first cycle,
 // and the node's communication template.
+//
+//vliw:allocfree
 func (st *state) fillCycles(n int) {
 	st.run = st.runOf(st.windowOf(n))
 	if st.run.count > 0 {
@@ -550,6 +564,8 @@ type prodRead struct{ p, dist int }
 // release; which transfers qualify does not depend on the candidate
 // cluster) — at those cycles the entry is skipped, everywhere else it
 // is planned.  Valid until the placement state changes.
+//
+//vliw:allocfree
 func (st *state) buildNodeTpl(n int) {
 	in := st.tplInBuf[:0]
 	prods := st.prodBuf[:0]
@@ -710,6 +726,8 @@ const tplIntMax = int(^uint(0) >> 1)
 // committed transfer (coverage needs the same non-empty window), so the
 // caller rejects those cycles with zero planning work.  On failure
 // planActs releases everything it reserved and returns dst[:0], false.
+//
+//vliw:allocfree
 func (st *state) planActs(n, c, t int, dst []plannedComm) ([]plannedComm, bool) {
 	plan := dst[:0]
 	nc := st.cfg.NClusters
@@ -744,6 +762,8 @@ func (st *state) planActs(n, c, t int, dst []plannedComm) ([]plannedComm, bool) 
 // appending to dst (a reused scratch or per-cluster keep buffer).  On
 // failure it releases everything it reserved and returns dst[:0],
 // false.
+//
+//vliw:allocfree
 func (st *state) planComms(needs []commNeed, dst []plannedComm) ([]plannedComm, bool) {
 	plan := dst[:0]
 	for _, need := range needs {
@@ -757,6 +777,7 @@ func (st *state) planComms(needs []commNeed, dst []plannedComm) ([]plannedComm, 
 	return plan, true
 }
 
+//vliw:allocfree
 func (st *state) planOne(need commNeed) (plannedComm, bool) {
 	return st.planTransfer(need.producer, need.from, need.to, need.release, need.deadline)
 }
@@ -767,6 +788,8 @@ func (st *state) planOne(need commNeed) (plannedComm, bool) {
 // repeats modulo II, so at most II distinct starts exist and each bus
 // is asked for its first feasible start with one bitset scan
 // (mrt.busScan) instead of a per-slot probing loop.
+//
+//vliw:allocfree
 func (st *state) planTransfer(producer, from, to, release, deadline int) (plannedComm, bool) {
 	lat := st.cfg.BusLatency
 	lastStart := deadline - lat
@@ -796,6 +819,7 @@ func (st *state) planTransfer(producer, from, to, release, deadline int) (planne
 		bus: bestB, start: release + bestK, slot: s}, true
 }
 
+//vliw:allocfree
 func (st *state) releasePlan(plan []plannedComm) {
 	for _, pc := range plan {
 		st.res.releaseBusSlot(pc.bus, pc.slot)
@@ -806,6 +830,8 @@ func (st *state) releasePlan(plan []plannedComm) {
 // pressure interval: a value read no later than arrival+1 is consumed
 // straight from the incoming-value register and holds no local register,
 // so its effective interval [arrival, effEnd) is empty.
+//
+//vliw:allocfree
 func effEnd(arrival, last int) int {
 	if last > arrival+1 {
 		return last
@@ -817,12 +843,16 @@ func effEnd(arrival, last int) int {
 // plan, updating the per-cluster pressure tables with exactly the
 // lifetime segments the placement creates.  The bus slots in plan are
 // already reserved by planComms.
+//
+//vliw:allocfree
 func (st *state) place(n, c, t int, plan []plannedComm) {
 	st.placeAt(n, c, t, st.res.slot(t), plan)
 }
 
 // placeAt is place with the kernel slot precomputed (the try path
 // already knows it).
+//
+//vliw:allocfree
 func (st *state) placeAt(n, c, t, slot int, plan []plannedComm) {
 	st.res.reserveFUSlot(c, st.fg.class[n], slot)
 	st.mark[n] = len(st.undo)
@@ -918,13 +948,15 @@ func (st *state) placeAt(n, c, t, slot int, plan []plannedComm) {
 	}
 
 	if pressureChecks {
-		st.checkPressure("place")
+		st.checkPressure("place") //vliw:alloc-ok debug-gated differential oracle (pressureChecks)
 	}
 }
 
 // unplace exactly reverses place: the plan's transfers are popped from
 // the tail and the pressure mutations are rewound from the undo log
 // down to the mark saved at placement.
+//
+//vliw:allocfree
 func (st *state) unplace(n int, plan []plannedComm) {
 	st.res.releaseFU(st.cluster[n], st.fg.class[n], st.time[n])
 	for range plan {
@@ -956,12 +988,14 @@ func (st *state) unplace(n int, plan []plannedComm) {
 	st.cluster[n] = -1
 
 	if pressureChecks {
-		st.checkPressure("unplace")
+		st.checkPressure("unplace") //vliw:alloc-ok debug-gated differential oracle (pressureChecks)
 	}
 }
 
 // fits reports whether every cluster's register file still holds its
 // MaxLive — O(NClusters) thanks to the incremental tables.
+//
+//vliw:allocfree
 func (st *state) fits() bool {
 	for c := range st.press {
 		if !st.press[c].Fits() {
@@ -982,6 +1016,8 @@ func (st *state) maxLiveAll() []int {
 
 // shadowOf returns cluster x's speculation shadow, snapshotting the
 // live table on the cluster's first touch in this speculation.
+//
+//vliw:allocfree
 func (st *state) shadowOf(x int) *regpress.Shadow {
 	if !st.shadowDirty[x] {
 		st.shadowDirty[x] = true
@@ -994,6 +1030,8 @@ func (st *state) shadowOf(x int) *regpress.Shadow {
 // lifeCur reads producer p's lifetime end as of the current
 // speculation, lazily seeding the stamped temporary from the live
 // value.
+//
+//vliw:allocfree
 func (st *state) lifeCur(p int) int {
 	if st.lifeStamp[p] != st.specEpoch {
 		st.lifeStamp[p] = st.specEpoch
@@ -1003,6 +1041,8 @@ func (st *state) lifeCur(p int) int {
 }
 
 // transCur is lifeCur for a committed transfer's consumer-side bound.
+//
+//vliw:allocfree
 func (st *state) transCur(idx int) int {
 	if st.transStamp[idx] != st.specEpoch {
 		st.transStamp[idx] = st.specEpoch
@@ -1020,6 +1060,8 @@ func (st *state) transCur(idx int) int {
 // abandoned speculation costs nothing to roll back.  The bus slots in
 // plan are reserved (planComms ran) but buses carry no pressure, so the
 // plan is consumed purely as timing data.
+//
+//vliw:allocfree
 func (st *state) speculate(n, c, t int, plan []plannedComm) (bool, int) {
 	// A placement only ever adds pressure, so nothing can start fitting
 	// by placing more; mirroring the place-then-check contract exactly.
@@ -1138,6 +1180,8 @@ func (st *state) speculate(n, c, t int, plan []plannedComm) (bool, int) {
 // differential that keeps the shadow bookkeeping honest.  Enabled with
 // pressureChecks; the plan's bus slots must still be reserved, and are
 // left exactly as found.
+//
+//vliw:allocfree
 func (st *state) crossCheckSpeculate(n, c, t int, plan []plannedComm, ok bool, live int) {
 	st.place(n, c, t, plan)
 	wantOK := st.fits()
@@ -1169,6 +1213,8 @@ type tryResult struct {
 // got, for failure diagnosis: CauseFU if no cycle had a free unit,
 // CauseComm if communications never fit, CauseReg if only the register
 // check failed.
+//
+//vliw:allocfree
 func (st *state) try(n, c int) (tryResult, FailCause) {
 	st.fillCycles(n)
 	if cause := st.tryCycles(n, c); cause != CauseNone {
@@ -1186,6 +1232,8 @@ func (st *state) try(n, c int) (tryResult, FailCause) {
 // and its plan lives in the per-cluster keep buffer: both valid until
 // the next try of the same cluster, which is exactly the candidate
 // lifetime of the BSA selection loop.
+//
+//vliw:allocfree
 func (st *state) tryCycles(n, c int) FailCause {
 	class := st.fg.class[n]
 	reached := CauseFU
@@ -1212,7 +1260,7 @@ func (st *state) tryCycles(n, c int) FailCause {
 		if t < tMin || t > tMax {
 			// Some transfer's start window is empty at this cycle.
 			if pressureChecks {
-				st.checkWindowSkip(n, c, t)
+				st.checkWindowSkip(n, c, t) //vliw:alloc-ok debug-gated window-skip oracle (pressureChecks)
 			}
 			if reached == CauseFU {
 				reached = CauseComm
@@ -1220,7 +1268,7 @@ func (st *state) tryCycles(n, c int) FailCause {
 			continue
 		}
 		if pressureChecks {
-			st.checkActNeeds(n, c, t)
+			st.checkActNeeds(n, c, t) //vliw:alloc-ok debug-gated act-needs oracle (pressureChecks)
 		}
 		plan, ok := st.planActs(n, c, t, st.keepBuf[c][:0])
 		st.keepBuf[c] = plan
@@ -1250,6 +1298,8 @@ func (st *state) tryCycles(n, c int) FailCause {
 
 // commit re-applies a placement previously found by try.  Nothing
 // changed in between, so the identical reservations must succeed.
+//
+//vliw:allocfree
 func (st *state) commit(n, c int, r tryResult) {
 	for _, pc := range r.plan {
 		if !st.res.busFreeSlot(pc.bus, pc.slot) {
@@ -1323,6 +1373,8 @@ func (st *state) referenceLifetimes() [][]regpress.Lifetime {
 // nodes outside c leak (-1 each; unscheduled consumers count as outside,
 // exactly as in Figure 5 where tmpoutedges counts edges "to the rest of
 // nodes").
+//
+//vliw:allocfree
 func (st *state) profit(n, c int) int {
 	p := 0
 	for _, e := range st.fg.trueIn(n) {
@@ -1348,6 +1400,8 @@ func (st *state) profit(n, c int) int {
 // in-producers on c) - (out-consumers not placed on c), so accumulating
 // per-cluster in/out counts and subtracting the total out-degree gives
 // all clusters at once.
+//
+//vliw:allocfree
 func (st *state) profits(n int) []int {
 	buf := st.profitBuf
 	for c := range buf {
@@ -1381,6 +1435,8 @@ func (st *state) profits(n int) []int {
 // neighbours are counted once per direction (a node that is both
 // predecessor and successor counts twice, matching ddg.Preds + Succs);
 // the seen-stamp scratch keeps the dedup allocation-free.
+//
+//vliw:allocfree
 func (st *state) neighborsIn(n, c int) int {
 	return st.neighborsInAll(n)[c]
 }
@@ -1388,6 +1444,8 @@ func (st *state) neighborsIn(n, c int) int {
 // neighborsInAll is neighborsIn for every cluster in one pair of edge
 // walks: each placed neighbour is stamped once per direction and
 // bucketed by its cluster.
+//
+//vliw:allocfree
 func (st *state) neighborsInAll(n int) []int {
 	buf := st.nbBuf
 	for c := range buf {
@@ -1415,6 +1473,8 @@ func (st *state) neighborsInAll(n int) []int {
 // anyNeighborScheduled reports whether any predecessor or successor of n
 // is already placed — when none is, n starts a new subgraph and the
 // default cluster advances (Figure 5, step 2).
+//
+//vliw:allocfree
 func (st *state) anyNeighborScheduled(n int) bool {
 	for _, e := range st.fg.allIn(n) {
 		if int(e.n) != n && st.placed(int(e.n)) {

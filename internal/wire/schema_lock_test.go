@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// schemaTypes is every exported wire DTO, in wire.go declaration
+// order.  TestSchemaComplete fails if a struct is declared in the
+// package but missing here, so a new DTO cannot dodge the lock.
+var schemaTypes = []any{
+	Error{},
+	ErrorResponse{},
+	CompileRequest{},
+	CompileResponse{},
+	BatchRequest{},
+	BatchItem{},
+	Machine{},
+	Options{},
+	ExactBudget{},
+	Result{},
+	Stages{},
+	StageTiming{},
+	CandidateOutcome{},
+	Placement{},
+	Transfer{},
+	Decision{},
+	Exact{},
+	CapabilitiesResponse{},
+	StrategyFamily{},
+	StatsResponse{},
+	PipelineStats{},
+	ServiceStats{},
+	HistogramBucket{},
+}
+
+// TestSchemaLock renders every DTO's field set — Go name, Go type,
+// full json tag — and compares it against testdata/schema.golden.  A
+// diff here is a wire-format change: within version 1 only
+// backward-compatible growth (new optional fields) is allowed, and
+// anything else must bump wire.Version.  Regenerate deliberately with
+// `go test ./internal/wire -run TestSchemaLock -update`.
+func TestSchemaLock(t *testing.T) {
+	got := renderSchema()
+	const golden = "testdata/schema.golden"
+	if *update { // the package-wide golden -update flag (wire_test.go)
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading %s (run with -update to create it): %v", golden, err)
+	}
+	if got != string(want) {
+		t.Errorf("wire schema drifted from %s.\nA deliberate, backward-compatible change must regenerate the golden with -update;\nanything else is a format break and must bump wire.Version.\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+func renderSchema() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wire schema lock (version %d)\n", Version)
+	for _, v := range schemaTypes {
+		rt := reflect.TypeOf(v)
+		fmt.Fprintf(&b, "\n%s struct {\n", rt.Name())
+		for i := 0; i < rt.NumField(); i++ {
+			f := rt.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			fmt.Fprintf(&b, "\t%s %s `json:%q`\n", f.Name, f.Type.String(), f.Tag.Get("json"))
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// TestSchemaComplete parses the package source and fails if an
+// exported struct type exists that schemaTypes does not cover.
+func TestSchemaComplete(t *testing.T) {
+	covered := map[string]bool{}
+	for _, v := range schemaTypes {
+		covered[reflect.TypeOf(v).Name()] = true
+	}
+
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var missing []string
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				if _, ok := ts.Type.(*ast.StructType); !ok {
+					continue
+				}
+				if !covered[ts.Name.Name] {
+					missing = append(missing, ts.Name.Name)
+				}
+			}
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Errorf("exported wire structs missing from the schema lock: %s\n(add them to schemaTypes in schema_lock_test.go and regenerate with -update)", strings.Join(missing, ", "))
+	}
+}

@@ -30,4 +30,9 @@ cat BENCH_sched.txt
 # instead of an artefact that quietly stops tracking it.
 REQUIRED="BenchmarkScheduleBSA4Cluster,BenchmarkScheduleBSAUnified,BenchmarkTryCommitAttempt/4-cluster/B1/L1,BenchmarkPlaceUnplace"
 go run ./cmd/benchjson -baseline scripts/bench_baseline_pr5.txt -require "${REQUIRED}" < BENCH_sched.txt > BENCH_sched.json
+
+# -check re-validates the emitted artefact against benchjson's own
+# output schema (strict decode, metadata, every entry actually ran),
+# so a truncated or hand-edited BENCH_sched.json can't ship.
+go run ./cmd/benchjson -check BENCH_sched.json -require "${REQUIRED}"
 echo "wrote BENCH_sched.json ($(wc -c < BENCH_sched.json) bytes)" >&2
