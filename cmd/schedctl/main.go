@@ -1,0 +1,254 @@
+// Command schedctl is the resilient command-line client for schedd: it
+// compiles loops over HTTP through internal/client, which retries
+// transient failures with deadline-aware backoff, honours Retry-After,
+// and can hedge across several daemons.
+//
+//	schedctl compile -server http://127.0.0.1:8080 -loop tomcatv.loop0 -machine 4-cluster/B1/L1
+//	schedctl batch   -server http://127.0.0.1:8080 -n 64 -machine unified -attempts 8
+//	schedctl stats   -server http://127.0.0.1:8080
+//	schedctl capabilities -server http://127.0.0.1:8080
+//
+// batch generates its requests from the built-in corpus (cycling the
+// loop refs), runs them as one resilient batch, and verifies the
+// response set: exactly one outcome per request, no losses, no
+// duplicates.  It exits non-zero if any item was lost, duplicated or
+// failed — the check the chaos smoke test in CI leans on.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/corpus"
+	"repro/internal/wire"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "compile":
+		err = runCompile(args)
+	case "batch":
+		err = runBatch(args)
+	case "stats":
+		err = runGet(args, "stats")
+	case "capabilities":
+		err = runGet(args, "capabilities")
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedctl %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: schedctl <compile|batch|stats|capabilities> [flags]
+Run "schedctl <command> -h" for that command's flags.`)
+}
+
+// clientFlags are the connection/retry knobs shared by every command.
+type clientFlags struct {
+	servers  *string
+	attempts *int
+	hedge    *time.Duration
+	timeout  *time.Duration
+	seed     *int64
+}
+
+func addClientFlags(fs *flag.FlagSet) *clientFlags {
+	return &clientFlags{
+		servers:  fs.String("server", "http://127.0.0.1:8080", "schedd base URL(s), comma-separated; extras serve retries and hedges"),
+		attempts: fs.Int("attempts", 4, "max tries per request (transient failures retry with backoff)"),
+		hedge:    fs.Duration("hedge", 0, "hedge delay before racing the next endpoint (0 disables)"),
+		timeout:  fs.Duration("timeout", 2*time.Minute, "overall client-side deadline"),
+		seed:     fs.Int64("seed", 1, "jitter seed (reproducible runs)"),
+	}
+}
+
+func (cf *clientFlags) build() (*client.Client, context.Context, context.CancelFunc, error) {
+	c, err := client.New(client.Config{
+		Endpoints: strings.Split(*cf.servers, ","),
+		Attempts:  *cf.attempts,
+		Hedge:     *cf.hedge,
+		Seed:      *cf.seed,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *cf.timeout)
+	return c, ctx, cancel, nil
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func runCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	cf := addClientFlags(fs)
+	var (
+		loop     = fs.String("loop", "tomcatv.loop0", "loop_ref to compile")
+		mach     = fs.String("machine", "unified", "machine_ref")
+		sched    = fs.String("scheduler", "", "scheduler engine (empty = server default bsa)")
+		strategy = fs.String("strategy", "", "unroll policy (empty = server default no_unroll)")
+		degraded = fs.Bool("allow-degraded", false, "accept a baseline fallback if the engine is quarantined or the daemon sheds load")
+	)
+	fs.Parse(args)
+	c, ctx, cancel, err := cf.build()
+	if err != nil {
+		return err
+	}
+	defer cancel()
+	res, err := c.Compile(ctx, &wire.CompileRequest{
+		V:          wire.Version,
+		LoopRef:    *loop,
+		MachineRef: *mach,
+		Options: &wire.Options{
+			Scheduler: *sched,
+			Strategy:  *strategy,
+		},
+		AllowDegraded: *degraded,
+	})
+	if err != nil {
+		return err
+	}
+	return printJSON(res)
+}
+
+func runBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	cf := addClientFlags(fs)
+	var (
+		n        = fs.Int("n", 64, "number of requests (cycling the corpus loop refs)")
+		mach     = fs.String("machine", "unified", "machine_ref for every request")
+		sched    = fs.String("scheduler", "", "scheduler engine")
+		strategy = fs.String("strategy", "", "unroll policy")
+		degraded = fs.Bool("allow-degraded", false, "accept baseline fallbacks")
+		quiet    = fs.Bool("q", false, "suppress per-item lines; print only the summary")
+	)
+	fs.Parse(args)
+	if *n <= 0 {
+		return fmt.Errorf("-n must be positive")
+	}
+	c, ctx, cancel, err := cf.build()
+	if err != nil {
+		return err
+	}
+	defer cancel()
+
+	refs := corpusRefs()
+	reqs := make([]wire.CompileRequest, *n)
+	for i := range reqs {
+		reqs[i] = wire.CompileRequest{
+			V:          wire.Version,
+			LoopRef:    refs[i%len(refs)],
+			MachineRef: *mach,
+			Options: &wire.Options{
+				Scheduler: *sched,
+				Strategy:  *strategy,
+			},
+			AllowDegraded: *degraded,
+		}
+	}
+
+	start := time.Now()
+	items, err := c.Batch(ctx, reqs)
+	if err != nil {
+		return err
+	}
+
+	// Verify the contract the chaos suite leans on: exactly one
+	// outcome per request index — nothing lost, nothing duplicated.
+	seen := make([]int, len(reqs))
+	ok, failed := 0, 0
+	for _, it := range items {
+		if it.Index < 0 || it.Index >= len(reqs) {
+			return fmt.Errorf("item index %d out of range", it.Index)
+		}
+		seen[it.Index]++
+		switch {
+		case it.Result != nil:
+			ok++
+			if !*quiet {
+				fmt.Printf("%3d %-18s ii=%d degraded=%v\n", it.Index, reqs[it.Index].LoopRef, it.Result.II, it.Result.Degraded)
+			}
+		case it.Error != nil:
+			failed++
+			if !*quiet {
+				fmt.Printf("%3d %-18s ERROR %s: %s\n", it.Index, reqs[it.Index].LoopRef, it.Error.Code, it.Error.Message)
+			}
+		default:
+			failed++
+		}
+	}
+	lost, dup := 0, 0
+	for _, cnt := range seen {
+		switch {
+		case cnt == 0:
+			lost++
+		case cnt > 1:
+			dup++
+		}
+	}
+	fmt.Printf("batch: %d requests, %d ok, %d failed, %d lost, %d duplicated in %v\n",
+		len(reqs), ok, failed, lost, dup, time.Since(start).Round(time.Millisecond))
+	if lost > 0 || dup > 0 || failed > 0 {
+		return fmt.Errorf("%d lost, %d duplicated, %d failed", lost, dup, failed)
+	}
+	return nil
+}
+
+// corpusRefs lists every corpus loop_ref in a stable order.
+func corpusRefs() []string {
+	var refs []string
+	for _, b := range corpus.SPECfp95() {
+		for _, l := range b.Loops {
+			refs = append(refs, l.Graph.Name)
+		}
+	}
+	sort.Strings(refs)
+	return refs
+}
+
+func runGet(args []string, what string) error {
+	fs := flag.NewFlagSet(what, flag.ExitOnError)
+	cf := addClientFlags(fs)
+	fs.Parse(args)
+	c, ctx, cancel, err := cf.build()
+	if err != nil {
+		return err
+	}
+	defer cancel()
+	switch what {
+	case "stats":
+		v, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(v)
+	default:
+		v, err := c.Capabilities(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(v)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/service"
 )
 
@@ -43,8 +44,18 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "upper clamp on client timeout_ms")
 		maxBody    = flag.Int64("max-body", 8<<20, "request body size cap in bytes")
 		grace      = flag.Duration("grace", 30*time.Second, "shutdown drain budget")
+		faultSpec  = flag.String("faults", os.Getenv("SCHEDD_FAULTS"),
+			"chaos-mode fault spec, e.g. seed=1,panic=0.05,latency=0.2:10ms (never in production; also via SCHEDD_FAULTS)")
 	)
 	flag.Parse()
+
+	var injector *faults.Injector
+	if *faultSpec != "" {
+		var err error
+		if injector, err = faults.Parse(*faultSpec); err != nil {
+			log.Fatalf("schedd: -faults: %v", err)
+		}
+	}
 
 	srv := service.New(service.Config{
 		Workers:        *workers,
@@ -54,6 +65,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxBodyBytes:   *maxBody,
+		Faults:         injector,
 	})
 
 	httpSrv := &http.Server{
@@ -69,6 +81,9 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("schedd: listening on %s (%d workers, %s cache)",
 		*addr, srv.Pipeline().Workers(), byteCount(*cacheBytes))
+	if injector != nil {
+		log.Printf("schedd: CHAOS MODE: injecting %v (%s)", injector.Faults(), injector)
+	}
 
 	select {
 	case err := <-errc:
@@ -76,6 +91,9 @@ func main() {
 	case <-ctx.Done():
 	}
 
+	// Flip readiness first so load balancers stop routing here and new
+	// compile work is refused, then let in-flight requests finish.
+	srv.BeginDrain()
 	log.Printf("schedd: draining (up to %v)", *grace)
 	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()

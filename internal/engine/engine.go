@@ -208,7 +208,7 @@ func Compile(g *ddg.Graph, cfg *machine.Config, opts *Options) (*Result, error) 
 // a scheduler run in flight is not interruptible, but no new stage
 // starts after ctx is done.  The result carries per-stage telemetry
 // in Result.Stages.
-func CompileCtx(ctx context.Context, g *ddg.Graph, cfg *machine.Config, opts *Options) (*Result, error) {
+func CompileCtx(ctx context.Context, g *ddg.Graph, cfg *machine.Config, opts *Options) (res *Result, err error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -223,6 +223,12 @@ func CompileCtx(ctx context.Context, g *ddg.Graph, cfg *machine.Config, opts *Op
 	if err := validateOptions(opts, eng); err != nil {
 		return nil, err
 	}
+	// Panic isolation: a panicking engine, policy or validator becomes a
+	// typed PanicError, never a crashed caller.  The racing policies add
+	// their own per-goroutine recovery (a panic on a worker goroutine
+	// would bypass this frame); this is the last fence for the
+	// single-goroutine path.
+	defer recoverCompile(eng.Name(), pol.Name(), &res, &err)
 
 	cc := newContext(ctx, g, cfg, opts, eng)
 	start := time.Now()
@@ -243,7 +249,7 @@ func CompileCtx(ctx context.Context, g *ddg.Graph, cfg *machine.Config, opts *Op
 	}
 	cc.addStage(StageAnalyze, time.Since(astart), 1)
 
-	res, err := pol.Compile(cc)
+	res, err = pol.Compile(cc)
 	if err != nil {
 		return nil, err
 	}

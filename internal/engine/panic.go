@@ -1,0 +1,85 @@
+// Panic isolation: every compile path — the staged CompileCtx, each
+// portfolio candidate goroutine, and (via internal/pipeline) every
+// detached cache-fill goroutine — runs under recover(), so a panicking
+// engine or policy produces a typed, stack-carrying error instead of
+// taking the process down.  A daemon built on this package must be able
+// to survive its most adventurous engine.
+
+package engine
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a recovered engine panic converted into an error: the
+// engine (and, when known, the policy) that was running, the panic
+// value, and the stack captured at recovery.  It is Transient: caches
+// must not memoize it (a panic under fault injection or resource
+// pressure says nothing permanent about the request), and circuit
+// breakers count it against the engine.
+type PanicError struct {
+	// Engine is the canonical scheduler-engine name that was compiling,
+	// or "" when the panic fired outside any resolved engine.
+	Engine string
+	// Policy is the unroll policy (or portfolio candidate) that was
+	// driving the engine, when known.
+	Policy string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	who := e.Engine
+	if who == "" {
+		who = "compile"
+	}
+	if e.Policy != "" {
+		who += "/" + e.Policy
+	}
+	return fmt.Sprintf("engine: panic in %s: %v", who, e.Value)
+}
+
+// Transient marks the error as non-cacheable: retrying the same
+// request may succeed (and under chaos injection routinely does).
+func (e *PanicError) Transient() bool { return true }
+
+// NewPanicError builds a PanicError from a recovered value, capturing
+// the current stack.  Callers invoke it inside their deferred recover,
+// so the stack still contains the panicking frames.
+func NewPanicError(engine, policy string, value any) *PanicError {
+	return &PanicError{Engine: engine, Policy: policy, Value: value, Stack: debug.Stack()}
+}
+
+// recoverCompile is the shared deferred recovery hook: it converts a
+// panic into a PanicError written through errp and clears any result.
+//
+//	defer recoverCompile(eng.Name(), pol.Name(), &res, &err)
+func recoverCompile(engine, policy string, resp **Result, errp *error) {
+	if r := recover(); r != nil {
+		if resp != nil {
+			*resp = nil
+		}
+		*errp = NewPanicError(engine, policy, r)
+	}
+}
+
+// Transient reports whether err is marked transient (a recovered
+// panic, an injected fault): results that must not be cached and that
+// a client may safely retry — compilation is deterministic and cache
+// keys are content fingerprints, so a retried compile is idempotent.
+func Transient(err error) bool {
+	for err != nil {
+		if t, ok := err.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

@@ -123,7 +123,13 @@ func (portfolioPolicy) Compile(cc *Context) (*Result, error) {
 					record(i, nil, err)
 					continue
 				}
-				res, err := pol.Compile(child)
+				// Per-candidate panic isolation: a panic on this worker
+				// goroutine would bypass CompileCtx's recover and kill the
+				// process; recovered here it is just a failed candidate.
+				res, err := func() (res *Result, err error) {
+					defer recoverCompile(cc.Engine.Name(), string(cands[i].strat), &res, &err)
+					return pol.Compile(child)
+				}()
 				record(i, res, err)
 			}
 		}()

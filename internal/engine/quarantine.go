@@ -1,0 +1,281 @@
+// Engine quarantine: a per-engine circuit breaker.  An engine that
+// keeps panicking or blowing deadlines (the exact oracle pushed past
+// its budgets, a freshly registered experimental scheduler, anything
+// under fault injection) is quarantined — taken out of service for a
+// cooldown — instead of being allowed to keep eating compile slots or
+// threatening the process.  After the cooldown the breaker goes
+// half-open and admits a single live probe; a successful probe closes
+// the breaker, a failed one reopens it for another cooldown.
+//
+// The service layer owns one Quarantine, consults Admit before every
+// compile, reports each outcome, and surfaces Snapshot through
+// /v1/stats and /v1/capabilities.  Requests that set the wire flag
+// allow_degraded are rerouted to the cheap degraded engine (bsa,
+// no_unroll) while their engine is quarantined; everything else gets a
+// 503 with a Retry-After derived from the cooldown remaining.
+
+package engine
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// BreakerState is one engine's circuit state.
+type BreakerState int
+
+const (
+	// BreakerClosed: healthy, all traffic admitted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: quarantined, traffic refused (or degraded) until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown elapsed, one probe in flight; its
+	// outcome decides between closed and another open period.
+	BreakerHalfOpen
+)
+
+// String returns the wire spelling.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// FailureKind classifies a reported failure.
+type FailureKind int
+
+const (
+	// FailPanic is a recovered compile panic (PanicError).
+	FailPanic FailureKind = iota
+	// FailTimeout is a compile that outlived its request deadline.
+	FailTimeout
+)
+
+// BreakerConfig tunes the Quarantine.  The zero value uses the
+// defaults noted on each field.
+type BreakerConfig struct {
+	// Threshold is how many failures within Window open the breaker;
+	// <= 0 means 3.
+	Threshold int
+	// Window is the sliding failure-counting window; <= 0 means 30s.
+	Window time.Duration
+	// Cooldown is how long an open breaker refuses traffic before
+	// half-opening; <= 0 means 10s.
+	Cooldown time.Duration
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Window <= 0 {
+		c.Window = 30 * time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// breaker is one engine's state.  All fields are guarded by the
+// Quarantine mutex.
+type breaker struct {
+	state    BreakerState
+	failures []time.Time // within-window failure timestamps
+	openedAt time.Time
+	probing  bool // half-open: the single probe slot is taken
+
+	// Counters for stats (lifetime, never pruned).
+	panics, timeouts, trips, probes int64
+}
+
+// Quarantine is the per-engine breaker set.  Safe for concurrent use.
+type Quarantine struct {
+	cfg BreakerConfig
+
+	mu sync.Mutex
+	m  map[string]*breaker
+}
+
+// NewQuarantine builds a Quarantine with the given config.
+func NewQuarantine(cfg BreakerConfig) *Quarantine {
+	return &Quarantine{cfg: cfg.withDefaults(), m: map[string]*breaker{}}
+}
+
+// get returns engine's breaker, creating it closed.  Caller holds mu.
+func (q *Quarantine) get(engine string) *breaker {
+	b, ok := q.m[engine]
+	if !ok {
+		b = &breaker{}
+		q.m[engine] = b
+	}
+	return b
+}
+
+// prune drops failures older than the window.  Caller holds mu.
+func (q *Quarantine) prune(b *breaker, now time.Time) {
+	cut := now.Add(-q.cfg.Window)
+	i := 0
+	for i < len(b.failures) && !b.failures[i].After(cut) {
+		i++
+	}
+	if i > 0 {
+		b.failures = append(b.failures[:0], b.failures[i:]...)
+	}
+}
+
+// Admit decides whether a request for engine may run on it.  Closed
+// admits; open refuses with the cooldown remaining as a retry hint;
+// an open breaker whose cooldown has elapsed transitions to half-open
+// and admits exactly one probe — the auto-probe that discovers
+// recovery — while concurrent requests keep getting refused until the
+// probe reports.  The caller must pair every admitted request with
+// ReportSuccess or ReportFailure so the probe slot is returned.
+func (q *Quarantine) Admit(engine string) (ok bool, state BreakerState, retryAfter time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, okB := q.m[engine]
+	if !okB {
+		return true, BreakerClosed, 0
+	}
+	now := q.cfg.Now()
+	switch b.state {
+	case BreakerClosed:
+		return true, BreakerClosed, 0
+	case BreakerOpen:
+		if remaining := q.cfg.Cooldown - now.Sub(b.openedAt); remaining > 0 {
+			return false, BreakerOpen, remaining
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		b.probes++
+		return true, BreakerHalfOpen, 0
+	default: // half-open
+		if b.probing {
+			return false, BreakerHalfOpen, q.cfg.Cooldown / 4
+		}
+		b.probing = true
+		b.probes++
+		return true, BreakerHalfOpen, 0
+	}
+}
+
+// ReportSuccess records a successful compile on engine: a half-open
+// probe's success closes the breaker and clears the failure window.
+func (q *Quarantine) ReportSuccess(engine string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.m[engine]
+	if !ok {
+		return
+	}
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerClosed
+		b.probing = false
+		b.failures = b.failures[:0]
+	}
+}
+
+// ReportFailure records one failure on engine: within a closed
+// breaker's window the Threshold'th failure opens it; a failed
+// half-open probe reopens it for a fresh cooldown.
+func (q *Quarantine) ReportFailure(engine string, kind FailureKind) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.get(engine)
+	now := q.cfg.Now()
+	if kind == FailPanic {
+		b.panics++
+	} else {
+		b.timeouts++
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.probing = false
+		b.openedAt = now
+		b.trips++
+		b.failures = b.failures[:0]
+	case BreakerClosed:
+		q.prune(b, now)
+		b.failures = append(b.failures, now)
+		if len(b.failures) >= q.cfg.Threshold {
+			b.state = BreakerOpen
+			b.openedAt = now
+			b.trips++
+			b.failures = b.failures[:0]
+		}
+	default: // already open: the cooldown clock keeps running
+	}
+}
+
+// EngineHealth is one engine's point-in-time breaker snapshot.
+type EngineHealth struct {
+	// Engine is the canonical scheduler-engine name.
+	Engine string
+	// State is the breaker state at snapshot time (an open breaker
+	// whose cooldown has lapsed still reads open until the next Admit
+	// half-opens it).
+	State BreakerState
+	// WindowFailures is the current within-window failure count.
+	WindowFailures int
+	// Panics / Timeouts / Trips / Probes are lifetime totals: reported
+	// panic and timeout failures, open transitions, half-open probes.
+	Panics, Timeouts, Trips, Probes int64
+	// RetryAfter is the cooldown remaining on an open breaker (zero
+	// otherwise).
+	RetryAfter time.Duration
+}
+
+// Snapshot lists every engine the quarantine has seen, sorted by name.
+// Engines that never failed do not appear.
+func (q *Quarantine) Snapshot() []EngineHealth {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.cfg.Now()
+	out := make([]EngineHealth, 0, len(q.m))
+	for name, b := range q.m {
+		q.prune(b, now)
+		h := EngineHealth{
+			Engine:         name,
+			State:          b.state,
+			WindowFailures: len(b.failures),
+			Panics:         b.panics,
+			Timeouts:       b.timeouts,
+			Trips:          b.trips,
+			Probes:         b.probes,
+		}
+		if b.state == BreakerOpen {
+			if remaining := q.cfg.Cooldown - now.Sub(b.openedAt); remaining > 0 {
+				h.RetryAfter = remaining
+			}
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Engine < out[j].Engine })
+	return out
+}
+
+// Quarantined lists the engines whose breaker is currently open or
+// half-open (not yet recovered), sorted.
+func (q *Quarantine) Quarantined() []string {
+	var names []string
+	for _, h := range q.Snapshot() {
+		if h.State != BreakerClosed {
+			names = append(names, h.Engine)
+		}
+	}
+	return names
+}

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ddg"
+	"repro/internal/machine"
+)
+
+// fakeClock is a manually advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestQuarantine(clk *fakeClock) *Quarantine {
+	return NewQuarantine(BreakerConfig{
+		Threshold: 3,
+		Window:    time.Minute,
+		Cooldown:  10 * time.Second,
+		Now:       clk.now,
+	})
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	q := newTestQuarantine(clk)
+
+	for i := 0; i < 2; i++ {
+		q.ReportFailure("exact", FailPanic)
+		if ok, st, _ := q.Admit("exact"); !ok || st != BreakerClosed {
+			t.Fatalf("after %d failures: Admit = %v, %v; want admitted, closed", i+1, ok, st)
+		}
+	}
+	q.ReportFailure("exact", FailTimeout)
+	ok, st, retry := q.Admit("exact")
+	if ok || st != BreakerOpen {
+		t.Fatalf("after threshold: Admit = %v, %v; want refused, open", ok, st)
+	}
+	if retry <= 0 || retry > 10*time.Second {
+		t.Errorf("retryAfter = %v, want (0, 10s]", retry)
+	}
+}
+
+func TestBreakerWindowSlides(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	q := newTestQuarantine(clk)
+
+	// Two failures, then the window slides past them: a third failure
+	// much later must not trip the breaker.
+	q.ReportFailure("ne", FailPanic)
+	q.ReportFailure("ne", FailPanic)
+	clk.advance(2 * time.Minute)
+	q.ReportFailure("ne", FailPanic)
+	if ok, st, _ := q.Admit("ne"); !ok || st != BreakerClosed {
+		t.Fatalf("Admit after slid window = %v, %v; want admitted, closed", ok, st)
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	q := newTestQuarantine(clk)
+	for i := 0; i < 3; i++ {
+		q.ReportFailure("exact", FailPanic)
+	}
+	if ok, _, _ := q.Admit("exact"); ok {
+		t.Fatal("open breaker admitted traffic")
+	}
+
+	clk.advance(11 * time.Second)
+	// Cooldown elapsed: exactly one probe is admitted, concurrent
+	// requests keep getting refused until the probe reports.
+	ok, st, _ := q.Admit("exact")
+	if !ok || st != BreakerHalfOpen {
+		t.Fatalf("post-cooldown Admit = %v, %v; want probe admitted half-open", ok, st)
+	}
+	if ok2, st2, _ := q.Admit("exact"); ok2 || st2 != BreakerHalfOpen {
+		t.Fatalf("second Admit during probe = %v, %v; want refused half-open", ok2, st2)
+	}
+
+	q.ReportSuccess("exact")
+	if ok, st, _ := q.Admit("exact"); !ok || st != BreakerClosed {
+		t.Fatalf("Admit after probe success = %v, %v; want admitted closed", ok, st)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	q := newTestQuarantine(clk)
+	for i := 0; i < 3; i++ {
+		q.ReportFailure("exact", FailTimeout)
+	}
+	clk.advance(11 * time.Second)
+	if ok, _, _ := q.Admit("exact"); !ok {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	q.ReportFailure("exact", FailTimeout)
+
+	// Reopened: refused for another full cooldown, then probes again.
+	if ok, st, _ := q.Admit("exact"); ok || st != BreakerOpen {
+		t.Fatalf("Admit after failed probe = %v, %v; want refused open", ok, st)
+	}
+	clk.advance(11 * time.Second)
+	if ok, st, _ := q.Admit("exact"); !ok || st != BreakerHalfOpen {
+		t.Fatalf("Admit after second cooldown = %v, %v; want probe admitted", ok, st)
+	}
+}
+
+func TestQuarantineSnapshot(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	q := newTestQuarantine(clk)
+	for i := 0; i < 3; i++ {
+		q.ReportFailure("exact", FailPanic)
+	}
+	q.ReportFailure("ne", FailTimeout)
+
+	snap := q.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot has %d engines, want 2", len(snap))
+	}
+	// Sorted: "exact" before "ne".
+	if snap[0].Engine != "exact" || snap[1].Engine != "ne" {
+		t.Fatalf("Snapshot order = %s, %s", snap[0].Engine, snap[1].Engine)
+	}
+	if snap[0].State != BreakerOpen || snap[0].Panics != 3 || snap[0].Trips != 1 {
+		t.Errorf("exact health = %+v, want open with 3 panics 1 trip", snap[0])
+	}
+	if snap[0].RetryAfter <= 0 {
+		t.Errorf("open engine RetryAfter = %v, want > 0", snap[0].RetryAfter)
+	}
+	if snap[1].State != BreakerClosed || snap[1].Timeouts != 1 {
+		t.Errorf("ne health = %+v, want closed with 1 timeout", snap[1])
+	}
+	if got := q.Quarantined(); len(got) != 1 || got[0] != "exact" {
+		t.Errorf("Quarantined() = %v, want [exact]", got)
+	}
+}
+
+// panicEngine is a scheduler engine that always panics; registered once
+// for the isolation tests below.
+type panicEngine struct{}
+
+func (panicEngine) Name() string    { return "panic_test_engine" }
+func (panicEngine) Heuristic() bool { return true }
+func (panicEngine) Schedule(cc *Context, g *ddg.Graph) (*Run, error) {
+	panic(fmt.Sprintf("injected test panic on %s", g.Name))
+}
+
+func init() { RegisterScheduler(panicEngine{}) }
+
+func TestCompilePanicIsolated(t *testing.T) {
+	g := ddg.SampleDotProduct()
+	cfg := machine.Unified()
+	res, err := Compile(g, &cfg, &Options{Scheduler: "panic_test_engine"})
+	if res != nil {
+		t.Fatalf("panicking engine returned a result: %+v", res)
+	}
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if perr.Engine != "panic_test_engine" {
+		t.Errorf("PanicError.Engine = %q", perr.Engine)
+	}
+	if !strings.Contains(perr.Error(), "injected test panic") {
+		t.Errorf("PanicError message %q does not carry the panic value", perr.Error())
+	}
+	if len(perr.Stack) == 0 || !strings.Contains(string(perr.Stack), "Schedule") {
+		t.Errorf("PanicError.Stack does not capture the panicking frame")
+	}
+	if !Transient(err) {
+		t.Error("PanicError not Transient")
+	}
+	if !Transient(fmt.Errorf("wrapped: %w", err)) {
+		t.Error("wrapped PanicError not Transient")
+	}
+	if Transient(errors.New("plain")) {
+		t.Error("plain error reported Transient")
+	}
+}
+
+// TestCompilePanicIsolatedInPortfolio drives the panicking engine
+// through the portfolio policy: every candidate runs on a racing worker
+// goroutine, where an unrecovered panic would kill the process rather
+// than unwind into CompileCtx.
+func TestCompilePanicIsolatedInPortfolio(t *testing.T) {
+	g := ddg.SampleStencil()
+	cfg := machine.FourCluster(1, 1)
+	res, err := Compile(g, &cfg, &Options{Scheduler: "panic_test_engine", Strategy: Portfolio})
+	if res != nil {
+		t.Fatalf("panicking portfolio returned a result: %+v", res)
+	}
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if perr.Policy == "" {
+		t.Errorf("portfolio PanicError names no candidate policy: %+v", perr)
+	}
+}

@@ -1,0 +1,228 @@
+package faults
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/ddg"
+	"repro/internal/engine"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	in, err := Parse("seed=7,panic=0.05,error=0.1,latency=0.25:5ms,cancel=0.1,evict=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.seed != 7 || in.panicP != 0.05 || in.errorP != 0.1 ||
+		in.latencyP != 0.25 || in.latency != 5*time.Millisecond ||
+		in.cancelP != 0.1 || in.evictP != 0.05 {
+		t.Fatalf("parsed fields wrong: %+v", in)
+	}
+	want := "seed=7,panic=0.05,error=0.1,latency=0.25:5ms,cancel=0.1,evict=0.05"
+	if got := in.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got := in.Faults(); strings.Join(got, ",") != "cancel,error,evict,latency,panic" {
+		t.Errorf("Faults() = %v", got)
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"panic", "panic=2", "panic=-0.1", "panic=x",
+		"latency=5ms", "latency=0.5:bogus", "latency=2:5ms",
+		"seed=x", "frobnicate=0.5",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParseEmptyInjectsNothing(t *testing.T) {
+	in, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := corpus.Index(corpus.SPECfp95())["tomcatv.loop0"]
+	cfg := machine.Unified()
+	calls := 0
+	fn := in.WrapCompile(func(l *corpus.Loop, c *machine.Config, o core.Options) (*core.Result, error) {
+		calls++
+		return nil, errors.New("real error")
+	})
+	for i := 0; i < 50; i++ {
+		_, err := fn(loop, &cfg, core.Options{})
+		if err == nil || err.Error() != "real error" {
+			t.Fatalf("empty injector perturbed the compile: %v", err)
+		}
+	}
+	if calls != 50 {
+		t.Fatalf("compile called %d times, want 50", calls)
+	}
+}
+
+// TestDeterministicDecisions: the same seed must produce the same
+// fault sequence for the same subject, independent of other subjects'
+// traffic; a different seed must (for this configuration) diverge.
+func TestDeterministicDecisions(t *testing.T) {
+	idx := corpus.Index(corpus.SPECfp95())
+	subject, noise := idx["tomcatv.loop0"], idx["swim.loop0"]
+	cfg := machine.FourCluster(1, 1)
+
+	sequence := func(seed string, n int) []bool {
+		in, err := Parse("seed=" + seed + ",error=0.3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn := in.WrapCompile(func(l *corpus.Loop, c *machine.Config, o core.Options) (*core.Result, error) {
+			return nil, nil
+		})
+		var outcomes []bool
+		for i := 0; i < n; i++ {
+			_, err := fn(subject, &cfg, core.Options{})
+			outcomes = append(outcomes, err != nil)
+		}
+		return outcomes
+	}
+
+	a, b := sequence("42", 64), sequence("42", 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at attempt %d", i)
+		}
+	}
+	c := sequence("43", 64)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical 64-attempt sequences")
+	}
+
+	// Interleaving traffic for another subject must not perturb the
+	// first subject's sequence (keyed, not stream-based, decisions).
+	in, _ := Parse("seed=42,error=0.3")
+	fn := in.WrapCompile(func(l *corpus.Loop, c *machine.Config, o core.Options) (*core.Result, error) {
+		return nil, nil
+	})
+	var interleaved []bool
+	for i := 0; i < 64; i++ {
+		fn(noise, &cfg, core.Options{}) // noise
+		_, err := fn(subject, &cfg, core.Options{})
+		interleaved = append(interleaved, err != nil)
+	}
+	for i := range a {
+		if a[i] != interleaved[i] {
+			t.Fatalf("interleaved traffic perturbed subject's fault sequence at %d", i)
+		}
+	}
+}
+
+func TestInjectedErrorIsTransient(t *testing.T) {
+	err := error(&InjectedError{Key: "k", N: 3})
+	if !engine.Transient(err) {
+		t.Error("InjectedError not Transient")
+	}
+	if !strings.Contains(err.Error(), "attempt 3") {
+		t.Errorf("message %q lacks the attempt number", err)
+	}
+}
+
+// TestInjectedPanicThroughPipeline drives a panic-injecting compile
+// through the real pipeline and asserts the panic becomes a typed,
+// uncached engine.PanicError.
+func TestInjectedPanicThroughPipeline(t *testing.T) {
+	in, err := Parse("seed=1,panic=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pipeline.New(2)
+	calls := 0
+	p.SetCompile(func(l *corpus.Loop, c *machine.Config, o core.Options) (*core.Result, error) {
+		calls++
+		return core.Compile(l.Graph, c, &o)
+	})
+	p.WrapCompile(in.WrapCompile)
+
+	loop := &corpus.Loop{Bench: "t", Graph: ddg.SampleDotProduct()}
+	req := pipeline.Request{Loop: loop, Cfg: machine.Unified()}
+	for i := 0; i < 3; i++ {
+		_, err := p.Compile(req)
+		var perr *engine.PanicError
+		if !errors.As(err, &perr) {
+			t.Fatalf("attempt %d: err = %v (%T), want *engine.PanicError", i, err, err)
+		}
+	}
+	if calls != 0 {
+		t.Errorf("real compile ran %d times under panic=1", calls)
+	}
+	st := p.Stats()
+	if st.Panics != 3 {
+		t.Errorf("Stats.Panics = %d, want 3 (panic results must not be cached)", st.Panics)
+	}
+	if st.CachedEntries != 0 {
+		t.Errorf("CachedEntries = %d, want 0", st.CachedEntries)
+	}
+	if got := in.Counts()["panic"]; got != 3 {
+		t.Errorf("Counts()[panic] = %d, want 3", got)
+	}
+}
+
+func TestEvictChurnHook(t *testing.T) {
+	in, err := Parse("seed=1,evict=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	purges := 0
+	in.SetEvict(func() { purges++ })
+	fn := in.WrapCompile(func(l *corpus.Loop, c *machine.Config, o core.Options) (*core.Result, error) {
+		return nil, nil
+	})
+	loop := &corpus.Loop{Bench: "t", Graph: ddg.SampleDotProduct()}
+	cfg := machine.Unified()
+	for i := 0; i < 5; i++ {
+		fn(loop, &cfg, core.Options{})
+	}
+	if purges != 5 {
+		t.Errorf("evict hook ran %d times under evict=1, want 5", purges)
+	}
+}
+
+func TestMiddlewareCancelStorm(t *testing.T) {
+	in, err := Parse("seed=1,cancel=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled := 0
+	h := in.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			canceled++
+		case <-time.After(2 * time.Second):
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	}
+	if canceled != 3 {
+		t.Errorf("cancel storm reached %d/3 handlers", canceled)
+	}
+	if got := in.Counts()["cancel"]; got != 3 {
+		t.Errorf("Counts()[cancel] = %d, want 3", got)
+	}
+}

@@ -34,6 +34,7 @@ package pipeline
 import (
 	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -113,6 +114,11 @@ type Stats struct {
 	// reports as "Unrolling" is actually a non-unrolled schedule.  A
 	// cached fallback result counts once, at compile time.
 	Fallbacks int64
+	// Panics counts compilations that panicked and were converted into a
+	// typed engine.PanicError by the pipeline's recovery fence.  Panic
+	// results are never cached (see fill), so every occurrence is one
+	// real panicking compile.
+	Panics int64
 	// Evictions counts completed entries dropped by the LRU byte bound
 	// (zero on an unbounded pipeline).
 	Evictions int64
@@ -130,8 +136,8 @@ type Stats struct {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("pipeline: %d hits, %d misses, %d dedup joins, %d compilations (%d unroll fallbacks), %d evictions, %d entries / %d bytes cached, compile %v, wall %v",
-		s.Hits, s.Misses, s.DedupJoins, s.Compilations, s.Fallbacks,
+	return fmt.Sprintf("pipeline: %d hits, %d misses, %d dedup joins, %d compilations (%d unroll fallbacks, %d panics), %d evictions, %d entries / %d bytes cached, compile %v, wall %v",
+		s.Hits, s.Misses, s.DedupJoins, s.Compilations, s.Fallbacks, s.Panics,
 		s.Evictions, s.CachedEntries, s.CachedBytes,
 		s.CompileTime.Round(time.Millisecond), s.WallTime.Round(time.Millisecond))
 }
@@ -178,8 +184,8 @@ type Pipeline struct {
 	// claimed and released when its fill goroutine finishes.
 	fillSem chan struct{}
 
-	hits, misses, joins, compilations, fallbacks, evictions atomic.Int64
-	compileNS, wallNS                                       atomic.Int64
+	hits, misses, joins, compilations, fallbacks, evictions, panics atomic.Int64
+	compileNS, wallNS                                               atomic.Int64
 }
 
 // New returns a Pipeline whose batch pool runs the given number of
@@ -219,6 +225,12 @@ func (p *Pipeline) SetEvictHook(fn func(key string, bytes int64)) { p.onEvict = 
 // the unroll fallback).  Call before serving traffic.  Tests use this
 // to inject failures, delays and invocation counters.
 func (p *Pipeline) SetCompile(fn CompileFunc) { p.compile = fn }
+
+// WrapCompile decorates the current compile function in place —
+// fault injectors and instrumentation wrap the default (or an already
+// replaced function) without having to know which it is.  Call before
+// serving traffic.
+func (p *Pipeline) WrapCompile(wrap func(CompileFunc) CompileFunc) { p.compile = wrap(p.compile) }
 
 // SetMaxConcurrentCompiles caps the number of compiles running at once
 // across all callers; n <= 0 means unbounded (the default).  Call
@@ -359,10 +371,25 @@ func (p *Pipeline) CompileCtx(ctx context.Context, req Request) (*core.Result, e
 // fill completes an in-flight entry: compile, publish the result (the
 // close happens-before every waiter's read), account the bytes and
 // evict whatever the new entry pushed over the shard's budget.
+//
+// Transient failures — recovered panics, injected faults — are
+// published to the waiters but never cached: the entry is removed
+// before the done channel closes, so the next request for the key
+// compiles afresh instead of replaying a fault forever.  Deterministic
+// compile errors stay cached as before.
 func (p *Pipeline) fill(sh *shard, e *entry, req Request) {
 	res, err := p.run(req)
 	sh.mu.Lock()
 	e.res, e.err = res, err
+	if err != nil && engine.Transient(err) {
+		if el, ok := sh.entries[e.key]; ok && el.Value.(*entry) == e {
+			sh.lru.Remove(el)
+			delete(sh.entries, e.key)
+		}
+		close(e.done)
+		sh.mu.Unlock()
+		return
+	}
 	e.bytes = entryBytes(e.key, res)
 	sh.bytes += e.bytes
 	// Evict before publishing: a caller returning from this entry then
@@ -434,16 +461,30 @@ func entryBytes(key string, res *core.Result) int64 {
 	return n
 }
 
-// run performs the compilation and accounts for it.
-func (p *Pipeline) run(req Request) (*core.Result, error) {
+// run performs the compilation and accounts for it.  It is the
+// pipeline's panic fence: compiles execute on detached fill goroutines
+// (and batch workers), where an escaped panic would kill the whole
+// process with no handler in between — so any panic a CompileFunc lets
+// through (the engine converts its own; this catches custom compile
+// functions and anything else) becomes a typed engine.PanicError here.
+func (p *Pipeline) run(req Request) (res *core.Result, err error) {
 	start := time.Now()
-	res, err := p.compile(req.Loop, &req.Cfg, req.Opts)
-	p.compileNS.Add(time.Since(start).Nanoseconds())
-	p.compilations.Add(1)
-	if res != nil && res.FellBack {
-		p.fallbacks.Add(1)
-	}
-	return res, err
+	defer func() {
+		p.compileNS.Add(time.Since(start).Nanoseconds())
+		p.compilations.Add(1)
+		if r := recover(); r != nil {
+			res, err = nil, engine.NewPanicError(
+				engine.CanonicalScheduler(req.Opts.Scheduler.String()), "", r)
+		}
+		var perr *engine.PanicError
+		if errors.As(err, &perr) {
+			p.panics.Add(1)
+		}
+		if res != nil && res.FellBack {
+			p.fallbacks.Add(1)
+		}
+	}()
+	return p.compile(req.Loop, &req.Cfg, req.Opts)
 }
 
 // CompileBatch fans the requests across the worker pool and returns one
@@ -515,12 +556,38 @@ func (p *Pipeline) Stats() Stats {
 		DedupJoins:    p.joins.Load(),
 		Compilations:  p.compilations.Load(),
 		Fallbacks:     p.fallbacks.Load(),
+		Panics:        p.panics.Load(),
 		Evictions:     p.evictions.Load(),
 		CachedBytes:   bytes,
 		CachedEntries: entries,
 		CompileTime:   time.Duration(p.compileNS.Load()),
 		WallTime:      time.Duration(p.wallNS.Load()),
 	}
+}
+
+// Purge drops every completed cache entry and returns how many were
+// removed; in-flight entries stay (their waiters hold the done
+// channel).  Purged entries do not count as evictions — this is an
+// operator/chaos action (cache-churn fault injection, manual cache
+// reset), not byte-budget pressure.
+func (p *Pipeline) Purge() int {
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for el := sh.lru.Back(); el != nil; {
+			prev := el.Prev()
+			if e := el.Value.(*entry); e.bytes > 0 {
+				sh.lru.Remove(el)
+				delete(sh.entries, e.key)
+				sh.bytes -= e.bytes
+				n++
+			}
+			el = prev
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Len returns the number of cached entries (completed or in flight).

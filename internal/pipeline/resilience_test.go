@@ -1,0 +1,122 @@
+// Regression tests for panic isolation: a panicking CompileFunc —
+// including one whose only owner is a detached fill goroutine after
+// every requester gave up — must never crash the process, must surface
+// as a typed engine.PanicError, and must never be cached.
+
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/engine"
+	"repro/internal/machine"
+)
+
+// waitForPanics polls the stats until the panic counter reaches want.
+func waitForPanics(t *testing.T, p *Pipeline, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Stats().Panics >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("Stats.Panics never reached %d (last: %d)", want, p.Stats().Panics)
+}
+
+// TestDetachedPanickingCompileLeavesPipelineServing is the
+// detached-goroutine regression: the requester abandons the compile
+// (context canceled), the fill goroutine panics with no waiter
+// attached, and the pipeline must absorb it — process alive, panic
+// counted, nothing cached — and keep serving the same key.
+func TestDetachedPanickingCompileLeavesPipelineServing(t *testing.T) {
+	p := New(1)
+	var calls atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	p.SetCompile(func(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+		if calls.Add(1) == 1 {
+			close(entered)
+			<-release
+			panic("detached compile boom")
+		}
+		return stubResult(), nil
+	})
+	req := Request{Loop: testLoops(1)[0], Cfg: machine.TwoCluster(1, 1)}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { <-entered; cancel() }()
+	if _, err := p.CompileCtx(ctx, req); !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning requester got %v, want context.Canceled", err)
+	}
+
+	// The fill goroutine now owns the compile with no requester
+	// attached; let it panic.  The process surviving this line is the
+	// point of the test.
+	close(release)
+	waitForPanics(t, p, 1)
+
+	// The panic is transient: not cached, so a retry of the same key
+	// recompiles — and this time succeeds.
+	res, err := p.Compile(req)
+	if err != nil || res == nil {
+		t.Fatalf("retry after detached panic: res=%v err=%v", res, err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("compile ran %d times, want 2 (panic result must not be cached)", n)
+	}
+	if st := p.Stats(); st.CachedEntries != 1 {
+		t.Errorf("CachedEntries = %d, want 1 (only the successful retry)", st.CachedEntries)
+	}
+}
+
+// TestPanicPublishedToJoinersNotCached checks every requester joined on
+// a panicking fill receives the typed engine.PanicError (not a dropped
+// result), and that the error evaporates from the cache afterwards.
+func TestPanicPublishedToJoinersNotCached(t *testing.T) {
+	p := New(2)
+	var calls atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	p.SetCompile(func(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+		if calls.Add(1) == 1 {
+			close(entered)
+			<-release
+			panic("joined compile boom")
+		}
+		return stubResult(), nil
+	})
+	req := Request{Loop: testLoops(1)[0], Cfg: machine.TwoCluster(1, 1)}
+
+	errc := make(chan error, 2)
+	go func() { _, err := p.Compile(req); errc <- err }()
+	<-entered // the fill is in flight: the second request must join it
+	go func() { _, err := p.Compile(req); errc <- err }()
+
+	// Give the joiner a moment to attach, then let the fill panic.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	for i := 0; i < 2; i++ {
+		err := <-errc
+		var perr *engine.PanicError
+		if !errors.As(err, &perr) {
+			t.Fatalf("requester %d got %v (%T), want *engine.PanicError", i, err, err)
+		}
+	}
+	if st := p.Stats(); st.Panics != 1 || st.CachedEntries != 0 {
+		t.Errorf("Panics=%d CachedEntries=%d, want 1 and 0", st.Panics, st.CachedEntries)
+	}
+
+	// The pipeline still serves the key.
+	if _, err := p.Compile(req); err != nil {
+		t.Fatalf("compile after joined panic: %v", err)
+	}
+}

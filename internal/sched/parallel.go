@@ -75,11 +75,26 @@ func scheduleParallel(g *ddg.Graph, cfg *machine.Config, opts *Options, ord []in
 
 	var next, best atomic.Int64
 	best.Store(int64(n)) // no winner yet
+	// A panic on a worker goroutine would crash the process no matter
+	// what the caller's frames recover; capture the first one and
+	// re-panic it on the calling goroutine after the join, where the
+	// engine layer's recover() turns it into a typed error.
+	var panicMu sync.Mutex
+	var panicked any
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
 			st := getPooledState(g, cfg)
 			defer putPooledState(st)
 			for {
@@ -108,6 +123,9 @@ func scheduleParallel(g *ddg.Graph, cfg *machine.Config, opts *Options, ord []in
 		}()
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked) // rethrown where the engine layer can recover it
+	}
 
 	var causes [4]int
 	if win := int(best.Load()); win < n {

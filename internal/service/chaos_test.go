@@ -1,0 +1,482 @@
+// Chaos suite: a live server under deterministic fault injection,
+// driven through the resilient client.  The invariants: the daemon
+// never crashes, every injected panic surfaces as a typed wire error,
+// the quarantine breaker opens / half-opens / closes as configured,
+// results stay exactly-once per request, and nothing leaks goroutines
+// or admission slots.  Run it like the rest of the package tests —
+// `go test ./internal/service -race` — no external daemon needed.
+
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/machine"
+	"repro/internal/wire"
+)
+
+// chaosClock is a mutex-guarded manual clock for breaker tests that
+// cross goroutines (HTTP handlers read it concurrently).
+type chaosClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *chaosClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *chaosClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// waitGoroutinesBelow polls until the goroutine count drops to at most
+// limit (detached fills and batch workers need a moment to drain).
+func waitGoroutinesBelow(t *testing.T, limit int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= limit {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutines stuck at %d (want <= %d):\n%s",
+		runtime.NumGoroutine(), limit, buf[:runtime.Stack(buf, true)])
+}
+
+// TestChaosBatchExactlyOnce is the headline chaos run: 64 corpus
+// compilations through a server injecting panics, transient errors,
+// latency spikes and cache-evict churn, driven by the retrying client.
+// Every request must settle exactly once with a result, the daemon
+// must keep serving, and the injected panics must all have surfaced as
+// typed errors rather than lost connections.
+func TestChaosBatchExactlyOnce(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	inj, err := faults.Parse("seed=1,panic=0.3,error=0.3,latency=0.2:2ms,evict=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Workers: 4, Faults: inj})
+
+	refs := make([]string, 0, 64)
+	for name := range corpus.Index(corpus.SPECfp95()) {
+		refs = append(refs, name)
+		if len(refs) == 64 {
+			break
+		}
+	}
+	reqs := make([]wire.CompileRequest, 64)
+	for i := range reqs {
+		reqs[i] = wire.CompileRequest{
+			V:             wire.Version,
+			LoopRef:       refs[i%len(refs)],
+			MachineRef:    "unified",
+			AllowDegraded: true, // ride through quarantine windows
+		}
+	}
+	c, err := client.New(client.Config{
+		Endpoints:   []string{ts.URL},
+		Attempts:    10,
+		BackoffBase: 2 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	items, err := c.Batch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := make([]int, len(reqs))
+	for _, it := range items {
+		seen[it.Index]++
+		if it.Result == nil {
+			t.Errorf("item %d settled without a result: %+v", it.Index, it.Error)
+		}
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("index %d settled %d times, want exactly once", i, n)
+		}
+	}
+
+	// The daemon is alive and its books balance: every injected panic
+	// is accounted in the pipeline's panic counter (typed errors, not
+	// dropped connections), and the fault counters surface in stats.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after chaos: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	st := s.Pipeline().Stats()
+	counts := inj.Counts()
+	if counts["panic"] == 0 {
+		t.Fatal("chaos run injected no panics; the test exercised nothing")
+	}
+	if st.Panics != counts["panic"] {
+		t.Errorf("pipeline absorbed %d panics, injector fired %d", st.Panics, counts["panic"])
+	}
+	var sr wire.StatsResponse
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sr.Service.Faults["panic"] != counts["panic"] {
+		t.Errorf("stats faults = %v, want panic=%d", sr.Service.Faults, counts["panic"])
+	}
+	if sr.Pipeline.Panics != st.Panics {
+		t.Errorf("wire pipeline panics = %d, internal %d", sr.Pipeline.Panics, st.Panics)
+	}
+
+	waitGoroutinesBelow(t, baseline+8)
+}
+
+// TestPanicBecomesTypedWireError: a panicking compile answers with the
+// engine_panic code and a 500 — never a dropped connection.
+func TestPanicBecomesTypedWireError(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers: 1,
+		Compile: func(l *corpus.Loop, cfg *machine.Config, o core.Options) (*core.Result, error) {
+			panic("chaos compile boom")
+		},
+	})
+	resp := post(t, ts.URL+"/v1/compile", chaosBody("", 0))
+	werr := wantError(t, resp, http.StatusInternalServerError, wire.CodeEnginePanic)
+	if !strings.Contains(werr.Message, "chaos compile boom") {
+		t.Errorf("panic message lost: %q", werr.Message)
+	}
+}
+
+// chaosBody builds a minimal inline-loop compile request; scheduler
+// may pick a non-default engine, n perturbs the graph name so requests
+// miss the cache when needed.
+func chaosBody(scheduler string, n int) string {
+	g := ddgSample()
+	g.Name = fmt.Sprintf("%s-chaos%d", g.Name, n)
+	loop := corpus.Loop{Graph: g, Iters: 16, Weight: 1, Bench: "chaos"}
+	lb, _ := json.Marshal(&loop)
+	opts := ""
+	if scheduler != "" {
+		opts = fmt.Sprintf(`, "options": {"scheduler": %q}`, scheduler)
+	}
+	return fmt.Sprintf(`{"v": 1, "loop": %s, "machine": {"clusters": 1, "fus": [2,2,1], "regs": 32}%s}`, lb, opts)
+}
+
+// TestQuarantineLifecycleOverHTTP drives the breaker through its whole
+// life on a live server with a manual clock: threshold panics open it
+// (503 + Retry-After), the cooldown half-opens it, a successful probe
+// closes it.
+func TestQuarantineLifecycleOverHTTP(t *testing.T) {
+	clk := &chaosClock{t: time.Unix(1000, 0)}
+	var healthy atomic.Bool
+	var n atomic.Int64
+	s, ts := newTestServer(t, Config{
+		Workers: 1,
+		Compile: func(l *corpus.Loop, cfg *machine.Config, o core.Options) (*core.Result, error) {
+			if !healthy.Load() {
+				panic("engine down")
+			}
+			return core.Compile(l.Graph, cfg, &o)
+		},
+		Breaker: engine.BreakerConfig{
+			Threshold: 3,
+			Window:    time.Minute,
+			Cooldown:  10 * time.Second,
+			Now:       clk.now,
+		},
+	})
+
+	// Three panics in the window: breaker opens.
+	for i := 0; i < 3; i++ {
+		resp := post(t, ts.URL+"/v1/compile", chaosBody("", int(n.Add(1))))
+		wantError(t, resp, http.StatusInternalServerError, wire.CodeEnginePanic)
+	}
+	resp := post(t, ts.URL+"/v1/compile", chaosBody("", int(n.Add(1))))
+	werr := wantError(t, resp, http.StatusServiceUnavailable, wire.CodeEngineQuarantined)
+	if werr.RetryAfterMS <= 0 {
+		t.Errorf("quarantined error carries no retry hint: %+v", werr)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 has no Retry-After header")
+	}
+
+	// The quarantined engine shows in capabilities and stats.
+	var caps wire.CapabilitiesResponse
+	r2, err := http.Get(ts.URL + "/v1/capabilities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(r2.Body).Decode(&caps)
+	r2.Body.Close()
+	if len(caps.Quarantined) != 1 || caps.Quarantined[0] != "bsa" {
+		t.Errorf("capabilities quarantined = %v, want [bsa]", caps.Quarantined)
+	}
+	var sr wire.StatsResponse
+	r3, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(r3.Body).Decode(&sr)
+	r3.Body.Close()
+	if len(sr.Service.Engines) != 1 || sr.Service.Engines[0].State != "open" ||
+		sr.Service.Engines[0].Panics != 3 {
+		t.Errorf("stats engines = %+v, want bsa open with 3 panics", sr.Service.Engines)
+	}
+
+	// Cooldown elapses, the engine recovers: the next request is the
+	// half-open probe, it succeeds, and the breaker closes for good.
+	clk.advance(11 * time.Second)
+	healthy.Store(true)
+	resp = post(t, ts.URL+"/v1/compile", chaosBody("", int(n.Add(1))))
+	wantResult(t, resp)
+	resp = post(t, ts.URL+"/v1/compile", chaosBody("", int(n.Add(1))))
+	wantResult(t, resp)
+	if q := s.Quarantine().Quarantined(); len(q) != 0 {
+		t.Errorf("still quarantined after successful probe: %v", q)
+	}
+}
+
+// TestQuarantinedEngineDegradesWhenAllowed: with allow_degraded the
+// request falls back to the baseline compile instead of a 503, and the
+// result says so.
+func TestQuarantinedEngineDegradesWhenAllowed(t *testing.T) {
+	clk := &chaosClock{t: time.Unix(1000, 0)}
+	var n atomic.Int64
+	_, ts := newTestServer(t, Config{
+		Workers: 1,
+		Compile: func(l *corpus.Loop, cfg *machine.Config, o core.Options) (*core.Result, error) {
+			if o.Scheduler.String() == "ne" {
+				panic("ne is sick")
+			}
+			return core.Compile(l.Graph, cfg, &o)
+		},
+		Breaker: engine.BreakerConfig{Threshold: 2, Window: time.Minute, Cooldown: 10 * time.Second, Now: clk.now},
+	})
+
+	for i := 0; i < 2; i++ {
+		resp := post(t, ts.URL+"/v1/compile", chaosBody("ne", int(n.Add(1))))
+		wantError(t, resp, http.StatusInternalServerError, wire.CodeEnginePanic)
+	}
+	// Quarantined without the flag...
+	resp := post(t, ts.URL+"/v1/compile", chaosBody("ne", int(n.Add(1))))
+	wantError(t, resp, http.StatusServiceUnavailable, wire.CodeEngineQuarantined)
+
+	// ...but degradable with it.
+	body := chaosBody("ne", int(n.Add(1)))
+	body = strings.Replace(body, `{"v": 1`, `{"v": 1, "allow_degraded": true`, 1)
+	resp = post(t, ts.URL+"/v1/compile", body)
+	res := wantResult(t, resp)
+	if !res.Degraded || !strings.Contains(res.DegradedReason, "quarantined") {
+		t.Errorf("degraded=%v reason=%q, want degraded with a quarantine reason", res.Degraded, res.DegradedReason)
+	}
+}
+
+// TestRetryAfterOn429: admission rejections carry a Retry-After hint
+// in both the header and the wire error.
+func TestRetryAfterOn429(t *testing.T) {
+	release := make(chan struct{})
+	var entered sync.Once
+	enteredC := make(chan struct{})
+	_, ts := newTestServer(t, Config{
+		Workers:     1,
+		MaxInflight: 1,
+		QueueDepth:  -1, // no queue: reject as soon as the slot is busy
+		Compile: func(l *corpus.Loop, cfg *machine.Config, o core.Options) (*core.Result, error) {
+			entered.Do(func() { close(enteredC) })
+			<-release
+			return core.Compile(l.Graph, cfg, &o)
+		},
+	})
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/compile", "application/json", strings.NewReader(chaosBody("", 1)))
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-enteredC
+
+	resp := post(t, ts.URL+"/v1/compile", chaosBody("", 2))
+	werr := wantError(t, resp, http.StatusTooManyRequests, wire.CodeOverCapacity)
+	if werr.RetryAfterMS <= 0 {
+		t.Errorf("429 carries no retry_after_ms: %+v", werr)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 has no Retry-After header")
+	}
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadyzDrain: /readyz flips to 503 at BeginDrain while in-flight
+// requests finish and /healthz stays green; new compile work is turned
+// away with the draining code.
+func TestReadyzDrain(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	s, ts := newTestServer(t, Config{
+		Workers: 1,
+		Compile: func(l *corpus.Loop, cfg *machine.Config, o core.Options) (*core.Result, error) {
+			once.Do(func() { close(entered) })
+			<-release
+			return core.Compile(l.Graph, cfg, &o)
+		},
+	})
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz before drain = %d", got)
+	}
+
+	// An in-flight compile spans the drain flip.
+	type outcome struct {
+		status int
+		err    error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/compile", "application/json", strings.NewReader(chaosBody("", 1)))
+		o := outcome{err: err}
+		if err == nil {
+			o.status = resp.StatusCode
+			resp.Body.Close()
+		}
+		done <- o
+	}()
+	<-entered
+
+	s.BeginDrain()
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain = %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("healthz during drain = %d, want 200 (liveness is not readiness)", got)
+	}
+	resp := post(t, ts.URL+"/v1/compile", chaosBody("", 2))
+	werr := wantError(t, resp, http.StatusServiceUnavailable, wire.CodeDraining)
+	if werr.RetryAfterMS <= 0 {
+		t.Errorf("draining error carries no retry hint: %+v", werr)
+	}
+
+	// The in-flight request still completes: drain refuses new work,
+	// it does not abort old work.
+	close(release)
+	o := <-done
+	if o.err != nil || o.status != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status=%d err=%v", o.status, o.err)
+	}
+}
+
+// TestBatchClientDisconnectFreesSlots: a batch client that vanishes
+// mid-stream must not leak its admission slots or its worker
+// goroutines — the compiles wind down and a fresh request is served
+// immediately.
+func TestBatchClientDisconnectFreesSlots(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	release := make(chan struct{})
+	var slow atomic.Bool
+	slow.Store(true)
+	s, ts := newTestServer(t, Config{
+		Workers:     2,
+		MaxInflight: 2,
+		Compile: func(l *corpus.Loop, cfg *machine.Config, o core.Options) (*core.Result, error) {
+			if slow.Load() {
+				select {
+				case <-release:
+				case <-time.After(10 * time.Second):
+				}
+			}
+			return core.Compile(l.Graph, cfg, &o)
+		},
+	})
+
+	var sb strings.Builder
+	sb.WriteString(`{"v": 1, "requests": [`)
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(chaosBody("", 100+i))
+	}
+	sb.WriteString(`]}`)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/batch", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	// Wait until both slots are held by gated compiles, then vanish.
+	for d := time.Now().Add(5 * time.Second); time.Now().Before(d); {
+		if s.serviceStats().InFlight >= 2 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// Unblock the compiles; the handler notices the dead client, the
+	// workers drain, the slots come free.
+	slow.Store(false)
+	close(release)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && s.serviceStats().InFlight > 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.serviceStats().InFlight; got != 0 {
+		t.Fatalf("in-flight stuck at %d after client disconnect", got)
+	}
+
+	// Both slots are usable again.
+	resp2 := post(t, ts.URL+"/v1/compile", chaosBody("", 999))
+	wantResult(t, resp2)
+	waitGoroutinesBelow(t, baseline+8)
+}

@@ -23,7 +23,15 @@ type metrics struct {
 	rejected  atomic.Int64
 	deadlines atomic.Int64
 	inflight  atomic.Int64
-	latency   histogram
+	// panics counts compiles answered with engine_panic; quarantined
+	// counts refusals of quarantined engines; degraded counts compiles
+	// rerouted to the baseline under allow_degraded; disconnects counts
+	// batch streams whose client vanished mid-stream.
+	panics      atomic.Int64
+	quarantined atomic.Int64
+	degraded    atomic.Int64
+	disconnects atomic.Int64
+	latency     histogram
 }
 
 // latencyBucketsMS are the cumulative upper bounds (milliseconds) of

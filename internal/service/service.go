@@ -12,7 +12,8 @@
 //	GET  /v1/stats     pipeline + service counters (wire.StatsResponse)
 //	GET  /v1/capabilities  registered schedulers, unroll policies and
 //	                   machine_ref names (wire.CapabilitiesResponse)
-//	GET  /healthz      liveness probe
+//	GET  /healthz      liveness probe (always 200 while the process is up)
+//	GET  /readyz       readiness probe (503 once draining begins)
 //	GET  /debug/vars   expvar-style JSON metrics (requests, cache,
 //	                   fallbacks, latency histogram)
 //
@@ -39,6 +40,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/pipeline"
 	"repro/internal/wire"
@@ -76,6 +79,15 @@ type Config struct {
 	// Compile, when non-nil, replaces the pipeline's compile function
 	// (tests inject delays, failures and invocation counters here).
 	Compile pipeline.CompileFunc
+	// Breaker tunes the per-engine quarantine circuit breaker; the
+	// zero value uses the engine package's defaults (3 failures in 30s
+	// opens, 10s cooldown).
+	Breaker engine.BreakerConfig
+	// Faults, when non-nil, runs the daemon in chaos mode: the
+	// injector wraps the pipeline's compile function and the HTTP
+	// handler, and its counters surface in /v1/stats.  Never set in
+	// production; schedd only builds one under -faults.
+	Faults *faults.Injector
 }
 
 // withDefaults resolves the zero values.
@@ -118,6 +130,11 @@ type Server struct {
 	sem    chan struct{}
 	queued atomic.Int64
 
+	// quar is the per-engine circuit breaker; draining flips at
+	// BeginDrain and turns /readyz and new compile work away.
+	quar     *engine.Quarantine
+	draining atomic.Bool
+
 	m metrics
 }
 
@@ -140,19 +157,34 @@ func New(cfg Config) *Server {
 	for _, c := range machine.Table1Configs() {
 		machines[c.Name] = c
 	}
+	if cfg.Faults != nil {
+		pipe.WrapCompile(cfg.Faults.WrapCompile)
+		cfg.Faults.SetEvict(func() { pipe.Purge() })
+	}
 	return &Server{
 		cfg:      cfg,
 		pipe:     pipe,
 		loops:    corpus.Index(corpus.SPECfp95()),
 		machines: machines,
 		sem:      make(chan struct{}, cfg.MaxInflight),
+		quar:     engine.NewQuarantine(cfg.Breaker),
 	}
 }
 
 // Pipeline exposes the underlying pipeline (stats, tests).
 func (s *Server) Pipeline() *pipeline.Pipeline { return s.pipe }
 
-// Handler returns the service mux.
+// Quarantine exposes the engine circuit breakers (tests, probes).
+func (s *Server) Quarantine() *engine.Quarantine { return s.quar }
+
+// BeginDrain flips the server into drain mode: /readyz answers 503 so
+// load balancers stop routing here, and new compile work is refused
+// with the draining error while in-flight requests finish.  The daemon
+// calls it on SIGTERM, before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Handler returns the service mux (wrapped in the fault-injection
+// middleware when the server runs in chaos mode).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
@@ -160,7 +192,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	if s.cfg.Faults != nil {
+		return s.cfg.Faults.Middleware(mux)
+	}
 	return mux
 }
 
@@ -275,6 +311,11 @@ func (s *Server) resolve(req *wire.CompileRequest) (pipeline.Request, *wire.Erro
 // through here, so a batch item with a wrong version is rejected
 // exactly like the same body posted alone.
 func (s *Server) compileOne(ctx context.Context, req *wire.CompileRequest) (*wire.Result, *wire.Error) {
+	if s.draining.Load() {
+		werr := wire.Errorf(wire.CodeDraining, "daemon is draining for shutdown")
+		werr.RetryAfterMS = drainRetryHint.Milliseconds()
+		return nil, werr
+	}
 	if werr := wire.CheckVersion(req.V); werr != nil {
 		return nil, werr
 	}
@@ -289,17 +330,58 @@ func (s *Server) compileOne(ctx context.Context, req *wire.CompileRequest) (*wir
 	if err != nil {
 		if errors.Is(err, errOverCapacity) {
 			s.m.rejected.Add(1)
-			return nil, wire.Errorf(wire.CodeOverCapacity, "compile queue full (%d in flight, %d queued)", s.cfg.MaxInflight, s.cfg.QueueDepth)
+			werr := wire.Errorf(wire.CodeOverCapacity, "compile queue full (%d in flight, %d queued)", s.cfg.MaxInflight, s.cfg.QueueDepth)
+			werr.RetryAfterMS = s.rejectRetryHint().Milliseconds()
+			return nil, werr
 		}
 		return nil, s.ctxError(err)
 	}
 	defer release()
 
+	// Engine quarantine gate.  A quarantined engine refuses (with the
+	// cooldown remaining as the retry hint) unless the request allows
+	// degraded service, in which case the compile falls back to the
+	// baseline (bsa, no_unroll); sustained queue pressure sheds
+	// allow_degraded requests onto the same cheap path.
+	eng := engine.CanonicalScheduler(preq.Opts.Scheduler.String())
+	degradedReason := ""
+	if ok, state, retry := s.quar.Admit(eng); !ok {
+		if !req.AllowDegraded {
+			s.m.quarantined.Add(1)
+			werr := wire.Errorf(wire.CodeEngineQuarantined,
+				"engine %q quarantined (%s); retry later or set allow_degraded", eng, state)
+			werr.RetryAfterMS = max(retry.Milliseconds(), 1)
+			return nil, werr
+		}
+		degradedReason = fmt.Sprintf("engine %s quarantined (%s)", eng, state)
+	} else if req.AllowDegraded && s.shedding() {
+		degradedReason = "load_shed"
+	}
+	runEng := eng
+	if degradedReason != "" {
+		preq.Opts = core.Options{} // bsa, no_unroll
+		runEng = engine.CanonicalScheduler("")
+		s.m.degraded.Add(1)
+	}
+
 	res, err := s.pipe.CompileCtx(cctx, preq)
 	if err != nil {
+		var perr *engine.PanicError
+		if errors.As(err, &perr) {
+			s.quar.ReportFailure(runEng, engine.FailPanic)
+			s.m.panics.Add(1)
+			return nil, wire.Errorf(wire.CodeEnginePanic, "%v", perr)
+		}
 		if cerr := cctx.Err(); cerr != nil {
+			if errors.Is(cerr, context.DeadlineExceeded) {
+				s.quar.ReportFailure(runEng, engine.FailTimeout)
+			}
 			return nil, s.ctxError(cerr)
 		}
+		// The engine completed, just without a schedule: deterministic
+		// rejections are not engine sickness, so they count as breaker
+		// successes (a half-open probe that answers is a healthy one).
+		s.quar.ReportSuccess(runEng)
 		// Typed engine rejections (an option the wire caps let through
 		// but the engine boundary refuses) are client errors, not
 		// unschedulable loops.
@@ -307,9 +389,39 @@ func (s *Server) compileOne(ctx context.Context, req *wire.CompileRequest) (*wir
 		if errors.As(err, &oerr) {
 			return nil, wire.Errorf(wire.CodeInvalidOptions, "%v", err)
 		}
+		// Transient failures (fault injection, anything marked
+		// engine.Transient) are retry-safe and must not read as the
+		// deterministic "this loop cannot be scheduled" verdict.
+		if engine.Transient(err) {
+			return nil, wire.Errorf(wire.CodeInternal, "transient compile failure: %v", err)
+		}
 		return nil, wire.Errorf(wire.CodeUnschedulable, "%v", err)
 	}
-	return wire.FromResult(res), nil
+	s.quar.ReportSuccess(runEng)
+	wres := wire.FromResult(res)
+	if degradedReason != "" {
+		wres.Degraded = true
+		wres.DegradedReason = degradedReason
+	}
+	return wres, nil
+}
+
+// drainRetryHint is the Retry-After a draining daemon sends: a restart
+// or a rebalance is seconds away, not minutes.
+const drainRetryHint = 2 * time.Second
+
+// rejectRetryHint derives the 429 Retry-After from queue occupancy: an
+// empty queue suggests a blip, a full one sustained pressure.
+func (s *Server) rejectRetryHint() time.Duration {
+	hint := time.Second + time.Duration(s.queued.Load())*250*time.Millisecond
+	return min(hint, 10*time.Second)
+}
+
+// shedding reports sustained admission-queue pressure (at least half
+// the queue occupied), the point where allow_degraded requests are
+// rerouted to the cheap baseline compile.
+func (s *Server) shedding() bool {
+	return s.cfg.QueueDepth > 0 && s.queued.Load()*2 >= int64(s.cfg.QueueDepth)
 }
 
 // ctxError maps a context failure to its wire error.
@@ -332,9 +444,11 @@ func statusOf(werr *wire.Error) int {
 		return http.StatusUnprocessableEntity
 	case wire.CodeOverCapacity:
 		return http.StatusTooManyRequests
+	case wire.CodeEngineQuarantined, wire.CodeDraining:
+		return http.StatusServiceUnavailable
 	case wire.CodeDeadlineExceeded:
 		return http.StatusGatewayTimeout
-	case wire.CodeInternal:
+	case wire.CodeEnginePanic, wire.CodeInternal:
 		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
@@ -352,8 +466,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-// writeError writes the wire error shape.
+// writeError writes the wire error shape; a retry hint also goes out
+// as a Retry-After header (whole seconds, rounded up) so plain HTTP
+// clients and proxies can honour it without parsing the body.
 func writeError(w http.ResponseWriter, werr *wire.Error) {
+	if werr.RetryAfterMS > 0 {
+		secs := (werr.RetryAfterMS + 999) / 1000
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	writeJSON(w, statusOf(werr), wire.ErrorResponse{V: wire.Version, Error: werr})
 }
 
@@ -415,6 +535,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	// Push the headers out before the first compile completes, so the
+	// client sees the stream open immediately rather than blocking on
+	// the slowest first item.
+	if flusher != nil {
+		flusher.Flush()
+	}
 
 	// Fan the items across a bounded worker pool no wider than the
 	// admission gate, so one batch never trips its own items into
@@ -452,12 +578,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Per-line write deadline: a client that stops reading the stream
 	// must not pin this handler (and graceful drain) forever; a blanket
 	// server WriteTimeout would instead kill legitimate long batches.
+	// A failed write means the client is gone (mid-stream disconnect):
+	// stop writing — the request context is already cancelled, so the
+	// remaining items fail fast — but keep draining the channel so the
+	// workers exit and their admission slots come free.
 	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
+	clientGone := false
 	for item := range items {
+		if clientGone {
+			continue
+		}
 		rc.SetWriteDeadline(time.Now().Add(streamWriteBudget))
-		enc.Encode(item)
+		if err := enc.Encode(item); err != nil {
+			clientGone = true
+			s.m.disconnects.Add(1)
+			continue
+		}
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -501,7 +639,8 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 		Schedulers:       core.SchedulerNames(),
 		Strategies:       core.StrategyNames(),
 		StrategyFamilies: families,
-		Features:         []string{"parallel_ii"},
+		Features:         []string{"allow_degraded", "parallel_ii"},
+		Quarantined:      s.quar.Quarantined(),
 		Machines:         machines,
 		Loops:            len(s.loops),
 	})
@@ -509,24 +648,47 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 
 // serviceStats snapshots the daemon-side counters.
 func (s *Server) serviceStats() wire.ServiceStats {
-	return wire.ServiceStats{
+	st := wire.ServiceStats{
 		Requests: map[string]int64{
 			"compile":      s.m.requests.compile.Load(),
 			"batch":        s.m.requests.batch.Load(),
 			"stats":        s.m.requests.stats.Load(),
 			"capabilities": s.m.requests.capabilities.Load(),
 		},
-		Rejected:  s.m.rejected.Load(),
-		Deadlines: s.m.deadlines.Load(),
-		InFlight:  s.m.inflight.Load(),
-		Queued:    s.queued.Load(),
-		LatencyMS: s.m.latency.buckets(),
+		Rejected:    s.m.rejected.Load(),
+		Deadlines:   s.m.deadlines.Load(),
+		InFlight:    s.m.inflight.Load(),
+		Queued:      s.queued.Load(),
+		LatencyMS:   s.m.latency.buckets(),
+		Draining:    s.draining.Load(),
+		Degraded:    s.m.degraded.Load(),
+		Quarantined: s.m.quarantined.Load(),
+		Engines:     wire.FromEngineHealth(s.quar.Snapshot()),
 	}
+	if s.cfg.Faults != nil {
+		st.Faults = s.cfg.Faults.Counts()
+	}
+	return st
 }
 
-// handleHealthz serves GET /healthz.
+// handleHealthz serves GET /healthz: pure liveness — the process is
+// up and serving, draining or not.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz serves GET /readyz: readiness flips to 503 the moment
+// the daemon begins draining, so load balancers stop routing new work
+// here while in-flight requests finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(drainRetryHint/time.Second), 10))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 
@@ -548,6 +710,10 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		"schedd.evictions":     ps.Evictions,
 		"schedd.fallbacks":     ps.Fallbacks,
 		"schedd.compilations":  ps.Compilations,
+		"schedd.panics":        ps.Panics,
+		"schedd.quarantined":   s.m.quarantined.Load(),
+		"schedd.degraded":      s.m.degraded.Load(),
+		"schedd.disconnects":   s.m.disconnects.Load(),
 		"schedd.latency_ms":    s.m.latency.buckets(),
 	})
 }

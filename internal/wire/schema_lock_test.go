@@ -38,6 +38,7 @@ var schemaTypes = []any{
 	StatsResponse{},
 	PipelineStats{},
 	ServiceStats{},
+	EngineHealth{},
 	HistogramBucket{},
 }
 

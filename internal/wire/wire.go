@@ -24,6 +24,7 @@ import (
 	"io"
 
 	"repro/internal/corpus"
+	"repro/internal/engine"
 	"repro/internal/pipeline"
 )
 
@@ -47,6 +48,9 @@ const (
 	CodeDeadlineExceeded   = "deadline_exceeded"
 	CodeOverCapacity       = "over_capacity"
 	CodeUnschedulable      = "unschedulable"
+	CodeEnginePanic        = "engine_panic"
+	CodeEngineQuarantined  = "engine_quarantined"
+	CodeDraining           = "draining"
 	CodeInternal           = "internal"
 )
 
@@ -55,6 +59,12 @@ const (
 type Error struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RetryAfterMS, when > 0, tells the client how long to back off
+	// before retrying (429 over_capacity, 503 engine_quarantined /
+	// draining).  The HTTP layer mirrors it into a Retry-After header;
+	// it also rides inline so NDJSON batch items carry it.  Optional
+	// (v1 growth).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // Error implements the error interface so handlers can pass one around
@@ -87,6 +97,11 @@ type CompileRequest struct {
 	// TimeoutMS bounds this request's wait on the compile; 0 means the
 	// server default.  The server clamps it to its configured maximum.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// AllowDegraded lets the server fall back to the cheap baseline
+	// compilation (bsa, no_unroll) instead of refusing when the
+	// requested engine is quarantined or the daemon is shedding load;
+	// the result is then tagged degraded.  Optional (v1 growth).
+	AllowDegraded bool `json:"allow_degraded,omitempty"`
 }
 
 // CompileResponse is the 200 body of /v1/compile.
@@ -197,6 +212,13 @@ type Result struct {
 	Policy string `json:"policy,omitempty"`
 	// Stages is the per-stage compile telemetry.  Optional (v1 growth).
 	Stages *Stages `json:"stages,omitempty"`
+	// Degraded reports the server compiled with the baseline fallback
+	// (bsa, no_unroll) instead of the requested options because the
+	// request set allow_degraded and the requested engine was
+	// quarantined or the daemon was shedding load; DegradedReason says
+	// which.  Optional (v1 growth).
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // Stages is the wire shape of the engine's per-compile telemetry.
@@ -287,8 +309,14 @@ type CapabilitiesResponse struct {
 	// StrategyFamilies documents each parameterised policy family.
 	StrategyFamilies []StrategyFamily `json:"strategy_families,omitempty"`
 	// Features lists optional request capabilities this daemon honours
-	// (e.g. "parallel_ii"), so clients can probe before setting them.
+	// (e.g. "parallel_ii", "allow_degraded"), so clients can probe
+	// before setting them.
 	Features []string `json:"features,omitempty"`
+	// Quarantined lists engines currently under circuit-breaker
+	// quarantine (open or half-open); requests for them are refused
+	// with engine_quarantined unless they set allow_degraded.  Optional
+	// (v1 growth).
+	Quarantined []string `json:"quarantined,omitempty"`
 	// Machines are the machine_ref names (Table 1), sorted.
 	Machines []string `json:"machines"`
 	// Loops counts the loops loop_ref can name.
@@ -321,6 +349,9 @@ type PipelineStats struct {
 	CachedEntries int64 `json:"cached_entries"`
 	CompileNS     int64 `json:"compile_ns"`
 	WallNS        int64 `json:"wall_ns"`
+	// Panics counts compiles that ended in a recovered panic (typed
+	// engine_panic wire errors).  Optional (v1 growth).
+	Panics int64 `json:"panics,omitempty"`
 }
 
 // FromPipelineStats converts a pipeline snapshot to the wire shape.
@@ -336,6 +367,7 @@ func FromPipelineStats(s pipeline.Stats) PipelineStats {
 		CachedEntries: s.CachedEntries,
 		CompileNS:     int64(s.CompileTime),
 		WallNS:        int64(s.WallTime),
+		Panics:        s.Panics,
 	}
 }
 
@@ -356,6 +388,62 @@ type ServiceStats struct {
 	// Prometheus style: bucket i counts every request that finished in
 	// <= Le milliseconds; the final bucket (Le < 0, +Inf) is the total.
 	LatencyMS []HistogramBucket `json:"latency_ms"`
+	// Draining reports the daemon has begun graceful shutdown: /readyz
+	// answers 503 and new compile work is refused.  Optional (v1
+	// growth).
+	Draining bool `json:"draining,omitempty"`
+	// Degraded counts requests compiled with the baseline fallback
+	// under allow_degraded.  Optional (v1 growth).
+	Degraded int64 `json:"degraded,omitempty"`
+	// Quarantined counts requests refused with engine_quarantined.
+	// Optional (v1 growth).
+	Quarantined int64 `json:"quarantined,omitempty"`
+	// Engines is the per-engine circuit-breaker health (only engines
+	// that have reported failures appear).  Optional (v1 growth).
+	Engines []EngineHealth `json:"engines,omitempty"`
+	// Faults counts injected faults by name when the daemon runs in
+	// chaos mode (-faults); absent in production.  Optional (v1
+	// growth).
+	Faults map[string]int64 `json:"faults,omitempty"`
+}
+
+// EngineHealth is one engine's circuit-breaker snapshot in /v1/stats.
+type EngineHealth struct {
+	// Engine is the canonical scheduler-engine name; State is the
+	// breaker state: "closed", "open" or "half_open".
+	Engine string `json:"engine"`
+	State  string `json:"state"`
+	// WindowFailures counts failures inside the sliding window.
+	WindowFailures int `json:"window_failures,omitempty"`
+	// Panics / Timeouts / Trips / Probes are lifetime totals.
+	Panics   int64 `json:"panics,omitempty"`
+	Timeouts int64 `json:"timeouts,omitempty"`
+	Trips    int64 `json:"trips,omitempty"`
+	Probes   int64 `json:"probes,omitempty"`
+	// RetryAfterMS is the cooldown remaining on an open breaker.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// FromEngineHealth converts the engine package's breaker snapshots to
+// the wire shape.
+func FromEngineHealth(hs []engine.EngineHealth) []EngineHealth {
+	if len(hs) == 0 {
+		return nil
+	}
+	out := make([]EngineHealth, 0, len(hs))
+	for _, h := range hs {
+		out = append(out, EngineHealth{
+			Engine:         h.Engine,
+			State:          h.State.String(),
+			WindowFailures: h.WindowFailures,
+			Panics:         h.Panics,
+			Timeouts:       h.Timeouts,
+			Trips:          h.Trips,
+			Probes:         h.Probes,
+			RetryAfterMS:   h.RetryAfter.Milliseconds(),
+		})
+	}
+	return out
 }
 
 // HistogramBucket is one cumulative latency bucket; Le < 0 means +Inf.
