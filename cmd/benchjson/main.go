@@ -9,6 +9,13 @@
 // Repeated -count runs of the same benchmark are averaged.  The repo's
 // scripts/bench_sched.sh wraps this to produce the BENCH_sched.json
 // perf-trajectory artefact.
+//
+// -check also validates the service-level artefact the load harness
+// emits: `benchjson -check BENCH_service.json -schema service` decodes
+// the document strictly against internal/loadgen's Report shape and
+// runs its schema validation (accounting identity, monotone
+// percentiles, consistent hit rate), so scripts/bench_service.sh and CI
+// share one gate with the scheduler artefact.
 package main
 
 import (
@@ -22,6 +29,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/loadgen"
 )
 
 // Entry is one benchmark's aggregated result.
@@ -60,14 +69,32 @@ func main() {
 	baseline := flag.String("baseline", "", "previous `go test -bench` output to compare against")
 	require := flag.String("require", "", "comma-separated benchmark `names` that must be present with non-zero iterations")
 	check := flag.String("check", "", "validate an existing benchjson `document` instead of converting bench output")
+	schema := flag.String("schema", "bench", "document `schema` for -check: bench (BENCH_sched.json) or service (BENCH_service.json)")
 	flag.Parse()
 
 	if *check != "" {
-		if err := checkDoc(*check, *require); err != nil {
+		var err error
+		switch *schema {
+		case "bench":
+			err = checkDoc(*check, *require)
+		case "service":
+			if *require != "" {
+				err = fmt.Errorf("-require lists benchmark names; the service schema has none")
+			} else {
+				err = checkServiceDoc(*check)
+			}
+		default:
+			err = fmt.Errorf("unknown -schema %q (want bench or service)", *schema)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *schema != "bench" {
+		fmt.Fprintln(os.Stderr, "benchjson: -schema only applies to -check (conversion always emits the bench schema)")
+		os.Exit(1)
 	}
 
 	cur, err := parse(os.Stdin)
@@ -148,6 +175,28 @@ func checkDoc(path, require string) error {
 		return fmt.Errorf("%s: %v", path, err)
 	}
 	if err := checkRequired(doc.Benchmarks, require); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	return nil
+}
+
+// checkServiceDoc validates a BENCH_service.json artefact: strict
+// decode against the loadgen report shape (unknown fields are drift)
+// plus the report's own invariants — every dispatched request settled
+// exactly once, percentiles monotone, cache hit rate consistent.
+func checkServiceDoc(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var rep loadgen.Report
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if err := rep.Validate(); err != nil {
 		return fmt.Errorf("%s: %v", path, err)
 	}
 	return nil

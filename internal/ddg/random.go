@@ -53,7 +53,12 @@ func Random(seed uint64, nNodes, nExtra uint8) *Graph {
 			g.AddMemDep(from, i, 0)
 		}
 	}
-	for e := 0; e < int(nExtra)%8; e++ {
+	// The full byte is honored: this used to read int(nExtra)%8, which
+	// silently capped the extra-edge knob at 7 no matter what the caller
+	// asked for (TestRandomExtraEdgesHonored pins the fix).  The uint8
+	// signature stays byte-shaped so existing fuzz-corpus entries decode
+	// to the same (seed, nNodes, nExtra) triples.
+	for e := 0; e < int(nExtra); e++ {
 		a, b := rng.Intn(n), rng.Intn(n)
 		switch {
 		case a < b && g.Node(a).Class.ProducesValue():

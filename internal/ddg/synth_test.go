@@ -1,0 +1,128 @@
+package ddg
+
+import (
+	"testing"
+)
+
+// TestRandomExtraEdgesHonored is the regression for the silent density
+// cap: Random used to run its extra-edge loop int(nExtra)%8 times, so
+// no byte value could add more than 7 edges.  A 14-node body has 13
+// spanning edges; with the cap the total could never exceed 20, while
+// an honored knob of 255 attempts lands far above it.
+func TestRandomExtraEdgesHonored(t *testing.T) {
+	g := Random(42, 14, 255)
+	if g == nil {
+		t.Fatal("Random(42, 14, 255) returned nil")
+	}
+	const oldCapMax = 13 + 7
+	if g.NumEdges() <= oldCapMax {
+		t.Fatalf("Random(42, 14, 255) has %d edges, within the old %%8 cap's maximum %d: density knob is truncated",
+			g.NumEdges(), oldCapMax)
+	}
+	// And the knob is monotone in expectation: a big request yields
+	// strictly more edges than a small one on the same seed.
+	lo := Random(42, 14, 2)
+	if lo == nil || g.NumEdges() <= lo.NumEdges() {
+		t.Fatalf("edge count did not grow with the knob: 255 extras -> %d edges, 2 extras -> %d",
+			g.NumEdges(), lo.NumEdges())
+	}
+}
+
+// TestSynthDensityHonored asserts Synth adds exactly the requested
+// number of extra edges on top of the structural ones, with no
+// truncation at any scale.
+func TestSynthDensityHonored(t *testing.T) {
+	base := SynthSpec{Seed: 7, Nodes: 64}
+	for _, density := range []float64{0, 0.5, 2, 8} {
+		spec := base
+		spec.ExtraEdgeDensity = density
+		g, err := Synth(spec)
+		if err != nil {
+			t.Fatalf("Synth(density=%v): %v", density, err)
+		}
+		zero := base
+		g0, err := Synth(zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantExtra := int(density*float64(spec.Nodes) + 0.5)
+		if got := g.NumEdges() - g0.NumEdges(); got != wantExtra {
+			t.Errorf("density %v: %d extra edges, want exactly %d", density, got, wantExtra)
+		}
+	}
+}
+
+// TestSynthShape checks the structural knobs: exact node count,
+// recurrence-free graphs when the density is 0, and loop-carried
+// cycles when it is high.
+func TestSynthShape(t *testing.T) {
+	for _, nodes := range []int{2, 3, 16, 100, 1000} {
+		g, err := Synth(SynthSpec{Seed: 1, Nodes: nodes, RecurrenceDensity: 0.3, ExtraEdgeDensity: 1, ClusterAffinity: 0.5})
+		if err != nil {
+			t.Fatalf("Synth(nodes=%d): %v", nodes, err)
+		}
+		if g.NumNodes() != nodes {
+			t.Errorf("nodes=%d: got %d nodes", nodes, g.NumNodes())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("nodes=%d: invalid graph: %v", nodes, err)
+		}
+	}
+
+	flat, err := Synth(SynthSpec{Seed: 3, Nodes: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(flat.LoopCarried()); n != 0 {
+		t.Errorf("zero recurrence density produced %d loop-carried edges", n)
+	}
+	rec, err := Synth(SynthSpec{Seed: 3, Nodes: 40, RecurrenceDensity: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rec.LoopCarried()); n == 0 {
+		t.Error("recurrence density 0.8 produced no loop-carried edges")
+	}
+}
+
+// TestSynthDeterministic asserts the same spec reproduces the same
+// graph, fingerprint-identical, and that the seed actually matters.
+func TestSynthDeterministic(t *testing.T) {
+	spec := SynthSpec{Seed: 99, Nodes: 48, RecurrenceDensity: 0.4, ExtraEdgeDensity: 1.5, ClusterAffinity: 0.7}
+	a, err := Synth(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synth(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("same spec produced different fingerprints")
+	}
+	spec.Seed = 100
+	c, err := Synth(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+// TestSynthSpecValidate rejects out-of-range knobs.
+func TestSynthSpecValidate(t *testing.T) {
+	bad := []SynthSpec{
+		{Nodes: 1},
+		{Nodes: 8, RecurrenceDensity: 1.5},
+		{Nodes: 8, RecurrenceDensity: -0.1},
+		{Nodes: 8, ExtraEdgeDensity: -1},
+		{Nodes: 8, ClusterAffinity: 2},
+		{Nodes: 8, MaxDistance: -1},
+	}
+	for _, spec := range bad {
+		if _, err := Synth(spec); err == nil {
+			t.Errorf("Synth(%+v) accepted an invalid spec", spec)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testSpec() Spec {
+	return Spec{
+		Count:             8,
+		MinNodes:          6,
+		MaxNodes:          24,
+		RecurrenceDensity: 0.3,
+		ExtraEdgeDensity:  0.5,
+		ClusterAffinity:   0.7,
+		Seed:              42,
+	}
+}
+
+// TestGenerateDeterministicNDJSON pins the harness's reproducibility
+// contract: the same spec yields byte-identical NDJSON, and the seed
+// actually matters.
+func TestGenerateDeterministicNDJSON(t *testing.T) {
+	spec := testSpec()
+	var a, b bytes.Buffer
+	for _, buf := range []*bytes.Buffer{&a, &b} {
+		loops, err := spec.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(loops) != spec.Count {
+			t.Fatalf("generated %d loops, want %d", len(loops), spec.Count)
+		}
+		if err := WriteCorpus(buf, loops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same spec produced different NDJSON bytes")
+	}
+
+	other := spec
+	other.Seed = 43
+	loops, err := other.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if err := WriteCorpus(&c, loops); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+// TestCorpusRoundTrip checks write → read preserves every loop: same
+// count, same graph fingerprints, same trip counts.
+func TestCorpusRoundTrip(t *testing.T) {
+	loops, err := testSpec().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, loops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(loops) {
+		t.Fatalf("round trip: %d loops, want %d", len(got), len(loops))
+	}
+	for i := range got {
+		if got[i].Graph.Fingerprint() != loops[i].Graph.Fingerprint() {
+			t.Fatalf("loop %d: fingerprint changed across round trip", i)
+		}
+		if got[i].Iters != loops[i].Iters {
+			t.Fatalf("loop %d: iters %d != %d", i, got[i].Iters, loops[i].Iters)
+		}
+	}
+}
+
+// TestReadCorpusRejectsBadInput: empty, corrupt, and graph-less lines
+// all fail at load time with the offending line number.
+func TestReadCorpusRejectsBadInput(t *testing.T) {
+	if _, err := ReadCorpus(strings.NewReader("")); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := ReadCorpus(strings.NewReader("{not json\n")); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("corrupt line: got %v, want line-1 error", err)
+	}
+	if _, err := ReadCorpus(strings.NewReader(`{"iters":5}` + "\n")); err == nil || !strings.Contains(err.Error(), "no graph") {
+		t.Errorf("graph-less loop: got %v, want no-graph error", err)
+	}
+}
+
+// TestSpecValidate rejects the unusable corners.
+func TestSpecValidate(t *testing.T) {
+	for name, mut := range map[string]func(*Spec){
+		"zero count":     func(s *Spec) { s.Count = 0 },
+		"min nodes 1":    func(s *Spec) { s.MinNodes = 1 },
+		"max < min":      func(s *Spec) { s.MaxNodes = s.MinNodes - 1 },
+		"trip inverted":  func(s *Spec) { s.MinTrip = 100; s.MaxTrip = 10 },
+		"negative knob":  func(s *Spec) { s.ExtraEdgeDensity = -1 },
+		"affinity > 1":   func(s *Spec) { s.ClusterAffinity = 1.5 },
+		"recurrence > 1": func(s *Spec) { s.RecurrenceDensity = 2 },
+	} {
+		s := testSpec()
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, s)
+		}
+	}
+	if err := testSpec().Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+// TestRateZeroDenominator pins the division guard: an empty run's rates
+// are 0, never NaN or Inf (json.Marshal rejects both).
+func TestRateZeroDenominator(t *testing.T) {
+	if got := Rate(0, 0); got != 0 {
+		t.Errorf("Rate(0,0) = %v, want 0", got)
+	}
+	if got := Rate(5, 0); got != 0 {
+		t.Errorf("Rate(5,0) = %v, want 0", got)
+	}
+	if got := Rate(3, 2); got != 1.5 {
+		t.Errorf("Rate(3,2) = %v, want 1.5", got)
+	}
+}
+
+// TestPercentileNearestRank pins the exact nearest-rank definition.
+func TestPercentileNearestRank(t *testing.T) {
+	s := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.50, 50}, {0.90, 90}, {0.99, 100}, {0.999, 100}, {0.1, 10}, {1, 100}} {
+		if got := Percentile(s, tc.q); got != tc.want {
+			t.Errorf("Percentile(q=%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 0.999); got != 7 {
+		t.Errorf("single sample p99.9 = %v, want 7", got)
+	}
+}
+
+// TestEmptyRunReportSerializes: a run where nothing was dispatched
+// (context cancelled before the first arrival) must still produce a
+// well-formed, marshalable report with zero rates — the
+// zero-denominator guard in action end to end.
+func TestEmptyRunReportSerializes(t *testing.T) {
+	rep := buildReport(ReplayConfig{QPS: 100}.withDefaults(), 4, 0, time.Millisecond, &recorder{}, nil, nil)
+	if rep.GoodputQPS != 0 || rep.Latency.Count != 0 || rep.Latency.P999MS != 0 {
+		t.Fatalf("empty run report not zeroed: %+v", rep)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("empty run report does not marshal: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("empty run report does not round-trip: %v", err)
+	}
+	// And the artefact validator refuses to publish it.
+	if err := rep.Validate(); err == nil {
+		t.Fatal("Validate accepted a zero-traffic artefact")
+	}
+}
+
+func validReport() *Report {
+	return &Report{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   "go1.24",
+		GOOS:        "linux",
+		GOARCH:      "amd64",
+		Corpus:      4,
+		DurationS:   1.5,
+		Sent:        100,
+		OK:          90,
+		Rejected429: 6,
+		Deadline504: 3,
+		Errors:      1,
+		OfferedQPS:  100,
+		GoodputQPS:  60,
+		Latency:     LatencySummary{Count: 100, P50MS: 1, P90MS: 2, P99MS: 5, P999MS: 9, MaxMS: 9},
+		Cache:       &CacheDelta{Hits: 75, Misses: 25, HitRate: 0.75},
+	}
+}
+
+// TestReportValidate pins the artefact schema: accounting identity,
+// monotone percentiles, consistent hit rate.
+func TestReportValidate(t *testing.T) {
+	if err := validReport().Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*Report){
+		"accounting broken":  func(r *Report) { r.OK-- },
+		"no traffic":         func(r *Report) { r.Sent = 0; r.OK = 0; r.Rejected429 = 0; r.Deadline504 = 0; r.Errors = 0; r.Latency.Count = 0 },
+		"nothing succeeded":  func(r *Report) { r.Errors += r.OK; r.OK = 0 },
+		"latency count off":  func(r *Report) { r.Latency.Count = 99 },
+		"percentiles wobble": func(r *Report) { r.Latency.P90MS = 0.5 },
+		"hit rate > 1":       func(r *Report) { r.Cache.HitRate = 1.2 },
+		"hit rate bogus":     func(r *Report) { r.Cache.HitRate = 0.5 },
+		"bad timestamp":      func(r *Report) { r.Generated = "yesterday" },
+		"no toolchain":       func(r *Report) { r.GoVersion = "" },
+		"zero duration":      func(r *Report) { r.DurationS = 0 },
+	} {
+		r := validReport()
+		mut(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the broken report", name)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// NDJSON corpus I/O: one corpus.Loop per line in the wire JSON shape
+// (the ddg codec for the graph plus the loop's tagged fields), the same
+// representation /v1/compile ships inline loops in.  Writing is
+// deterministic — json.Marshal of the loop structs emits fields in
+// declaration order and the shapes contain no maps — so the same spec
+// always produces byte-identical corpus files, which is what the
+// determinism test pins.
+
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/corpus"
+)
+
+// maxCorpusLine bounds one NDJSON line; far above any admissible
+// inline loop (the wire caps bound graphs long before this).
+const maxCorpusLine = 64 << 20
+
+// WriteCorpus writes loops as NDJSON, one loop per line.
+func WriteCorpus(w io.Writer, loops []*corpus.Loop) error {
+	bw := bufio.NewWriter(w)
+	for i, l := range loops {
+		b, err := json.Marshal(l)
+		if err != nil {
+			return fmt.Errorf("loadgen: marshal loop %d: %w", i, err)
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCorpus reads an NDJSON corpus back, validating every graph so a
+// corrupt or hand-edited file fails at load time, not mid-replay.
+func ReadCorpus(r io.Reader) ([]*corpus.Loop, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxCorpusLine)
+	var loops []*corpus.Loop
+	for line := 1; sc.Scan(); line++ {
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var l corpus.Loop
+		if err := json.Unmarshal(b, &l); err != nil {
+			return nil, fmt.Errorf("loadgen: corpus line %d: %w", line, err)
+		}
+		if l.Graph == nil {
+			return nil, fmt.Errorf("loadgen: corpus line %d: loop has no graph", line)
+		}
+		if err := l.Graph.Validate(); err != nil {
+			return nil, fmt.Errorf("loadgen: corpus line %d: %w", line, err)
+		}
+		loops = append(loops, &l)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(loops) == 0 {
+		return nil, fmt.Errorf("loadgen: empty corpus")
+	}
+	return loops, nil
+}

@@ -1,0 +1,301 @@
+// The open-loop replayer: arrivals fire on a fixed schedule derived
+// from the offered QPS, regardless of how fast the service answers.
+// A concurrency cap bounds the client's own resources, but a request
+// that waits for a slot keeps its scheduled arrival time as the start
+// of its latency clock — under overload the measured percentiles grow
+// the way a real user's would, instead of the closed-loop flattery of
+// only sending when the server is ready.
+//
+// Exactly-once accounting: every dispatched request settles into
+// exactly one of ok / 429 / 504 / error, so sent always equals the sum
+// of the outcome counters — the invariant the end-to-end test pins and
+// Report.Validate enforces on published artefacts.
+
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/corpus"
+	"repro/internal/wire"
+)
+
+// ReplayConfig tunes one replay run.
+type ReplayConfig struct {
+	// Client drives the traffic; required.
+	Client *client.Client
+	// QPS is the open-loop arrival rate in requests per second
+	// (required > 0).  Batch envelopes count each contained request
+	// toward the rate.
+	QPS float64
+	// Requests is the total number of requests to send; 0 derives it
+	// from QPS * Duration.
+	Requests int
+	// Duration is the nominal run length when Requests is 0.
+	Duration time.Duration
+	// MaxInFlight caps concurrently outstanding dispatches (<= 0 means
+	// 256).  Waiting for a slot counts into the waiting request's
+	// latency — the cap protects the client process, not the numbers.
+	MaxInFlight int
+	// BatchSize > 1 enables batch-envelope arrivals of that size;
+	// BatchFraction in [0, 1] is the fraction of dispatches that use
+	// one (the batch mix).
+	BatchSize     int
+	BatchFraction float64
+	// MachineRefs are cycled across requests ("" entries are invalid);
+	// empty means {"unified"}.
+	MachineRefs []string
+	// Scheduler and Strategy ride in every request's options.
+	Scheduler string
+	Strategy  string
+	// TimeoutMS is the per-request server deadline (0 = server default).
+	TimeoutMS int
+	// AllowDegraded lets the server fall back to the baseline compile
+	// under quarantine or load shedding.
+	AllowDegraded bool
+	// Attempts records the client's per-request attempt budget in the
+	// artefact (the budget itself lives in the client's own config).
+	Attempts int
+	// Seed makes the batch-mix draws deterministic.
+	Seed int64
+	// SkipStats disables the /v1/stats before/after snapshots (unit
+	// tests against stubs that lack the endpoint).
+	SkipStats bool
+	// Spec, when the corpus was generated in-process, is recorded in
+	// the report.
+	Spec *Spec
+}
+
+// withDefaults resolves the zero values.
+func (c ReplayConfig) withDefaults() ReplayConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1
+	}
+	if len(c.MachineRefs) == 0 {
+		c.MachineRefs = []string{"unified"}
+	}
+	return c
+}
+
+// recorder accumulates settled outcomes; one mutex is plenty at load-
+// harness rates and keeps the accounting trivially exact.
+type recorder struct {
+	mu        sync.Mutex
+	ok        int64
+	r429      int64
+	r504      int64
+	errs      int64
+	samplesMS []float64
+}
+
+// settle records one request's outcome and latency.
+func (r *recorder) settle(err error, latency time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch classify(err) {
+	case wire.CodeOverCapacity:
+		r.r429++
+	case wire.CodeDeadlineExceeded:
+		r.r504++
+	case "":
+		r.ok++
+	default:
+		r.errs++
+	}
+	r.samplesMS = append(r.samplesMS, float64(latency)/float64(time.Millisecond))
+}
+
+// classify maps a settled error to its wire code bucket ("" = success).
+func classify(err error) string {
+	if err == nil {
+		return ""
+	}
+	var werr *wire.Error
+	if errors.As(err, &werr) {
+		switch werr.Code {
+		case wire.CodeOverCapacity, wire.CodeDeadlineExceeded:
+			return werr.Code
+		}
+	}
+	return wire.CodeInternal
+}
+
+// Replay drives loops against the service and returns the run's
+// BENCH_service.json report.
+func Replay(ctx context.Context, cfg ReplayConfig, loops []*corpus.Loop) (*Report, error) {
+	cfg = cfg.withDefaults()
+	switch {
+	case cfg.Client == nil:
+		return nil, fmt.Errorf("loadgen: replay needs a client")
+	case cfg.QPS <= 0:
+		return nil, fmt.Errorf("loadgen: replay QPS %v not positive", cfg.QPS)
+	case len(loops) == 0:
+		return nil, fmt.Errorf("loadgen: replay needs a corpus")
+	case cfg.BatchFraction < 0 || cfg.BatchFraction > 1:
+		return nil, fmt.Errorf("loadgen: batch fraction %v outside [0, 1]", cfg.BatchFraction)
+	}
+	total := cfg.Requests
+	if total <= 0 {
+		total = int(cfg.QPS * cfg.Duration.Seconds())
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("loadgen: nothing to send (requests=%d, qps=%v, duration=%v)",
+			cfg.Requests, cfg.QPS, cfg.Duration)
+	}
+
+	var before *wire.StatsResponse
+	if !cfg.SkipStats {
+		before, _ = cfg.Client.Stats(ctx)
+	}
+
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rec := &recorder{samplesMS: make([]float64, 0, total)}
+	sem := make(chan struct{}, cfg.MaxInFlight)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	sent := 0
+	for sent < total && ctx.Err() == nil {
+		size := 1
+		if cfg.BatchSize > 1 && rng.Float64() < cfg.BatchFraction {
+			size = min(cfg.BatchSize, total-sent)
+		}
+		due := start.Add(time.Duration(sent) * interval)
+		if err := sleepUntil(ctx, due); err != nil {
+			break
+		}
+		reqs := make([]wire.CompileRequest, size)
+		for k := 0; k < size; k++ {
+			i := sent + k
+			reqs[k] = wire.CompileRequest{
+				V:          wire.Version,
+				Loop:       loops[i%len(loops)],
+				MachineRef: cfg.MachineRefs[i%len(cfg.MachineRefs)],
+				TimeoutMS:  cfg.TimeoutMS,
+				Options: &wire.Options{
+					Scheduler: cfg.Scheduler,
+					Strategy:  cfg.Strategy,
+				},
+				AllowDegraded: cfg.AllowDegraded,
+			}
+		}
+		sent += size
+		wg.Add(1)
+		go func(due time.Time, reqs []wire.CompileRequest) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if len(reqs) == 1 {
+				_, err := cfg.Client.Compile(ctx, &reqs[0])
+				rec.settle(err, time.Since(due))
+				return
+			}
+			items, err := cfg.Client.Batch(ctx, reqs)
+			lat := time.Since(due)
+			if err != nil {
+				for range reqs {
+					rec.settle(err, lat)
+				}
+				return
+			}
+			for i := range items {
+				var ierr error
+				if items[i].Error != nil {
+					ierr = items[i].Error
+				}
+				rec.settle(ierr, lat)
+			}
+		}(due, reqs)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var after *wire.StatsResponse
+	if !cfg.SkipStats {
+		after, _ = cfg.Client.Stats(ctx)
+	}
+	return buildReport(cfg, len(loops), int64(sent), elapsed, rec, before, after), nil
+}
+
+// sleepUntil waits for the scheduled arrival, deadline-aware.
+func sleepUntil(ctx context.Context, due time.Time) error {
+	d := time.Until(due)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// buildReport assembles the artefact; every rate it computes is
+// zero-denominator safe, so an empty run (nothing dispatched before
+// cancellation) still yields a well-formed, serializable document.
+func buildReport(cfg ReplayConfig, corpusSize int, sent int64, elapsed time.Duration, rec *recorder, before, after *wire.StatsResponse) *Report {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	r := &Report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Spec:      cfg.Spec,
+		Corpus:    corpusSize,
+		Replay: ReplayShape{
+			QPS:           cfg.QPS,
+			Requests:      int(sent),
+			MaxInFlight:   cfg.MaxInFlight,
+			BatchSize:     cfg.BatchSize,
+			BatchFraction: cfg.BatchFraction,
+			Attempts:      cfg.Attempts,
+			TimeoutMS:     cfg.TimeoutMS,
+			MachineRefs:   cfg.MachineRefs,
+			Scheduler:     cfg.Scheduler,
+			Strategy:      cfg.Strategy,
+			Seed:          cfg.Seed,
+		},
+		DurationS:   elapsed.Seconds(),
+		Sent:        sent,
+		OK:          rec.ok,
+		Rejected429: rec.r429,
+		Deadline504: rec.r504,
+		Errors:      rec.errs,
+		OfferedQPS:  cfg.QPS,
+		GoodputQPS:  Rate(float64(rec.ok), elapsed.Seconds()),
+		Latency:     Summarize(rec.samplesMS),
+	}
+	if before != nil && after != nil {
+		hits := after.Pipeline.Hits - before.Pipeline.Hits
+		misses := after.Pipeline.Misses - before.Pipeline.Misses
+		r.Cache = &CacheDelta{
+			Hits:         hits,
+			Misses:       misses,
+			DedupJoins:   after.Pipeline.DedupJoins - before.Pipeline.DedupJoins,
+			Compilations: after.Pipeline.Compilations - before.Pipeline.Compilations,
+			Evictions:    after.Pipeline.Evictions - before.Pipeline.Evictions,
+			HitRate:      Rate(float64(hits), float64(hits+misses)),
+		}
+		r.Server = &ServerDelta{
+			Rejected:  after.Service.Rejected - before.Service.Rejected,
+			Deadlines: after.Service.Deadlines - before.Service.Deadlines,
+			Degraded:  after.Service.Degraded - before.Service.Degraded,
+		}
+	}
+	return r
+}

@@ -1,0 +1,193 @@
+// End-to-end replay tests against a real Server over httptest.  The
+// accounting test runs under -race in CI: the recorder, the semaphore
+// and the dispatch goroutines are all exercised concurrently.
+
+package loadgen_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/engine"
+	"repro/internal/loadgen"
+	"repro/internal/machine"
+	"repro/internal/service"
+)
+
+// mixedCorpus returns fast loops plus a couple whose name marks them
+// for the slow compile path.
+func mixedCorpus(t *testing.T) []*corpus.Loop {
+	t.Helper()
+	fast, err := loadgen.Spec{
+		Count: 6, MinNodes: 6, MaxNodes: 10,
+		RecurrenceDensity: 0.2, ExtraEdgeDensity: 0.3, ClusterAffinity: 0.5,
+		Seed: 1, Prefix: "fast",
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := loadgen.Spec{
+		Count: 2, MinNodes: 6, MaxNodes: 10,
+		RecurrenceDensity: 0.2, ExtraEdgeDensity: 0.3, ClusterAffinity: 0.5,
+		Seed: 2, Prefix: "slow",
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(fast, slow...)
+}
+
+// TestReplayExactlyOnceAccounting drives an overloaded server (one
+// admission slot, no queue) with mixed single/batch open-loop traffic
+// and checks the invariant the artefact schema rests on: every
+// dispatched request settles into exactly one outcome bucket.
+func TestReplayExactlyOnceAccounting(t *testing.T) {
+	loops := mixedCorpus(t)
+	srv := service.New(service.Config{
+		Workers:     2,
+		MaxInflight: 1,
+		QueueDepth:  -1, // reject the instant the slot is busy: guaranteed 429s
+		Breaker:     engine.BreakerConfig{Threshold: 1000},
+		Compile: func(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+			if strings.HasPrefix(l.Graph.Name, "slow") {
+				time.Sleep(40 * time.Millisecond)
+			} else {
+				time.Sleep(time.Millisecond)
+			}
+			return core.Compile(l.Graph, cfg, &opts)
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cl, err := client.New(client.Config{Endpoints: []string{ts.URL}, Attempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadgen.Replay(context.Background(), loadgen.ReplayConfig{
+		Client:        cl,
+		QPS:           400,
+		Requests:      120,
+		MaxInFlight:   64,
+		BatchSize:     4,
+		BatchFraction: 0.4,
+		TimeoutMS:     25,
+		Attempts:      1,
+		Seed:          7,
+	}, loops)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Sent != 120 {
+		t.Fatalf("sent %d, want 120", rep.Sent)
+	}
+	if got := rep.OK + rep.Rejected429 + rep.Deadline504 + rep.Errors; got != rep.Sent {
+		t.Fatalf("accounting broken: sent=%d but ok=%d + 429=%d + 504=%d + errors=%d = %d",
+			rep.Sent, rep.OK, rep.Rejected429, rep.Deadline504, rep.Errors, got)
+	}
+	if rep.Latency.Count != rep.Sent {
+		t.Fatalf("latency samples %d != sent %d (a request settled without a sample, or twice)",
+			rep.Latency.Count, rep.Sent)
+	}
+	if rep.OK == 0 {
+		t.Error("overload run had zero successes; the first admitted request should have completed")
+	}
+	if rep.Rejected429 == 0 {
+		t.Error("one admission slot at 400 qps produced zero 429s")
+	}
+	if rep.Cache == nil || rep.Server == nil {
+		t.Fatalf("stats deltas missing: cache=%v server=%v", rep.Cache, rep.Server)
+	}
+	if rep.Cache.HitRate < 0 || rep.Cache.HitRate > 1 {
+		t.Errorf("cache hit rate %v outside [0, 1]", rep.Cache.HitRate)
+	}
+	if rep.Errors > 0 {
+		t.Errorf("unexpected transport/internal errors: %d", rep.Errors)
+	}
+}
+
+// TestReplayDeadline504 pins the 504 classification path: every request
+// carries a 5ms deadline against a 30ms compile, so each distinct loop's
+// first compile must settle as deadline_exceeded.
+func TestReplayDeadline504(t *testing.T) {
+	loops, err := loadgen.Spec{
+		Count: 8, MinNodes: 6, MaxNodes: 8,
+		RecurrenceDensity: 0.2, ExtraEdgeDensity: 0.2, ClusterAffinity: 0.5,
+		Seed: 3,
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := service.New(service.Config{
+		Workers:     4,
+		MaxInflight: 8,
+		// The quarantine breaker counts deadline failures; this test
+		// wants 8 of them in a row, so raise the threshold out of reach.
+		Breaker: engine.BreakerConfig{Threshold: 100},
+		Compile: func(l *corpus.Loop, cfg *machine.Config, opts core.Options) (*core.Result, error) {
+			time.Sleep(30 * time.Millisecond)
+			return core.Compile(l.Graph, cfg, &opts)
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cl, err := client.New(client.Config{Endpoints: []string{ts.URL}, Attempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadgen.Replay(context.Background(), loadgen.ReplayConfig{
+		Client:      cl,
+		QPS:         100,
+		Requests:    8, // one request per distinct loop: no cache hit can rescue any of them
+		MaxInFlight: 8,
+		TimeoutMS:   5,
+		Attempts:    1,
+		Seed:        11,
+	}, loops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deadline504 != rep.Sent || rep.Sent != 8 {
+		t.Fatalf("want all 8 requests to 504, got sent=%d ok=%d 429=%d 504=%d errors=%d",
+			rep.Sent, rep.OK, rep.Rejected429, rep.Deadline504, rep.Errors)
+	}
+}
+
+// TestReplayCancelledContext: cancellation before the first arrival
+// yields a zero-traffic report, not an error or a hang.
+func TestReplayCancelledContext(t *testing.T) {
+	loops, err := loadgen.Spec{
+		Count: 2, MinNodes: 6, MaxNodes: 8,
+		RecurrenceDensity: 0, ExtraEdgeDensity: 0, ClusterAffinity: 0,
+		Seed: 4,
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := client.New(client.Config{Endpoints: []string{"http://127.0.0.1:1"}, Attempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := loadgen.Replay(ctx, loadgen.ReplayConfig{
+		Client:    cl,
+		QPS:       10,
+		Requests:  100,
+		SkipStats: true,
+	}, loops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 0 || rep.OK != 0 || rep.Latency.Count != 0 {
+		t.Fatalf("cancelled run dispatched traffic: %+v", rep)
+	}
+}

@@ -1,0 +1,202 @@
+// The BENCH_service.json document: the service-level perf trajectory
+// artefact the replayer emits, mirroring how BENCH_sched.json tracks
+// the scheduler inner loop.  cmd/benchjson -check -schema service
+// validates a published document against Report.Validate, so a
+// truncated or hand-edited artefact cannot ship through CI.
+
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Report is the BENCH_service.json shape.
+type Report struct {
+	// Generated is the RFC3339 emission time; the toolchain triple is
+	// what CI dashboards key on, as in BENCH_sched.json.
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+
+	// Spec records the corpus the run replayed, when it was generated
+	// in-process (absent when replaying a corpus file).
+	Spec *Spec `json:"spec,omitempty"`
+	// Corpus counts the distinct loops replayed.
+	Corpus int `json:"corpus"`
+	// Replay records the traffic shape.
+	Replay ReplayShape `json:"replay"`
+
+	// DurationS is the measured wall time of the run.
+	DurationS float64 `json:"duration_s"`
+	// Sent is the number of requests dispatched; every one settles into
+	// exactly one of OK, Rejected429, Deadline504 or Errors, so
+	// Sent == OK + Rejected429 + Deadline504 + Errors always holds
+	// (Validate enforces it).
+	Sent        int64 `json:"sent"`
+	OK          int64 `json:"ok"`
+	Rejected429 int64 `json:"rejected_429"`
+	Deadline504 int64 `json:"deadline_504"`
+	Errors      int64 `json:"errors"`
+
+	// OfferedQPS is the configured arrival rate; GoodputQPS is
+	// OK / DurationS (0 when nothing completed — the rate computations
+	// are zero-denominator safe).
+	OfferedQPS float64 `json:"offered_qps"`
+	GoodputQPS float64 `json:"goodput_qps"`
+
+	// Latency summarizes per-request latency measured from each
+	// request's scheduled arrival to its settled response — client-side
+	// percentiles over the response stream, not the server's coarse
+	// histogram.
+	Latency LatencySummary `json:"latency"`
+
+	// Cache is the server-side delta over the run (from /v1/stats
+	// before and after); absent when stats collection failed or was
+	// disabled.
+	Cache *CacheDelta `json:"cache,omitempty"`
+	// Server is the daemon-side admission delta over the run; absent
+	// with Cache.
+	Server *ServerDelta `json:"server,omitempty"`
+}
+
+// ReplayShape records the replayer configuration inside the artefact.
+type ReplayShape struct {
+	QPS           float64 `json:"qps"`
+	Requests      int     `json:"requests"`
+	MaxInFlight   int     `json:"max_inflight"`
+	BatchSize     int     `json:"batch_size,omitempty"`
+	BatchFraction float64 `json:"batch_fraction,omitempty"`
+	Attempts      int     `json:"attempts"`
+	TimeoutMS     int     `json:"timeout_ms,omitempty"`
+	MachineRefs   []string `json:"machine_refs"`
+	Scheduler     string  `json:"scheduler,omitempty"`
+	Strategy      string  `json:"strategy,omitempty"`
+	Seed          int64   `json:"seed"`
+}
+
+// LatencySummary is the client-side latency digest: exact percentiles
+// computed from every settled request's latency (nearest-rank over the
+// full sample set, no bucketing).
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// CacheDelta is the compile-cache movement over the run.
+type CacheDelta struct {
+	Hits         int64   `json:"hits"`
+	Misses       int64   `json:"misses"`
+	DedupJoins   int64   `json:"dedup_joins"`
+	Compilations int64   `json:"compilations"`
+	Evictions    int64   `json:"evictions"`
+	// HitRate is Hits / (Hits + Misses), 0 when no lookups happened.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// ServerDelta is the daemon-side admission movement over the run.
+type ServerDelta struct {
+	Rejected  int64 `json:"rejected"`
+	Deadlines int64 `json:"deadlines"`
+	Degraded  int64 `json:"degraded,omitempty"`
+}
+
+// Rate divides num by den, returning 0 on a zero denominator instead
+// of NaN/Inf — JSON cannot encode either, so an unguarded division
+// would make an empty run's artefact unserializable.
+func Rate(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Percentile returns the exact nearest-rank q-quantile (0 < q <= 1) of
+// sorted samples; 0 when there are none.
+func Percentile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(q*float64(n) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// Summarize digests a latency sample set (milliseconds) into the wire
+// shape.  The input is sorted in place.
+func Summarize(samplesMS []float64) LatencySummary {
+	sort.Float64s(samplesMS)
+	s := LatencySummary{Count: int64(len(samplesMS))}
+	if len(samplesMS) == 0 {
+		return s
+	}
+	s.P50MS = Percentile(samplesMS, 0.50)
+	s.P90MS = Percentile(samplesMS, 0.90)
+	s.P99MS = Percentile(samplesMS, 0.99)
+	s.P999MS = Percentile(samplesMS, 0.999)
+	s.MaxMS = samplesMS[len(samplesMS)-1]
+	return s
+}
+
+// Validate enforces the schema a published BENCH_service.json must
+// satisfy; cmd/benchjson -check -schema service calls it.
+func (r *Report) Validate() error {
+	if _, err := time.Parse(time.RFC3339, r.Generated); err != nil {
+		return fmt.Errorf("bad generated timestamp %q: %v", r.Generated, err)
+	}
+	if r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" {
+		return fmt.Errorf("missing toolchain metadata (go_version/goos/goarch)")
+	}
+	if r.Sent <= 0 {
+		return fmt.Errorf("no requests sent (sent=%d): the run never drove traffic", r.Sent)
+	}
+	if got := r.OK + r.Rejected429 + r.Deadline504 + r.Errors; got != r.Sent {
+		return fmt.Errorf("accounting broken: sent=%d but ok+429+504+errors=%d (every request must settle exactly once)",
+			r.Sent, got)
+	}
+	if r.OK <= 0 {
+		return fmt.Errorf("no request succeeded (ok=%d of %d sent)", r.OK, r.Sent)
+	}
+	if r.DurationS <= 0 {
+		return fmt.Errorf("non-positive duration_s %v", r.DurationS)
+	}
+	if r.GoodputQPS < 0 || r.OfferedQPS <= 0 {
+		return fmt.Errorf("bad rates (offered=%v goodput=%v)", r.OfferedQPS, r.GoodputQPS)
+	}
+	l := r.Latency
+	if l.Count != r.Sent {
+		return fmt.Errorf("latency count %d != sent %d", l.Count, r.Sent)
+	}
+	if l.P50MS < 0 || l.P50MS > l.P90MS || l.P90MS > l.P99MS || l.P99MS > l.P999MS || l.P999MS > l.MaxMS {
+		return fmt.Errorf("latency percentiles not monotone: p50=%v p90=%v p99=%v p99.9=%v max=%v",
+			l.P50MS, l.P90MS, l.P99MS, l.P999MS, l.MaxMS)
+	}
+	if c := r.Cache; c != nil {
+		if c.HitRate < 0 || c.HitRate > 1 {
+			return fmt.Errorf("cache hit_rate %v outside [0, 1]", c.HitRate)
+		}
+		if want := Rate(float64(c.Hits), float64(c.Hits+c.Misses)); !close2(c.HitRate, want) {
+			return fmt.Errorf("cache hit_rate %v inconsistent with hits=%d misses=%d (want %v)",
+				c.HitRate, c.Hits, c.Misses, want)
+		}
+	}
+	return nil
+}
+
+// close2 compares rates with a small tolerance for decimal rounding.
+func close2(a, b float64) bool {
+	d := a - b
+	return d < 1e-6 && d > -1e-6
+}

@@ -43,16 +43,29 @@ type histogram struct {
 	counts [len(latencyBucketsMS) + 1]atomic.Int64
 }
 
-// observe records one request duration.
+// observe records one request duration.  It runs once per request on
+// the hot path, so the bucket is found by binary search rather than a
+// linear scan of the bounds.
 func (h *histogram) observe(d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
-	for i, le := range latencyBucketsMS {
-		if ms <= le {
-			h.counts[i].Add(1)
-			return
+	h.counts[bucketIndex(ms)].Add(1)
+}
+
+// bucketIndex returns the histogram slot for a latency: the first
+// bucket whose upper bound is >= ms (cumulative "le" semantics, so a
+// value exactly on a boundary lands in that boundary's bucket), or the
+// final +Inf slot when ms exceeds every bound.
+func bucketIndex(ms float64) int {
+	lo, hi := 0, len(latencyBucketsMS)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ms <= latencyBucketsMS[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
 	}
-	h.counts[len(latencyBucketsMS)].Add(1)
+	return lo
 }
 
 // buckets snapshots the histogram in the wire shape: cumulative "le"

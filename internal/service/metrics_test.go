@@ -1,0 +1,66 @@
+package service
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestBucketIndexMatchesLinearScan checks the binary search against the
+// reference linear scan for every boundary, both sides of every
+// boundary, and the +Inf overflow slot.
+func TestBucketIndexMatchesLinearScan(t *testing.T) {
+	linear := func(ms float64) int {
+		for i, le := range latencyBucketsMS {
+			if ms <= le {
+				return i
+			}
+		}
+		return len(latencyBucketsMS)
+	}
+	probes := []float64{0, 0.5, math.SmallestNonzeroFloat64}
+	for _, le := range latencyBucketsMS {
+		probes = append(probes, le-0.001, le, le+0.001)
+	}
+	probes = append(probes, 1e6, math.MaxFloat64)
+	for _, ms := range probes {
+		if got, want := bucketIndex(ms), linear(ms); got != want {
+			t.Errorf("bucketIndex(%v) = %d, want %d (le=%v)", ms, got, want, latencyBucketsMS[min(want, len(latencyBucketsMS)-1)])
+		}
+	}
+}
+
+// TestObserveExactBoundary pins the cumulative "le" contract: an
+// observation exactly on a bucket's upper bound counts in that bucket,
+// and anything beyond the last bound lands in +Inf.
+func TestObserveExactBoundary(t *testing.T) {
+	var h histogram
+	h.observe(5 * time.Millisecond)   // == le 5 boundary: bucket index 2
+	h.observe(31 * time.Second)       // past the last bound: +Inf slot
+	h.observe(500 * time.Microsecond) // 0.5ms: first bucket
+
+	if got := h.counts[2].Load(); got != 1 {
+		t.Errorf("5ms boundary observation: bucket[2] = %d, want 1", got)
+	}
+	if got := h.counts[3].Load(); got != 0 {
+		t.Errorf("5ms boundary leaked into bucket[3]: %d", got)
+	}
+	if got := h.counts[len(latencyBucketsMS)].Load(); got != 1 {
+		t.Errorf("+Inf slot = %d, want 1", got)
+	}
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("0.5ms observation: bucket[0] = %d, want 1", got)
+	}
+
+	// And the wire snapshot keeps the cumulative semantics: the +Inf
+	// bucket equals the total observation count.
+	bs := h.buckets()
+	if last := bs[len(bs)-1]; last.Le >= 0 || last.Count != 3 {
+		t.Errorf("final bucket = {%v %d}, want {+Inf 3}", last.Le, last.Count)
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i].Count < bs[i-1].Count {
+			t.Errorf("cumulative counts not monotone at %d: %d < %d", i, bs[i].Count, bs[i-1].Count)
+		}
+	}
+}

@@ -451,6 +451,9 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.Pipeline.Misses != 1 || st.Pipeline.Hits != 1 {
 		t.Errorf("pipeline stats = %+v, want 1 miss / 1 hit", st.Pipeline)
 	}
+	if st.Pipeline.HitRate != 0.5 {
+		t.Errorf("hit_rate = %v, want 0.5 after 1 hit / 1 miss", st.Pipeline.HitRate)
+	}
 	if st.Pipeline.CachedBytes <= 0 || st.Pipeline.CachedEntries != 1 {
 		t.Errorf("cache accounting = %d bytes / %d entries", st.Pipeline.CachedBytes, st.Pipeline.CachedEntries)
 	}
@@ -469,6 +472,33 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if last := hist[len(hist)-1]; last.Le >= 0 || last.Count != 2 {
 		t.Errorf("+Inf bucket = %+v, want le<0 with count 2", last)
+	}
+}
+
+// TestStatsEmptyRun pins the zero-denominator guard: a daemon that has
+// served no traffic must still answer /v1/stats with valid JSON and a
+// zero hit rate — an unguarded 0/0 would produce NaN, which
+// json.Marshal refuses to encode, turning the stats endpoint into a
+// 500 on every freshly booted server.
+func TestStatsEmptyRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty-run /v1/stats status = %d, want 200", resp.StatusCode)
+	}
+	var st wire.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("empty-run stats not valid JSON: %v", err)
+	}
+	if st.Pipeline.HitRate != 0 {
+		t.Errorf("empty-run hit_rate = %v, want 0", st.Pipeline.HitRate)
+	}
+	if st.Pipeline.Hits != 0 || st.Pipeline.Misses != 0 {
+		t.Errorf("empty-run pipeline counters not zero: %+v", st.Pipeline)
 	}
 }
 

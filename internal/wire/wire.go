@@ -352,10 +352,19 @@ type PipelineStats struct {
 	// Panics counts compiles that ended in a recovered panic (typed
 	// engine_panic wire errors).  Optional (v1 growth).
 	Panics int64 `json:"panics,omitempty"`
+	// HitRate is Hits / (Hits + Misses), 0 when no lookups have
+	// happened yet — the zero-lookup guard matters because NaN has no
+	// JSON encoding and would make the whole stats document
+	// unserializable.  Optional (v1 growth).
+	HitRate float64 `json:"hit_rate,omitempty"`
 }
 
 // FromPipelineStats converts a pipeline snapshot to the wire shape.
 func FromPipelineStats(s pipeline.Stats) PipelineStats {
+	var hitRate float64
+	if lookups := s.Hits + s.Misses; lookups > 0 {
+		hitRate = float64(s.Hits) / float64(lookups)
+	}
 	return PipelineStats{
 		Hits:          s.Hits,
 		Misses:        s.Misses,
@@ -368,6 +377,7 @@ func FromPipelineStats(s pipeline.Stats) PipelineStats {
 		CompileNS:     int64(s.CompileTime),
 		WallNS:        int64(s.WallTime),
 		Panics:        s.Panics,
+		HitRate:       hitRate,
 	}
 }
 

@@ -1,0 +1,49 @@
+#!/bin/sh
+# bench_service.sh — boot a clean schedd, drive it with the open-loop
+# load harness, and emit the BENCH_service.json service-SLO artefact
+# (latency percentiles, goodput, cache hit rate, admission/deadline
+# counts), validated against the loadgen report schema before it ships.
+#
+# Environment:
+#   ADDR      bind address for the throwaway daemon (default 127.0.0.1:18090)
+#   QPS       offered arrival rate (default 200)
+#   DURATION  run length, Go duration (default 5s; ignored if REQUESTS set)
+#   REQUESTS  exact request count (default empty = QPS x DURATION)
+#   INFLIGHT  client-side concurrency cap (default 64)
+#   CORPUS    loops to synthesize (default 64)
+#   SEED      corpus seed (default 1; same seed = byte-identical corpus)
+set -e
+cd "$(dirname "$0")/.."
+
+ADDR="${ADDR:-127.0.0.1:18090}"
+QPS="${QPS:-200}"
+DURATION="${DURATION:-5s}"
+REQUESTS="${REQUESTS:-0}"
+INFLIGHT="${INFLIGHT:-64}"
+CORPUS="${CORPUS:-64}"
+SEED="${SEED:-1}"
+
+go build -o /tmp/schedd_bench ./cmd/schedd
+go build -o /tmp/loadgen_bench ./cmd/loadgen
+
+/tmp/schedd_bench -addr "${ADDR}" &
+SCHEDD_PID=$!
+trap 'kill "${SCHEDD_PID}" 2>/dev/null || true' EXIT INT TERM
+
+# loadgen polls /healthz itself (-wait-ready), so no curl loop here.
+/tmp/loadgen_bench replay \
+  -server "http://${ADDR}" -wait-ready 30s \
+  -count "${CORPUS}" -seed "${SEED}" -min-nodes 8 -max-nodes 48 \
+  -recurrence 0.25 -extra-edges 0.5 -affinity 0.6 \
+  -qps "${QPS}" -duration "${DURATION}" -requests "${REQUESTS}" \
+  -inflight "${INFLIGHT}" -batch 4 -batch-frac 0.25 \
+  -o BENCH_service.json
+
+kill -TERM "${SCHEDD_PID}"
+wait "${SCHEDD_PID}" 2>/dev/null || true
+trap - EXIT INT TERM
+
+# Strict-decode + invariant check of the artefact we just wrote, the
+# same gate CI runs, so a truncated or hand-edited file can't ship.
+go run ./cmd/benchjson -check BENCH_service.json -schema service
+echo "wrote BENCH_service.json ($(wc -c < BENCH_service.json) bytes)" >&2
