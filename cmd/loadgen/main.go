@@ -20,7 +20,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -84,10 +83,6 @@ func runGen(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	loops, err := spec.Generate()
-	if err != nil {
-		return err
-	}
 	w := os.Stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
@@ -97,10 +92,14 @@ func runGen(args []string) error {
 		defer f.Close()
 		w = f
 	}
-	if err := loadgen.WriteCorpus(w, loops); err != nil {
+	// Stream: each loop is marshalled and written as it is synthesized,
+	// so -count 1000000 runs in constant memory with the same bytes a
+	// materialized Generate would produce.
+	n, err := loadgen.StreamCorpus(w, *spec)
+	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: wrote %d loops\n", len(loops))
+	fmt.Fprintf(os.Stderr, "loadgen: wrote %d loops\n", n)
 	return nil
 }
 
@@ -124,7 +123,7 @@ func runReplay(args []string) error {
 		attempts   = fs.Int("attempts", 1, "client attempts per request (1 = surface raw 429/504)")
 		degraded   = fs.Bool("allow-degraded", false, "let the server fall back to the baseline compile")
 		replaySeed = fs.Int64("replay-seed", 1, "batch-mix seed")
-		waitReady  = fs.Duration("wait-ready", 0, "poll /healthz up to this long before starting (0 = no wait)")
+		waitReady  = fs.Duration("wait-ready", 0, "poll /readyz up to this long before starting (0 = no wait)")
 		out        = fs.String("o", "-", "BENCH_service.json output path (- = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -153,7 +152,10 @@ func runReplay(args []string) error {
 
 	endpoints := strings.Split(*server, ",")
 	if *waitReady > 0 {
-		if err := waitHealthy(endpoints[0], *waitReady); err != nil {
+		// /readyz, not /healthz: a draining daemon answers /healthz 200
+		// while 503ing every compile, so a health gate can green-light a
+		// replay the server will wholly reject.
+		if err := loadgen.WaitReady(endpoints[0], *waitReady); err != nil {
 			return err
 		}
 	}
@@ -208,24 +210,4 @@ func runReplay(args []string) error {
 		return fmt.Errorf("run produced an invalid artefact: %w", err)
 	}
 	return nil
-}
-
-// waitHealthy polls /healthz so scripts can boot schedd and replay
-// without shelling out to curl loops.
-func waitHealthy(endpoint string, within time.Duration) error {
-	deadline := time.Now().Add(within)
-	url := strings.TrimRight(endpoint, "/") + "/healthz"
-	for {
-		resp, err := http.Get(url)
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
-			}
-		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("%s not healthy within %v", url, within)
-		}
-		time.Sleep(100 * time.Millisecond)
-	}
 }

@@ -26,11 +26,20 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/faults"
+	"repro/internal/loadgen"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
 	"repro/internal/service"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -46,6 +55,16 @@ func main() {
 		grace      = flag.Duration("grace", 30*time.Second, "shutdown drain budget")
 		faultSpec  = flag.String("faults", os.Getenv("SCHEDD_FAULTS"),
 			"chaos-mode fault spec, e.g. seed=1,panic=0.05,latency=0.2:10ms (never in production; also via SCHEDD_FAULTS)")
+		peers = flag.String("peers", "",
+			"comma-separated peer base URLs for cache federation (cluster mode); misses ask the ring-preferred peer before compiling")
+		peerSelf    = flag.String("peer-self", "", "this daemon's own URL within -peers (excluded from lookups)")
+		peerTimeout = flag.Duration("peer-timeout", cluster.DefaultPeerTimeout, "budget for one peer cache lookup")
+		snapshot    = flag.String("snapshot", "",
+			"cache snapshot path: warm-start from it at boot (if present), write it back after drain")
+		prefill = flag.String("prefill", "",
+			"corpus NDJSON (cmd/loadgen gen) to precompile into the cache at boot")
+		prefillMachines = flag.String("prefill-machines", "4-cluster/B1/L1",
+			"comma-separated machine_ref names -prefill compiles against")
 	)
 	flag.Parse()
 
@@ -67,6 +86,35 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		Faults:         injector,
 	})
+
+	if *peers != "" {
+		pl, err := cluster.NewPeerLookup(cluster.PeerConfig{
+			Self:    *peerSelf,
+			Peers:   strings.Split(*peers, ","),
+			Timeout: *peerTimeout,
+		})
+		if err != nil {
+			log.Fatalf("schedd: -peers: %v", err)
+		}
+		if pl != nil {
+			srv.Pipeline().SetPeerLookup(pl.Func())
+			log.Printf("schedd: federating cache misses across peers %s (budget %v)", *peers, *peerTimeout)
+		}
+	}
+	if *snapshot != "" {
+		if n, err := loadSnapshot(srv, *snapshot); err != nil {
+			log.Fatalf("schedd: -snapshot %s: %v", *snapshot, err)
+		} else if n >= 0 {
+			log.Printf("schedd: warm-started %d cache entries from %s", n, *snapshot)
+		}
+	}
+	if *prefill != "" {
+		n, total, err := prefillCache(srv, *prefill, *prefillMachines)
+		if err != nil {
+			log.Fatalf("schedd: -prefill %s: %v", *prefill, err)
+		}
+		log.Printf("schedd: prefilled %d/%d corpus compiles from %s", n, total, *prefill)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -103,7 +151,107 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("schedd: %v", err)
 	}
+	if *snapshot != "" {
+		if n, err := saveSnapshot(srv, *snapshot); err != nil {
+			log.Printf("schedd: snapshot: %v", err)
+		} else {
+			log.Printf("schedd: snapshot: wrote %d cache entries to %s", n, *snapshot)
+		}
+	}
 	log.Printf("schedd: %v", srv.Pipeline().Stats())
+}
+
+// loadSnapshot warm-starts the cache from an NDJSON snapshot.  A
+// missing file is the normal cold boot (n = -1, no error); anything
+// else that fails is fatal — a corrupt snapshot should be deleted, not
+// half-believed.
+func loadSnapshot(srv *service.Server, path string) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return -1, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return wire.LoadCache(f, srv.Pipeline())
+}
+
+// saveSnapshot persists the cache after drain, atomically: write to a
+// temp file in the same directory, then rename over the target, so a
+// crash mid-write never truncates the previous good snapshot.
+func saveSnapshot(srv *service.Server, path string) (int, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	n, err := wire.SaveCache(f, srv.Pipeline())
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return 0, err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return 0, err
+	}
+	return n, nil
+}
+
+// prefillCache compiles a corpus against the named machines so the
+// cache is hot before the first request.  Individual unschedulable
+// loops are skipped, not fatal; the pipeline's worker count bounds the
+// concurrency.
+func prefillCache(srv *service.Server, corpusPath, machineRefs string) (ok, total int, err error) {
+	f, err := os.Open(corpusPath)
+	if err != nil {
+		return 0, 0, err
+	}
+	loops, err := loadgen.ReadCorpus(f)
+	f.Close()
+	if err != nil {
+		return 0, 0, err
+	}
+	table := map[string]machine.Config{}
+	for _, c := range machine.Table1Configs() {
+		table[c.Name] = c
+	}
+	var cfgs []machine.Config
+	for _, ref := range strings.Split(machineRefs, ",") {
+		ref = strings.TrimSpace(ref)
+		cfg, found := table[ref]
+		if !found {
+			return 0, 0, fmt.Errorf("unknown machine_ref %q", ref)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+
+	pipe := srv.Pipeline()
+	total = len(loops) * len(cfgs)
+	var compiled atomic.Int64
+	var wg sync.WaitGroup
+	work := make(chan pipeline.Request)
+	for w := 0; w < pipe.Workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range work {
+				if _, err := pipe.Compile(req); err == nil {
+					compiled.Add(1)
+				}
+			}
+		}()
+	}
+	for _, cfg := range cfgs {
+		for _, l := range loops {
+			work <- pipeline.Request{Loop: l, Cfg: cfg}
+		}
+	}
+	close(work)
+	wg.Wait()
+	return int(compiled.Load()), total, nil
 }
 
 // byteCount renders a byte budget for the startup log.

@@ -1,0 +1,385 @@
+// End-to-end cluster tests: real service.Server replicas behind real
+// HTTP listeners, exercised through the router and the peer-lookup
+// federation hook the way cmd/schedrouter and cmd/schedd wire them.
+// Run under -race: the router probes, routes, and aggregates
+// concurrently with serving.
+
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/service"
+	"repro/internal/wire"
+)
+
+// compileBody is the canonical test request for one loop.
+func compileBody(loopRef string) string {
+	return fmt.Sprintf(`{"v":1,"loop_ref":%q,"machine_ref":"4-cluster/B1/L1"}`, loopRef)
+}
+
+// postCompile sends one compile and decodes the result.
+func postCompile(t *testing.T, base, loopRef string) (*wire.Result, int, *wire.Error) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/compile", "application/json",
+		strings.NewReader(compileBody(loopRef)))
+	if err != nil {
+		t.Fatalf("POST /v1/compile: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er wire.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatalf("HTTP %d with undecodable error body: %v", resp.StatusCode, err)
+		}
+		return nil, resp.StatusCode, er.Error
+	}
+	var cr wire.CompileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatalf("decode compile response: %v", err)
+	}
+	return cr.Result, resp.StatusCode, nil
+}
+
+// scheduleKey digests a result's deterministic schedule facts,
+// dropping the telemetry (stage timings) that varies run to run.
+func scheduleKey(res *wire.Result) string {
+	stripped := *res
+	stripped.Stages = nil
+	b, _ := json.Marshal(&stripped)
+	return string(b)
+}
+
+// loopRefs returns n distinct corpus loop names, deterministically.
+func loopRefs(t *testing.T, n int) []string {
+	t.Helper()
+	idx := corpus.Index(corpus.SPECfp95())
+	names := make([]string, 0, len(idx))
+	for name := range idx {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) < n {
+		t.Fatalf("corpus has %d loops, test needs %d", len(names), n)
+	}
+	return names[:n]
+}
+
+// TestPeerHitServesWithoutRecompiling pins the federated-cache
+// contract: a daemon whose local cache misses asks the ring-preferred
+// peer and, on a peer hit, serves the peer's result without running a
+// single compile of its own.
+func TestPeerHitServesWithoutRecompiling(t *testing.T) {
+	srvA := service.New(service.Config{Workers: 2})
+	tsA := httptest.NewServer(srvA.Handler())
+	defer tsA.Close()
+
+	srvB := service.New(service.Config{Workers: 2})
+	pl, err := NewPeerLookup(PeerConfig{Self: "http://self.invalid", Peers: []string{tsA.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl == nil {
+		t.Fatal("NewPeerLookup returned nil with one real peer")
+	}
+	srvB.Pipeline().SetPeerLookup(pl.Func())
+	tsB := httptest.NewServer(srvB.Handler())
+	defer tsB.Close()
+
+	const ref = "tomcatv.loop0"
+	want, status, werr := postCompile(t, tsA.URL, ref)
+	if werr != nil {
+		t.Fatalf("seed compile on A: HTTP %d %v", status, werr)
+	}
+
+	got, status, werr := postCompile(t, tsB.URL, ref)
+	if werr != nil {
+		t.Fatalf("compile via B: HTTP %d %v", status, werr)
+	}
+	wb, _ := json.Marshal(want)
+	gb, _ := json.Marshal(got)
+	if string(wb) != string(gb) {
+		t.Fatalf("peer-served result differs from the peer's own:\nA: %s\nB: %s", wb, gb)
+	}
+
+	stats := srvB.Pipeline().Stats()
+	if stats.Compilations != 0 {
+		t.Fatalf("B ran %d compilations, want 0 (peer hit must not recompile)", stats.Compilations)
+	}
+	if stats.PeerHits != 1 {
+		t.Fatalf("B recorded %d peer hits, want 1", stats.PeerHits)
+	}
+	if stats.Misses != 1 {
+		t.Fatalf("B recorded %d misses, want 1 (the lookup that federated)", stats.Misses)
+	}
+
+	// Second request for the same loop is now a plain local hit: the
+	// peer-fetched entry was cached, not just forwarded.
+	if _, _, werr := postCompile(t, tsB.URL, ref); werr != nil {
+		t.Fatalf("second compile via B: %v", werr)
+	}
+	if stats := srvB.Pipeline().Stats(); stats.Hits != 1 || stats.PeerHits != 1 {
+		t.Fatalf("after repeat: hits=%d peer_hits=%d, want 1 local hit and no new peer traffic",
+			stats.Hits, stats.PeerHits)
+	}
+
+	// A peer miss (loop A never compiled) falls back to a local compile.
+	if _, _, werr := postCompile(t, tsB.URL, "swim.loop0"); werr != nil {
+		t.Fatalf("compile of un-federated loop via B: %v", werr)
+	}
+	if stats := srvB.Pipeline().Stats(); stats.Compilations != 1 || stats.PeerHits != 1 {
+		t.Fatalf("after peer miss: compilations=%d peer_hits=%d, want exactly 1 and 1",
+			stats.Compilations, stats.PeerHits)
+	}
+}
+
+// clusterUnderTest is a 3-replica fleet behind one router.
+type clusterUnderTest struct {
+	srvs   []*service.Server
+	tss    []*httptest.Server
+	router *Router
+	front  *httptest.Server
+}
+
+func newCluster(t *testing.T) *clusterUnderTest {
+	t.Helper()
+	c := &clusterUnderTest{}
+	var reps []Replica
+	for i := 0; i < 3; i++ {
+		srv := service.New(service.Config{Workers: 2})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		c.srvs = append(c.srvs, srv)
+		c.tss = append(c.tss, ts)
+		reps = append(reps, Replica{Name: fmt.Sprintf("s%d", i+1), URL: ts.URL})
+	}
+	rt, err := NewRouter(RouterConfig{Replicas: reps, Attempts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready := rt.Probe(context.Background()); ready != 3 {
+		t.Fatalf("probe found %d/3 replicas ready", ready)
+	}
+	c.router = rt
+	c.front = httptest.NewServer(rt.Handler())
+	t.Cleanup(c.front.Close)
+	return c
+}
+
+// compilations sums compile counts across the fleet.
+func (c *clusterUnderTest) compilations() (total int64, per []int64) {
+	for _, srv := range c.srvs {
+		n := srv.Pipeline().Stats().Compilations
+		per = append(per, n)
+		total += n
+	}
+	return total, per
+}
+
+// TestClusterShardsAndRehashesOnReplicaLoss drives compiles through
+// the router, checks the keyspace actually spreads over the fleet and
+// repeats hit the owner's cache, then kills a replica and proves the
+// cluster degrades to rehashing: the dead shard's keys re-home and
+// every request still succeeds.
+func TestClusterShardsAndRehashesOnReplicaLoss(t *testing.T) {
+	c := newCluster(t)
+	refs := loopRefs(t, 12)
+
+	// Key the comparison on the deterministic schedule facts (II, stage
+	// count, placements); telemetry timings legitimately differ between
+	// a cached result and a fresh recompile on another replica.
+	results := map[string]string{}
+	for _, ref := range refs {
+		res, status, werr := postCompile(t, c.front.URL, ref)
+		if werr != nil {
+			t.Fatalf("%s: HTTP %d %v", ref, status, werr)
+		}
+		results[ref] = scheduleKey(res)
+	}
+	total, per := c.compilations()
+	if total != int64(len(refs)) {
+		t.Fatalf("fleet compiled %d times for %d distinct loops (per-replica %v)", total, len(refs), per)
+	}
+	busy := 0
+	for _, n := range per {
+		if n > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d replica(s) compiled anything (per-replica %v): keyspace is not sharding", busy, per)
+	}
+
+	// Replays are owner-cache hits: zero new compilations anywhere.
+	for _, ref := range refs {
+		if _, _, werr := postCompile(t, c.front.URL, ref); werr != nil {
+			t.Fatalf("replay %s: %v", ref, werr)
+		}
+	}
+	if again, perAgain := c.compilations(); again != total {
+		t.Fatalf("replay recompiled: %d -> %d (per-replica %v)", total, again, perAgain)
+	}
+
+	// Kill replica 0: drain flips its /readyz, the listener closes, the
+	// next probe marks it dead.
+	c.srvs[0].BeginDrain()
+	c.tss[0].Close()
+	if ready := c.router.Probe(context.Background()); ready != 2 {
+		t.Fatalf("probe after kill found %d replicas, want 2", ready)
+	}
+
+	before := c.router.Rehashes()
+	for _, ref := range refs {
+		res, status, werr := postCompile(t, c.front.URL, ref)
+		if werr != nil {
+			t.Fatalf("%s after replica loss: HTTP %d %v", ref, status, werr)
+		}
+		if got := scheduleKey(res); got != results[ref] {
+			t.Fatalf("%s: rehashed schedule differs from original:\nwas %s\nnow %s", ref, results[ref], got)
+		}
+	}
+	if c.router.Rehashes() == before {
+		t.Fatal("no request was counted as rehashed after a replica died")
+	}
+
+	// The dead replica's keys re-homed: survivors compiled them fresh
+	// (their caches never held the dead shard's loops), but nothing that
+	// was already owned by a survivor recompiled.
+	afterLoss, perLoss := c.compilations()
+	moved := afterLoss - total
+	if moved <= 0 {
+		t.Fatalf("no key re-homed after replica loss (per-replica %v)", perLoss)
+	}
+	if moved > int64(len(refs)) {
+		t.Fatalf("rehash recompiled %d keys for a %d-loop corpus", moved, len(refs))
+	}
+
+	// Router stays ready with survivors, and aggregated stats see the
+	// whole surviving fleet.
+	resp, err := http.Get(c.front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("router /readyz = %d with 2 live replicas", resp.StatusCode)
+	}
+	sresp, err := http.Get(c.front.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var agg wire.StatsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&agg); err != nil {
+		t.Fatal(err)
+	}
+	if want := afterLoss - perLoss[0]; agg.Pipeline.Compilations != want {
+		t.Fatalf("aggregated compilations %d, want %d (survivors only)", agg.Pipeline.Compilations, want)
+	}
+}
+
+// TestRouterBatchShardsAcrossOwners: one batch envelope fans out to
+// every owning replica and streams every item back exactly once.
+func TestRouterBatchShardsAcrossOwners(t *testing.T) {
+	c := newCluster(t)
+	refs := loopRefs(t, 8)
+
+	var reqs []string
+	for _, ref := range refs {
+		reqs = append(reqs, fmt.Sprintf(`{"v":1,"loop_ref":%q,"machine_ref":"4-cluster/B1/L1"}`, ref))
+	}
+	body := fmt.Sprintf(`{"v":1,"requests":[%s]}`, strings.Join(reqs, ","))
+	resp, err := http.Post(c.front.URL+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: HTTP %d", resp.StatusCode)
+	}
+	seen := map[int]bool{}
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var item wire.BatchItem
+		if err := dec.Decode(&item); err != nil {
+			t.Fatalf("batch stream: %v", err)
+		}
+		if seen[item.Index] {
+			t.Fatalf("batch item %d delivered twice", item.Index)
+		}
+		seen[item.Index] = true
+		if item.Error != nil {
+			t.Fatalf("batch item %d failed: %v", item.Index, item.Error)
+		}
+		if item.Result == nil {
+			t.Fatalf("batch item %d has neither result nor error", item.Index)
+		}
+	}
+	if len(seen) != len(refs) {
+		t.Fatalf("batch returned %d items for %d requests", len(seen), len(refs))
+	}
+	if total, per := c.compilations(); total != int64(len(refs)) || func() int {
+		n := 0
+		for _, v := range per {
+			if v > 0 {
+				n++
+			}
+		}
+		return n
+	}() < 2 {
+		t.Fatalf("batch sharding off: total=%d per-replica=%v", total, per)
+	}
+}
+
+// TestRouterCapabilitiesUnion: the aggregated capability surface is the
+// union of the fleet's, so capability routing and client preflight see
+// everything the cluster can do.
+func TestRouterCapabilitiesUnion(t *testing.T) {
+	c := newCluster(t)
+	resp, err := http.Get(c.front.URL + "/v1/capabilities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("capabilities: HTTP %d", resp.StatusCode)
+	}
+	var agg wire.CapabilitiesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&agg); err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Schedulers) == 0 || len(agg.Machines) == 0 || agg.Loops == 0 {
+		t.Fatalf("aggregated capabilities empty: %+v", agg)
+	}
+	if len(agg.Quarantined) != 0 {
+		t.Fatalf("fresh fleet reports cluster-wide quarantine: %v", agg.Quarantined)
+	}
+}
+
+// TestRouterProbeMarksDrainingReplicaDead: a draining replica (readyz
+// 503, listener still up) leaves the routable set at the next probe —
+// the drain race the readiness probe exists to close.
+func TestRouterProbeMarksDrainingReplicaDead(t *testing.T) {
+	c := newCluster(t)
+	c.srvs[1].BeginDrain()
+	if ready := c.router.Probe(context.Background()); ready != 2 {
+		t.Fatalf("probe counted %d ready replicas with one draining, want 2", ready)
+	}
+	refs := loopRefs(t, 6)
+	for _, ref := range refs {
+		if _, status, werr := postCompile(t, c.front.URL, ref); werr != nil {
+			t.Fatalf("%s with a draining replica: HTTP %d %v", ref, status, werr)
+		}
+	}
+	if n := c.srvs[1].Pipeline().Stats().Compilations; n != 0 {
+		t.Fatalf("draining replica still compiled %d requests", n)
+	}
+}

@@ -1,0 +1,148 @@
+// Package cluster turns N independent schedd daemons into one
+// fingerprint-sharded compile service.
+//
+// Three pieces compose:
+//
+//   - Ring: a consistent-hash ring (FNV-1a over virtual nodes) mapping a
+//     loop graph's content fingerprint to the replica that owns it, so
+//     identical loops always land on the shard whose cache has them, and
+//     membership changes move only ~1/N of the keyspace.
+//   - Router: the front door (cmd/schedrouter).  It decodes just enough
+//     of each compile request to extract the routing fingerprint, orders
+//     the live, capability-compatible replicas by ring preference, and
+//     delegates the exchange to internal/client — whose per-attempt
+//     endpoint rotation turns replica loss into rehashing onto the next
+//     preferred shard rather than failure.  Stats and capabilities
+//     aggregate across the fleet in the ordinary wire shapes, so
+//     clients and the load harness see one logical daemon.
+//   - PeerLookup: the daemon-side federation hook.  A cache miss asks
+//     the ring-preferred peer for the finished entry
+//     (GET /v1/cache/{key}, one bounded intra-cluster round trip)
+//     before paying for a compile; peers answer from cache only, so
+//     lookups never cascade.
+//
+// The routing identity is the pipeline cache key's fingerprint prefix
+// (pipeline.KeyFingerprint): ddg.Graph.Fingerprint for inline loops, a
+// "ref:" pseudo-fingerprint for loop_ref requests.  Router and daemons
+// hash the same strings over the same ring construction, so the
+// replica the router prefers is the replica whose peers consult it.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the per-member virtual-node count: enough that
+// 3-node rings split the keyspace within a few percent of evenly
+// (share variation shrinks as 1/sqrt(vnodes)), cheap enough that ring
+// construction stays well under a millisecond.
+const DefaultVNodes = 256
+
+// Ring is an immutable consistent-hash ring.  Build a new one on
+// membership change — construction is cheap and an immutable ring
+// needs no locking.
+type Ring struct {
+	members []string
+	vnodes  []vnode
+}
+
+type vnode struct {
+	hash   uint64
+	member int
+}
+
+// hash64 is FNV-1a over s with a splitmix64 finalizer: fast,
+// dependency-free, and stable across processes (the router and every
+// daemon must agree on it).  Raw FNV avalanches poorly on the short,
+// near-identical vnode labels ("a#17", "a#18"), clustering arcs badly
+// enough to skew a 3-member ring 3x; the finalizer fixes the mixing
+// without giving up FNV's stability.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// NewRing builds a ring over the given members (replica names or URLs
+// — any stable spelling, as long as every process uses the same one).
+// vnodesPer <= 0 means DefaultVNodes.  Duplicate or empty members are
+// rejected: a duplicate would silently double that member's share.
+func NewRing(members []string, vnodesPer int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodesPer <= 0 {
+		vnodesPer = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(members))
+	r := &Ring{
+		members: append([]string(nil), members...),
+		vnodes:  make([]vnode, 0, len(members)*vnodesPer),
+	}
+	for i, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty ring member at index %d", i)
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("cluster: duplicate ring member %q", m)
+		}
+		seen[m] = true
+		for v := 0; v < vnodesPer; v++ {
+			r.vnodes = append(r.vnodes, vnode{hash: hash64(fmt.Sprintf("%s#%d", m, v)), member: i})
+		}
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool {
+		if r.vnodes[a].hash != r.vnodes[b].hash {
+			return r.vnodes[a].hash < r.vnodes[b].hash
+		}
+		// Hash ties (vanishingly rare) break deterministically by member
+		// so every process orders the ring identically.
+		return r.vnodes[a].member < r.vnodes[b].member
+	})
+	return r, nil
+}
+
+// Members returns the ring membership in construction order.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// succ returns the index of the first vnode at or after h, wrapping.
+func (r *Ring) succ(h uint64) int {
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return i
+}
+
+// Owner returns the member owning key: the first vnode clockwise from
+// the key's hash.
+func (r *Ring) Owner(key string) string {
+	return r.members[r.vnodes[r.succ(hash64(key))].member]
+}
+
+// Prefer returns every member, ordered by ring preference for key: the
+// owner first, then each distinct member in clockwise vnode order.
+// This is the failover order — when the owner is down or incapable,
+// the next preferred member is the one that inherits the key under
+// rehashing, so retries land where the keyspace has moved.
+func (r *Ring) Prefer(key string) []string {
+	out := make([]string, 0, len(r.members))
+	taken := make([]bool, len(r.members))
+	start := r.succ(hash64(key))
+	for i := 0; i < len(r.vnodes) && len(out) < len(r.members); i++ {
+		m := r.vnodes[(start+i)%len(r.vnodes)].member
+		if !taken[m] {
+			taken[m] = true
+			out = append(out, r.members[m])
+		}
+	}
+	return out
+}

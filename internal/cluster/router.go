@@ -1,0 +1,690 @@
+// Router: the cluster's front door.  See the package doc (ring.go) for
+// the topology; cmd/schedrouter wraps this in a process.
+
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/wire"
+)
+
+// Replica names one schedd backend.
+type Replica struct {
+	// Name is the stable ring identity.  It, not the URL, is what the
+	// keyspace hashes over, so a replica can move (new port, new host)
+	// without reshuffling the ring.
+	Name string
+	// URL is the replica's base URL, e.g. "http://127.0.0.1:8181".
+	URL string
+}
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	Replicas []Replica
+	// VNodes is the ring's per-member virtual-node count; <= 0 means
+	// DefaultVNodes.
+	VNodes int
+	// Attempts / BackoffBase / BackoffMax / Hedge tune the embedded
+	// internal/client used for compile and batch exchanges; zero values
+	// take the client's defaults (4 attempts, 100ms..5s backoff, no
+	// hedging).
+	Attempts    int
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	Hedge       time.Duration
+	// ProbeTimeout bounds one replica health/capability probe; <= 0
+	// means 2s.
+	ProbeTimeout time.Duration
+	// MaxBodyBytes bounds a request body; <= 0 means 64 MiB (batches
+	// are large).
+	MaxBodyBytes int64
+	// HTTP overrides the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// replicaState is one backend's live view: reachability from the last
+// probe and its advertised capabilities.
+type replicaState struct {
+	name, url string
+	alive     atomic.Bool
+	caps      atomic.Pointer[wire.CapabilitiesResponse]
+}
+
+// Router consistent-hashes compile traffic across schedd replicas and
+// aggregates their stats and capabilities into one logical daemon.
+// Safe for concurrent use; Probe may run concurrently with serving.
+//
+// Aggregated /v1/stats sums counters and merges latency histograms
+// across live replicas; the per-engine breaker detail stays per-daemon
+// (ask a replica directly) because summing breaker states across
+// processes has no meaning.
+type Router struct {
+	cfg  RouterConfig
+	ring *Ring
+	http *http.Client
+
+	states []*replicaState
+	byName map[string]*replicaState
+
+	// clients caches one resilient client per preference order, so a
+	// keyspace region's failover chain reuses connections and backoff
+	// state.
+	clients sync.Map // strings.Join(order, "\x00") -> *client.Client
+
+	rehashes atomic.Int64
+}
+
+// NewRouter builds a router over the configured replicas.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one replica")
+	}
+	names := make([]string, len(cfg.Replicas))
+	for i, rep := range cfg.Replicas {
+		if rep.Name == "" || rep.URL == "" {
+			return nil, fmt.Errorf("cluster: replica %d needs both name and url", i)
+		}
+		names[i] = rep.Name
+	}
+	ring, err := NewRing(names, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	rt := &Router{cfg: cfg, ring: ring, http: cfg.HTTP, byName: map[string]*replicaState{}}
+	if rt.http == nil {
+		rt.http = http.DefaultClient
+	}
+	for _, rep := range cfg.Replicas {
+		st := &replicaState{name: rep.Name, url: strings.TrimRight(rep.URL, "/")}
+		// Until the first probe lands, assume reachable: a router booted
+		// alongside its fleet should route, not 429, during the first
+		// probe interval.
+		st.alive.Store(true)
+		rt.states = append(rt.states, st)
+		rt.byName[rep.Name] = st
+	}
+	return rt, nil
+}
+
+// Probe refreshes every replica's reachability (GET /readyz) and
+// capabilities (GET /v1/capabilities), concurrently, and returns how
+// many replicas are ready.  Run it once before serving and then on an
+// interval; between probes, per-request failover still routes around a
+// freshly dead replica via the client's endpoint rotation.
+func (rt *Router) Probe(ctx context.Context) int {
+	var wg sync.WaitGroup
+	var ready atomic.Int64
+	for _, st := range rt.states {
+		wg.Add(1)
+		go func(st *replicaState) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+			defer cancel()
+			alive := rt.probeReady(pctx, st.url)
+			st.alive.Store(alive)
+			if alive {
+				ready.Add(1)
+				if caps, err := rt.fetchCapabilities(pctx, st.url); err == nil {
+					st.caps.Store(caps)
+				}
+			}
+		}(st)
+	}
+	wg.Wait()
+	return int(ready.Load())
+}
+
+func (rt *Router) probeReady(ctx context.Context, base string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.http.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode/100 == 2
+}
+
+func (rt *Router) fetchCapabilities(ctx context.Context, base string) (*wire.CapabilitiesResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/capabilities", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("capabilities: HTTP %d", resp.StatusCode)
+	}
+	var caps wire.CapabilitiesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&caps); err != nil {
+		return nil, err
+	}
+	return &caps, nil
+}
+
+// RoutingKey extracts the string the ring hashes for a request: the
+// loop graph's content fingerprint when the loop rides inline, or a
+// "ref:" pseudo-fingerprint for by-reference loops.  The two forms of
+// the same loop do not co-locate — a ref carries no content to
+// fingerprint — which costs one duplicate cache entry per form, never
+// a wrong result.
+func RoutingKey(req *wire.CompileRequest) string {
+	if req.Loop != nil && req.Loop.Graph != nil {
+		return req.Loop.Graph.Fingerprint()
+	}
+	return "ref:" + req.LoopRef
+}
+
+// supports reports whether a replica's advertised capabilities cover
+// the request's scheduler and strategy.  A replica that has never
+// answered a capability probe is assumed capable — optimistic routing
+// beats 429ing a fleet that just booted.
+func supports(caps *wire.CapabilitiesResponse, opts *wire.Options) bool {
+	if caps == nil || opts == nil {
+		return true
+	}
+	if s := engine.CanonicalScheduler(opts.Scheduler); opts.Scheduler != "" && !contains(caps.Schedulers, s) {
+		return false
+	}
+	if opts.Strategy != "" {
+		s := engine.CanonicalStrategy(opts.Strategy)
+		if !contains(caps.Strategies, s) && !familyMatch(caps.StrategyFamilies, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// quarantined reports whether the request's scheduler is under
+// quarantine on a replica — used to deprioritize, not exclude: a
+// quarantined replica still beats no replica when the request allows
+// degraded service or the quarantine is fleet-wide.
+func quarantined(caps *wire.CapabilitiesResponse, opts *wire.Options) bool {
+	if caps == nil || opts == nil {
+		return false
+	}
+	return contains(caps.Quarantined, engine.CanonicalScheduler(opts.Scheduler))
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func familyMatch(fams []wire.StrategyFamily, s string) bool {
+	for _, f := range fams {
+		if strings.HasPrefix(s, f.Prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// order builds the failover chain for one request: live,
+// capability-compatible replicas in ring-preference order, replicas
+// with the requested engine quarantined moved to the back.  The second
+// return reports whether any replica was skipped (a rehash away from
+// the true owner).
+func (rt *Router) order(key string, opts *wire.Options) (urls []string, rehashed bool) {
+	var back []string
+	for _, name := range rt.ring.Prefer(key) {
+		st := rt.byName[name]
+		caps := st.caps.Load()
+		if !st.alive.Load() || !supports(caps, opts) {
+			rehashed = true
+			continue
+		}
+		if quarantined(caps, opts) {
+			back = append(back, st.url)
+			continue
+		}
+		urls = append(urls, st.url)
+	}
+	if len(back) > 0 && len(urls) == 0 {
+		rehashed = true
+	}
+	return append(urls, back...), rehashed
+}
+
+// clientFor returns the cached resilient client for a failover chain.
+func (rt *Router) clientFor(urls []string) (*client.Client, error) {
+	key := strings.Join(urls, "\x00")
+	if c, ok := rt.clients.Load(key); ok {
+		return c.(*client.Client), nil
+	}
+	c, err := client.New(client.Config{
+		Endpoints:   append([]string(nil), urls...),
+		HTTP:        rt.http,
+		Attempts:    rt.cfg.Attempts,
+		BackoffBase: rt.cfg.BackoffBase,
+		BackoffMax:  rt.cfg.BackoffMax,
+		Hedge:       rt.cfg.Hedge,
+	})
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := rt.clients.LoadOrStore(key, c)
+	return actual.(*client.Client), nil
+}
+
+// Rehashes counts requests whose preferred replica was skipped (dead
+// or incapable) — the degraded-to-rehashing events.
+func (rt *Router) Rehashes() int64 { return rt.rehashes.Load() }
+
+// Handler returns the router's HTTP surface: the same paths schedd
+// serves, so clients and the load harness point at a router or a
+// daemon interchangeably.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", rt.handleCompile)
+	mux.HandleFunc("POST /v1/batch", rt.handleBatch)
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /v1/capabilities", rt.handleCapabilities)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		for _, st := range rt.states {
+			if st.alive.Load() {
+				w.WriteHeader(http.StatusOK)
+				io.WriteString(w, "ready\n")
+				return
+			}
+		}
+		writeError(w, wire.Errorf(wire.CodeDraining, "no replica is ready"))
+	})
+	return mux
+}
+
+// decodeBody strict-decodes a bounded request body.
+func (rt *Router) decodeBody(w http.ResponseWriter, r *http.Request, v any) *wire.Error {
+	body := http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)
+	if err := wire.DecodeStrict(body, v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return wire.Errorf(wire.CodeBodyTooLarge, "request body over the %d byte limit", tooBig.Limit)
+		}
+		return wire.Errorf(wire.CodeBadRequest, "malformed request: %v", err)
+	}
+	return nil
+}
+
+func (rt *Router) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req wire.CompileRequest
+	if werr := rt.decodeBody(w, r, &req); werr != nil {
+		writeError(w, werr)
+		return
+	}
+	if werr := wire.CheckVersion(req.V); werr != nil {
+		writeError(w, werr)
+		return
+	}
+	res, werr := rt.compileOne(r.Context(), &req)
+	if werr != nil {
+		writeError(w, werr)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.CompileResponse{V: wire.Version, Result: res})
+}
+
+// compileOne routes one compile down its failover chain.
+func (rt *Router) compileOne(ctx context.Context, req *wire.CompileRequest) (*wire.Result, *wire.Error) {
+	urls, rehashed := rt.order(RoutingKey(req), req.Options)
+	if rehashed {
+		rt.rehashes.Add(1)
+	}
+	if len(urls) == 0 {
+		return nil, &wire.Error{Code: wire.CodeOverCapacity,
+			Message: "no live replica can serve this request", RetryAfterMS: 1000}
+	}
+	cl, err := rt.clientFor(urls)
+	if err != nil {
+		return nil, wire.Errorf(wire.CodeInternal, "%v", err)
+	}
+	res, err := cl.Compile(ctx, req)
+	if err != nil {
+		return nil, asWireError(err)
+	}
+	return res, nil
+}
+
+// handleBatch shards a batch across owners: requests group by their
+// preferred replica, each group rides one /v1/batch exchange through
+// the group's failover chain, and items stream back as each group
+// settles, re-anchored to the caller's indices.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req wire.BatchRequest
+	if werr := rt.decodeBody(w, r, &req); werr != nil {
+		writeError(w, werr)
+		return
+	}
+	if werr := wire.CheckVersion(req.V); werr != nil {
+		writeError(w, werr)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, wire.Errorf(wire.CodeBadRequest, "empty batch"))
+		return
+	}
+
+	// Group caller indices by the head of each request's failover chain.
+	groups := map[string][]int{}
+	chains := map[string][]string{}
+	for i := range req.Requests {
+		urls, rehashed := rt.order(RoutingKey(&req.Requests[i]), req.Requests[i].Options)
+		if rehashed {
+			rt.rehashes.Add(1)
+		}
+		gk := strings.Join(urls, "\x00") // empty key = nobody can serve
+		groups[gk] = append(groups[gk], i)
+		chains[gk] = urls
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	var wmu sync.Mutex
+	writeItem := func(item wire.BatchItem) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		enc := json.NewEncoder(w)
+		enc.SetEscapeHTML(false)
+		enc.Encode(item)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for gk, idxs := range groups {
+		urls := chains[gk]
+		if len(urls) == 0 {
+			for _, i := range idxs {
+				writeItem(wire.BatchItem{V: wire.Version, Index: i, Error: &wire.Error{
+					Code: wire.CodeOverCapacity, Message: "no live replica can serve this request",
+					RetryAfterMS: 1000}})
+			}
+			continue
+		}
+		wg.Add(1)
+		go func(urls []string, idxs []int) {
+			defer wg.Done()
+			sub := make([]wire.CompileRequest, len(idxs))
+			for k, i := range idxs {
+				sub[k] = req.Requests[i]
+			}
+			cl, err := rt.clientFor(urls)
+			if err != nil {
+				for _, i := range idxs {
+					writeItem(wire.BatchItem{V: wire.Version, Index: i,
+						Error: wire.Errorf(wire.CodeInternal, "%v", err)})
+				}
+				return
+			}
+			items, err := cl.Batch(r.Context(), sub)
+			if err != nil {
+				for _, i := range idxs {
+					writeItem(wire.BatchItem{V: wire.Version, Index: i, Error: asWireError(err)})
+				}
+				return
+			}
+			for k, item := range items {
+				item.Index = idxs[k]
+				writeItem(item)
+			}
+		}(urls, idxs)
+	}
+	wg.Wait()
+}
+
+// handleStats aggregates /v1/stats across live replicas into one
+// logical daemon's view.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	type polled struct {
+		st   *replicaState
+		resp *wire.StatsResponse
+	}
+	var wg sync.WaitGroup
+	results := make(chan polled, len(rt.states))
+	for _, st := range rt.states {
+		if !st.alive.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func(st *replicaState) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProbeTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, st.url+"/v1/stats", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.http.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			var sr wire.StatsResponse
+			if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+				return
+			}
+			results <- polled{st, &sr}
+		}(st)
+	}
+	wg.Wait()
+	close(results)
+
+	agg := wire.StatsResponse{V: wire.Version}
+	agg.Service.Requests = map[string]int64{}
+	buckets := map[float64]int64{}
+	polledCount, drainingCount := 0, 0
+	for p := range results {
+		polledCount++
+		ps := p.resp.Pipeline
+		a := &agg.Pipeline
+		a.Hits += ps.Hits
+		a.Misses += ps.Misses
+		a.DedupJoins += ps.DedupJoins
+		a.Compilations += ps.Compilations
+		a.Fallbacks += ps.Fallbacks
+		a.Evictions += ps.Evictions
+		a.CachedBytes += ps.CachedBytes
+		a.CachedEntries += ps.CachedEntries
+		a.CompileNS += ps.CompileNS
+		a.WallNS += ps.WallNS
+		a.Panics += ps.Panics
+		a.PeerHits += ps.PeerHits
+		a.Seeded += ps.Seeded
+
+		ss := p.resp.Service
+		for k, v := range ss.Requests {
+			agg.Service.Requests[k] += v
+		}
+		agg.Service.Rejected += ss.Rejected
+		agg.Service.Deadlines += ss.Deadlines
+		agg.Service.InFlight += ss.InFlight
+		agg.Service.Queued += ss.Queued
+		agg.Service.Degraded += ss.Degraded
+		agg.Service.Quarantined += ss.Quarantined
+		if ss.Draining {
+			drainingCount++
+		}
+		for _, b := range ss.LatencyMS {
+			le := b.Le
+			if le < 0 {
+				le = math.Inf(1)
+			}
+			buckets[le] += b.Count
+		}
+		for name, n := range ss.Faults {
+			if agg.Service.Faults == nil {
+				agg.Service.Faults = map[string]int64{}
+			}
+			agg.Service.Faults[name] += n
+		}
+	}
+	if lookups := agg.Pipeline.Hits + agg.Pipeline.Misses; lookups > 0 {
+		agg.Pipeline.HitRate = float64(agg.Pipeline.Hits) / float64(lookups)
+	}
+	agg.Service.Draining = polledCount > 0 && drainingCount == polledCount
+	les := make([]float64, 0, len(buckets))
+	for le := range buckets {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	for _, le := range les {
+		b := wire.HistogramBucket{Le: le, Count: buckets[le]}
+		if math.IsInf(le, 1) {
+			b.Le = -1
+		}
+		agg.Service.LatencyMS = append(agg.Service.LatencyMS, b)
+	}
+	writeJSON(w, http.StatusOK, agg)
+}
+
+// handleCapabilities unions the fleet's capabilities: a scheduler one
+// replica serves is routable (capability routing sends it there), so
+// the union is what the cluster as a whole can do.  Quarantined is the
+// intersection — an engine is only cluster-quarantined when no replica
+// will take it.
+func (rt *Router) handleCapabilities(w http.ResponseWriter, r *http.Request) {
+	agg := wire.CapabilitiesResponse{V: wire.Version}
+	schedulers, strategies, features, machines := map[string]bool{}, map[string]bool{}, map[string]bool{}, map[string]bool{}
+	families := map[string]wire.StrategyFamily{}
+	var quarantine map[string]bool
+	polledAny := false
+	for _, st := range rt.states {
+		if !st.alive.Load() {
+			continue
+		}
+		caps := st.caps.Load()
+		if caps == nil {
+			continue
+		}
+		polledAny = true
+		for _, s := range caps.Schedulers {
+			schedulers[s] = true
+		}
+		for _, s := range caps.Strategies {
+			strategies[s] = true
+		}
+		for _, f := range caps.Features {
+			features[f] = true
+		}
+		for _, m := range caps.Machines {
+			machines[m] = true
+		}
+		for _, f := range caps.StrategyFamilies {
+			families[f.Prefix] = f
+		}
+		if caps.Loops > agg.Loops {
+			agg.Loops = caps.Loops
+		}
+		q := map[string]bool{}
+		for _, e := range caps.Quarantined {
+			q[e] = true
+		}
+		if quarantine == nil {
+			quarantine = q
+		} else {
+			for e := range quarantine {
+				if !q[e] {
+					delete(quarantine, e)
+				}
+			}
+		}
+	}
+	if !polledAny {
+		writeError(w, wire.Errorf(wire.CodeDraining, "no replica has answered a capability probe"))
+		return
+	}
+	agg.Schedulers = sortedKeys(schedulers)
+	agg.Strategies = sortedKeys(strategies)
+	agg.Features = sortedKeys(features)
+	agg.Machines = sortedKeys(machines)
+	agg.Quarantined = sortedKeys(quarantine)
+	for _, p := range sortedKeys2(families) {
+		agg.StrategyFamilies = append(agg.StrategyFamilies, families[p])
+	}
+	writeJSON(w, http.StatusOK, agg)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys2(m map[string]wire.StrategyFamily) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// asWireError coerces a client error to the wire shape, so routed
+// failures reach the caller with their original code and retry hint.
+func asWireError(err error) *wire.Error {
+	var werr *wire.Error
+	if errors.As(err, &werr) {
+		return werr
+	}
+	return wire.Errorf(wire.CodeInternal, "%v", err)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, werr *wire.Error) {
+	if werr.RetryAfterMS > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", (werr.RetryAfterMS+999)/1000))
+	}
+	writeJSON(w, wire.StatusOf(werr.Code), wire.ErrorResponse{V: wire.Version, Error: werr})
+}

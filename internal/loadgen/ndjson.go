@@ -40,6 +40,35 @@ func WriteCorpus(w io.Writer, loops []*corpus.Loop) error {
 	return bw.Flush()
 }
 
+// StreamCorpus synthesizes a spec's corpus straight onto w, one NDJSON
+// line per loop as it is generated, holding only the current loop in
+// memory.  The bytes are identical to WriteCorpus(w, spec.Generate())
+// — same draw order, same per-line marshal — so streamed and
+// materialized corpora are interchangeable artifacts.  Returns the
+// number of loops written.
+func StreamCorpus(w io.Writer, spec Spec) (int, error) {
+	bw := bufio.NewWriter(w)
+	n := 0
+	err := spec.Each(func(i int, l *corpus.Loop) error {
+		b, err := json.Marshal(l)
+		if err != nil {
+			return fmt.Errorf("loadgen: marshal loop %d: %w", i, err)
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
 // ReadCorpus reads an NDJSON corpus back, validating every graph so a
 // corrupt or hand-edited file fails at load time, not mid-replay.
 func ReadCorpus(r io.Reader) ([]*corpus.Loop, error) {

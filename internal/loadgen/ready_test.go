@@ -1,0 +1,151 @@
+package loadgen
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/service"
+)
+
+// TestStreamCorpusBytesMatchMaterialized pins the streaming contract:
+// StreamCorpus(spec) emits exactly the bytes WriteCorpus(Generate())
+// would, so the constant-memory gen path and the in-memory path are
+// interchangeable artifact producers.
+func TestStreamCorpusBytesMatchMaterialized(t *testing.T) {
+	spec := testSpec()
+	loops, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := WriteCorpus(&want, loops); err != nil {
+		t.Fatal(err)
+	}
+	var got strings.Builder
+	n, err := StreamCorpus(&got, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != spec.Count {
+		t.Fatalf("StreamCorpus wrote %d loops, want %d", n, spec.Count)
+	}
+	if got.String() != want.String() {
+		t.Fatal("streamed corpus differs from materialized corpus bytes")
+	}
+}
+
+// TestEachStopsOnYieldError: a yield error aborts generation and comes
+// back verbatim, so a failed mid-stream write does not keep burning CPU
+// on a million-loop corpus.
+func TestEachStopsOnYieldError(t *testing.T) {
+	spec := testSpec()
+	stop := errors.New("disk full")
+	calls := 0
+	err := spec.Each(func(i int, _ *corpus.Loop) error {
+		calls++
+		if i == 2 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("Each returned %v, want the yield error verbatim", err)
+	}
+	if calls != 3 {
+		t.Fatalf("Each yielded %d loops after the error, want 3", calls)
+	}
+}
+
+// TestWaitReadyDrainRace pins the /readyz-vs-/healthz distinction that
+// motivated WaitReady: a draining daemon answers /healthz 200 while
+// /readyz says 503, so a health-based gate would green-light a replay
+// the server will wholly reject.  WaitReady must keep waiting through
+// the draining window and return only once /readyz flips to 200.
+func TestWaitReadyDrainRace(t *testing.T) {
+	var ready atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			w.WriteHeader(http.StatusOK) // healthy even while draining
+		case "/readyz":
+			if ready.Load() {
+				w.WriteHeader(http.StatusOK)
+			} else {
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+			}
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+
+	// The race: health says go, readiness says wait.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200 while draining", resp.StatusCode)
+	}
+	if err := WaitReady(ts.URL, 120*time.Millisecond); err == nil {
+		t.Fatal("WaitReady returned while /readyz was still 503")
+	}
+
+	// Flip readiness shortly after WaitReady starts; it must block
+	// through the 503 window and then succeed.
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		ready.Store(true)
+	}()
+	start := time.Now()
+	if err := WaitReady(ts.URL, 5*time.Second); err != nil {
+		t.Fatalf("WaitReady after readiness flip: %v", err)
+	}
+	if waited := time.Since(start); waited < 100*time.Millisecond {
+		t.Fatalf("WaitReady returned after %v, before readiness flipped", waited)
+	}
+}
+
+// TestWaitReadyAgainstDrainingService runs the race against the real
+// service handler: after BeginDrain the daemon still answers /healthz
+// 200 (process alive) but WaitReady correctly refuses to start a run.
+func TestWaitReadyAgainstDrainingService(t *testing.T) {
+	srv := service.New(service.Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if err := WaitReady(ts.URL, time.Second); err != nil {
+		t.Fatalf("fresh service not ready: %v", err)
+	}
+	srv.BeginDrain()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining /healthz = %d, want 200", resp.StatusCode)
+	}
+	if err := WaitReady(ts.URL, 120*time.Millisecond); err == nil {
+		t.Fatal("WaitReady accepted a draining service")
+	}
+}
+
+// TestWaitReadyConnectError: nothing listening keeps polling until the
+// budget runs out, then reports the URL it was waiting on.
+func TestWaitReadyConnectError(t *testing.T) {
+	err := WaitReady("http://127.0.0.1:1", 80*time.Millisecond)
+	if err == nil {
+		t.Fatal("WaitReady succeeded against a closed port")
+	}
+	if !strings.Contains(err.Error(), "/readyz") {
+		t.Fatalf("error %q does not name the probed URL", err)
+	}
+}

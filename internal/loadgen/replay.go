@@ -289,6 +289,7 @@ func buildReport(cfg ReplayConfig, corpusSize int, sent int64, elapsed time.Dura
 			DedupJoins:   after.Pipeline.DedupJoins - before.Pipeline.DedupJoins,
 			Compilations: after.Pipeline.Compilations - before.Pipeline.Compilations,
 			Evictions:    after.Pipeline.Evictions - before.Pipeline.Evictions,
+			PeerHits:     after.Pipeline.PeerHits - before.Pipeline.PeerHits,
 			HitRate:      Rate(float64(hits), float64(hits+misses)),
 		}
 		r.Server = &ServerDelta{

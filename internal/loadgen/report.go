@@ -96,6 +96,9 @@ type CacheDelta struct {
 	DedupJoins   int64   `json:"dedup_joins"`
 	Compilations int64   `json:"compilations"`
 	Evictions    int64   `json:"evictions"`
+	// PeerHits counts misses answered by a cluster peer's cache instead
+	// of a local compile (zero outside cluster mode).
+	PeerHits int64 `json:"peer_hits,omitempty"`
 	// HitRate is Hits / (Hits + Misses), 0 when no lookups happened.
 	HitRate float64 `json:"hit_rate"`
 }

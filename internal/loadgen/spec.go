@@ -87,16 +87,19 @@ func (s Spec) Validate() error {
 	return probe.Validate()
 }
 
-// Generate synthesizes the corpus: Count loops, each an independent
-// ddg.Synth graph whose size, trip count and per-graph seed are drawn
-// from a master RNG seeded by Spec.Seed.
-func (s Spec) Generate() ([]*corpus.Loop, error) {
+// Each synthesizes the corpus one loop at a time, calling yield for
+// loop i as soon as it exists and retaining nothing — the streaming
+// form that keeps a million-loop generation in constant memory.  The
+// draw order is identical to Generate's (one master RNG, three draws
+// per loop), so yielded loop i is byte-for-byte the loop Generate
+// would put at index i.  A yield error stops the run and is returned
+// as-is.
+func (s Spec) Each(yield func(i int, l *corpus.Loop) error) error {
 	if err := s.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	s = s.withDefaults()
 	rng := rand.New(rand.NewSource(int64(s.Seed)))
-	loops := make([]*corpus.Loop, 0, s.Count)
 	for i := 0; i < s.Count; i++ {
 		nodes := s.MinNodes + rng.Intn(s.MaxNodes-s.MinNodes+1)
 		graphSeed := rng.Uint64()
@@ -110,14 +113,33 @@ func (s Spec) Generate() ([]*corpus.Loop, error) {
 			ClusterAffinity:   s.ClusterAffinity,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("loadgen: loop %d: %w", i, err)
+			return fmt.Errorf("loadgen: loop %d: %w", i, err)
 		}
-		loops = append(loops, &corpus.Loop{
+		if err := yield(i, &corpus.Loop{
 			Graph:  g,
 			Iters:  iters,
 			Weight: 1,
 			Bench:  s.Prefix,
-		})
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Generate synthesizes the whole corpus in memory: Count loops, each
+// an independent ddg.Synth graph whose size, trip count and per-graph
+// seed are drawn from a master RNG seeded by Spec.Seed.  For corpora
+// that should not be materialized (the "1M loops" regime), stream with
+// Each or StreamCorpus instead.
+func (s Spec) Generate() ([]*corpus.Loop, error) {
+	loops := make([]*corpus.Loop, 0, s.Count)
+	err := s.Each(func(_ int, l *corpus.Loop) error {
+		loops = append(loops, l)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return loops, nil
 }

@@ -119,6 +119,12 @@ type Stats struct {
 	// results are never cached (see fill), so every occurrence is one
 	// real panicking compile.
 	Panics int64
+	// PeerHits counts misses satisfied by a peer's cache over the
+	// cluster federation path instead of a local compile.
+	PeerHits int64
+	// Seeded counts entries inserted from outside a compile: snapshot
+	// restore on warm-start, corpus prefill.
+	Seeded int64
 	// Evictions counts completed entries dropped by the LRU byte bound
 	// (zero on an unbounded pipeline).
 	Evictions int64
@@ -183,8 +189,12 @@ type Pipeline struct {
 	// SetMaxConcurrentCompiles): a slot is acquired before an entry is
 	// claimed and released when its fill goroutine finishes.
 	fillSem chan struct{}
+	// peerLookup, when non-nil, resolves misses against the cluster
+	// before compiling (see SetPeerLookup).
+	peerLookup PeerLookupFunc
 
 	hits, misses, joins, compilations, fallbacks, evictions, panics atomic.Int64
+	peerHits, seeded                                                atomic.Int64
 	compileNS, wallNS                                               atomic.Int64
 }
 
@@ -378,7 +388,21 @@ func (p *Pipeline) CompileCtx(ctx context.Context, req Request) (*core.Result, e
 // compiles afresh instead of replaying a fault forever.  Deterministic
 // compile errors stay cached as before.
 func (p *Pipeline) fill(sh *shard, e *entry, req Request) {
-	res, err := p.run(req)
+	var res *core.Result
+	var err error
+	// Federation: a miss costs one intra-cluster lookup before it costs
+	// a compile.  The peer most likely to own this fingerprint either
+	// has the finished result (identical loops recur constantly — the
+	// whole premise) or answers not-found fast; only then do we pay.
+	if p.peerLookup != nil {
+		if r, ok := p.peerLookup(e.key); ok && r != nil {
+			res = r
+			p.peerHits.Add(1)
+		}
+	}
+	if res == nil {
+		res, err = p.run(req)
+	}
 	sh.mu.Lock()
 	e.res, e.err = res, err
 	if err != nil && engine.Transient(err) {
@@ -557,6 +581,8 @@ func (p *Pipeline) Stats() Stats {
 		Compilations:  p.compilations.Load(),
 		Fallbacks:     p.fallbacks.Load(),
 		Panics:        p.panics.Load(),
+		PeerHits:      p.peerHits.Load(),
+		Seeded:        p.seeded.Load(),
 		Evictions:     p.evictions.Load(),
 		CachedBytes:   bytes,
 		CachedEntries: entries,

@@ -19,6 +19,7 @@ type metrics struct {
 		batch        atomic.Int64
 		stats        atomic.Int64
 		capabilities atomic.Int64
+		cache        atomic.Int64
 	}
 	rejected  atomic.Int64
 	deadlines atomic.Int64

@@ -12,6 +12,10 @@
 //	GET  /v1/stats     pipeline + service counters (wire.StatsResponse)
 //	GET  /v1/capabilities  registered schedulers, unroll policies and
 //	                   machine_ref names (wire.CapabilitiesResponse)
+//	GET  /v1/cache/{key}  one completed cache entry as a snapshot row
+//	                   (wire.CacheEntry), 404 cache_miss otherwise; the
+//	                   peer-federation read used by cluster mode
+
 //	GET  /healthz      liveness probe (always 200 while the process is up)
 //	GET  /readyz       readiness probe (503 once draining begins)
 //	GET  /debug/vars   expvar-style JSON metrics (requests, cache,
@@ -191,6 +195,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
+	mux.HandleFunc("GET /v1/cache/{key...}", s.handleCacheGet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
@@ -434,26 +439,7 @@ func (s *Server) ctxError(err error) *wire.Error {
 }
 
 // statusOf maps wire error codes to HTTP status.
-func statusOf(werr *wire.Error) int {
-	switch werr.Code {
-	case wire.CodeUnknownLoop, wire.CodeUnknownMachine:
-		return http.StatusNotFound
-	case wire.CodeBodyTooLarge:
-		return http.StatusRequestEntityTooLarge
-	case wire.CodeUnschedulable:
-		return http.StatusUnprocessableEntity
-	case wire.CodeOverCapacity:
-		return http.StatusTooManyRequests
-	case wire.CodeEngineQuarantined, wire.CodeDraining:
-		return http.StatusServiceUnavailable
-	case wire.CodeDeadlineExceeded:
-		return http.StatusGatewayTimeout
-	case wire.CodeEnginePanic, wire.CodeInternal:
-		return http.StatusInternalServerError
-	default:
-		return http.StatusBadRequest
-	}
-}
+func statusOf(werr *wire.Error) int { return wire.StatusOf(werr.Code) }
 
 // writeJSON writes one JSON body with the given status.  HTML escaping
 // is off: this is an API, and names like "sweep:<k>" must round-trip
@@ -646,6 +632,23 @@ func (s *Server) handleCapabilities(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleCacheGet serves GET /v1/cache/{key}: one completed cache
+// entry in the snapshot row shape, or 404 cache_miss.  This is the
+// peer half of cluster federation — a sibling daemon asks here before
+// compiling a miss — so it reads the cache without compiling, without
+// touching the hit/miss counters, and keeps answering while draining:
+// a draining daemon's cache is exactly what its peers need to inherit.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	s.m.requests.cache.Add(1)
+	key := r.PathValue("key")
+	res, ok := s.pipe.Peek(key)
+	if !ok {
+		writeError(w, wire.Errorf(wire.CodeCacheMiss, "no completed entry for that key"))
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.FromCacheEntry(pipeline.CacheEntry{Key: key, Res: res}))
+}
+
 // serviceStats snapshots the daemon-side counters.
 func (s *Server) serviceStats() wire.ServiceStats {
 	st := wire.ServiceStats{
@@ -654,6 +657,7 @@ func (s *Server) serviceStats() wire.ServiceStats {
 			"batch":        s.m.requests.batch.Load(),
 			"stats":        s.m.requests.stats.Load(),
 			"capabilities": s.m.requests.capabilities.Load(),
+			"cache":        s.m.requests.cache.Load(),
 		},
 		Rejected:    s.m.rejected.Load(),
 		Deadlines:   s.m.deadlines.Load(),

@@ -40,6 +40,7 @@ var schemaTypes = []any{
 	ServiceStats{},
 	EngineHealth{},
 	HistogramBucket{},
+	CacheEntry{},
 }
 
 // TestSchemaLock renders every DTO's field set — Go name, Go type,

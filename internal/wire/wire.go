@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 
 	"repro/internal/corpus"
 	"repro/internal/engine"
@@ -52,7 +53,35 @@ const (
 	CodeEngineQuarantined  = "engine_quarantined"
 	CodeDraining           = "draining"
 	CodeInternal           = "internal"
+	// CodeCacheMiss is the 404 of a peer-cache lookup: the queried
+	// daemon has no completed entry for the key.  Not an error in any
+	// meaningful sense — the asking daemon falls back to compiling.
+	CodeCacheMiss = "cache_miss"
 )
+
+// StatusOf maps a wire error code to its HTTP status.  Every server
+// (schedd, schedrouter) uses this one table, so a code always rides
+// the same status no matter which process emits it.
+func StatusOf(code string) int {
+	switch code {
+	case CodeUnknownLoop, CodeUnknownMachine, CodeCacheMiss:
+		return http.StatusNotFound
+	case CodeBodyTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case CodeUnschedulable:
+		return http.StatusUnprocessableEntity
+	case CodeOverCapacity:
+		return http.StatusTooManyRequests
+	case CodeEngineQuarantined, CodeDraining:
+		return http.StatusServiceUnavailable
+	case CodeDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case CodeEnginePanic, CodeInternal:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
 
 // Error is the wire error shape: a stable code plus a human-readable
 // message.
@@ -352,6 +381,12 @@ type PipelineStats struct {
 	// Panics counts compiles that ended in a recovered panic (typed
 	// engine_panic wire errors).  Optional (v1 growth).
 	Panics int64 `json:"panics,omitempty"`
+	// PeerHits counts misses satisfied by a cluster peer's cache
+	// instead of a local compile; Seeded counts entries inserted from a
+	// warm-start snapshot or corpus prefill.  Optional (v1 growth),
+	// zero outside cluster mode.
+	PeerHits int64 `json:"peer_hits,omitempty"`
+	Seeded   int64 `json:"seeded,omitempty"`
 	// HitRate is Hits / (Hits + Misses), 0 when no lookups have
 	// happened yet — the zero-lookup guard matters because NaN has no
 	// JSON encoding and would make the whole stats document
@@ -377,6 +412,8 @@ func FromPipelineStats(s pipeline.Stats) PipelineStats {
 		CompileNS:     int64(s.CompileTime),
 		WallNS:        int64(s.WallTime),
 		Panics:        s.Panics,
+		PeerHits:      s.PeerHits,
+		Seeded:        s.Seeded,
 		HitRate:       hitRate,
 	}
 }

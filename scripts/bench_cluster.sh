@@ -1,0 +1,132 @@
+#!/bin/sh
+# bench_cluster.sh — the cluster-mode before/after artefact producer.
+#
+# Runs four legs of the same open-loop replay and gates them against
+# each other with `benchjson -compare`:
+#
+#   1. single   one schedd, per-daemon cache budget          -> BENCH_service_single.json
+#   2. cluster  3 schedd shards behind schedrouter, same
+#               per-daemon budget, federated peer lookup     -> BENCH_service_cluster.json
+#        gate: cluster goodput >= MIN_GOODPUT_RATIO x single, hit rate
+#              up by MIN_HIT_DELTA, at identical offered QPS
+#   3. cold     one schedd, unbounded cache, -snapshot set;
+#               drain writes the snapshot                    -> BENCH_service_cold.json
+#   4. warm     rebooted from that snapshot, identical replay-> BENCH_service_warm.json
+#        gate: warm hit rate up by WARM_MIN_HIT_DELTA, warm p99 under
+#              WARM_MAX_P99_RATIO x cold p99
+#
+# The corpus is sized so one daemon's LRU cannot hold the working set
+# (it thrashes and recompiles) while three shards' aggregate budget
+# can — the cluster's win is aggregate cache capacity converting
+# ~35ms portfolio compiles into ~2ms cache hits, which holds on any
+# core count.  Every replica gets the same per-daemon budget; the
+# comparison is N equal nodes vs one.
+#
+# Environment knobs (defaults are the checked-in artefacts' values):
+#   PORT_BASE   first port of the throwaway daemons (default 18300)
+#   CORPUS      loops to synthesize          (default 360)
+#   SEED        corpus seed                  (default 7)
+#   QPS         offered rate, legs 1-2      (default 75)
+#   REQUESTS    request count, legs 1-2     (default 1500)
+#   WARM_QPS    offered rate, legs 3-4      (default 60)
+#   WARM_REQUESTS request count, legs 3-4   (default 1200)
+#   CACHE_BYTES per-daemon budget, legs 1-2 (default 4194304)
+#   MIN_GOODPUT_RATIO / MIN_HIT_DELTA        cluster-vs-single gate (1.5 / 0.2)
+#   WARM_MIN_HIT_DELTA / WARM_MAX_P99_RATIO  warm-vs-cold gate (0.15 / 0.5)
+set -e
+cd "$(dirname "$0")/.."
+
+PORT_BASE="${PORT_BASE:-18300}"
+CORPUS="${CORPUS:-360}"
+SEED="${SEED:-7}"
+QPS="${QPS:-75}"
+REQUESTS="${REQUESTS:-1500}"
+WARM_QPS="${WARM_QPS:-60}"
+WARM_REQUESTS="${WARM_REQUESTS:-1200}"
+CACHE_BYTES="${CACHE_BYTES:-4194304}"
+MIN_GOODPUT_RATIO="${MIN_GOODPUT_RATIO:-1.5}"
+MIN_HIT_DELTA="${MIN_HIT_DELTA:-0.2}"
+WARM_MIN_HIT_DELTA="${WARM_MIN_HIT_DELTA:-0.15}"
+WARM_MAX_P99_RATIO="${WARM_MAX_P99_RATIO:-0.5}"
+MACHINES="${MACHINES:-4-cluster/B1/L1}"
+STRATEGY="${STRATEGY:-portfolio}"
+
+go build -o /tmp/schedd_cb ./cmd/schedd
+go build -o /tmp/schedrouter_cb ./cmd/schedrouter
+go build -o /tmp/loadgen_cb ./cmd/loadgen
+go build -o /tmp/benchjson_cb ./cmd/benchjson
+
+WORK="$(mktemp -d)"
+PIDS=""
+cleanup() {
+  for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+# One corpus, streamed to disk, replayed identically by every leg.
+/tmp/loadgen_cb gen -count "${CORPUS}" -seed "${SEED}" \
+  -min-nodes 28 -max-nodes 48 -o "${WORK}/corpus.ndjson"
+
+replay() { # replay <server> <qps> <requests> <out>
+  /tmp/loadgen_cb replay \
+    -server "$1" -wait-ready 60s -corpus "${WORK}/corpus.ndjson" \
+    -qps "$2" -requests "$3" -inflight 64 \
+    -strategy "${STRATEGY}" -machines "${MACHINES}" -o "$4"
+}
+
+# ---- Leg 1: single daemon, bounded cache -----------------------------
+P0=$((PORT_BASE))
+/tmp/schedd_cb -addr "127.0.0.1:${P0}" -cache-bytes "${CACHE_BYTES}" &
+SINGLE_PID=$!; PIDS="$PIDS $SINGLE_PID"
+replay "http://127.0.0.1:${P0}" "${QPS}" "${REQUESTS}" BENCH_service_single.json
+kill -TERM "$SINGLE_PID"; wait "$SINGLE_PID" 2>/dev/null || true
+
+# ---- Leg 2: 3 shards + router, same per-daemon budget ----------------
+P1=$((PORT_BASE + 1)); P2=$((PORT_BASE + 2)); P3=$((PORT_BASE + 3)); PR=$((PORT_BASE + 9))
+PEERS="http://127.0.0.1:${P1},http://127.0.0.1:${P2},http://127.0.0.1:${P3}"
+REPLICA_PIDS=""
+for p in "$P1" "$P2" "$P3"; do
+  /tmp/schedd_cb -addr "127.0.0.1:${p}" -cache-bytes "${CACHE_BYTES}" \
+    -peers "${PEERS}" -peer-self "http://127.0.0.1:${p}" &
+  REPLICA_PIDS="$REPLICA_PIDS $!"; PIDS="$PIDS $!"
+done
+/tmp/schedrouter_cb -addr "127.0.0.1:${PR}" \
+  -replicas "s1=http://127.0.0.1:${P1},s2=http://127.0.0.1:${P2},s3=http://127.0.0.1:${P3}" &
+ROUTER_PID=$!; PIDS="$PIDS $ROUTER_PID"
+replay "http://127.0.0.1:${PR}" "${QPS}" "${REQUESTS}" BENCH_service_cluster.json
+for p in $ROUTER_PID $REPLICA_PIDS; do kill -TERM "$p" 2>/dev/null || true; done
+for p in $ROUTER_PID $REPLICA_PIDS; do wait "$p" 2>/dev/null || true; done
+
+# Gate: the cluster actually bought goodput and cache heat.
+/tmp/benchjson_cb -compare -schema service \
+  -old BENCH_service_single.json -new BENCH_service_cluster.json \
+  -min-goodput-ratio "${MIN_GOODPUT_RATIO}" -min-hit-delta "${MIN_HIT_DELTA}"
+
+# ---- Leg 3: cold start, snapshot written on drain --------------------
+PC=$((PORT_BASE + 4))
+SNAP="${WORK}/cache_snapshot.ndjson"
+/tmp/schedd_cb -addr "127.0.0.1:${PC}" -cache-bytes 0 -snapshot "${SNAP}" &
+COLD_PID=$!; PIDS="$PIDS $COLD_PID"
+replay "http://127.0.0.1:${PC}" "${WARM_QPS}" "${WARM_REQUESTS}" BENCH_service_cold.json
+kill -TERM "$COLD_PID"; wait "$COLD_PID" 2>/dev/null || true
+test -s "${SNAP}" || { echo "bench_cluster: drain wrote no snapshot" >&2; exit 1; }
+
+# ---- Leg 4: warm start from that snapshot, identical replay ----------
+PW=$((PORT_BASE + 5))
+/tmp/schedd_cb -addr "127.0.0.1:${PW}" -cache-bytes 0 -snapshot "${SNAP}" &
+WARM_PID=$!; PIDS="$PIDS $WARM_PID"
+replay "http://127.0.0.1:${PW}" "${WARM_QPS}" "${WARM_REQUESTS}" BENCH_service_warm.json
+kill -TERM "$WARM_PID"; wait "$WARM_PID" 2>/dev/null || true
+
+# Gate: the warm boot is strictly hotter and its tail collapses.
+/tmp/benchjson_cb -compare -schema service \
+  -old BENCH_service_cold.json -new BENCH_service_warm.json \
+  -min-goodput-ratio 0.95 \
+  -min-hit-delta "${WARM_MIN_HIT_DELTA}" -max-p99-ratio "${WARM_MAX_P99_RATIO}"
+
+for f in BENCH_service_single.json BENCH_service_cluster.json \
+         BENCH_service_cold.json BENCH_service_warm.json; do
+  /tmp/benchjson_cb -check "$f" -schema service
+done
+echo "bench_cluster: wrote and gated 4 artefacts" >&2

@@ -12,6 +12,10 @@
 #   INFLIGHT  client-side concurrency cap (default 64)
 #   CORPUS    loops to synthesize (default 64)
 #   SEED      corpus seed (default 1; same seed = byte-identical corpus)
+#   BASELINE  previous BENCH_service.json to gate against (optional); the
+#             new run must hold MIN_GOODPUT_RATIO (default 0.9) of the
+#             baseline's goodput and stay under MAX_P99_RATIO (default
+#             1.5) of its p99 at the same offered QPS
 set -e
 cd "$(dirname "$0")/.."
 
@@ -30,7 +34,7 @@ go build -o /tmp/loadgen_bench ./cmd/loadgen
 SCHEDD_PID=$!
 trap 'kill "${SCHEDD_PID}" 2>/dev/null || true' EXIT INT TERM
 
-# loadgen polls /healthz itself (-wait-ready), so no curl loop here.
+# loadgen polls /readyz itself (-wait-ready), so no curl loop here.
 /tmp/loadgen_bench replay \
   -server "http://${ADDR}" -wait-ready 30s \
   -count "${CORPUS}" -seed "${SEED}" -min-nodes 8 -max-nodes 48 \
@@ -46,4 +50,13 @@ trap - EXIT INT TERM
 # Strict-decode + invariant check of the artefact we just wrote, the
 # same gate CI runs, so a truncated or hand-edited file can't ship.
 go run ./cmd/benchjson -check BENCH_service.json -schema service
+
+# Optional SLO trajectory gate: compare against a previous artefact so
+# successive runs can't silently regress goodput or the p99 tail.
+if [ -n "${BASELINE:-}" ]; then
+  go run ./cmd/benchjson -compare -schema service \
+    -old "${BASELINE}" -new BENCH_service.json \
+    -min-goodput-ratio "${MIN_GOODPUT_RATIO:-0.9}" \
+    -max-p99-ratio "${MAX_P99_RATIO:-1.5}"
+fi
 echo "wrote BENCH_service.json ($(wc -c < BENCH_service.json) bytes)" >&2
